@@ -1,0 +1,72 @@
+// Command pardisc is the PARDIS IDL compiler: it translates an IDL
+// specification (CORBA IDL subset + dsequence) into Go stubs and
+// skeletons against the PARDIS-Go runtime.
+//
+// Usage:
+//
+//	pardisc -pkg mypkg -o stubs_gen.go spec.idl
+//
+// With -o "-" (the default) the generated source goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pardis/internal/idl"
+	"pardis/internal/idlgen"
+)
+
+func main() {
+	pkg := flag.String("pkg", "stubs", "package name for the generated file")
+	out := flag.String("o", "-", "output file (\"-\" for stdout)")
+	format := flag.Bool("fmt", false, "pretty-print the checked IDL instead of generating Go")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pardisc [-fmt] [-pkg name] [-o file.go] spec.idl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	// Resolve #include directives relative to the input's directory.
+	dir, base := filepath.Split(in)
+	if dir == "" {
+		dir = "."
+	}
+	src, err := idl.ExpandIncludes(os.DirFS(dir), base)
+	if err != nil {
+		fatal(err)
+	}
+	checked, err := idl.ParseAndCheck(src)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", in, err))
+	}
+	var code []byte
+	if *format {
+		code = []byte(idl.Print(checked.Spec))
+	} else {
+		code, err = idlgen.Generate(checked, idlgen.Options{Package: *pkg, Source: in})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *out == "-" {
+		if _, err := os.Stdout.Write(code); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pardisc:", err)
+	os.Exit(1)
+}

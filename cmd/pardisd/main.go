@@ -1,0 +1,111 @@
+// Command pardisd runs a PARDIS domain's naming service: the global
+// namespace behind _bind/_spmd_bind. Servers in the domain register
+// their object references here; clients resolve names to references.
+//
+//	pardisd -listen tcp:0.0.0.0:9050
+//
+// The process serves until interrupted. With -state the name table is
+// loaded at startup and checkpointed on changes and at shutdown, so a
+// domain survives daemon restarts:
+//
+//	pardisd -listen tcp:0.0.0.0:9050 -state /var/lib/pardis/domain.state
+//
+// Inspect a running domain with -list:
+//
+//	pardisd -list -at tcp:127.0.0.1:9050
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pardis/internal/naming"
+	"pardis/internal/orb"
+)
+
+func main() {
+	listen := flag.String("listen", "tcp:127.0.0.1:9050", "endpoint to serve the naming service at")
+	list := flag.Bool("list", false, "list names at an existing service instead of serving")
+	at := flag.String("at", "tcp:127.0.0.1:9050", "service endpoint for -list")
+	prefix := flag.String("prefix", "", "name prefix filter for -list")
+	state := flag.String("state", "", "persist the name table to this file (load at start, checkpoint periodically and at shutdown)")
+	checkpoint := flag.Duration("checkpoint", 30*time.Second, "checkpoint interval when -state is set")
+	flag.Parse()
+
+	if *list {
+		oc := orb.NewClient(nil)
+		defer oc.Close()
+		nc := naming.NewClient(oc, *at)
+		names, err := nc.List(context.Background(), *prefix)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			ref, err := nc.Resolve(context.Background(), n)
+			if err != nil {
+				fmt.Printf("%-30s <%v>\n", n, err)
+				continue
+			}
+			fmt.Printf("%-30s %s threads=%d endpoints=%d\n",
+				n, ref.TypeID, ref.Threads, len(ref.Endpoints))
+		}
+		return
+	}
+
+	reg := naming.NewRegistry()
+	if *state != "" {
+		if err := reg.LoadFile(*state); err != nil {
+			fatal(fmt.Errorf("loading state: %w", err))
+		}
+		if n := len(reg.List("")); n > 0 {
+			fmt.Printf("pardisd: restored %d bindings from %s\n", n, *state)
+		}
+	}
+	srv := orb.NewServer(nil)
+	naming.Serve(srv, reg)
+	ep, err := srv.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pardisd: naming service at %s\n", ep)
+
+	stopCheckpoints := make(chan struct{})
+	if *state != "" {
+		go func() {
+			t := time.NewTicker(*checkpoint)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := reg.SaveFile(*state); err != nil {
+						fmt.Fprintln(os.Stderr, "pardisd: checkpoint:", err)
+					}
+				case <-stopCheckpoints:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("pardisd: shutting down")
+	close(stopCheckpoints)
+	if *state != "" {
+		if err := reg.SaveFile(*state); err != nil {
+			fmt.Fprintln(os.Stderr, "pardisd: final checkpoint:", err)
+		}
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pardisd:", err)
+	os.Exit(1)
+}

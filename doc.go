@@ -1,0 +1,13 @@
+// Package pardis is a Go reproduction of PARDIS — "PARDIS: A Parallel
+// Approach to CORBA" (Keahey & Gannon, Indiana University, 1997): a
+// CORBA-style distributed-object system with first-class SPMD objects
+// and distributed sequences, including both of the paper's
+// distributed-argument-transfer methods (centralized and multi-port)
+// and a calibrated model of its 1996 testbed that regenerates the
+// published evaluation (Tables 1-2, Figure 4).
+//
+// The root package holds only documentation and the repository-level
+// benchmark suite (bench_test.go); the implementation lives under
+// internal/ (see DESIGN.md for the system inventory) and the runnable
+// entry points under cmd/ and examples/.
+package pardis

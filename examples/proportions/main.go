@@ -1,0 +1,142 @@
+// The proportions example demonstrates §2.2's server-side control of
+// argument distribution: before registering, the server assigns
+//
+//	_diffusion_object_diffusion_myarray = Distribution(Proportions(2,4,2,4));
+//
+// so the broker delivers the blocks of an "in" argument in the ratio
+// 2:4:2:4 across its computing threads — while the client keeps its
+// own uniform BLOCK view and never learns about the asymmetry.
+//
+//	go run ./examples/proportions
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/mp"
+	"pardis/internal/rts"
+)
+
+// weightedServant reports how many elements landed on each thread.
+type weightedServant struct{}
+
+func (weightedServant) Shares(call *core.Call, data *dseq.Doubles, countsOut *dseq.Doubles) error {
+	// countsOut has one element per computing thread (length m,
+	// BLOCK over m threads = exactly one local element each).
+	if countsOut.LocalLen() != 1 {
+		return fmt.Errorf("thread %d: counts_out local length %d, want 1",
+			call.Thread.Rank(), countsOut.LocalLen())
+	}
+	countsOut.LocalData()[0] = float64(data.LocalLen())
+	return nil
+}
+
+func main() {
+	const (
+		serverThreads = 4
+		length        = 1200
+	)
+	dom, err := core.JoinDomain(core.DomainConfig{ListenEndpoint: "tcp:127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dom.Close()
+
+	// The server fixes the distribution of the "data" parameter to
+	// Proportions(2,4,2,4) before registering — the ops table from
+	// the IDL compiler defaults every argument to BLOCK and is
+	// adjusted here, exactly where the paper's assignment happens.
+	prop, err := dist.Proportions(2, 4, 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	world := mp.MustWorld(serverThreads)
+	defer world.Close()
+	var objs []*core.Object
+	var mu sync.Mutex
+	ready := make(chan error, serverThreads)
+	for r := 0; r < serverThreads; r++ {
+		go func(rank int) {
+			th := rts.NewMessagePassing(world.Rank(rank))
+			ops := WeightedObjectOps(weightedServant{})
+			ops["shares"].Spec.Args[0].Dist = prop // the §2.2 assignment
+			obj, err := dom.Export(context.Background(), core.ExportConfig{
+				Thread:    th,
+				Name:      "weighted",
+				TypeID:    WeightedObjectTypeID,
+				MultiPort: true,
+				Ops:       ops,
+			})
+			ready <- err
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			objs = append(objs, obj)
+			mu.Unlock()
+			_ = obj.Serve(context.Background())
+		}(r)
+	}
+	for i := 0; i < serverThreads; i++ {
+		if err := <-ready; err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer func() {
+		mu.Lock()
+		for _, o := range objs {
+			o.Close()
+		}
+		mu.Unlock()
+	}()
+
+	// A plain (single-threaded) client: _bind instead of _spmd_bind.
+	err = mp.Run(1, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		obj, err := BindWeightedObject(context.Background(), dom, th, "weighted", core.MultiPort)
+		if err != nil {
+			return err
+		}
+		defer obj.Close()
+		data, err := dseq.NewDoubles(length, dist.Block(), 1, 0)
+		if err != nil {
+			return err
+		}
+		counts, err := dseq.NewDoubles(serverThreads, dist.Block(), 1, 0)
+		if err != nil {
+			return err
+		}
+		if err := obj.Shares(context.Background(), data, counts); err != nil {
+			return err
+		}
+		fmt.Printf("client sent %d doubles with its own BLOCK view;\n", length)
+		fmt.Printf("server declared Proportions(2,4,2,4) — per-thread shares received:\n")
+		total := 0.0
+		for tIdx, c := range counts.LocalData() {
+			fmt.Printf("  server thread %d: %4.0f elements\n", tIdx, c)
+			total += c
+		}
+		want := prop.MustApply(length, serverThreads)
+		fmt.Printf("expected from the distribution: %v (total %d)\n", want.Counts(), length)
+		if int(total) != length {
+			return fmt.Errorf("shares sum to %v, want %d", total, length)
+		}
+		for tIdx, c := range counts.LocalData() {
+			if int(c) != want.Count(tIdx) {
+				return fmt.Errorf("thread %d received %v, expected %d", tIdx, c, want.Count(tIdx))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("proportions: OK")
+}

@@ -1,0 +1,8 @@
+package main
+
+import "math"
+
+// Thin aliases keep the example's helper functions readable without
+// dotted math calls inside bit-twiddling loops.
+func mathFloat64bits(v float64) uint64     { return math.Float64bits(v) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,159 @@
+// The twoprocess example runs a genuinely distributed PARDIS domain:
+// a server process hosting the naming service and an m-thread SPMD
+// object, and a separate client process that joins the domain over
+// TCP, resolves the object by name, and invokes it with both transfer
+// methods. This is the deployment shape of the paper's figure 1, with
+// process isolation instead of two supercomputers.
+//
+// Terminal 1:
+//
+//	go run ./examples/twoprocess -role server -m 4
+//	# prints NAMING=tcp:127.0.0.1:PORT
+//
+// Terminal 2:
+//
+//	go run ./examples/twoprocess -role client -n 2 -naming tcp:127.0.0.1:PORT
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/mp"
+	"pardis/internal/rts"
+)
+
+type scalerServant struct{}
+
+func (scalerServant) Scale(call *core.Call, factor float64, data *dseq.Doubles) (int32, error) {
+	for i := range data.LocalData() {
+		data.LocalData()[i] *= factor
+	}
+	return int32(call.Thread.Size()), nil
+}
+
+func main() {
+	role := flag.String("role", "", "server | client")
+	m := flag.Int("m", 4, "server computing threads")
+	n := flag.Int("n", 2, "client computing threads")
+	namingEp := flag.String("naming", "", "naming endpoint (client role)")
+	length := flag.Int("len", 10000, "vector length in doubles")
+	flag.Parse()
+	switch *role {
+	case "server":
+		runServer(*m)
+	case "client":
+		if *namingEp == "" {
+			log.Fatal("client role needs -naming (the server prints NAMING=...)")
+		}
+		runClient(*n, *namingEp, *length)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runServer(m int) {
+	dom, err := core.JoinDomain(core.DomainConfig{ListenEndpoint: "tcp:127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dom.Close()
+
+	world := mp.MustWorld(m)
+	defer world.Close()
+	var objs []*core.Object
+	var mu sync.Mutex
+	ready := make(chan error, m)
+	for r := 0; r < m; r++ {
+		go func(rank int) {
+			th := rts.NewMessagePassing(world.Rank(rank))
+			obj, err := ExportScaler(context.Background(), dom, th, "scaler", true, scalerServant{})
+			ready <- err
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			objs = append(objs, obj)
+			mu.Unlock()
+			_ = obj.Serve(context.Background())
+		}(r)
+	}
+	for i := 0; i < m; i++ {
+		if err := <-ready; err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The line the client (and the integration test) scrapes.
+	fmt.Printf("NAMING=%s\n", dom.NamingEndpoint())
+	fmt.Printf("server: scaler exported with %d threads; waiting (close stdin to exit)\n", m)
+	os.Stdout.Sync()
+
+	// Serve until stdin closes (lets a parent process control our
+	// lifetime without signals).
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+	}
+	mu.Lock()
+	for _, o := range objs {
+		o.Close()
+	}
+	mu.Unlock()
+	fmt.Println("server: bye")
+}
+
+func runClient(n int, namingEp string, length int) {
+	dom, err := core.JoinDomain(core.DomainConfig{
+		NamingEndpoint: namingEp,
+		ListenEndpoint: "tcp:127.0.0.1:0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dom.Close()
+
+	for _, method := range []core.TransferMethod{core.Centralized, core.MultiPort} {
+		method := method
+		err = mp.Run(n, func(proc *mp.Proc) error {
+			th := rts.NewMessagePassing(proc)
+			sc, err := BindScaler(context.Background(), dom, th, "scaler", method)
+			if err != nil {
+				return err
+			}
+			defer sc.Close()
+			vec, err := dseq.NewDoubles(length, dist.Block(), th.Size(), th.Rank())
+			if err != nil {
+				return err
+			}
+			for i := range vec.LocalData() {
+				vec.LocalData()[i] = float64(vec.Lo() + i)
+			}
+			threads, err := sc.Scale(context.Background(), 2.5, vec)
+			if err != nil {
+				return err
+			}
+			for i, v := range vec.LocalData() {
+				want := float64(vec.Lo()+i) * 2.5
+				if v != want {
+					return fmt.Errorf("[%d] = %v, want %v", i, v, want)
+				}
+			}
+			if th.Rank() == 0 {
+				fmt.Printf("client: %v invocation OK (server has %d threads)\n", method, threads)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", method, err)
+		}
+	}
+	fmt.Println("CLIENT-OK")
+}

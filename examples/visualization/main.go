@@ -1,0 +1,221 @@
+// The visualization example composes multiple PARDIS objects the way
+// §2.1 suggests ("units visualizing or otherwise monitoring their
+// progress"): a parallel solver object relaxes a distributed profile,
+// while a separate monitor object collects convergence telemetry.
+//
+// The client overlaps remote computation with its own bookkeeping by
+// using the generated *Async stubs (futures), and reports progress to
+// the monitor with oneway invocations that never block the solve loop.
+//
+//	go run ./examples/visualization
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+	"time"
+
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/mp"
+	"pardis/internal/rts"
+)
+
+// solverServant performs one damped-Jacobi sweep toward the average
+// of neighbors; the residual is reduced across computing threads with
+// the RTS.
+type solverServant struct{}
+
+func (solverServant) Sweep(call *core.Call, omega float64, data *dseq.Doubles) (float64, error) {
+	local := data.LocalData()
+	res := 0.0
+	for i := 1; i+1 < len(local); i++ {
+		target := (local[i-1] + local[i+1]) / 2
+		d := target - local[i]
+		local[i] += omega * d
+		res += d * d
+	}
+	bits, err := call.Thread.AllgatherU64(math.Float64bits(res))
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, b := range bits {
+		total += math.Float64frombits(b)
+	}
+	return math.Sqrt(total), nil
+}
+
+// monitorServant runs as a single-thread object accumulating
+// telemetry.
+type monitorServant struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (m *monitorServant) Observe(call *core.Call, iteration int32, residual float64, note string) error {
+	m.mu.Lock()
+	m.events = append(m.events, fmt.Sprintf("iter %2d residual %8.4f %s", iteration, residual, note))
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *monitorServant) Observed(call *core.Call) (int32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int32(len(m.events)), nil
+}
+
+func main() {
+	const (
+		solverThreads = 4
+		clientThreads = 2
+		length        = 4096
+		iterations    = 8
+	)
+	dom, err := core.JoinDomain(core.DomainConfig{ListenEndpoint: "tcp:127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dom.Close()
+
+	// Solver object (parallel).
+	solverWorld := mp.MustWorld(solverThreads)
+	defer solverWorld.Close()
+	var objs []*core.Object
+	var mu sync.Mutex
+	ready := make(chan error, solverThreads+1)
+	for r := 0; r < solverThreads; r++ {
+		go func(rank int) {
+			th := rts.NewMessagePassing(solverWorld.Rank(rank))
+			obj, err := ExportSolverObject(context.Background(), dom, th, "solver", true, solverServant{})
+			ready <- err
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			objs = append(objs, obj)
+			mu.Unlock()
+			_ = obj.Serve(context.Background())
+		}(r)
+	}
+
+	// Monitor object (a conventional single-thread object: an SPMD
+	// object with one computing thread).
+	mon := &monitorServant{}
+	monWorld := mp.MustWorld(1)
+	defer monWorld.Close()
+	go func() {
+		th := rts.NewMessagePassing(monWorld.Rank(0))
+		obj, err := ExportMonitorObject(context.Background(), dom, th, "monitor", false, mon)
+		ready <- err
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		objs = append(objs, obj)
+		mu.Unlock()
+		_ = obj.Serve(context.Background())
+	}()
+	for i := 0; i < solverThreads+1; i++ {
+		if err := <-ready; err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer func() {
+		mu.Lock()
+		for _, o := range objs {
+			o.Close()
+		}
+		mu.Unlock()
+	}()
+
+	// Client: drives the solver with futures, reports to the monitor.
+	err = mp.Run(clientThreads, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		solver, err := BindSolverObject(context.Background(), dom, th, "solver", core.MultiPort)
+		if err != nil {
+			return err
+		}
+		defer solver.Close()
+		monitor, err := BindMonitorObject(context.Background(), dom, th, "monitor", core.Centralized)
+		if err != nil {
+			return err
+		}
+		defer monitor.Close()
+
+		data, err := dseq.NewDoubles(length, dist.Block(), th.Size(), th.Rank())
+		if err != nil {
+			return err
+		}
+		for i := range data.LocalData() {
+			g := data.Lo() + i
+			data.LocalData()[i] = math.Sin(float64(g) / 64)
+		}
+
+		localWorkDone := 0
+		prev := math.Inf(1)
+		for iter := int32(0); iter < iterations; iter++ {
+			// Non-blocking invocation: the future lets the client
+			// overlap the remote sweep with its own work.
+			var residual float64
+			pending, err := solver.SweepAsync(context.Background(), 0.8, data, &residual)
+			if err != nil {
+				return err
+			}
+			// ... client-side work concurrent with the remote call ...
+			for k := 0; k < 50000; k++ {
+				localWorkDone += k % 7
+			}
+			if err := pending.Wait(context.Background()); err != nil {
+				return err
+			}
+			if residual > prev {
+				return fmt.Errorf("residual rose: %v -> %v", prev, residual)
+			}
+			prev = residual
+			// Telemetry: oneway, never blocks the solve loop.
+			if err := monitor.Observe(context.Background(), iter, residual, "sweep done"); err != nil {
+				return err
+			}
+		}
+		if th.Rank() == 0 {
+			fmt.Printf("client: %d sweeps driven with futures; final residual %.4f; local work units %d\n",
+				iterations, prev, localWorkDone)
+		}
+		// Oneways from both client threads have been issued; a
+		// blocking call flushes them, then query the count.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			nEvents, err := monitor.Observed(context.Background())
+			if err != nil {
+				return err
+			}
+			if int(nEvents) >= iterations || time.Now().After(deadline) {
+				if th.Rank() == 0 {
+					fmt.Printf("monitor: recorded %d observations\n", nEvents)
+				}
+				return nil
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mon.mu.Lock()
+	for i, e := range mon.events {
+		if i < 4 || i >= len(mon.events)-2 {
+			fmt.Println("  " + e)
+		} else if i == 4 {
+			fmt.Println("  ...")
+		}
+	}
+	mon.mu.Unlock()
+	fmt.Println("visualization: OK")
+}

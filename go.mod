@@ -1,0 +1,3 @@
+module pardis
+
+go 1.22

@@ -1,0 +1,156 @@
+package pardis
+
+import (
+	"bufio"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTwoProcessDomain runs a real multi-process PARDIS domain: the
+// twoprocess example's server in one OS process (hosting the naming
+// service and a 3-thread SPMD object) and its client in another,
+// talking over loopback TCP with both transfer methods.
+func TestTwoProcessDomain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and compiles a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "twoprocess")
+	build := exec.Command("go", "build", "-o", bin, "./examples/twoprocess")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	server := exec.Command(bin, "-role", "server", "-m", "3")
+	serverIn, err := server.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverOut, err := server.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Stderr = &logWriter{t: t, prefix: "server! "}
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		serverIn.Close() // asks the server to exit
+		done := make(chan struct{})
+		go func() { server.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			server.Process.Kill()
+			<-done
+		}
+	}()
+
+	// Scrape the naming endpoint.
+	naming := ""
+	sc := bufio.NewScanner(serverOut)
+	deadline := time.After(30 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("server: %s", line)
+			if strings.HasPrefix(line, "NAMING=") {
+				got <- strings.TrimPrefix(line, "NAMING=")
+			}
+		}
+	}()
+	select {
+	case naming = <-got:
+	case <-deadline:
+		t.Fatal("server never printed NAMING=")
+	}
+
+	// The pardisd CLI can inspect the running domain's namespace.
+	pardisd := filepath.Join(filepath.Dir(bin), "pardisd")
+	buildD := exec.Command("go", "build", "-o", pardisd, "./cmd/pardisd")
+	if out, err := buildD.CombinedOutput(); err != nil {
+		t.Fatalf("build pardisd: %v\n%s", err, out)
+	}
+	list := exec.Command(pardisd, "-list", "-at", naming)
+	listOut, err := list.CombinedOutput()
+	t.Logf("pardisd -list:\n%s", listOut)
+	if err != nil {
+		t.Fatalf("pardisd -list: %v", err)
+	}
+	if !strings.Contains(string(listOut), "scaler") {
+		t.Fatalf("pardisd -list does not show the exported object")
+	}
+	if !strings.Contains(string(listOut), "threads=3") {
+		t.Fatalf("pardisd -list does not show the thread count")
+	}
+
+	client := exec.Command(bin, "-role", "client", "-n", "2", "-naming", naming, "-len", "50000")
+	out, err := client.CombinedOutput()
+	t.Logf("client output:\n%s", out)
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if !strings.Contains(string(out), "CLIENT-OK") {
+		t.Fatalf("client did not confirm success")
+	}
+	if !strings.Contains(string(out), "centralized invocation OK") ||
+		!strings.Contains(string(out), "multi-port invocation OK") {
+		t.Fatalf("client did not exercise both methods")
+	}
+}
+
+// logWriter funnels a subprocess stream into the test log.
+type logWriter struct {
+	t      *testing.T
+	prefix string
+}
+
+func (w *logWriter) Write(p []byte) (int, error) {
+	for _, line := range strings.Split(strings.TrimRight(string(p), "\n"), "\n") {
+		w.t.Logf("%s%s", w.prefix, line)
+	}
+	return len(p), nil
+}
+
+var _ io.Writer = (*logWriter)(nil)
+
+// TestExamplesSmoke builds and runs every self-contained example and
+// checks its success marker, so the examples cannot rot.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want string
+	}{
+		{"./examples/quickstart", nil, "quickstart: OK"},
+		{"./examples/proportions", nil, "proportions: OK"},
+		{"./examples/visualization", nil, "visualization: OK"},
+		{"./examples/coupled", nil, "coupled: OK"},
+		{"./examples/diffusion", []string{"-len", "4096", "-reps", "2"}, "multi-port"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(filepath.Base(c.dir), func(t *testing.T) {
+			bin := filepath.Join(t.TempDir(), filepath.Base(c.dir))
+			build := exec.Command("go", "build", "-o", bin, c.dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin, c.args...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package cdr
+
+import "testing"
+
+func BenchmarkPutDoubleSeq(b *testing.B) {
+	data := make([]float64, 1<<15)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		order := order
+		b.Run(order.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(data) * 8))
+			e := NewEncoder(order)
+			for i := 0; i < b.N; i++ {
+				e.Reset()
+				e.PutDoubleSeq(data)
+			}
+		})
+	}
+}
+
+func BenchmarkDoubleSeqDecode(b *testing.B) {
+	data := make([]float64, 1<<15)
+	e := NewEncoder(LittleEndian)
+	e.PutDoubleSeq(data)
+	raw := e.Bytes()
+	b.SetBytes(int64(len(data) * 8))
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(LittleEndian, raw)
+		if _, err := d.DoubleSeq(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutString(b *testing.B) {
+	s := "a moderately sized object key string"
+	e := NewEncoder(BigEndian)
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.PutString(s)
+	}
+}

@@ -1,0 +1,559 @@
+// Package cdr implements the Common Data Representation used on the
+// PARDIS wire, closely following the CORBA 2.0 CDR rules: primitive
+// values are aligned to their natural boundary relative to the start of
+// the stream, the sender chooses the byte order and announces it in the
+// message header, and composite values are laid out field by field with
+// no padding beyond alignment.
+//
+// The package provides an Encoder that appends values to a growable
+// buffer and a Decoder that consumes them, plus encapsulation helpers
+// (a CDR stream nested inside an octet sequence, carrying its own byte
+// order flag) used by object references and typed headers.
+package cdr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ByteOrder identifies the endianness of a CDR stream. CDR is
+// receiver-makes-right: the sender writes in its native order and flags
+// it, and the receiver swaps only if needed.
+type ByteOrder byte
+
+const (
+	// BigEndian is the network-canonical order.
+	BigEndian ByteOrder = 0
+	// LittleEndian is the order flagged by a 1 octet in headers.
+	LittleEndian ByteOrder = 1
+)
+
+func (o ByteOrder) String() string {
+	if o == BigEndian {
+		return "big-endian"
+	}
+	return "little-endian"
+}
+
+// Errors reported by the decoder. They are wrapped with positional
+// context; use errors.Is to test for them.
+var (
+	ErrTruncated  = errors.New("cdr: truncated stream")
+	ErrBadString  = errors.New("cdr: malformed string")
+	ErrBadBoolean = errors.New("cdr: boolean octet not 0 or 1")
+	ErrTooLarge   = errors.New("cdr: length exceeds stream bounds")
+)
+
+// Encoder appends CDR-encoded values to an internal buffer. The zero
+// value is not usable; construct with NewEncoder.
+type Encoder struct {
+	buf   []byte
+	order ByteOrder
+	// base is the stream offset of buf[0]; alignment is computed
+	// relative to the logical start of the stream, which matters when
+	// an encoder continues a partially written message.
+	base int
+}
+
+// NewEncoder returns an Encoder writing in the given byte order.
+func NewEncoder(order ByteOrder) *Encoder {
+	return &Encoder{order: order, buf: make([]byte, 0, 64)}
+}
+
+// NewEncoderAt returns an Encoder whose first byte sits at stream
+// offset base. Alignment padding is computed against that offset.
+func NewEncoderAt(order ByteOrder, base int) *Encoder {
+	return &Encoder{order: order, buf: make([]byte, 0, 64), base: base}
+}
+
+// Order reports the byte order the encoder writes in.
+func (e *Encoder) Order() ByteOrder { return e.order }
+
+// Bytes returns the encoded stream. The slice aliases the encoder's
+// internal buffer; it is valid until the next Write call.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far (excluding base).
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the buffer contents, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// align pads the buffer with zero octets so the next write lands on a
+// multiple of n relative to the stream start.
+func (e *Encoder) align(n int) {
+	pos := e.base + len(e.buf)
+	if r := pos % n; r != 0 {
+		for i := 0; i < n-r; i++ {
+			e.buf = append(e.buf, 0)
+		}
+	}
+}
+
+func (e *Encoder) put16(v uint16) {
+	e.align(2)
+	if e.order == BigEndian {
+		e.buf = append(e.buf, byte(v>>8), byte(v))
+	} else {
+		e.buf = append(e.buf, byte(v), byte(v>>8))
+	}
+}
+
+func (e *Encoder) put32(v uint32) {
+	e.align(4)
+	if e.order == BigEndian {
+		e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	} else {
+		e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+}
+
+func (e *Encoder) put64(v uint64) {
+	e.align(8)
+	if e.order == BigEndian {
+		e.buf = append(e.buf,
+			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	} else {
+		e.buf = append(e.buf,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+}
+
+// PutOctet appends a single octet.
+func (e *Encoder) PutOctet(v byte) { e.buf = append(e.buf, v) }
+
+// PutBoolean appends a boolean as a 0/1 octet.
+func (e *Encoder) PutBoolean(v bool) {
+	if v {
+		e.PutOctet(1)
+	} else {
+		e.PutOctet(0)
+	}
+}
+
+// PutChar appends an IDL char (one octet, ISO 8859-1).
+func (e *Encoder) PutChar(v byte) { e.PutOctet(v) }
+
+// PutShort appends an IDL short (16-bit signed).
+func (e *Encoder) PutShort(v int16) { e.put16(uint16(v)) }
+
+// PutUShort appends an IDL unsigned short.
+func (e *Encoder) PutUShort(v uint16) { e.put16(v) }
+
+// PutLong appends an IDL long (32-bit signed).
+func (e *Encoder) PutLong(v int32) { e.put32(uint32(v)) }
+
+// PutULong appends an IDL unsigned long.
+func (e *Encoder) PutULong(v uint32) { e.put32(v) }
+
+// PutLongLong appends an IDL long long (64-bit signed).
+func (e *Encoder) PutLongLong(v int64) { e.put64(uint64(v)) }
+
+// PutULongLong appends an IDL unsigned long long.
+func (e *Encoder) PutULongLong(v uint64) { e.put64(v) }
+
+// PutFloat appends an IDL float (IEEE 754 single).
+func (e *Encoder) PutFloat(v float32) { e.put32(math.Float32bits(v)) }
+
+// PutDouble appends an IDL double (IEEE 754 double).
+func (e *Encoder) PutDouble(v float64) { e.put64(math.Float64bits(v)) }
+
+// PutString appends an IDL string: ulong byte count including the
+// terminating NUL, the bytes, then the NUL.
+func (e *Encoder) PutString(s string) {
+	e.PutULong(uint32(len(s) + 1))
+	e.buf = append(e.buf, s...)
+	e.buf = append(e.buf, 0)
+}
+
+// PutOctets appends raw octets with no length prefix and no alignment.
+func (e *Encoder) PutOctets(p []byte) { e.buf = append(e.buf, p...) }
+
+// PutOctetSeq appends a sequence<octet>: ulong count then the bytes.
+func (e *Encoder) PutOctetSeq(p []byte) {
+	e.PutULong(uint32(len(p)))
+	e.buf = append(e.buf, p...)
+}
+
+// PutDoubleSeq appends a sequence<double>: ulong count then each
+// element. The element loop is unrolled through put64's fast path.
+func (e *Encoder) PutDoubleSeq(v []float64) {
+	e.PutULong(uint32(len(v)))
+	if len(v) == 0 {
+		return
+	}
+	e.align(8)
+	need := len(v) * 8
+	off := len(e.buf)
+	e.buf = append(e.buf, make([]byte, need)...)
+	b := e.buf[off:]
+	if e.order == BigEndian {
+		for i, x := range v {
+			u := math.Float64bits(x)
+			bi := b[i*8 : i*8+8]
+			bi[0] = byte(u >> 56)
+			bi[1] = byte(u >> 48)
+			bi[2] = byte(u >> 40)
+			bi[3] = byte(u >> 32)
+			bi[4] = byte(u >> 24)
+			bi[5] = byte(u >> 16)
+			bi[6] = byte(u >> 8)
+			bi[7] = byte(u)
+		}
+	} else {
+		for i, x := range v {
+			u := math.Float64bits(x)
+			bi := b[i*8 : i*8+8]
+			bi[0] = byte(u)
+			bi[1] = byte(u >> 8)
+			bi[2] = byte(u >> 16)
+			bi[3] = byte(u >> 24)
+			bi[4] = byte(u >> 32)
+			bi[5] = byte(u >> 40)
+			bi[6] = byte(u >> 48)
+			bi[7] = byte(u >> 56)
+		}
+	}
+}
+
+// PutLongSeq appends a sequence<long>.
+func (e *Encoder) PutLongSeq(v []int32) {
+	e.PutULong(uint32(len(v)))
+	for _, x := range v {
+		e.PutLong(x)
+	}
+}
+
+// PutULongSeq appends a sequence<unsigned long>.
+func (e *Encoder) PutULongSeq(v []uint32) {
+	e.PutULong(uint32(len(v)))
+	for _, x := range v {
+		e.PutULong(x)
+	}
+}
+
+// PutStringSeq appends a sequence<string>.
+func (e *Encoder) PutStringSeq(v []string) {
+	e.PutULong(uint32(len(v)))
+	for _, s := range v {
+		e.PutString(s)
+	}
+}
+
+// PutEncapsulation appends the body as a CDR encapsulation: a
+// sequence<octet> whose first octet is the byte-order flag of the
+// nested stream.
+func (e *Encoder) PutEncapsulation(order ByteOrder, encode func(*Encoder)) {
+	inner := NewEncoderAt(order, 1) // flag octet occupies offset 0
+	encode(inner)
+	e.PutULong(uint32(1 + inner.Len()))
+	e.PutOctet(byte(order))
+	e.PutOctets(inner.Bytes())
+}
+
+// Decoder consumes CDR-encoded values from a byte slice.
+type Decoder struct {
+	buf   []byte
+	pos   int
+	order ByteOrder
+	base  int
+}
+
+// NewDecoder returns a Decoder reading buf in the given byte order.
+func NewDecoder(order ByteOrder, buf []byte) *Decoder {
+	return &Decoder{order: order, buf: buf}
+}
+
+// NewDecoderAt returns a Decoder whose buf[0] sits at stream offset
+// base, so alignment skips match the encoder's.
+func NewDecoderAt(order ByteOrder, buf []byte, base int) *Decoder {
+	return &Decoder{order: order, buf: buf, base: base}
+}
+
+// Order reports the byte order the decoder assumes.
+func (d *Decoder) Order() ByteOrder { return d.order }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+// Pos returns the current read offset within the buffer.
+func (d *Decoder) Pos() int { return d.pos }
+
+func (d *Decoder) align(n int) {
+	pos := d.base + d.pos
+	if r := pos % n; r != 0 {
+		d.pos += n - r
+	}
+}
+
+func (d *Decoder) need(n int) error {
+	if d.pos+n > len(d.buf) {
+		return fmt.Errorf("%w: need %d bytes at offset %d, have %d",
+			ErrTruncated, n, d.pos, len(d.buf)-d.pos)
+	}
+	return nil
+}
+
+func (d *Decoder) get16() (uint16, error) {
+	d.align(2)
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	b := d.buf[d.pos:]
+	d.pos += 2
+	if d.order == BigEndian {
+		return uint16(b[0])<<8 | uint16(b[1]), nil
+	}
+	return uint16(b[1])<<8 | uint16(b[0]), nil
+}
+
+func (d *Decoder) get32() (uint32, error) {
+	d.align(4)
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	b := d.buf[d.pos:]
+	d.pos += 4
+	if d.order == BigEndian {
+		return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+	}
+	return uint32(b[3])<<24 | uint32(b[2])<<16 | uint32(b[1])<<8 | uint32(b[0]), nil
+}
+
+func (d *Decoder) get64() (uint64, error) {
+	d.align(8)
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	b := d.buf[d.pos:]
+	d.pos += 8
+	if d.order == BigEndian {
+		return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+			uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7]), nil
+	}
+	return uint64(b[7])<<56 | uint64(b[6])<<48 | uint64(b[5])<<40 | uint64(b[4])<<32 |
+		uint64(b[3])<<24 | uint64(b[2])<<16 | uint64(b[1])<<8 | uint64(b[0]), nil
+}
+
+// Octet reads one octet.
+func (d *Decoder) Octet() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v, nil
+}
+
+// Boolean reads a boolean octet, rejecting values other than 0 and 1.
+func (d *Decoder) Boolean() (bool, error) {
+	v, err := d.Octet()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: got %d", ErrBadBoolean, v)
+	}
+}
+
+// Char reads an IDL char.
+func (d *Decoder) Char() (byte, error) { return d.Octet() }
+
+// Short reads an IDL short.
+func (d *Decoder) Short() (int16, error) {
+	v, err := d.get16()
+	return int16(v), err
+}
+
+// UShort reads an IDL unsigned short.
+func (d *Decoder) UShort() (uint16, error) { return d.get16() }
+
+// Long reads an IDL long.
+func (d *Decoder) Long() (int32, error) {
+	v, err := d.get32()
+	return int32(v), err
+}
+
+// ULong reads an IDL unsigned long.
+func (d *Decoder) ULong() (uint32, error) { return d.get32() }
+
+// LongLong reads an IDL long long.
+func (d *Decoder) LongLong() (int64, error) {
+	v, err := d.get64()
+	return int64(v), err
+}
+
+// ULongLong reads an IDL unsigned long long.
+func (d *Decoder) ULongLong() (uint64, error) { return d.get64() }
+
+// Float reads an IDL float.
+func (d *Decoder) Float() (float32, error) {
+	v, err := d.get32()
+	return math.Float32frombits(v), err
+}
+
+// Double reads an IDL double.
+func (d *Decoder) Double() (float64, error) {
+	v, err := d.get64()
+	return math.Float64frombits(v), err
+}
+
+// String reads an IDL string and validates its NUL terminator.
+func (d *Decoder) String() (string, error) {
+	n, err := d.ULong()
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", fmt.Errorf("%w: zero-length count (must include NUL)", ErrBadString)
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		return "", fmt.Errorf("%w: string of %d bytes", ErrTooLarge, n)
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	if b[n-1] != 0 {
+		return "", fmt.Errorf("%w: missing NUL terminator", ErrBadString)
+	}
+	return string(b[:n-1]), nil
+}
+
+// Octets reads n raw octets with no alignment. The returned slice
+// aliases the decoder's buffer.
+func (d *Decoder) Octets(n int) ([]byte, error) {
+	if err := d.need(n); err != nil {
+		return nil, err
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+// OctetSeq reads a sequence<octet>. The returned slice aliases the
+// decoder's buffer.
+func (d *Decoder) OctetSeq() ([]byte, error) {
+	n, err := d.ULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("%w: octet sequence of %d", ErrTooLarge, n)
+	}
+	return d.Octets(int(n))
+}
+
+// DoubleSeq reads a sequence<double>.
+func (d *Decoder) DoubleSeq() ([]float64, error) {
+	n, err := d.ULong()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if uint64(n) > uint64(d.Remaining())/8+1 {
+		return nil, fmt.Errorf("%w: double sequence of %d", ErrTooLarge, n)
+	}
+	d.align(8)
+	if err := d.need(int(n) * 8); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	b := d.buf[d.pos:]
+	if d.order == BigEndian {
+		for i := range out {
+			bi := b[i*8 : i*8+8]
+			u := uint64(bi[0])<<56 | uint64(bi[1])<<48 | uint64(bi[2])<<40 | uint64(bi[3])<<32 |
+				uint64(bi[4])<<24 | uint64(bi[5])<<16 | uint64(bi[6])<<8 | uint64(bi[7])
+			out[i] = math.Float64frombits(u)
+		}
+	} else {
+		for i := range out {
+			bi := b[i*8 : i*8+8]
+			u := uint64(bi[7])<<56 | uint64(bi[6])<<48 | uint64(bi[5])<<40 | uint64(bi[4])<<32 |
+				uint64(bi[3])<<24 | uint64(bi[2])<<16 | uint64(bi[1])<<8 | uint64(bi[0])
+			out[i] = math.Float64frombits(u)
+		}
+	}
+	d.pos += int(n) * 8
+	return out, nil
+}
+
+// LongSeq reads a sequence<long>.
+func (d *Decoder) LongSeq() ([]int32, error) {
+	n, err := d.ULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(d.Remaining())/4+1 {
+		return nil, fmt.Errorf("%w: long sequence of %d", ErrTooLarge, n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		if out[i], err = d.Long(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ULongSeq reads a sequence<unsigned long>.
+func (d *Decoder) ULongSeq() ([]uint32, error) {
+	n, err := d.ULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(d.Remaining())/4+1 {
+		return nil, fmt.Errorf("%w: ulong sequence of %d", ErrTooLarge, n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		if out[i], err = d.ULong(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// StringSeq reads a sequence<string>.
+func (d *Decoder) StringSeq() ([]string, error) {
+	n, err := d.ULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("%w: string sequence of %d", ErrTooLarge, n)
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = d.String(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Encapsulation reads a CDR encapsulation and returns a Decoder for
+// its body, using the byte-order flag carried in the first octet.
+func (d *Decoder) Encapsulation() (*Decoder, error) {
+	body, err := d.OctetSeq()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("%w: empty encapsulation", ErrTruncated)
+	}
+	flag := body[0]
+	if flag > 1 {
+		return nil, fmt.Errorf("cdr: bad encapsulation byte-order flag %d", flag)
+	}
+	return NewDecoderAt(ByteOrder(flag), body[1:], 1), nil
+}

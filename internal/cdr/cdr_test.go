@@ -1,0 +1,426 @@
+package cdr
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var orders = []ByteOrder{BigEndian, LittleEndian}
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	for _, o := range orders {
+		e := NewEncoder(o)
+		e.PutOctet(0xAB)
+		e.PutBoolean(true)
+		e.PutBoolean(false)
+		e.PutChar('x')
+		e.PutShort(-12345)
+		e.PutUShort(54321)
+		e.PutLong(-123456789)
+		e.PutULong(3123456789)
+		e.PutLongLong(-1234567890123456789)
+		e.PutULongLong(12345678901234567890)
+		e.PutFloat(3.5)
+		e.PutDouble(-math.Pi)
+		e.PutString("hello, PARDIS")
+
+		d := NewDecoder(o, e.Bytes())
+		if v, _ := d.Octet(); v != 0xAB {
+			t.Fatalf("%v octet = %x", o, v)
+		}
+		if v, _ := d.Boolean(); !v {
+			t.Fatalf("%v bool true", o)
+		}
+		if v, _ := d.Boolean(); v {
+			t.Fatalf("%v bool false", o)
+		}
+		if v, _ := d.Char(); v != 'x' {
+			t.Fatalf("%v char = %c", o, v)
+		}
+		if v, _ := d.Short(); v != -12345 {
+			t.Fatalf("%v short = %d", o, v)
+		}
+		if v, _ := d.UShort(); v != 54321 {
+			t.Fatalf("%v ushort = %d", o, v)
+		}
+		if v, _ := d.Long(); v != -123456789 {
+			t.Fatalf("%v long = %d", o, v)
+		}
+		if v, _ := d.ULong(); v != 3123456789 {
+			t.Fatalf("%v ulong = %d", o, v)
+		}
+		if v, _ := d.LongLong(); v != -1234567890123456789 {
+			t.Fatalf("%v longlong = %d", o, v)
+		}
+		if v, _ := d.ULongLong(); v != 12345678901234567890 {
+			t.Fatalf("%v ulonglong = %d", o, v)
+		}
+		if v, _ := d.Float(); v != 3.5 {
+			t.Fatalf("%v float = %v", o, v)
+		}
+		if v, _ := d.Double(); v != -math.Pi {
+			t.Fatalf("%v double = %v", o, v)
+		}
+		if v, err := d.String(); err != nil || v != "hello, PARDIS" {
+			t.Fatalf("%v string = %q err=%v", o, v, err)
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("%v leftover %d bytes", o, d.Remaining())
+		}
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.PutOctet(1) // offset 0
+	e.PutLong(7)  // must pad to offset 4
+	if got := e.Bytes(); len(got) != 8 {
+		t.Fatalf("len = %d, want 8", len(got))
+	}
+	e2 := NewEncoder(BigEndian)
+	e2.PutOctet(1)
+	e2.PutDouble(1.0) // must pad to offset 8
+	if e2.Len() != 16 {
+		t.Fatalf("double after octet: len = %d, want 16", e2.Len())
+	}
+	// Aligned writes add no padding.
+	e3 := NewEncoder(BigEndian)
+	e3.PutLong(1)
+	e3.PutLong(2)
+	if e3.Len() != 8 {
+		t.Fatalf("two longs: len = %d, want 8", e3.Len())
+	}
+}
+
+func TestAlignmentWithBase(t *testing.T) {
+	// A stream continuing at offset 3 must pad 1 byte before a long.
+	e := NewEncoderAt(BigEndian, 3)
+	e.PutLong(42)
+	if e.Len() != 5 {
+		t.Fatalf("len = %d, want 5 (1 pad + 4)", e.Len())
+	}
+	d := NewDecoderAt(BigEndian, e.Bytes(), 3)
+	v, err := d.Long()
+	if err != nil || v != 42 {
+		t.Fatalf("long = %d err=%v", v, err)
+	}
+}
+
+func TestBigEndianWireFormat(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.PutULong(0x01020304)
+	if !bytes.Equal(e.Bytes(), []byte{1, 2, 3, 4}) {
+		t.Fatalf("BE ulong bytes = %v", e.Bytes())
+	}
+	e2 := NewEncoder(LittleEndian)
+	e2.PutULong(0x01020304)
+	if !bytes.Equal(e2.Bytes(), []byte{4, 3, 2, 1}) {
+		t.Fatalf("LE ulong bytes = %v", e2.Bytes())
+	}
+}
+
+func TestStringEncoding(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.PutString("ab")
+	// ulong 3 (2 chars + NUL), 'a', 'b', 0
+	want := []byte{0, 0, 0, 3, 'a', 'b', 0}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Fatalf("string bytes = %v, want %v", e.Bytes(), want)
+	}
+}
+
+func TestEmptyString(t *testing.T) {
+	for _, o := range orders {
+		e := NewEncoder(o)
+		e.PutString("")
+		d := NewDecoder(o, e.Bytes())
+		s, err := d.String()
+		if err != nil || s != "" {
+			t.Fatalf("empty string round trip: %q, %v", s, err)
+		}
+	}
+}
+
+func TestSequences(t *testing.T) {
+	for _, o := range orders {
+		e := NewEncoder(o)
+		ds := []float64{1.5, -2.25, math.Inf(1), 0, math.SmallestNonzeroFloat64}
+		ls := []int32{-1, 0, 1 << 30}
+		us := []uint32{0, 7, 1 << 31}
+		ss := []string{"", "a", "longer string"}
+		oc := []byte{9, 8, 7}
+		e.PutDoubleSeq(ds)
+		e.PutLongSeq(ls)
+		e.PutULongSeq(us)
+		e.PutStringSeq(ss)
+		e.PutOctetSeq(oc)
+
+		d := NewDecoder(o, e.Bytes())
+		gotD, err := d.DoubleSeq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ds {
+			if gotD[i] != ds[i] {
+				t.Fatalf("%v double[%d] = %v want %v", o, i, gotD[i], ds[i])
+			}
+		}
+		gotL, err := d.LongSeq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ls {
+			if gotL[i] != ls[i] {
+				t.Fatalf("long[%d] mismatch", i)
+			}
+		}
+		gotU, err := d.ULongSeq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range us {
+			if gotU[i] != us[i] {
+				t.Fatalf("ulong[%d] mismatch", i)
+			}
+		}
+		gotS, err := d.StringSeq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ss {
+			if gotS[i] != ss[i] {
+				t.Fatalf("string[%d] = %q", i, gotS[i])
+			}
+		}
+		gotO, err := d.OctetSeq()
+		if err != nil || !bytes.Equal(gotO, oc) {
+			t.Fatalf("octets = %v err=%v", gotO, err)
+		}
+	}
+}
+
+func TestNaNRoundTrip(t *testing.T) {
+	e := NewEncoder(LittleEndian)
+	e.PutDouble(math.NaN())
+	d := NewDecoder(LittleEndian, e.Bytes())
+	v, err := d.Double()
+	if err != nil || !math.IsNaN(v) {
+		t.Fatalf("NaN round trip failed: %v, %v", v, err)
+	}
+}
+
+func TestEncapsulation(t *testing.T) {
+	for _, outer := range orders {
+		for _, inner := range orders {
+			e := NewEncoder(outer)
+			e.PutEncapsulation(inner, func(ie *Encoder) {
+				ie.PutLong(99)
+				ie.PutString("nested")
+			})
+			e.PutLong(7) // data after the encapsulation must still decode
+
+			d := NewDecoder(outer, e.Bytes())
+			id, err := d.Encapsulation()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id.Order() != inner {
+				t.Fatalf("inner order = %v want %v", id.Order(), inner)
+			}
+			if v, _ := id.Long(); v != 99 {
+				t.Fatalf("inner long = %d", v)
+			}
+			if s, _ := id.String(); s != "nested" {
+				t.Fatalf("inner string = %q", s)
+			}
+			if v, _ := d.Long(); v != 7 {
+				t.Fatalf("outer long after encap = %d", v)
+			}
+		}
+	}
+}
+
+func TestTruncationErrors(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.PutDouble(1.0)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(BigEndian, full[:cut])
+		if _, err := d.Double(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestStringErrors(t *testing.T) {
+	// Length that exceeds the buffer.
+	e := NewEncoder(BigEndian)
+	e.PutULong(1000)
+	e.PutOctets([]byte{'a'})
+	d := NewDecoder(BigEndian, e.Bytes())
+	if _, err := d.String(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize: %v", err)
+	}
+	// Zero-length count is illegal (must include NUL).
+	e2 := NewEncoder(BigEndian)
+	e2.PutULong(0)
+	d2 := NewDecoder(BigEndian, e2.Bytes())
+	if _, err := d2.String(); !errors.Is(err, ErrBadString) {
+		t.Fatalf("zero len: %v", err)
+	}
+	// Missing NUL.
+	e3 := NewEncoder(BigEndian)
+	e3.PutULong(2)
+	e3.PutOctets([]byte{'a', 'b'})
+	d3 := NewDecoder(BigEndian, e3.Bytes())
+	if _, err := d3.String(); !errors.Is(err, ErrBadString) {
+		t.Fatalf("missing NUL: %v", err)
+	}
+}
+
+func TestBadBoolean(t *testing.T) {
+	d := NewDecoder(BigEndian, []byte{2})
+	if _, err := d.Boolean(); !errors.Is(err, ErrBadBoolean) {
+		t.Fatalf("bad boolean: %v", err)
+	}
+}
+
+func TestHugeSequenceLengthRejected(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.PutULong(0xFFFFFFFF)
+	d := NewDecoder(BigEndian, e.Bytes())
+	if _, err := d.DoubleSeq(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("huge double seq: %v", err)
+	}
+	d2 := NewDecoder(BigEndian, e.Bytes())
+	if _, err := d2.OctetSeq(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("huge octet seq: %v", err)
+	}
+	d3 := NewDecoder(BigEndian, e.Bytes())
+	if _, err := d3.StringSeq(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("huge string seq: %v", err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.PutLong(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("len after reset = %d", e.Len())
+	}
+	e.PutOctet(5)
+	if !bytes.Equal(e.Bytes(), []byte{5}) {
+		t.Fatalf("bytes after reset = %v", e.Bytes())
+	}
+}
+
+// Property: any mix of primitive values round-trips in both byte orders.
+func TestQuickPrimitiveRoundTrip(t *testing.T) {
+	type rec struct {
+		A int16
+		B uint16
+		C int32
+		D uint32
+		E int64
+		F uint64
+		G float32
+		H float64
+		I bool
+		J byte
+		S string
+	}
+	for _, o := range orders {
+		o := o
+		f := func(r rec) bool {
+			e := NewEncoder(o)
+			e.PutShort(r.A)
+			e.PutUShort(r.B)
+			e.PutLong(r.C)
+			e.PutULong(r.D)
+			e.PutLongLong(r.E)
+			e.PutULongLong(r.F)
+			e.PutFloat(r.G)
+			e.PutDouble(r.H)
+			e.PutBoolean(r.I)
+			e.PutOctet(r.J)
+			// CDR strings cannot carry interior NULs.
+			s := r.S
+			for i := 0; i < len(s); i++ {
+				if s[i] == 0 {
+					s = s[:i]
+					break
+				}
+			}
+			e.PutString(s)
+			d := NewDecoder(o, e.Bytes())
+			a, _ := d.Short()
+			b, _ := d.UShort()
+			c, _ := d.Long()
+			dd, _ := d.ULong()
+			ee, _ := d.LongLong()
+			ff, _ := d.ULongLong()
+			g, _ := d.Float()
+			h, _ := d.Double()
+			i, _ := d.Boolean()
+			j, _ := d.Octet()
+			ss, err := d.String()
+			if err != nil {
+				return false
+			}
+			eqF32 := g == r.G || (math.IsNaN(float64(g)) && math.IsNaN(float64(r.G)))
+			eqF64 := h == r.H || (math.IsNaN(h) && math.IsNaN(r.H))
+			return a == r.A && b == r.B && c == r.C && dd == r.D &&
+				ee == r.E && ff == r.F && eqF32 && eqF64 &&
+				i == r.I && j == r.J && ss == s && d.Remaining() == 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%v: %v", o, err)
+		}
+	}
+}
+
+// Property: double sequences of arbitrary content and length round-trip.
+func TestQuickDoubleSeqRoundTrip(t *testing.T) {
+	for _, o := range orders {
+		o := o
+		f := func(v []float64) bool {
+			e := NewEncoder(o)
+			e.PutOctet(0) // misalign deliberately
+			e.PutDoubleSeq(v)
+			d := NewDecoder(o, e.Bytes())
+			if _, err := d.Octet(); err != nil {
+				return false
+			}
+			got, err := d.DoubleSeq()
+			if err != nil || len(got) != len(v) {
+				return false
+			}
+			for i := range v {
+				same := got[i] == v[i] || (math.IsNaN(got[i]) && math.IsNaN(v[i]))
+				if !same {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("%v: %v", o, err)
+		}
+	}
+}
+
+// Property: cross-order encode/decode is NOT symmetric for multi-byte
+// values (sanity check that byte order actually matters).
+func TestByteOrderMatters(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.PutULong(0x01020304)
+	d := NewDecoder(LittleEndian, e.Bytes())
+	v, _ := d.ULong()
+	if v != 0x04030201 {
+		t.Fatalf("cross-order read = %#x, want 0x04030201", v)
+	}
+}

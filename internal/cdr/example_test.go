@@ -1,0 +1,24 @@
+package cdr_test
+
+import (
+	"fmt"
+
+	"pardis/internal/cdr"
+)
+
+// Round-trip a request-like record through CDR in little-endian, the
+// way a PARDIS stub marshals scalar arguments.
+func ExampleEncoder() {
+	e := cdr.NewEncoder(cdr.LittleEndian)
+	e.PutLong(42)
+	e.PutString("diffusion")
+	e.PutDouble(0.25)
+
+	d := cdr.NewDecoder(cdr.LittleEndian, e.Bytes())
+	steps, _ := d.Long()
+	op, _ := d.String()
+	alpha, _ := d.Double()
+	fmt.Println(steps, op, alpha)
+	// Output:
+	// 42 diffusion 0.25
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pardis/internal/cdr"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/mp"
+	"pardis/internal/naming"
+	"pardis/internal/rts"
+	"pardis/internal/transport"
+)
+
+func newDomain(t *testing.T) *Domain {
+	t.Helper()
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	d, err := JoinDomain(DomainConfig{Registry: reg, ListenEndpoint: "inproc:*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// exportDiffusion starts the paper's diffusion object on m threads.
+func exportDiffusion(t *testing.T, d *Domain, m int) (stop func()) {
+	t.Helper()
+	w := mp.MustWorld(m)
+	var objs []*Object
+	var mu sync.Mutex
+	ready := make(chan error, m)
+	for r := 0; r < m; r++ {
+		go func(rank int) {
+			th := rts.NewMessagePassing(w.Rank(rank))
+			obj, err := d.Export(context.Background(), ExportConfig{
+				Thread:    th,
+				Name:      "example",
+				TypeID:    "IDL:diffusion_object:1.0",
+				MultiPort: true,
+				Ops: map[string]*Op{
+					"diffusion": {
+						Spec: OpSpec{Args: []ArgSpec{{Mode: InOut, Dist: dist.Block()}}},
+						Handler: func(call *Call) error {
+							steps, err := call.Scalars.Long()
+							if err != nil {
+								return err
+							}
+							for s := int32(0); s < steps; s++ {
+								for i := range call.Args[0].LocalData() {
+									call.Args[0].LocalData()[i] += 1
+								}
+							}
+							return nil
+						},
+					},
+				},
+			})
+			ready <- err
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			objs = append(objs, obj)
+			mu.Unlock()
+			_ = obj.Serve(context.Background())
+		}(r)
+	}
+	for i := 0; i < m; i++ {
+		if err := <-ready; err != nil {
+			t.Fatal(err)
+		}
+	}
+	return func() {
+		mu.Lock()
+		for _, o := range objs {
+			o.Close()
+		}
+		mu.Unlock()
+		w.Close()
+	}
+}
+
+func TestExportBindInvoke(t *testing.T) {
+	d := newDomain(t)
+	stop := exportDiffusion(t, d, 4)
+	defer stop()
+
+	err := mp.Run(2, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		b, err := d.SPMDBind(context.Background(), th, "example", MultiPort)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		seq, err := dseq.NewDoubles(100, dist.Block(), th.Size(), th.Rank())
+		if err != nil {
+			return err
+		}
+		if err := b.Invoke(context.Background(), &CallSpec{
+			Operation: "diffusion",
+			Scalars:   func(e *cdr.Encoder) { e.PutLong(5) },
+			Args:      []DistArg{{Mode: InOut, Seq: seq}},
+		}); err != nil {
+			return err
+		}
+		for i, v := range seq.LocalData() {
+			if v != 5 {
+				return fmt.Errorf("[%d] = %v", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveUnknownName(t *testing.T) {
+	d := newDomain(t)
+	if _, err := d.Resolve(context.Background(), "ghost"); !errors.Is(err, naming.ErrNotFound) {
+		t.Fatalf("resolve ghost: %v", err)
+	}
+}
+
+func TestSPMDBindUnknownName(t *testing.T) {
+	d := newDomain(t)
+	err := mp.Run(2, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		_, err := d.SPMDBind(context.Background(), th, "ghost", Centralized)
+		if err == nil {
+			return errors.New("bind to ghost succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportRequiresNameOrKey(t *testing.T) {
+	d := newDomain(t)
+	w := mp.MustWorld(1)
+	defer w.Close()
+	_, err := d.Export(context.Background(), ExportConfig{
+		Thread: rts.NewMessagePassing(w.Rank(0)),
+	})
+	if err == nil {
+		t.Fatal("export without name accepted")
+	}
+}
+
+func TestBindRef(t *testing.T) {
+	d := newDomain(t)
+	stop := exportDiffusion(t, d, 2)
+	defer stop()
+	ref, err := d.Resolve(context.Background(), "example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mp.Run(1, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		b, err := d.BindRef(context.Background(), th, ref, Centralized)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		seq, _ := dseq.NewDoubles(10, dist.Block(), 1, 0)
+		return b.Invoke(context.Background(), &CallSpec{
+			Operation: "diffusion",
+			Scalars:   func(e *cdr.Encoder) { e.PutLong(1) },
+			Args:      []DistArg{{Mode: InOut, Seq: seq}},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinDomainWithExternalNaming(t *testing.T) {
+	// One domain hosts the naming service; a second process-view
+	// joins it by endpoint.
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	host, err := JoinDomain(DomainConfig{Registry: reg, ListenEndpoint: "inproc:*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	stop := exportDiffusion(t, host, 2)
+	defer stop()
+
+	// Find the naming endpoint by resolving through the host: the
+	// in-process service listens on host.local's endpoint.
+	// JoinDomain with explicit endpoint:
+	ref, err := host.Resolve(context.Background(), "example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ref
+	peerEp := hostNamingEndpoint(host)
+	peer, err := JoinDomain(DomainConfig{
+		Registry:       reg,
+		NamingEndpoint: peerEp,
+		ListenEndpoint: "inproc:*",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	got, err := peer.Resolve(context.Background(), "example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != "objects/example" {
+		t.Fatalf("resolved key %q", got.Key)
+	}
+}
+
+// hostNamingEndpoint digs out the endpoint of a domain's in-process
+// naming service via its registered names client. Test-only.
+func hostNamingEndpoint(d *Domain) string {
+	// The naming client stores the endpoint; re-derive it by listing
+	// (which proves connectivity) and returning the known endpoint
+	// field through a tiny interface — simplest is to expose it:
+	return d.NamingEndpoint()
+}

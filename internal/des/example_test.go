@@ -1,0 +1,25 @@
+package des_test
+
+import (
+	"fmt"
+
+	"pardis/internal/des"
+)
+
+// Two simulated senders share one link; the second queues behind the
+// first — the arbitration at the heart of the testbed model.
+func ExampleSim() {
+	sim := des.New(1)
+	wire := sim.NewResource(1)
+	for i := 0; i < 2; i++ {
+		i := i
+		sim.Spawn(fmt.Sprintf("sender-%d", i), func(p *des.Proc) {
+			wire.Use(p, 10) // occupy the link for 10 ms
+			fmt.Printf("sender-%d done at t=%v\n", i, p.Now())
+		})
+	}
+	sim.Run()
+	// Output:
+	// sender-0 done at t=10
+	// sender-1 done at t=20
+}

@@ -1,0 +1,32 @@
+package dist
+
+import "testing"
+
+func BenchmarkPlanBlockToBlock(b *testing.B) {
+	src := Block().MustApply(1<<17, 4)
+	dst := Block().MustApply(1<<17, 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanManyThreads(b *testing.B) {
+	src := Block().MustApply(1<<20, 64)
+	dst := Block().MustApply(1<<20, 96)
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOwnerLookup(b *testing.B) {
+	l := Block().MustApply(1<<20, 64)
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Owner(i % (1 << 20)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"pardis/internal/dist"
+)
+
+// The paper's experimental configuration: a sequence of 2^17 doubles
+// distributed BLOCK over 4 client threads moving to 8 server threads.
+func ExamplePlan() {
+	src := dist.Block().MustApply(1<<17, 4)
+	dst := dist.Block().MustApply(1<<17, 8)
+	plan, _ := dist.Plan(src, dst)
+	fmt.Println("transfers:", len(plan))
+	fmt.Println("first:", plan[0].String())
+	// Output:
+	// transfers: 8
+	// first: 0->0 global=0 src+0 dst+0 n=16384
+}
+
+// Server-side weighted distribution from §2.2 of the paper.
+func ExampleProportions() {
+	spec, _ := dist.Proportions(2, 4, 2, 4)
+	layout := spec.MustApply(1200, 4)
+	fmt.Println(spec, layout.Counts())
+	// Output:
+	// Proportions(2,4,2,4) [200 400 200 400]
+}
+
+func ExampleLayout_Relength() {
+	layout := dist.Block().MustApply(10, 3)
+	grown, _ := layout.Relength(16)
+	fmt.Println(layout.Counts(), "->", grown.Counts())
+	// Output:
+	// [4 3 3] -> [4 3 9]
+}

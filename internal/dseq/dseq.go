@@ -1,0 +1,342 @@
+// Package dseq implements the PARDIS distributed sequence: a
+// generalization of the CORBA sequence whose elements are distributed
+// over the address spaces of the computing threads of an SPMD object
+// (§2.2 of the paper). A sequence has an element type, a run-time
+// length, and a distribution; each computing thread holds one
+// contiguous block.
+//
+// As in PARDIS, all methods that move data are SPMD-style: they must
+// be called collectively from every computing thread. Purely local
+// accessors (LocalData, LocalLen, Len, Layout) are thread-private.
+//
+// The IDL-mapped type dsequence_double of the paper corresponds to
+// Seq[float64] here; the conversion constructor (FromLocal) and the
+// local access operations (LocalData/LocalLen) mirror the generated
+// C++ mapping, letting applications keep their own memory-management
+// scheme, with ownership recorded explicitly.
+package dseq
+
+import (
+	"errors"
+	"fmt"
+
+	"pardis/internal/cdr"
+	"pardis/internal/dist"
+	"pardis/internal/rts"
+)
+
+// Ownership records whether the sequence owns its local storage (and
+// may grow or free it) or borrows the application's buffer, matching
+// the PARDIS::ownership constructor argument.
+type Ownership bool
+
+const (
+	// Owner means the sequence owns its storage.
+	Owner Ownership = true
+	// NotOwner means the storage belongs to the application.
+	NotOwner Ownership = false
+)
+
+// Errors returned by sequence operations.
+var (
+	ErrBounds     = errors.New("dseq: index out of bounds")
+	ErrMismatch   = errors.New("dseq: local data inconsistent with layout")
+	ErrCollective = errors.New("dseq: collective call inconsistency")
+)
+
+// Codec marshals a block of elements for transport between computing
+// threads or onto the wire. Implementations must be stateless.
+type Codec[T any] interface {
+	// Encode appends the elements to the encoder.
+	Encode(e *cdr.Encoder, v []T)
+	// Decode reads exactly n elements.
+	Decode(d *cdr.Decoder, n int) ([]T, error)
+}
+
+// DoubleCodec marshals float64 blocks (the dsequence<double> of the
+// paper's experiments).
+type DoubleCodec struct{}
+
+// Encode implements Codec.
+func (DoubleCodec) Encode(e *cdr.Encoder, v []float64) { e.PutDoubleSeq(v) }
+
+// Decode implements Codec.
+func (DoubleCodec) Decode(d *cdr.Decoder, n int) ([]float64, error) {
+	v, err := d.DoubleSeq()
+	if err != nil {
+		return nil, err
+	}
+	if len(v) != n {
+		return nil, fmt.Errorf("dseq: decoded %d doubles, want %d", len(v), n)
+	}
+	return v, nil
+}
+
+// LongCodec marshals int32 blocks.
+type LongCodec struct{}
+
+// Encode implements Codec.
+func (LongCodec) Encode(e *cdr.Encoder, v []int32) { e.PutLongSeq(v) }
+
+// Decode implements Codec.
+func (LongCodec) Decode(d *cdr.Decoder, n int) ([]int32, error) {
+	v, err := d.LongSeq()
+	if err != nil {
+		return nil, err
+	}
+	if len(v) != n {
+		return nil, fmt.Errorf("dseq: decoded %d longs, want %d", len(v), n)
+	}
+	return v, nil
+}
+
+// Seq is one computing thread's view of a distributed sequence of T.
+type Seq[T any] struct {
+	layout dist.Layout
+	rank   int
+	local  []T
+	owned  Ownership
+	codec  Codec[T]
+}
+
+// New allocates a distributed sequence of the given global length,
+// distributed by spec over p threads; rank identifies the calling
+// thread. Every thread of the SPMD section must construct with equal
+// arguments.
+func New[T any](codec Codec[T], length int, spec dist.Spec, p, rank int) (*Seq[T], error) {
+	layout, err := spec.Apply(length, p)
+	if err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= p {
+		return nil, fmt.Errorf("%w: rank %d of %d", ErrBounds, rank, p)
+	}
+	return &Seq[T]{
+		layout: layout,
+		rank:   rank,
+		local:  make([]T, layout.Count(rank)),
+		owned:  Owner,
+		codec:  codec,
+	}, nil
+}
+
+// FromLocal is the conversion constructor: it wraps an existing local
+// block, recording whether the sequence takes ownership. The block
+// length must equal the thread's share under layout.
+func FromLocal[T any](codec Codec[T], layout dist.Layout, rank int, data []T, owned Ownership) (*Seq[T], error) {
+	if rank < 0 || rank >= layout.P() {
+		return nil, fmt.Errorf("%w: rank %d of %d", ErrBounds, rank, layout.P())
+	}
+	if len(data) != layout.Count(rank) {
+		return nil, fmt.Errorf("%w: local block has %d elements, layout assigns %d to rank %d",
+			ErrMismatch, len(data), layout.Count(rank), rank)
+	}
+	return &Seq[T]{layout: layout, rank: rank, local: data, owned: owned, codec: codec}, nil
+}
+
+// Len returns the global length.
+func (s *Seq[T]) Len() int { return s.layout.Len() }
+
+// Layout returns the sequence's block layout.
+func (s *Seq[T]) Layout() dist.Layout { return s.layout }
+
+// Rank returns the calling thread's rank.
+func (s *Seq[T]) Rank() int { return s.rank }
+
+// Owned reports whether the sequence owns its local storage.
+func (s *Seq[T]) Owned() Ownership { return s.owned }
+
+// Codec returns the element codec.
+func (s *Seq[T]) Codec() Codec[T] { return s.codec }
+
+// LocalData returns the thread's local block (aliased, not copied) —
+// the local_data() accessor of the PARDIS mapping.
+func (s *Seq[T]) LocalData() []T { return s.local }
+
+// LocalLen returns the number of locally owned elements.
+func (s *Seq[T]) LocalLen() int { return len(s.local) }
+
+// Lo returns the global index of the first local element.
+func (s *Seq[T]) Lo() int { return s.layout.Lo(s.rank) }
+
+// LocalIndex translates a global index into a local offset, reporting
+// whether this thread owns it.
+func (s *Seq[T]) LocalIndex(global int) (int, bool) {
+	if global < s.layout.Lo(s.rank) || global >= s.layout.Hi(s.rank) {
+		return 0, false
+	}
+	return global - s.layout.Lo(s.rank), true
+}
+
+// SetLength changes the sequence length at run time following the
+// PARDIS rules: shrinking discards the data above the new length;
+// growing appends zero elements owned by the thread that owned the
+// last element. Every thread must call it with the same argument. It
+// is a local operation (no communication): the layout change is
+// deterministic.
+//
+// Growing a borrowed (NotOwner) block reallocates and the sequence
+// becomes the owner of the new storage, as the C++ mapping does when
+// it must resize a user buffer.
+func (s *Seq[T]) SetLength(newLen int) error {
+	nl, err := s.layout.Relength(newLen)
+	if err != nil {
+		return err
+	}
+	oldCount := s.layout.Count(s.rank)
+	newCount := nl.Count(s.rank)
+	switch {
+	case newCount == oldCount:
+		// Block unchanged.
+	case newCount < oldCount:
+		s.local = s.local[:newCount]
+	default:
+		grown := make([]T, newCount)
+		copy(grown, s.local)
+		s.local = grown
+		s.owned = Owner
+	}
+	s.layout = nl
+	return nil
+}
+
+// At performs a location-transparent element read: the owning thread
+// broadcasts the value to all threads. It is collective — every
+// thread of the section must call it with the same index — matching
+// the paper's SPMD-style operator[] contract.
+func (s *Seq[T]) At(th rts.Thread, global int) (T, error) {
+	var zero T
+	owner, err := s.layout.Owner(global)
+	if err != nil {
+		return zero, err
+	}
+	var payload []byte
+	if th.Rank() == owner {
+		local, _ := s.LocalIndex(global)
+		e := cdr.NewEncoder(cdr.BigEndian)
+		s.codec.Encode(e, s.local[local:local+1])
+		payload = e.Bytes()
+	}
+	out, err := th.Bcast(owner, payload)
+	if err != nil {
+		return zero, err
+	}
+	d := cdr.NewDecoder(cdr.BigEndian, out)
+	vs, err := s.codec.Decode(d, 1)
+	if err != nil {
+		return zero, err
+	}
+	return vs[0], nil
+}
+
+// Set performs a location-transparent element write, collectively:
+// every thread must call it with the same index and value; the owner
+// stores it.
+func (s *Seq[T]) Set(th rts.Thread, global int, v T) error {
+	owner, err := s.layout.Owner(global)
+	if err != nil {
+		return err
+	}
+	if th.Rank() == owner {
+		local, _ := s.LocalIndex(global)
+		s.local[local] = v
+	}
+	// A barrier keeps the SPMD threads in lockstep so a following At
+	// observes the write.
+	return th.Barrier()
+}
+
+// Redistribute moves the sequence contents to a new layout with the
+// same global length, exchanging blocks point-to-point according to
+// the dist.Plan — the same block-intersection computation that drives
+// multi-port argument transfer. After it returns on every thread, the
+// sequence has the new layout and the same global contents.
+func (s *Seq[T]) Redistribute(th rts.Thread, newLayout dist.Layout) error {
+	if newLayout.Len() != s.Len() {
+		return fmt.Errorf("%w: redistribute to length %d, have %d",
+			ErrMismatch, newLayout.Len(), s.Len())
+	}
+	if newLayout.P() != s.layout.P() {
+		return fmt.Errorf("%w: redistribute to %d threads, have %d",
+			ErrMismatch, newLayout.P(), s.layout.P())
+	}
+	plan, err := dist.Plan(s.layout, newLayout)
+	if err != nil {
+		return err
+	}
+	fresh := make([]T, newLayout.Count(s.rank))
+	// Tag transfers by their index in the global plan so concurrent
+	// blocks between the same pair stay distinct.
+	for i, tr := range plan {
+		if tr.From != th.Rank() {
+			continue
+		}
+		if tr.From == tr.To {
+			copy(fresh[tr.DstOff:tr.DstOff+tr.Count], s.local[tr.SrcOff:tr.SrcOff+tr.Count])
+			continue
+		}
+		e := cdr.NewEncoder(cdr.BigEndian)
+		s.codec.Encode(e, s.local[tr.SrcOff:tr.SrcOff+tr.Count])
+		if err := th.SendBytes(tr.To, i, e.Bytes()); err != nil {
+			return err
+		}
+	}
+	for i, tr := range plan {
+		if tr.To != th.Rank() || tr.From == tr.To {
+			continue
+		}
+		raw, err := th.RecvBytes(tr.From, i)
+		if err != nil {
+			return err
+		}
+		d := cdr.NewDecoder(cdr.BigEndian, raw)
+		blk, err := s.codec.Decode(d, tr.Count)
+		if err != nil {
+			return err
+		}
+		copy(fresh[tr.DstOff:tr.DstOff+tr.Count], blk)
+	}
+	if err := th.Barrier(); err != nil {
+		return err
+	}
+	s.layout = newLayout
+	s.local = fresh
+	s.owned = Owner
+	return nil
+}
+
+// Doubles is the dsequence<double> of the paper: a Seq[float64] with
+// the double codec and direct RTS gather/scatter fast paths.
+type Doubles = Seq[float64]
+
+// NewDoubles allocates a distributed double sequence.
+func NewDoubles(length int, spec dist.Spec, p, rank int) (*Doubles, error) {
+	return New[float64](DoubleCodec{}, length, spec, p, rank)
+}
+
+// DoublesFromLocal wraps an application-owned block of doubles.
+func DoublesFromLocal(layout dist.Layout, rank int, data []float64, owned Ownership) (*Doubles, error) {
+	return FromLocal[float64](DoubleCodec{}, layout, rank, data, owned)
+}
+
+// GatherDoubles collects the full sequence at root using the RTS
+// gather (the centralized method's building block); non-roots return
+// nil.
+func GatherDoubles(s *Doubles, th rts.Thread, root int) ([]float64, error) {
+	return th.GatherDoubles(root, s.LocalData(), s.Layout().Counts())
+}
+
+// ScatterDoubles overwrites the sequence contents from a full array
+// present at root, splitting by the sequence's layout.
+func ScatterDoubles(s *Doubles, th rts.Thread, root int, data []float64) error {
+	if th.Rank() == root && len(data) != s.Len() {
+		return fmt.Errorf("%w: scatter %d elements into sequence of %d",
+			ErrMismatch, len(data), s.Len())
+	}
+	blk, err := th.ScatterDoubles(root, data, s.Layout().Counts())
+	if err != nil {
+		return err
+	}
+	copy(s.LocalData(), blk)
+	return nil
+}

@@ -1,0 +1,134 @@
+package dseq
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pardis/internal/dist"
+	"pardis/internal/mp"
+	"pardis/internal/rts"
+)
+
+func TestFillAndMapLocal(t *testing.T) {
+	s, _ := NewDoubles(10, dist.Block(), 2, 1) // owns [5,10)
+	s.Fill(3)
+	for _, v := range s.LocalData() {
+		if v != 3 {
+			t.Fatalf("fill: %v", s.LocalData())
+		}
+	}
+	s.FillIndexed(func(g int) float64 { return float64(g) })
+	if s.LocalData()[0] != 5 || s.LocalData()[4] != 9 {
+		t.Fatalf("fill indexed: %v", s.LocalData())
+	}
+	s.MapLocal(func(g int, v float64) float64 { return v * 10 })
+	if s.LocalData()[0] != 50 {
+		t.Fatalf("map: %v", s.LocalData())
+	}
+}
+
+func TestClone(t *testing.T) {
+	s, _ := NewDoubles(6, dist.Block(), 2, 0)
+	s.Fill(1)
+	c := s.Clone()
+	c.LocalData()[0] = 99
+	if s.LocalData()[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+	if c.Rank() != s.Rank() || c.Len() != s.Len() || c.Owned() != Owner {
+		t.Fatal("clone metadata wrong")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	runSPMD(t, 3, func(th rts.Thread) error {
+		s, err := NewDoubles(9, dist.Block(), 3, th.Rank())
+		if err != nil {
+			return err
+		}
+		s.FillIndexed(func(g int) float64 { return float64(g + 1) }) // 1..9
+		sum, err := ReduceSum(s, th)
+		if err != nil {
+			return err
+		}
+		if sum != 45 {
+			return fmt.Errorf("sum = %v", sum)
+		}
+		maxV, err := ReduceMax(s, th)
+		if err != nil {
+			return err
+		}
+		if maxV != 9 {
+			return fmt.Errorf("max = %v", maxV)
+		}
+		norm, err := Norm2(s, th)
+		if err != nil {
+			return err
+		}
+		if math.Abs(norm-math.Sqrt(285)) > 1e-12 {
+			return fmt.Errorf("norm = %v", norm)
+		}
+		return nil
+	})
+}
+
+func TestReduceMaxEmpty(t *testing.T) {
+	w := mp.MustWorld(1)
+	defer w.Close()
+	th := rts.NewMessagePassing(w.Rank(0))
+	s, _ := NewDoubles(0, dist.Block(), 1, 0)
+	v, err := ReduceMax(s, th)
+	if err != nil || !math.IsInf(v, -1) {
+		t.Fatalf("empty max = %v, %v", v, err)
+	}
+}
+
+func BenchmarkRedistributeBlockToProportions(b *testing.B) {
+	prop, _ := dist.Proportions(1, 2, 3, 2)
+	const L = 1 << 15
+	b.SetBytes(L * 8)
+	err := mp.Run(4, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		blockL := dist.Block().MustApply(L, 4)
+		propL := prop.MustApply(L, 4)
+		s, err := NewDoubles(L, dist.Block(), 4, th.Rank())
+		if err != nil {
+			return err
+		}
+		for i := 0; i < b.N; i++ {
+			target := propL
+			if i%2 == 1 {
+				target = blockL
+			}
+			if err := s.Redistribute(th, target); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkGatherDoubles(b *testing.B) {
+	const L = 1 << 15
+	b.SetBytes(L * 8)
+	err := mp.Run(4, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		s, err := NewDoubles(L, dist.Block(), 4, th.Rank())
+		if err != nil {
+			return err
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := GatherDoubles(s, th, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,18 @@
+package future_test
+
+import (
+	"fmt"
+
+	"pardis/internal/future"
+)
+
+// A future stands in for a result that is still being computed
+// remotely — the paper's diffusion_nb pattern.
+func ExampleNew() {
+	f, resolve := future.New[float64]()
+	go resolve.Resolve(3.14)
+	v, err := f.Get()
+	fmt.Println(v, err)
+	// Output:
+	// 3.14 <nil>
+}

@@ -1,0 +1,27 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage: the wire reader must never panic or over-allocate
+// on hostile frames.
+func FuzzReadMessage(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteMessage(&buf, 0, MsgRequest, []byte("seed body"))
+	f.Add(buf.Bytes())
+	f.Add([]byte("PIOP"))
+	f.Add([]byte{'P', 'I', 'O', 'P', 1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		typ, order, body, err := ReadMessage(bytes.NewReader(frame))
+		if err != nil {
+			return
+		}
+		// A frame that parses must re-frame identically.
+		var out bytes.Buffer
+		if err := WriteMessage(&out, order, typ, body); err != nil {
+			t.Fatalf("re-frame failed: %v", err)
+		}
+	})
+}

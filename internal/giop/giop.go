@@ -1,0 +1,442 @@
+// Package giop implements PIOP, the PARDIS Inter-ORB Protocol: a
+// GIOP-style message layer carrying requests, replies, locate
+// queries, cancellations and — beyond stock GIOP — the block-transfer
+// messages of multi-port distributed-argument transfer (§3.3 of the
+// paper, "transfer headers").
+//
+// Every message starts with a fixed 12-octet header:
+//
+//	octets 0-3  magic "PIOP"
+//	octets 4-5  protocol version (major, minor)
+//	octet  6    flags (bit 0: 1 = little-endian body and length)
+//	octet  7    message type
+//	octets 8-11 body length (in the flagged byte order)
+//
+// followed by a CDR-encoded body whose alignment is computed from
+// offset 0 of the body.
+package giop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"pardis/internal/cdr"
+)
+
+// Protocol constants.
+const (
+	// MagicLen is the length of the magic string.
+	MagicLen = 4
+	// HeaderLen is the fixed message-header length.
+	HeaderLen = 12
+	// VersionMajor and VersionMinor identify this PIOP revision.
+	VersionMajor = 1
+	VersionMinor = 0
+	// MaxBodyLen bounds a message body; longer lengths are treated
+	// as stream corruption.
+	MaxBodyLen = 1 << 30
+)
+
+var magic = [MagicLen]byte{'P', 'I', 'O', 'P'}
+
+// MsgType enumerates PIOP message types.
+type MsgType byte
+
+// Message types.
+const (
+	MsgRequest MsgType = iota
+	MsgReply
+	MsgCancelRequest
+	MsgLocateRequest
+	MsgLocateReply
+	MsgCloseConnection
+	MsgError
+	MsgBlockTransfer
+	msgTypeCount
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "Request"
+	case MsgReply:
+		return "Reply"
+	case MsgCancelRequest:
+		return "CancelRequest"
+	case MsgLocateRequest:
+		return "LocateRequest"
+	case MsgLocateReply:
+		return "LocateReply"
+	case MsgCloseConnection:
+		return "CloseConnection"
+	case MsgError:
+		return "MessageError"
+	case MsgBlockTransfer:
+		return "BlockTransfer"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(t))
+	}
+}
+
+// Errors surfaced by the message layer.
+var (
+	ErrBadMagic   = errors.New("giop: bad magic")
+	ErrBadVersion = errors.New("giop: unsupported protocol version")
+	ErrBadType    = errors.New("giop: unknown message type")
+	ErrTooLong    = errors.New("giop: message body exceeds limit")
+)
+
+// WriteMessage frames and writes one PIOP message.
+func WriteMessage(w io.Writer, order cdr.ByteOrder, t MsgType, body []byte) error {
+	if t >= msgTypeCount {
+		return fmt.Errorf("%w: %d", ErrBadType, t)
+	}
+	if len(body) > MaxBodyLen {
+		return fmt.Errorf("%w: %d bytes", ErrTooLong, len(body))
+	}
+	hdr := make([]byte, HeaderLen, HeaderLen+len(body))
+	copy(hdr, magic[:])
+	hdr[4] = VersionMajor
+	hdr[5] = VersionMinor
+	hdr[6] = byte(order) & 1
+	hdr[7] = byte(t)
+	n := uint32(len(body))
+	if order == cdr.BigEndian {
+		hdr[8], hdr[9], hdr[10], hdr[11] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	} else {
+		hdr[8], hdr[9], hdr[10], hdr[11] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	}
+	// Single write keeps header+body contiguous on the wire and
+	// avoids interleaving when several goroutines share a locked
+	// writer above us.
+	_, err := w.Write(append(hdr, body...))
+	return err
+}
+
+// ReadMessage reads and validates one PIOP message, returning its
+// type, body byte order and body.
+func ReadMessage(r io.Reader) (MsgType, cdr.ByteOrder, []byte, error) {
+	hdr := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, nil, err
+	}
+	if [MagicLen]byte(hdr[:MagicLen]) != magic {
+		return 0, 0, nil, fmt.Errorf("%w: % x", ErrBadMagic, hdr[:MagicLen])
+	}
+	if hdr[4] != VersionMajor || hdr[5] > VersionMinor {
+		return 0, 0, nil, fmt.Errorf("%w: %d.%d", ErrBadVersion, hdr[4], hdr[5])
+	}
+	order := cdr.ByteOrder(hdr[6] & 1)
+	t := MsgType(hdr[7])
+	if t >= msgTypeCount {
+		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadType, hdr[7])
+	}
+	var n uint32
+	if order == cdr.BigEndian {
+		n = uint32(hdr[8])<<24 | uint32(hdr[9])<<16 | uint32(hdr[10])<<8 | uint32(hdr[11])
+	} else {
+		n = uint32(hdr[11])<<24 | uint32(hdr[10])<<16 | uint32(hdr[9])<<8 | uint32(hdr[8])
+	}
+	if n > MaxBodyLen {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrTooLong, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	return t, order, body, nil
+}
+
+// ReplyStatus enumerates reply outcomes.
+type ReplyStatus uint32
+
+// Reply statuses.
+const (
+	// ReplyOK carries marshaled out-arguments.
+	ReplyOK ReplyStatus = iota
+	// ReplyUserException carries a user exception body.
+	ReplyUserException
+	// ReplySystemException carries a SystemException body.
+	ReplySystemException
+	// ReplyLocationForward carries a stringified IOR to retry at.
+	ReplyLocationForward
+)
+
+func (s ReplyStatus) String() string {
+	switch s {
+	case ReplyOK:
+		return "NO_EXCEPTION"
+	case ReplyUserException:
+		return "USER_EXCEPTION"
+	case ReplySystemException:
+		return "SYSTEM_EXCEPTION"
+	case ReplyLocationForward:
+		return "LOCATION_FORWARD"
+	default:
+		return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+	}
+}
+
+// RequestHeader precedes the marshaled in-arguments in a Request body.
+type RequestHeader struct {
+	// RequestID pairs the request with its reply on the connection.
+	RequestID uint32
+	// InvocationID correlates this request with block transfers that
+	// arrive on other connections (multi-port transfer). It must be
+	// unique across all clients of the server for the lifetime of the
+	// invocation; clients derive it from a per-process random prefix
+	// plus a counter.
+	InvocationID uint64
+	// ResponseExpected is false for oneway operations.
+	ResponseExpected bool
+	// ObjectKey names the target object within its ORB.
+	ObjectKey string
+	// Operation is the IDL operation name.
+	Operation string
+	// ThreadRank is the client's SPMD rank issuing this request, or
+	// -1 for a plain (non-SPMD) client.
+	ThreadRank int32
+	// ThreadCount is the client's SPMD section size (1 for plain
+	// clients). The server uses it to compute transfer plans.
+	ThreadCount int32
+}
+
+// Encode appends the header to an encoder.
+func (h *RequestHeader) Encode(e *cdr.Encoder) {
+	e.PutULong(h.RequestID)
+	e.PutULongLong(h.InvocationID)
+	e.PutBoolean(h.ResponseExpected)
+	e.PutString(h.ObjectKey)
+	e.PutString(h.Operation)
+	e.PutLong(h.ThreadRank)
+	e.PutLong(h.ThreadCount)
+}
+
+// DecodeRequestHeader reads a RequestHeader.
+func DecodeRequestHeader(d *cdr.Decoder) (RequestHeader, error) {
+	var h RequestHeader
+	var err error
+	if h.RequestID, err = d.ULong(); err != nil {
+		return h, err
+	}
+	if h.InvocationID, err = d.ULongLong(); err != nil {
+		return h, err
+	}
+	if h.ResponseExpected, err = d.Boolean(); err != nil {
+		return h, err
+	}
+	if h.ObjectKey, err = d.String(); err != nil {
+		return h, err
+	}
+	if h.Operation, err = d.String(); err != nil {
+		return h, err
+	}
+	if h.ThreadRank, err = d.Long(); err != nil {
+		return h, err
+	}
+	if h.ThreadCount, err = d.Long(); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// ReplyHeader precedes the marshaled out-arguments in a Reply body.
+type ReplyHeader struct {
+	RequestID uint32
+	Status    ReplyStatus
+}
+
+// Encode appends the header to an encoder.
+func (h *ReplyHeader) Encode(e *cdr.Encoder) {
+	e.PutULong(h.RequestID)
+	e.PutULong(uint32(h.Status))
+}
+
+// DecodeReplyHeader reads a ReplyHeader.
+func DecodeReplyHeader(d *cdr.Decoder) (ReplyHeader, error) {
+	var h ReplyHeader
+	var err error
+	if h.RequestID, err = d.ULong(); err != nil {
+		return h, err
+	}
+	s, err := d.ULong()
+	if err != nil {
+		return h, err
+	}
+	h.Status = ReplyStatus(s)
+	return h, nil
+}
+
+// CancelRequestHeader asks the server to abandon a pending request.
+type CancelRequestHeader struct {
+	RequestID uint32
+}
+
+// Encode appends the header to an encoder.
+func (h *CancelRequestHeader) Encode(e *cdr.Encoder) { e.PutULong(h.RequestID) }
+
+// DecodeCancelRequestHeader reads a CancelRequestHeader.
+func DecodeCancelRequestHeader(d *cdr.Decoder) (CancelRequestHeader, error) {
+	id, err := d.ULong()
+	return CancelRequestHeader{RequestID: id}, err
+}
+
+// LocateStatus enumerates LocateReply outcomes.
+type LocateStatus uint32
+
+// Locate statuses.
+const (
+	// LocateUnknown means the object key is not served here.
+	LocateUnknown LocateStatus = iota
+	// LocateHere means the object is served on this connection.
+	LocateHere
+	// LocateForward carries a stringified IOR to retry at.
+	LocateForward
+)
+
+// LocateRequestHeader asks whether an object key is served here.
+type LocateRequestHeader struct {
+	RequestID uint32
+	ObjectKey string
+}
+
+// Encode appends the header to an encoder.
+func (h *LocateRequestHeader) Encode(e *cdr.Encoder) {
+	e.PutULong(h.RequestID)
+	e.PutString(h.ObjectKey)
+}
+
+// DecodeLocateRequestHeader reads a LocateRequestHeader.
+func DecodeLocateRequestHeader(d *cdr.Decoder) (LocateRequestHeader, error) {
+	var h LocateRequestHeader
+	var err error
+	if h.RequestID, err = d.ULong(); err != nil {
+		return h, err
+	}
+	h.ObjectKey, err = d.String()
+	return h, err
+}
+
+// LocateReplyHeader answers a LocateRequest. For LocateForward the
+// body continues with a stringified IOR.
+type LocateReplyHeader struct {
+	RequestID uint32
+	Status    LocateStatus
+}
+
+// Encode appends the header to an encoder.
+func (h *LocateReplyHeader) Encode(e *cdr.Encoder) {
+	e.PutULong(h.RequestID)
+	e.PutULong(uint32(h.Status))
+}
+
+// DecodeLocateReplyHeader reads a LocateReplyHeader.
+func DecodeLocateReplyHeader(d *cdr.Decoder) (LocateReplyHeader, error) {
+	var h LocateReplyHeader
+	var err error
+	if h.RequestID, err = d.ULong(); err != nil {
+		return h, err
+	}
+	s, err := d.ULong()
+	h.Status = LocateStatus(s)
+	return h, err
+}
+
+// BlockTransferHeader precedes one block of a distributed argument in
+// multi-port transfer (the paper's "transfer header": the receiver
+// "unpacks them according to information contained in the transfer
+// header"). The element payload follows in CDR.
+type BlockTransferHeader struct {
+	// InvocationID ties the block to its invocation across
+	// connections; it matches the RequestHeader.InvocationID of the
+	// invocation the block belongs to.
+	InvocationID uint64
+	// ArgIndex identifies which distributed argument of the
+	// operation this block belongs to.
+	ArgIndex uint32
+	// FromThread and ToThread are SPMD ranks on the sending and
+	// receiving sides.
+	FromThread int32
+	ToThread   int32
+	// DstOff is the destination local offset of the block's first
+	// element; Count is the element count.
+	DstOff uint32
+	Count  uint32
+	// Last marks the final block this sender contributes to
+	// (RequestID, ArgIndex, ToThread), letting the receiver detect
+	// completion without knowing the full plan in advance.
+	Last bool
+}
+
+// Encode appends the header to an encoder.
+func (h *BlockTransferHeader) Encode(e *cdr.Encoder) {
+	e.PutULongLong(h.InvocationID)
+	e.PutULong(h.ArgIndex)
+	e.PutLong(h.FromThread)
+	e.PutLong(h.ToThread)
+	e.PutULong(h.DstOff)
+	e.PutULong(h.Count)
+	e.PutBoolean(h.Last)
+}
+
+// DecodeBlockTransferHeader reads a BlockTransferHeader.
+func DecodeBlockTransferHeader(d *cdr.Decoder) (BlockTransferHeader, error) {
+	var h BlockTransferHeader
+	var err error
+	if h.InvocationID, err = d.ULongLong(); err != nil {
+		return h, err
+	}
+	if h.ArgIndex, err = d.ULong(); err != nil {
+		return h, err
+	}
+	if h.FromThread, err = d.Long(); err != nil {
+		return h, err
+	}
+	if h.ToThread, err = d.Long(); err != nil {
+		return h, err
+	}
+	if h.DstOff, err = d.ULong(); err != nil {
+		return h, err
+	}
+	if h.Count, err = d.ULong(); err != nil {
+		return h, err
+	}
+	h.Last, err = d.Boolean()
+	return h, err
+}
+
+// SystemException is the PIOP-level error a server returns when a
+// request fails outside user code (unknown object, unmarshal failure,
+// servant panic, ...).
+type SystemException struct {
+	// Code is a short machine-readable identifier, e.g.
+	// "OBJECT_NOT_EXIST", "MARSHAL", "UNKNOWN".
+	Code string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Error implements error.
+func (e *SystemException) Error() string {
+	return fmt.Sprintf("pardis system exception %s: %s", e.Code, e.Detail)
+}
+
+// Encode appends the exception to an encoder.
+func (e *SystemException) Encode(enc *cdr.Encoder) {
+	enc.PutString(e.Code)
+	enc.PutString(e.Detail)
+}
+
+// DecodeSystemException reads a SystemException.
+func DecodeSystemException(d *cdr.Decoder) (*SystemException, error) {
+	code, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	detail, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	return &SystemException{Code: code, Detail: detail}, nil
+}

@@ -1,0 +1,35 @@
+package idl
+
+import "testing"
+
+// FuzzParseAndCheck: the IDL front end must never panic on arbitrary
+// input. Run with `go test -fuzz FuzzParseAndCheck ./internal/idl`;
+// under plain `go test` the seed corpus runs as regression cases.
+func FuzzParseAndCheck(f *testing.F) {
+	seeds := []string{
+		paperIDL,
+		`module m { interface i : j { oneway void f(in long x); }; };`,
+		`typedef dsequence<double, 1024, BLOCK> t;`,
+		`struct s { sequence<s> kids; };`,
+		`const string x = "\"\\\n";`,
+		`interface a { readonly attribute double x; };`,
+		"#pragma\ninterface i { void f(); };",
+		`enum e { A, B };`,
+		"interface \x00broken",
+		`interface i { void f(in dsequence<long> bad); };`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseAndCheck(src)
+		if err != nil {
+			return
+		}
+		// Anything that checks must print and re-check cleanly.
+		printed := Print(c.Spec)
+		if _, err := ParseAndCheck(printed); err != nil {
+			t.Fatalf("checked spec fails after printing: %v\n%s", err, printed)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package idl
+
+import (
+	"fmt"
+	"io/fs"
+	"path"
+	"strings"
+)
+
+// ExpandIncludes resolves `#include "file"` directives in the named
+// IDL source, inlining each included file exactly once (classic
+// include-guard semantics) and rejecting cycles. Paths are resolved
+// relative to the including file's directory within fsys. Other
+// preprocessor lines (#pragma, #ifdef guards, ...) pass through
+// unchanged and are skipped by the lexer as before.
+//
+// The expanded source preserves non-include lines verbatim, so parser
+// positions correspond to the concatenated text.
+func ExpandIncludes(fsys fs.FS, name string) (string, error) {
+	var b strings.Builder
+	seen := map[string]bool{}
+	stack := map[string]bool{}
+	if err := expandFile(fsys, path.Clean(name), &b, seen, stack); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func expandFile(fsys fs.FS, name string, out *strings.Builder, seen, stack map[string]bool) error {
+	if stack[name] {
+		return fmt.Errorf("idl: include cycle through %q", name)
+	}
+	if seen[name] {
+		return nil // include-once
+	}
+	seen[name] = true
+	stack[name] = true
+	defer delete(stack, name)
+
+	data, err := fs.ReadFile(fsys, name)
+	if err != nil {
+		return fmt.Errorf("idl: %w", err)
+	}
+	dir := path.Dir(name)
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if target, ok := parseInclude(trimmed); ok {
+			inc := path.Clean(path.Join(dir, target))
+			if err := expandFile(fsys, inc, out, seen, stack); err != nil {
+				return fmt.Errorf("%s:%d: %w", name, lineNo+1, err)
+			}
+			continue
+		}
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
+	return nil
+}
+
+// parseInclude recognizes `#include "relative/path.idl"` (the system
+// <...> form is rejected since there is no system IDL path).
+func parseInclude(line string) (string, bool) {
+	if !strings.HasPrefix(line, "#include") {
+		return "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "#include"))
+	if len(rest) >= 2 && rest[0] == '"' {
+		if end := strings.IndexByte(rest[1:], '"'); end >= 0 {
+			return rest[1 : 1+end], true
+		}
+	}
+	return "", false
+}

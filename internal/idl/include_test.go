@@ -1,0 +1,114 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+	"testing/fstest"
+)
+
+func TestExpandIncludesBasic(t *testing.T) {
+	fsys := fstest.MapFS{
+		"types.idl": {Data: []byte(`typedef dsequence<double> field;
+`)},
+		"main.idl": {Data: []byte(`#include "types.idl"
+interface solver { void f(in field x); };
+`)},
+	}
+	src, err := ExpandIncludes(fsys, "main.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseAndCheck(src)
+	if err != nil {
+		t.Fatalf("expanded source does not check: %v\n%s", err, src)
+	}
+	if _, ok := c.Symbols["solver"]; !ok {
+		t.Fatal("solver missing")
+	}
+	if _, ok := c.Symbols["field"]; !ok {
+		t.Fatal("included typedef missing")
+	}
+}
+
+func TestExpandIncludesOnce(t *testing.T) {
+	// Diamond: main includes a and b, both include common — common
+	// must be inlined exactly once or its typedef would collide.
+	fsys := fstest.MapFS{
+		"common.idl": {Data: []byte("typedef long id;\n")},
+		"a.idl":      {Data: []byte("#include \"common.idl\"\nstruct a_t { id v; };\n")},
+		"b.idl":      {Data: []byte("#include \"common.idl\"\nstruct b_t { id v; };\n")},
+		"main.idl":   {Data: []byte("#include \"a.idl\"\n#include \"b.idl\"\n")},
+	}
+	src, err := ExpandIncludes(fsys, "main.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(src, "typedef long id;") != 1 {
+		t.Fatalf("common not include-once:\n%s", src)
+	}
+	if _, err := ParseAndCheck(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandIncludesSubdirectories(t *testing.T) {
+	fsys := fstest.MapFS{
+		"sub/inner.idl": {Data: []byte("typedef double scalar;\n")},
+		"sub/mid.idl":   {Data: []byte("#include \"inner.idl\"\n")},
+		"main.idl":      {Data: []byte("#include \"sub/mid.idl\"\ninterface i { void f(in scalar s); };\n")},
+	}
+	src, err := ExpandIncludes(fsys, "main.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseAndCheck(src); err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+}
+
+func TestExpandIncludesCycle(t *testing.T) {
+	fsys := fstest.MapFS{
+		"a.idl": {Data: []byte("#include \"b.idl\"\n")},
+		"b.idl": {Data: []byte("#include \"a.idl\"\n")},
+	}
+	if _, err := ExpandIncludes(fsys, "a.idl"); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestExpandIncludesMissingFile(t *testing.T) {
+	fsys := fstest.MapFS{
+		"main.idl": {Data: []byte("#include \"gone.idl\"\n")},
+	}
+	if _, err := ExpandIncludes(fsys, "main.idl"); err == nil {
+		t.Fatal("missing include accepted")
+	}
+}
+
+func TestNonIncludePreprocessorLinesPass(t *testing.T) {
+	fsys := fstest.MapFS{
+		"main.idl": {Data: []byte("#pragma prefix \"x\"\ninterface i { void f(); };\n")},
+	}
+	src, err := ExpandIncludes(fsys, "main.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "#pragma") {
+		t.Fatal("pragma dropped")
+	}
+	if _, err := ParseAndCheck(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIncludeForms(t *testing.T) {
+	if p, ok := parseInclude(`#include "x.idl"`); !ok || p != "x.idl" {
+		t.Fatalf("quoted: %q %v", p, ok)
+	}
+	if _, ok := parseInclude(`#include <system.idl>`); ok {
+		t.Fatal("system include accepted")
+	}
+	if _, ok := parseInclude(`#pragma once`); ok {
+		t.Fatal("pragma matched")
+	}
+}

@@ -1,0 +1,261 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LexError is a lexical error with position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer turns IDL source text into tokens. Comments (// and /* */)
+// and preprocessor lines (#...) are skipped.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipTrivia consumes whitespace, comments, and preprocessor lines.
+func (l *Lexer) skipTrivia() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &LexError{Pos: start, Msg: "unterminated block comment"}
+			}
+		case c == '#' && l.col == 1:
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		var b strings.Builder
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			b.WriteByte(l.advance())
+		}
+		text := b.String()
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: start}, nil
+
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		var b strings.Builder
+		isFloat := false
+		for l.off < len(l.src) {
+			c := l.peek()
+			if isDigit(c) {
+				b.WriteByte(l.advance())
+			} else if c == '.' && !isFloat {
+				isFloat = true
+				b.WriteByte(l.advance())
+			} else if (c == 'e' || c == 'E') && l.off+1 < len(l.src) &&
+				(isDigit(l.peek2()) || l.peek2() == '-' || l.peek2() == '+') {
+				isFloat = true
+				b.WriteByte(l.advance()) // e
+				if l.peek() == '-' || l.peek() == '+' {
+					b.WriteByte(l.advance())
+				}
+			} else if c == 'x' || c == 'X' {
+				// Hex literal 0x...
+				if b.String() != "0" {
+					return Token{}, &LexError{Pos: start, Msg: "malformed hex literal"}
+				}
+				b.WriteByte(l.advance())
+				for l.off < len(l.src) && isHexDigit(l.peek()) {
+					b.WriteByte(l.advance())
+				}
+				return Token{Kind: TokIntLit, Text: b.String(), Pos: start}, nil
+			} else {
+				break
+			}
+		}
+		kind := TokIntLit
+		if isFloat {
+			kind = TokFloatLit
+		}
+		return Token{Kind: kind, Text: b.String(), Pos: start}, nil
+
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, &LexError{Pos: start, Msg: "unterminated string literal"}
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if l.off >= len(l.src) {
+					return Token{}, &LexError{Pos: start, Msg: "unterminated escape"}
+				}
+				e := l.advance()
+				switch e {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"':
+					b.WriteByte(e)
+				default:
+					return Token{}, &LexError{Pos: start, Msg: fmt.Sprintf("unknown escape \\%c", e)}
+				}
+				continue
+			}
+			b.WriteByte(c)
+		}
+		return Token{Kind: TokStringLit, Text: b.String(), Pos: start}, nil
+
+	case c == '\'':
+		l.advance()
+		if l.off >= len(l.src) {
+			return Token{}, &LexError{Pos: start, Msg: "unterminated char literal"}
+		}
+		ch := l.advance()
+		if ch == '\\' {
+			if l.off >= len(l.src) {
+				return Token{}, &LexError{Pos: start, Msg: "unterminated char literal"}
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				ch = '\n'
+			case 't':
+				ch = '\t'
+			case '\\', '\'':
+				ch = e
+			case '0':
+				ch = 0
+			default:
+				return Token{}, &LexError{Pos: start, Msg: fmt.Sprintf("unknown escape \\%c", e)}
+			}
+		}
+		if l.off >= len(l.src) || l.advance() != '\'' {
+			return Token{}, &LexError{Pos: start, Msg: "unterminated char literal"}
+		}
+		return Token{Kind: TokCharLit, Text: string(ch), Pos: start}, nil
+
+	case c == ':':
+		l.advance()
+		if l.peek() == ':' {
+			l.advance()
+			return Token{Kind: TokScope, Text: "::", Pos: start}, nil
+		}
+		return Token{Kind: TokPunct, Text: ":", Pos: start}, nil
+
+	case strings.IndexByte(";{}()<>,=[]|", c) >= 0:
+		l.advance()
+		return Token{Kind: TokPunct, Text: string(c), Pos: start}, nil
+
+	default:
+		return Token{}, &LexError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Tokenize scans the whole input.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

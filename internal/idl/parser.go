@@ -1,0 +1,710 @@
+package idl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseError is a syntax error with position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses an IDL specification.
+func Parse(src string) (*Spec, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	spec := &Spec{}
+	for !p.atEOF() {
+		d, err := p.definition()
+		if err != nil {
+			return nil, err
+		}
+		spec.Defs = append(spec.Defs, d)
+	}
+	return spec, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(pos Pos, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expectPunct consumes the given punctuation or fails.
+func (p *Parser) expectPunct(s string) error {
+	t := p.cur()
+	if t.Kind != TokPunct || t.Text != s {
+		return p.errf(t.Pos, "expected %q, found %s", s, t)
+	}
+	p.next()
+	return nil
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *Parser) expectKeyword(s string) (Token, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword || t.Text != s {
+		return t, p.errf(t.Pos, "expected %q, found %s", s, t)
+	}
+	return p.next(), nil
+}
+
+// expectIdent consumes an identifier or fails.
+func (p *Parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, p.errf(t.Pos, "expected identifier, found %s", t)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == s
+}
+
+func (p *Parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+// definition parses one top-level or module-level definition.
+func (p *Parser) definition() (Def, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return nil, p.errf(t.Pos, "expected definition, found %s", t)
+	}
+	switch t.Text {
+	case "module":
+		return p.module()
+	case "interface":
+		return p.interfaceDef()
+	case "typedef":
+		return p.typedefDef()
+	case "struct":
+		return p.structDef()
+	case "enum":
+		return p.enumDef()
+	case "const":
+		return p.constDef()
+	case "exception":
+		return p.exceptionDef()
+	default:
+		return nil, p.errf(t.Pos, "unexpected keyword %q", t.Text)
+	}
+}
+
+func (p *Parser) module() (Def, error) {
+	kw, _ := p.expectKeyword("module")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.Text, Pos: kw.Pos}
+	for !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, p.errf(kw.Pos, "unterminated module %s", name.Text)
+		}
+		d, err := p.definition()
+		if err != nil {
+			return nil, err
+		}
+		m.Defs = append(m.Defs, d)
+	}
+	p.next() // }
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *Parser) interfaceDef() (Def, error) {
+	kw, _ := p.expectKeyword("interface")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	i := &Interface{Name: name.Text, Pos: kw.Pos}
+	if p.isPunct(":") {
+		p.next()
+		for {
+			base, err := p.scopedName()
+			if err != nil {
+				return nil, err
+			}
+			i.Bases = append(i.Bases, base)
+			if !p.isPunct(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, p.errf(kw.Pos, "unterminated interface %s", name.Text)
+		}
+		switch {
+		case p.isKeyword("typedef"):
+			d, err := p.typedefDef()
+			if err != nil {
+				return nil, err
+			}
+			i.Decls = append(i.Decls, d)
+		case p.isKeyword("const"):
+			d, err := p.constDef()
+			if err != nil {
+				return nil, err
+			}
+			i.Decls = append(i.Decls, d)
+		case p.isKeyword("struct"):
+			d, err := p.structDef()
+			if err != nil {
+				return nil, err
+			}
+			i.Decls = append(i.Decls, d)
+		case p.isKeyword("enum"):
+			d, err := p.enumDef()
+			if err != nil {
+				return nil, err
+			}
+			i.Decls = append(i.Decls, d)
+		case p.isKeyword("readonly") || p.isKeyword("attribute"):
+			attrs, err := p.attributes()
+			if err != nil {
+				return nil, err
+			}
+			i.Attrs = append(i.Attrs, attrs...)
+		default:
+			op, err := p.operation()
+			if err != nil {
+				return nil, err
+			}
+			i.Ops = append(i.Ops, op)
+		}
+	}
+	p.next() // }
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return i, nil
+}
+
+func (p *Parser) operation() (*Operation, error) {
+	op := &Operation{Pos: p.cur().Pos}
+	if p.isKeyword("oneway") {
+		p.next()
+		op.Oneway = true
+	}
+	// Return type: void or a type.
+	if p.isKeyword("void") {
+		p.next()
+	} else {
+		t, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		op.Result = t
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	op.Name = name.Text
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		for {
+			prm, err := p.param()
+			if err != nil {
+				return nil, err
+			}
+			op.Params = append(op.Params, prm)
+			if !p.isPunct(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("raises") {
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			n, err := p.scopedName()
+			if err != nil {
+				return nil, err
+			}
+			op.Raises = append(op.Raises, n)
+			if !p.isPunct(",") {
+				break
+			}
+			p.next()
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if op.Oneway && (op.Result != nil || op.Raises != nil) {
+		return nil, p.errf(op.Pos, "oneway operation %s cannot have results or raises", op.Name)
+	}
+	return op, nil
+}
+
+// attributes parses ("readonly")? "attribute" type ident ("," ident)* ";"
+func (p *Parser) attributes() ([]*Attribute, error) {
+	start := p.cur().Pos
+	readonly := false
+	if p.isKeyword("readonly") {
+		p.next()
+		readonly = true
+	}
+	if _, err := p.expectKeyword("attribute"); err != nil {
+		return nil, err
+	}
+	typ, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	var out []*Attribute
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Attribute{Readonly: readonly, Type: typ, Name: name.Text, Pos: start})
+		if !p.isPunct(",") {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *Parser) param() (*Param, error) {
+	t := p.cur()
+	var mode ParamMode
+	switch {
+	case p.isKeyword("in"):
+		mode = ModeIn
+	case p.isKeyword("out"):
+		mode = ModeOut
+	case p.isKeyword("inout"):
+		mode = ModeInOut
+	default:
+		return nil, p.errf(t.Pos, "expected parameter mode (in/out/inout), found %s", t)
+	}
+	p.next()
+	typ, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &Param{Mode: mode, Type: typ, Name: name.Text, Pos: t.Pos}, nil
+}
+
+func (p *Parser) typedefDef() (Def, error) {
+	kw, _ := p.expectKeyword("typedef")
+	typ, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	td := &Typedef{Name: name.Text, Pos: kw.Pos, Type: typ}
+	for p.isPunct("[") {
+		p.next()
+		dim, err := p.constInt()
+		if err != nil {
+			return nil, err
+		}
+		if dim <= 0 {
+			return nil, p.errf(kw.Pos, "array dimension must be positive, got %d", dim)
+		}
+		td.ArrayDims = append(td.ArrayDims, dim)
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return td, nil
+}
+
+func (p *Parser) structDef() (Def, error) {
+	kw, _ := p.expectKeyword("struct")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s := &StructDef{Name: name.Text, Pos: kw.Pos}
+	members, err := p.memberList(name.Text)
+	if err != nil {
+		return nil, err
+	}
+	s.Members = members
+	return s, nil
+}
+
+func (p *Parser) exceptionDef() (Def, error) {
+	kw, _ := p.expectKeyword("exception")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	e := &ExceptionDef{Name: name.Text, Pos: kw.Pos}
+	members, err := p.memberList(name.Text)
+	if err != nil {
+		return nil, err
+	}
+	e.Members = members
+	return e, nil
+}
+
+func (p *Parser) memberList(owner string) ([]StructMember, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var members []StructMember
+	for !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, p.errf(p.cur().Pos, "unterminated body of %s", owner)
+		}
+		typ, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			mn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, StructMember{Type: typ, Name: mn.Text, Pos: mn.Pos})
+			if !p.isPunct(",") {
+				break
+			}
+			p.next()
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // }
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return members, nil
+}
+
+func (p *Parser) enumDef() (Def, error) {
+	kw, _ := p.expectKeyword("enum")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	e := &EnumDef{Name: name.Text, Pos: kw.Pos}
+	for {
+		m, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		e.Members = append(e.Members, m.Text)
+		if !p.isPunct(",") {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *Parser) constDef() (Def, error) {
+	kw, _ := p.expectKeyword("const")
+	typ, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	val, err := p.constValue()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ConstDef{Name: name.Text, Pos: kw.Pos, Type: typ, Value: val}, nil
+}
+
+// constValue parses a literal constant.
+func (p *Parser) constValue() (any, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			return nil, p.errf(t.Pos, "bad integer literal %q: %v", t.Text, err)
+		}
+		return v, nil
+	case TokFloatLit:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf(t.Pos, "bad float literal %q: %v", t.Text, err)
+		}
+		return v, nil
+	case TokStringLit:
+		p.next()
+		return t.Text, nil
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE":
+			p.next()
+			return true, nil
+		case "FALSE":
+			p.next()
+			return false, nil
+		}
+	}
+	return nil, p.errf(t.Pos, "expected literal constant, found %s", t)
+}
+
+// constInt parses an integer literal (for bounds and dimensions).
+func (p *Parser) constInt() (int64, error) {
+	t := p.cur()
+	if t.Kind != TokIntLit {
+		return 0, p.errf(t.Pos, "expected integer, found %s", t)
+	}
+	p.next()
+	v, err := strconv.ParseInt(t.Text, 0, 64)
+	if err != nil {
+		return 0, p.errf(t.Pos, "bad integer literal %q: %v", t.Text, err)
+	}
+	return v, nil
+}
+
+// scopedName parses ident (:: ident)*.
+func (p *Parser) scopedName() (string, error) {
+	t, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	name := t.Text
+	for p.cur().Kind == TokScope {
+		p.next()
+		t, err := p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+		name += "::" + t.Text
+	}
+	return name, nil
+}
+
+// typeSpec parses a type expression.
+func (p *Parser) typeSpec() (Type, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokIdent:
+		name, err := p.scopedName()
+		if err != nil {
+			return nil, err
+		}
+		return &Named{Name: name, Pos: t.Pos}, nil
+
+	case p.isKeyword("string"):
+		p.next()
+		st := &StringType{}
+		if p.isPunct("<") {
+			p.next()
+			b, err := p.constInt()
+			if err != nil {
+				return nil, err
+			}
+			st.Bound = b
+			if err := p.expectPunct(">"); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+
+	case p.isKeyword("sequence"):
+		p.next()
+		if err := p.expectPunct("<"); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		s := &Sequence{Elem: elem}
+		if p.isPunct(",") {
+			p.next()
+			b, err := p.constInt()
+			if err != nil {
+				return nil, err
+			}
+			s.Bound = b
+		}
+		if err := p.expectPunct(">"); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case p.isKeyword("dsequence"):
+		p.next()
+		if err := p.expectPunct("<"); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		ds := &DSequence{Elem: elem}
+		// Optional bound, optional distribution, in that order; a
+		// bare identifier in second position is a distribution
+		// (dsequence<double, BLOCK>).
+		for i := 0; i < 2 && p.isPunct(","); i++ {
+			p.next()
+			t := p.cur()
+			switch t.Kind {
+			case TokIntLit:
+				if ds.Bound != 0 || ds.Dist != "" {
+					return nil, p.errf(t.Pos, "bound must precede distribution")
+				}
+				b, err := p.constInt()
+				if err != nil {
+					return nil, err
+				}
+				ds.Bound = b
+			case TokIdent:
+				if ds.Dist != "" {
+					return nil, p.errf(t.Pos, "duplicate distribution")
+				}
+				p.next()
+				ds.Dist = t.Text
+			default:
+				return nil, p.errf(t.Pos, "expected bound or distribution, found %s", t)
+			}
+		}
+		if err := p.expectPunct(">"); err != nil {
+			return nil, err
+		}
+		return ds, nil
+
+	case t.Kind == TokKeyword:
+		return p.basicType()
+
+	default:
+		return nil, p.errf(t.Pos, "expected type, found %s", t)
+	}
+}
+
+// basicType parses a primitive type keyword sequence.
+func (p *Parser) basicType() (Type, error) {
+	t := p.cur()
+	switch t.Text {
+	case "unsigned":
+		p.next()
+		u := p.cur()
+		switch u.Text {
+		case "short":
+			p.next()
+			return &Basic{Kind: UShort}, nil
+		case "long":
+			p.next()
+			if p.isKeyword("long") {
+				p.next()
+				return &Basic{Kind: ULongLong}, nil
+			}
+			return &Basic{Kind: ULong}, nil
+		default:
+			return nil, p.errf(u.Pos, "expected short or long after unsigned, found %s", u)
+		}
+	case "short":
+		p.next()
+		return &Basic{Kind: Short}, nil
+	case "long":
+		p.next()
+		if p.isKeyword("long") {
+			p.next()
+			return &Basic{Kind: LongLong}, nil
+		}
+		return &Basic{Kind: Long}, nil
+	case "float":
+		p.next()
+		return &Basic{Kind: Float}, nil
+	case "double":
+		p.next()
+		return &Basic{Kind: Double}, nil
+	case "boolean":
+		p.next()
+		return &Basic{Kind: Boolean}, nil
+	case "char":
+		p.next()
+		return &Basic{Kind: Char}, nil
+	case "octet":
+		p.next()
+		return &Basic{Kind: Octet}, nil
+	default:
+		return nil, p.errf(t.Pos, "expected type, found %s", t)
+	}
+}

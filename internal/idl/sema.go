@@ -1,0 +1,472 @@
+package idl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SemaError is a semantic-analysis error with position.
+type SemaError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SemaError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Checked is a semantically validated specification: all names
+// resolved, all PARDIS-specific restrictions verified.
+type Checked struct {
+	Spec *Spec
+	// Symbols maps fully scoped names ("M::I") to definitions.
+	Symbols map[string]Def
+	// Interfaces lists all interfaces in declaration order with
+	// their fully scoped names.
+	Interfaces []*NamedInterface
+}
+
+// NamedInterface pairs an interface with its scoped name.
+type NamedInterface struct {
+	ScopedName string
+	Iface      *Interface
+}
+
+// Check runs semantic analysis over a parsed spec.
+func Check(spec *Spec) (*Checked, error) {
+	c := &Checked{Spec: spec, Symbols: make(map[string]Def)}
+	if err := c.collect("", spec.Defs); err != nil {
+		return nil, err
+	}
+	if err := c.resolveAll("", spec.Defs); err != nil {
+		return nil, err
+	}
+	if err := c.checkStructCycles(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseAndCheck combines Parse and Check.
+func ParseAndCheck(src string) (*Checked, error) {
+	spec, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Check(spec)
+}
+
+func scopedJoin(scope, name string) string {
+	if scope == "" {
+		return name
+	}
+	return scope + "::" + name
+}
+
+// collect builds the symbol table and detects duplicates.
+func (c *Checked) collect(scope string, defs []Def) error {
+	for _, d := range defs {
+		full := scopedJoin(scope, d.DefName())
+		if prev, dup := c.Symbols[full]; dup {
+			// Reopening modules is legal IDL; everything else is a
+			// duplicate.
+			m1, ok1 := prev.(*Module)
+			m2, ok2 := d.(*Module)
+			if ok1 && ok2 {
+				m1.Defs = append(m1.Defs, m2.Defs...)
+			} else {
+				return &SemaError{Pos: d.DefPos(),
+					Msg: fmt.Sprintf("duplicate definition of %s", full)}
+			}
+		} else {
+			c.Symbols[full] = d
+		}
+		switch v := d.(type) {
+		case *Module:
+			if err := c.collect(full, v.Defs); err != nil {
+				return err
+			}
+		case *Interface:
+			c.Interfaces = append(c.Interfaces, &NamedInterface{ScopedName: full, Iface: v})
+			if err := c.collect(full, v.Decls); err != nil {
+				return err
+			}
+			seen := map[string]Pos{}
+			for _, op := range v.Ops {
+				if p, dup := seen[op.Name]; dup {
+					return &SemaError{Pos: op.Pos,
+						Msg: fmt.Sprintf("duplicate operation %s (first at %s)", op.Name, p)}
+				}
+				seen[op.Name] = op.Pos
+			}
+			for _, at := range v.Attrs {
+				for _, op := range at.Ops() {
+					if p, dup := seen[op.Name]; dup {
+						return &SemaError{Pos: at.Pos,
+							Msg: fmt.Sprintf("attribute %s collides with %s (first at %s)", at.Name, op.Name, p)}
+					}
+					seen[op.Name] = at.Pos
+				}
+			}
+		case *EnumDef:
+			mseen := map[string]bool{}
+			for _, m := range v.Members {
+				if mseen[m] {
+					return &SemaError{Pos: v.Pos,
+						Msg: fmt.Sprintf("duplicate enum member %s in %s", m, full)}
+				}
+				mseen[m] = true
+			}
+		case *StructDef:
+			mseen := map[string]bool{}
+			for _, m := range v.Members {
+				if mseen[m.Name] {
+					return &SemaError{Pos: m.Pos,
+						Msg: fmt.Sprintf("duplicate member %s in struct %s", m.Name, full)}
+				}
+				mseen[m.Name] = true
+			}
+		}
+	}
+	return nil
+}
+
+// lookup resolves name from the given scope outward.
+func (c *Checked) lookup(scope, name string) (Def, bool) {
+	for s := scope; ; {
+		if d, ok := c.Symbols[scopedJoin(s, name)]; ok {
+			return d, true
+		}
+		if s == "" {
+			return nil, false
+		}
+		if i := strings.LastIndex(s, "::"); i >= 0 {
+			s = s[:i]
+		} else {
+			s = ""
+		}
+	}
+}
+
+// resolveAll resolves type references and applies PARDIS checks.
+func (c *Checked) resolveAll(scope string, defs []Def) error {
+	for _, d := range defs {
+		full := scopedJoin(scope, d.DefName())
+		switch v := d.(type) {
+		case *Module:
+			if err := c.resolveAll(full, v.Defs); err != nil {
+				return err
+			}
+		case *Interface:
+			for _, base := range v.Bases {
+				bd, ok := c.lookup(scope, base)
+				if !ok {
+					return &SemaError{Pos: v.Pos,
+						Msg: fmt.Sprintf("interface %s inherits unknown %s", full, base)}
+				}
+				if _, isIface := bd.(*Interface); !isIface {
+					return &SemaError{Pos: v.Pos,
+						Msg: fmt.Sprintf("interface %s inherits non-interface %s", full, base)}
+				}
+			}
+			if err := c.resolveAll(full, v.Decls); err != nil {
+				return err
+			}
+			for _, at := range v.Attrs {
+				if err := c.resolveType(full, at.Type, at.Pos, tcMember); err != nil {
+					return err
+				}
+			}
+			for _, op := range v.Ops {
+				if op.Result != nil {
+					if err := c.resolveType(full, op.Result, op.Pos, tcResult); err != nil {
+						return err
+					}
+				}
+				for _, prm := range op.Params {
+					if err := c.resolveType(full, prm.Type, prm.Pos, tcParam); err != nil {
+						return err
+					}
+					if op.Oneway && prm.Mode != ModeIn {
+						return &SemaError{Pos: prm.Pos,
+							Msg: fmt.Sprintf("oneway operation %s has non-in parameter %s", op.Name, prm.Name)}
+					}
+				}
+				for _, r := range op.Raises {
+					rd, ok := c.lookup(full, r)
+					if !ok {
+						return &SemaError{Pos: op.Pos,
+							Msg: fmt.Sprintf("operation %s raises unknown %s", op.Name, r)}
+					}
+					if _, isExc := rd.(*ExceptionDef); !isExc {
+						return &SemaError{Pos: op.Pos,
+							Msg: fmt.Sprintf("operation %s raises non-exception %s", op.Name, r)}
+					}
+				}
+			}
+		case *Typedef:
+			if err := c.resolveType(scope, v.Type, v.Pos, tcTypedef); err != nil {
+				return err
+			}
+		case *StructDef:
+			for _, m := range v.Members {
+				if err := c.resolveType(scope, m.Type, m.Pos, tcMember); err != nil {
+					return err
+				}
+			}
+		case *ExceptionDef:
+			for _, m := range v.Members {
+				if err := c.resolveType(scope, m.Type, m.Pos, tcMember); err != nil {
+					return err
+				}
+			}
+		case *ConstDef:
+			if err := c.resolveType(scope, v.Type, v.Pos, tcConst); err != nil {
+				return err
+			}
+			if err := checkConstValue(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// type contexts for restriction checking.
+type typeCtx int
+
+const (
+	tcParam typeCtx = iota
+	tcResult
+	tcMember
+	tcTypedef
+	tcConst
+)
+
+// resolveType resolves Named references and enforces where
+// dsequences may appear: as operation parameters (directly or via a
+// typedef), never inside structs, sequences, results or constants —
+// matching what the PARDIS transfer engines can move.
+func (c *Checked) resolveType(scope string, t Type, pos Pos, ctx typeCtx) error {
+	switch v := t.(type) {
+	case *Basic:
+		return nil
+	case *StringType:
+		if v.Bound < 0 {
+			return &SemaError{Pos: pos, Msg: "negative string bound"}
+		}
+		return nil
+	case *Sequence:
+		if _, isDS := v.Elem.(*DSequence); isDS {
+			return &SemaError{Pos: pos, Msg: "sequence of dsequence is not allowed"}
+		}
+		return c.resolveType(scope, v.Elem, pos, tcMember)
+	case *DSequence:
+		if ctx != tcParam && ctx != tcTypedef {
+			return &SemaError{Pos: pos,
+				Msg: "dsequence may only appear as an operation parameter or typedef"}
+		}
+		b, isBasic := v.Elem.(*Basic)
+		if !isBasic || b.Kind != Double {
+			return &SemaError{Pos: pos,
+				Msg: fmt.Sprintf("dsequence element type %s is not supported (only double)",
+					v.Elem.TypeName())}
+		}
+		if v.Bound < 0 {
+			return &SemaError{Pos: pos, Msg: "negative dsequence bound"}
+		}
+		if v.Dist != "" && v.Dist != "BLOCK" {
+			return &SemaError{Pos: pos,
+				Msg: fmt.Sprintf("unknown distribution %q (only BLOCK; run-time Proportions are set on the server)", v.Dist)}
+		}
+		return nil
+	case *Named:
+		d, ok := c.lookup(scope, v.Name)
+		if !ok {
+			return &SemaError{Pos: v.Pos, Msg: fmt.Sprintf("unknown type %s", v.Name)}
+		}
+		v.Target = d
+		switch target := d.(type) {
+		case *Typedef:
+			// A typedef of a dsequence is usable only where a
+			// dsequence is.
+			if _, isDS := target.Type.(*DSequence); isDS && ctx != tcParam && ctx != tcTypedef {
+				return &SemaError{Pos: v.Pos,
+					Msg: fmt.Sprintf("%s names a dsequence and may only be an operation parameter", v.Name)}
+			}
+			return nil
+		case *StructDef, *EnumDef, *Interface:
+			return nil
+		case *ExceptionDef:
+			return &SemaError{Pos: v.Pos,
+				Msg: fmt.Sprintf("exception %s used as a type", v.Name)}
+		case *ConstDef:
+			return &SemaError{Pos: v.Pos,
+				Msg: fmt.Sprintf("constant %s used as a type", v.Name)}
+		case *Module:
+			return &SemaError{Pos: v.Pos,
+				Msg: fmt.Sprintf("module %s used as a type", v.Name)}
+		default:
+			return &SemaError{Pos: v.Pos, Msg: fmt.Sprintf("%s is not a type", v.Name)}
+		}
+	default:
+		return &SemaError{Pos: pos, Msg: fmt.Sprintf("unsupported type %T", t)}
+	}
+}
+
+// checkConstValue verifies the literal matches the declared type.
+func checkConstValue(cd *ConstDef) error {
+	switch t := cd.Type.(type) {
+	case *Basic:
+		switch t.Kind {
+		case Short, UShort, Long, ULong, LongLong, ULongLong, Octet, Char:
+			if _, ok := cd.Value.(int64); !ok {
+				return &SemaError{Pos: cd.Pos,
+					Msg: fmt.Sprintf("constant %s: expected integer literal", cd.Name)}
+			}
+		case Float, Double:
+			switch cd.Value.(type) {
+			case float64:
+			case int64:
+				cd.Value = float64(cd.Value.(int64))
+			default:
+				return &SemaError{Pos: cd.Pos,
+					Msg: fmt.Sprintf("constant %s: expected numeric literal", cd.Name)}
+			}
+		case Boolean:
+			if _, ok := cd.Value.(bool); !ok {
+				return &SemaError{Pos: cd.Pos,
+					Msg: fmt.Sprintf("constant %s: expected TRUE or FALSE", cd.Name)}
+			}
+		}
+	case *StringType:
+		if _, ok := cd.Value.(string); !ok {
+			return &SemaError{Pos: cd.Pos,
+				Msg: fmt.Sprintf("constant %s: expected string literal", cd.Name)}
+		}
+	default:
+		return &SemaError{Pos: cd.Pos,
+			Msg: fmt.Sprintf("constant %s: unsupported constant type %s", cd.Name, cd.Type.TypeName())}
+	}
+	return nil
+}
+
+// checkStructCycles rejects structs that (transitively) contain
+// themselves by value. The dependency graph keys on struct identity;
+// sequences and strings break cycles the way indirection does.
+func (c *Checked) checkStructCycles() error {
+	adj := map[*StructDef][]*StructDef{}
+	var names []string
+	byName := map[string]*StructDef{}
+	for full, d := range c.Symbols {
+		sd, ok := d.(*StructDef)
+		if !ok {
+			continue
+		}
+		names = append(names, full)
+		byName[full] = sd
+		for _, m := range sd.Members {
+			adj[sd] = append(adj[sd], typeStructDeps(m.Type)...)
+		}
+	}
+	sort.Strings(names)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*StructDef]int{}
+	var visit func(n *StructDef) error
+	visit = func(n *StructDef) error {
+		color[n] = gray
+		for _, dep := range adj[n] {
+			switch color[dep] {
+			case gray:
+				return &SemaError{Pos: n.Pos,
+					Msg: fmt.Sprintf("struct %s contains itself by value (via %s)", n.Name, dep.Name)}
+			case white:
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for _, n := range names {
+		if color[byName[n]] == white {
+			if err := visit(byName[n]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// typeStructDeps returns the structs a type embeds by value.
+func typeStructDeps(t Type) []*StructDef {
+	switch v := t.(type) {
+	case *Named:
+		switch target := v.Target.(type) {
+		case *StructDef:
+			return []*StructDef{target}
+		case *Typedef:
+			if len(target.ArrayDims) == 0 {
+				return typeStructDeps(target.Type)
+			}
+		}
+	}
+	return nil
+}
+
+// AllOps returns an interface's operations including inherited ones,
+// base-first. Name collisions resolve to the most-derived operation.
+func (c *Checked) AllOps(scope string, iface *Interface) []*Operation {
+	var out []*Operation
+	seen := map[string]int{}
+	var walk func(scope string, i *Interface)
+	walk = func(scope string, i *Interface) {
+		for _, base := range i.Bases {
+			if d, ok := c.lookup(scope, base); ok {
+				if bi, ok := d.(*Interface); ok {
+					walk(parentScope(scopedNameOf(c, bi)), bi)
+				}
+			}
+		}
+		for _, op := range i.Ops {
+			if idx, dup := seen[op.Name]; dup {
+				out[idx] = op
+			} else {
+				seen[op.Name] = len(out)
+				out = append(out, op)
+			}
+		}
+		for _, at := range i.Attrs {
+			for _, op := range at.Ops() {
+				if idx, dup := seen[op.Name]; dup {
+					out[idx] = op
+				} else {
+					seen[op.Name] = len(out)
+					out = append(out, op)
+				}
+			}
+		}
+	}
+	walk(scope, iface)
+	return out
+}
+
+func parentScope(full string) string {
+	if i := strings.LastIndex(full, "::"); i >= 0 {
+		return full[:i]
+	}
+	return ""
+}
+
+func scopedNameOf(c *Checked, iface *Interface) string {
+	for _, ni := range c.Interfaces {
+		if ni.Iface == iface {
+			return ni.ScopedName
+		}
+	}
+	return iface.Name
+}

@@ -1,0 +1,87 @@
+// Package idl implements the front end of the PARDIS IDL compiler: a
+// lexer, parser and semantic analyzer for the CORBA IDL subset PARDIS
+// uses, extended with the distributed sequence type of §2.2:
+//
+//	typedef dsequence<double, 1024, BLOCK> diffusion_array;
+//
+// The accepted grammar covers modules, interfaces (single
+// inheritance), operations with in/out/inout parameters and oneway
+// operations, typedefs, structs, enums, constants, strings, sequences
+// and dsequences. The back end that turns the checked AST into Go
+// stubs and skeletons lives in package idlgen.
+package idl
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokIntLit
+	TokFloatLit
+	TokStringLit
+	TokCharLit
+	TokPunct // one of ; { } ( ) < > , : = [ ] |
+	TokScope // ::
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of file"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokIntLit:
+		return "integer literal"
+	case TokFloatLit:
+		return "float literal"
+	case TokStringLit:
+		return "string literal"
+	case TokCharLit:
+		return "char literal"
+	case TokPunct:
+		return "punctuation"
+	case TokScope:
+		return "'::'"
+	default:
+		return fmt.Sprintf("TokKind(%d)", int(k))
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "EOF"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords of the accepted IDL subset. PARDIS adds "dsequence".
+var keywords = map[string]bool{
+	"module": true, "interface": true, "typedef": true, "struct": true,
+	"enum": true, "const": true, "sequence": true, "dsequence": true,
+	"string": true, "void": true, "in": true, "out": true, "inout": true,
+	"oneway": true, "unsigned": true, "short": true, "long": true,
+	"float": true, "double": true, "boolean": true, "char": true,
+	"octet": true, "TRUE": true, "FALSE": true, "readonly": true,
+	"attribute": true, "exception": true, "raises": true,
+}

@@ -1,0 +1,589 @@
+package idlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"pardis/internal/idl"
+)
+
+func (g *generator) typedef(full string, td *idl.Typedef) error {
+	name, err := g.registerName(full)
+	if err != nil {
+		return err
+	}
+	if ds, ok := td.Type.(*idl.DSequence); ok {
+		g.p("// %s is the IDL typedef %s = %s.", name, full, ds.TypeName())
+		g.p("// It maps to a distributed double sequence.")
+		g.p("type %s = dseq.Doubles", name)
+		if ds.Bound > 0 {
+			g.p("")
+			g.p("// %sBound is the declared sequence bound.", name)
+			g.p("const %sBound = %d", name, ds.Bound)
+		}
+		g.p("")
+		return nil
+	}
+	if len(td.ArrayDims) > 0 {
+		goT, err := g.goType(&idl.Named{Name: full, Target: td})
+		if err != nil {
+			return err
+		}
+		g.p("// %s is the IDL array typedef %s.", name, full)
+		g.p("type %s = %s", name, goT)
+		g.p("")
+		return nil
+	}
+	goT, err := g.goType(td.Type)
+	if err != nil {
+		return err
+	}
+	g.p("// %s is the IDL typedef %s = %s.", name, full, td.Type.TypeName())
+	g.p("type %s = %s", name, goT)
+	g.p("")
+	return nil
+}
+
+func (g *generator) structDef(full string, sd *idl.StructDef) error {
+	name, err := g.registerName(full)
+	if err != nil {
+		return err
+	}
+	g.p("// %s is the IDL struct %s.", name, full)
+	g.p("type %s struct {", name)
+	for _, m := range sd.Members {
+		goT, err := g.goType(m.Type)
+		if err != nil {
+			return err
+		}
+		g.p("\t%s %s", goName(m.Name), goT)
+	}
+	g.p("}")
+	g.p("")
+	g.p("// EncodeCDR marshals the struct field by field in declaration order.")
+	g.p("func (v *%s) EncodeCDR(e *cdr.Encoder) {", name)
+	for _, m := range sd.Members {
+		stmt, err := g.encodeExpr(m.Type, "e", "v."+goName(m.Name))
+		if err != nil {
+			return err
+		}
+		g.p("\t%s", stmt)
+	}
+	g.p("}")
+	g.p("")
+	g.p("// Decode%s unmarshals the struct.", name)
+	g.p("func Decode%s(d *cdr.Decoder) (%s, error) {", name, name)
+	g.p("\tvar v %s", name)
+	g.p("\terr := v.decodeInto(d)")
+	g.p("\treturn v, err")
+	g.p("}")
+	g.p("")
+	g.p("func (v *%s) decodeInto(d *cdr.Decoder) error {", name)
+	g.p("\tvar err error")
+	g.p("\t_ = err")
+	for _, m := range sd.Members {
+		stmt, err := g.decodeExpr(m.Type, "d", "v."+goName(m.Name))
+		if err != nil {
+			return err
+		}
+		g.p("\t%s", stmt)
+	}
+	g.p("\treturn nil")
+	g.p("}")
+	g.p("")
+	return nil
+}
+
+func (g *generator) enumDef(full string, ed *idl.EnumDef) error {
+	name, err := g.registerName(full)
+	if err != nil {
+		return err
+	}
+	g.p("// %s is the IDL enum %s.", name, full)
+	g.p("type %s uint32", name)
+	g.p("")
+	g.p("// %s members.", name)
+	g.p("const (")
+	for i, m := range ed.Members {
+		if i == 0 {
+			g.p("\t%s%s %s = iota", name, goName(m), name)
+		} else {
+			g.p("\t%s%s", name, goName(m))
+		}
+	}
+	g.p(")")
+	g.p("")
+	g.p("// String returns the IDL member name.")
+	g.p("func (v %s) String() string {", name)
+	g.p("\tswitch v {")
+	for i, m := range ed.Members {
+		g.p("\tcase %d:", i)
+		g.p("\t\treturn %q", m)
+	}
+	g.p("\t}")
+	g.p("\treturn fmt.Sprintf(\"%s(%%d)\", uint32(v))", name)
+	g.p("}")
+	g.p("")
+	return nil
+}
+
+func (g *generator) constDef(full string, cd *idl.ConstDef) error {
+	name, err := g.registerName(full)
+	if err != nil {
+		return err
+	}
+	goT, err := g.goType(cd.Type)
+	if err != nil {
+		return err
+	}
+	g.p("// %s is the IDL constant %s.", name, full)
+	switch v := cd.Value.(type) {
+	case int64:
+		g.p("const %s %s = %d", name, goT, v)
+	case float64:
+		g.p("const %s %s = %g", name, goT, v)
+	case string:
+		g.p("const %s %s = %q", name, goT, v)
+	case bool:
+		g.p("const %s %s = %v", name, goT, v)
+	default:
+		return fmt.Errorf("idlgen: constant %s has unsupported value %T", full, cd.Value)
+	}
+	g.p("")
+	return nil
+}
+
+func (g *generator) exceptionDef(full string, ed *idl.ExceptionDef) error {
+	name, err := g.registerName(full)
+	if err != nil {
+		return err
+	}
+	g.p("// %s is the IDL exception %s; it implements error.", name, full)
+	g.p("type %s struct {", name)
+	for _, m := range ed.Members {
+		goT, err := g.goType(m.Type)
+		if err != nil {
+			return err
+		}
+		g.p("\t%s %s", goName(m.Name), goT)
+	}
+	g.p("}")
+	g.p("")
+	g.p("// Error implements error.")
+	g.p("func (e *%s) Error() string {", name)
+	g.p("\treturn fmt.Sprintf(\"%s: %%+v\", *e)", full)
+	g.p("}")
+	g.p("")
+	return nil
+}
+
+// opShape is the analyzed signature of an operation.
+type opShape struct {
+	op *idl.Operation
+	// scalar params (non-dsequence) and dist params in declaration
+	// order, with their indices among dist args.
+	scalars []*idl.Param
+	dists   []*idl.Param
+	distIdx map[*idl.Param]int
+}
+
+func analyzeOp(op *idl.Operation) *opShape {
+	sh := &opShape{op: op, distIdx: map[*idl.Param]int{}}
+	for _, prm := range op.Params {
+		if _, ok := isDSeq(prm.Type); ok {
+			sh.distIdx[prm] = len(sh.dists)
+			sh.dists = append(sh.dists, prm)
+		} else {
+			sh.scalars = append(sh.scalars, prm)
+		}
+	}
+	return sh
+}
+
+// modeConst maps a parameter mode to the core constant name.
+func modeConst(m idl.ParamMode) string {
+	switch m {
+	case idl.ModeIn:
+		return "core.In"
+	case idl.ModeOut:
+		return "core.Out"
+	default:
+		return "core.InOut"
+	}
+}
+
+func (g *generator) ifaceDef(scope, full string, iface *idl.Interface) error {
+	name, err := g.registerName(full)
+	if err != nil {
+		return err
+	}
+	ops := g.c.AllOps(scope, iface)
+
+	// ---- client proxy ----
+	g.p("// %s is the client-side proxy for IDL interface %s.", name, full)
+	g.p("// All methods are collective across the client's computing threads.")
+	g.p("type %s struct {", name)
+	g.p("\tb *core.Binding")
+	g.p("}")
+	g.p("")
+	g.p("// %sTypeID is the interface repository id.", name)
+	g.p("const %sTypeID = %q", name, "IDL:"+full+":1.0")
+	g.p("")
+	g.p("// Bind%s is the _spmd_bind of the paper: a collective bind to", name)
+	g.p("// the named object from every computing thread. The resolved")
+	g.p("// object's repository id must match %sTypeID.", name)
+	g.p("func Bind%s(ctx context.Context, dom *core.Domain, th rts.Thread, objectName string, method core.TransferMethod) (*%s, error) {", name, name)
+	g.p("\tb, err := dom.SPMDBind(ctx, th, objectName, method)")
+	g.p("\tif err != nil {")
+	g.p("\t\treturn nil, err")
+	g.p("\t}")
+	g.p("\tif id := b.Ref().TypeID; id != %sTypeID {", name)
+	g.p("\t\tb.Close()")
+	g.p("\t\treturn nil, fmt.Errorf(\"%%s is a %%s, not a %%s\", objectName, id, %sTypeID)", name)
+	g.p("\t}")
+	g.p("\treturn &%s{b: b}, nil", name)
+	g.p("}")
+	g.p("")
+	g.p("// %sFromBinding wraps an existing binding.", name)
+	g.p("func %sFromBinding(b *core.Binding) *%s { return &%s{b: b} }", name, name, name)
+	g.p("")
+	g.p("// Binding exposes the underlying binding.")
+	g.p("func (o *%s) Binding() *core.Binding { return o.b }", name)
+	g.p("")
+	g.p("// Close releases the binding.")
+	g.p("func (o *%s) Close() { o.b.Close() }", name)
+	g.p("")
+
+	for _, op := range ops {
+		if err := g.clientMethod(name, op); err != nil {
+			return err
+		}
+	}
+
+	// ---- server skeleton ----
+	g.p("// %sServant is the server-side interface: implement it and", name)
+	g.p("// export with Export%s. Methods run once per computing thread", name)
+	g.p("// per request (SPMD dispatch).")
+	g.p("type %sServant interface {", name)
+	for _, op := range ops {
+		sig, err := g.servantSignature(op)
+		if err != nil {
+			return err
+		}
+		g.p("\t%s", sig)
+	}
+	g.p("}")
+	g.p("")
+	g.p("// %sOps builds the operation table for Export. Distribution", name)
+	g.p("// overrides (§2.2's server-side Proportions) may be applied to")
+	g.p("// the returned specs before exporting.")
+	g.p("func %sOps(impl %sServant) map[string]*core.Op {", name, name)
+	g.p("\treturn map[string]*core.Op{")
+	for _, op := range ops {
+		entry, err := g.skeletonEntry(op)
+		if err != nil {
+			return err
+		}
+		g.p("%s", entry)
+	}
+	g.p("\t}")
+	g.p("}")
+	g.p("")
+	g.p("// Export%s exports an implementation as an SPMD object.", name)
+	g.p("// Collective across the server's computing threads.")
+	g.p("func Export%s(ctx context.Context, dom *core.Domain, th rts.Thread, objectName string, multiPort bool, impl %sServant) (*core.Object, error) {", name, name)
+	g.p("\treturn dom.Export(ctx, core.ExportConfig{")
+	g.p("\t\tThread:    th,")
+	g.p("\t\tName:      objectName,")
+	g.p("\t\tTypeID:    %sTypeID,", name)
+	g.p("\t\tMultiPort: multiPort,")
+	g.p("\t\tOps:       %sOps(impl),", name)
+	g.p("\t})")
+	g.p("}")
+	g.p("")
+	return nil
+}
+
+// clientMethod emits the blocking and Async proxy methods for one
+// operation.
+func (g *generator) clientMethod(iface string, op *idl.Operation) error {
+	sh := analyzeOp(op)
+	mName := goName(op.Name)
+
+	// Build the parameter list.
+	var params []string
+	for _, prm := range op.Params {
+		goT, err := g.goType(prm.Type)
+		if err != nil {
+			return err
+		}
+		if _, isDS := isDSeq(prm.Type); !isDS && prm.Mode != idl.ModeIn {
+			goT = "*" + goT
+		}
+		params = append(params, fmt.Sprintf("%s %s", safeIdent(prm.Name), goT))
+	}
+	paramList := strings.Join(append([]string{"ctx context.Context"}, params...), ", ")
+
+	// Return type.
+	results := "error"
+	if op.Result != nil {
+		resT, err := g.goType(op.Result)
+		if err != nil {
+			return err
+		}
+		results = fmt.Sprintf("(%s, error)", resT)
+	}
+
+	spec, err := g.buildCallSpec(sh, "_result")
+	if err != nil {
+		return err
+	}
+
+	g.p("// %s invokes the IDL operation %q (blocking, collective).", mName, op.Name)
+	g.p("func (o *%s) %s(%s) %s {", iface, mName, paramList, results)
+	if op.Result != nil {
+		resT, _ := g.goType(op.Result)
+		g.p("\tvar _result %s", resT)
+	}
+	g.p("\t_spec := %s", spec)
+	g.p("\terr := o.b.Invoke(ctx, _spec)")
+	if op.Result != nil {
+		g.p("\treturn _result, err")
+	} else {
+		g.p("\treturn err")
+	}
+	g.p("}")
+	g.p("")
+
+	// Non-blocking variant, unless oneway (already non-blocking).
+	if !op.Oneway {
+		asyncResults := "(*core.Pending, error)"
+		g.p("// %sAsync begins a non-blocking invocation of %q; the", mName, op.Name)
+		g.p("// returned Pending must be Waited collectively. Result and out")
+		g.p("// parameters are filled during Wait — the futures model of the")
+		g.p("// paper's *_nb stubs.")
+		if op.Result != nil {
+			resT, _ := g.goType(op.Result)
+			g.p("func (o *%s) %sAsync(%s, _result *%s) %s {", iface, mName, paramList, resT, asyncResults)
+		} else {
+			g.p("func (o *%s) %sAsync(%s) %s {", iface, mName, paramList, asyncResults)
+		}
+		spec2, err := g.buildCallSpec(sh, "(*_result)")
+		if err != nil {
+			return err
+		}
+		g.p("\t_spec := %s", spec2)
+		g.p("\treturn o.b.InvokeAsync(ctx, _spec)")
+		g.p("}")
+		g.p("")
+	}
+	return nil
+}
+
+// buildCallSpec emits the &core.CallSpec{...} literal for an
+// operation. resultDst is the lvalue receiving the IDL return value.
+func (g *generator) buildCallSpec(sh *opShape, resultDst string) (string, error) {
+	op := sh.op
+	var b strings.Builder
+	fmt.Fprintf(&b, "&core.CallSpec{\n")
+	fmt.Fprintf(&b, "\t\tOperation: %q,\n", op.Name)
+	if op.Oneway {
+		fmt.Fprintf(&b, "\t\tOneway: true,\n")
+	}
+
+	// Scalars: in and inout values in declaration order.
+	var encStmts []string
+	for _, prm := range sh.scalars {
+		if prm.Mode == idl.ModeOut {
+			continue
+		}
+		expr := safeIdent(prm.Name)
+		if prm.Mode == idl.ModeInOut {
+			expr = "(*" + expr + ")"
+		}
+		stmt, err := g.encodeExpr(prm.Type, "e", expr)
+		if err != nil {
+			return "", err
+		}
+		encStmts = append(encStmts, stmt)
+	}
+	if len(encStmts) > 0 {
+		fmt.Fprintf(&b, "\t\tScalars: func(e *cdr.Encoder) {\n")
+		for _, s := range encStmts {
+			fmt.Fprintf(&b, "\t\t\t%s\n", s)
+		}
+		fmt.Fprintf(&b, "\t\t},\n")
+	}
+
+	// Distributed args.
+	if len(sh.dists) > 0 {
+		fmt.Fprintf(&b, "\t\tArgs: []core.DistArg{\n")
+		for _, prm := range sh.dists {
+			fmt.Fprintf(&b, "\t\t\t{Mode: %s, Seq: %s},\n", modeConst(prm.Mode), safeIdent(prm.Name))
+		}
+		fmt.Fprintf(&b, "\t\t},\n")
+	}
+
+	// Reply decoding: out/inout scalars in declaration order, then
+	// the result.
+	var decStmts []string
+	for _, prm := range sh.scalars {
+		if prm.Mode == idl.ModeIn {
+			continue
+		}
+		stmt, err := g.decodeExpr(prm.Type, "d", "(*"+safeIdent(prm.Name)+")")
+		if err != nil {
+			return "", err
+		}
+		decStmts = append(decStmts, stmt)
+	}
+	if op.Result != nil {
+		stmt, err := g.decodeExpr(op.Result, "d", resultDst)
+		if err != nil {
+			return "", err
+		}
+		decStmts = append(decStmts, stmt)
+	}
+	if len(decStmts) > 0 {
+		fmt.Fprintf(&b, "\t\tDecodeReply: func(d *cdr.Decoder) error {\n")
+		fmt.Fprintf(&b, "\t\t\tvar err error\n\t\t\t_ = err\n")
+		for _, s := range decStmts {
+			fmt.Fprintf(&b, "\t\t\t%s\n", s)
+		}
+		fmt.Fprintf(&b, "\t\t\treturn nil\n")
+		fmt.Fprintf(&b, "\t\t},\n")
+	}
+	fmt.Fprintf(&b, "\t}")
+	return b.String(), nil
+}
+
+// servantSignature emits the servant interface method signature.
+func (g *generator) servantSignature(op *idl.Operation) (string, error) {
+	var params []string
+	for _, prm := range op.Params {
+		goT, err := g.goType(prm.Type)
+		if err != nil {
+			return "", err
+		}
+		if _, isDS := isDSeq(prm.Type); !isDS && prm.Mode != idl.ModeIn {
+			goT = "*" + goT
+		}
+		params = append(params, fmt.Sprintf("%s %s", safeIdent(prm.Name), goT))
+	}
+	results := "error"
+	if op.Result != nil {
+		resT, err := g.goType(op.Result)
+		if err != nil {
+			return "", err
+		}
+		results = fmt.Sprintf("(%s, error)", resT)
+	}
+	return fmt.Sprintf("%s(call *core.Call, %s) %s",
+		goName(op.Name), strings.Join(params, ", "), results), nil
+}
+
+// skeletonEntry emits one "opname": {...} entry of the Ops table.
+func (g *generator) skeletonEntry(op *idl.Operation) (string, error) {
+	sh := analyzeOp(op)
+	var b strings.Builder
+
+	// Spec.
+	fmt.Fprintf(&b, "\t\t%q: {\n", op.Name)
+	fmt.Fprintf(&b, "\t\t\tSpec: core.OpSpec{")
+	if len(sh.dists) > 0 {
+		fmt.Fprintf(&b, "Args: []core.ArgSpec{\n")
+		for _, prm := range sh.dists {
+			fmt.Fprintf(&b, "\t\t\t\t{Mode: %s, Dist: dist.Block()},\n", modeConst(prm.Mode))
+		}
+		fmt.Fprintf(&b, "\t\t\t}")
+	}
+	fmt.Fprintf(&b, "},\n")
+
+	// Handler.
+	fmt.Fprintf(&b, "\t\t\tHandler: func(call *core.Call) error {\n")
+	fmt.Fprintf(&b, "\t\t\t\tvar err error\n\t\t\t\t_ = err\n")
+	// Declare and decode scalar params.
+	for _, prm := range sh.scalars {
+		goT, err := g.goType(prm.Type)
+		if err != nil {
+			return "", err
+		}
+		id := safeIdent(prm.Name)
+		fmt.Fprintf(&b, "\t\t\t\tvar %s %s\n", id, goT)
+		if prm.Mode != idl.ModeOut {
+			stmt, err := g.decodeExpr(prm.Type, "call.Scalars", id)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "\t\t\t\t%s\n", stmt)
+		}
+	}
+	// Call the implementation.
+	var args []string
+	for _, prm := range op.Params {
+		if idx, ok := sh.distIdx[prm]; ok {
+			args = append(args, fmt.Sprintf("call.Args[%d]", idx))
+			continue
+		}
+		id := safeIdent(prm.Name)
+		if prm.Mode != idl.ModeIn {
+			id = "&" + id
+		}
+		args = append(args, id)
+	}
+	callExpr := fmt.Sprintf("impl.%s(call%s)", goName(op.Name), prefixJoin(args))
+	if op.Result != nil {
+		fmt.Fprintf(&b, "\t\t\t\t_result, err := %s\n", callExpr)
+	} else {
+		fmt.Fprintf(&b, "\t\t\t\terr = %s\n", callExpr)
+	}
+	fmt.Fprintf(&b, "\t\t\t\tif err != nil {\n\t\t\t\t\treturn err\n\t\t\t\t}\n")
+	// Encode reply: out/inout scalars then result.
+	for _, prm := range sh.scalars {
+		if prm.Mode == idl.ModeIn {
+			continue
+		}
+		stmt, err := g.encodeExpr(prm.Type, "call.Reply()", safeIdent(prm.Name))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\t\t\t\t%s\n", stmt)
+	}
+	if op.Result != nil {
+		stmt, err := g.encodeExpr(op.Result, "call.Reply()", "_result")
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\t\t\t\t%s\n", stmt)
+	}
+	fmt.Fprintf(&b, "\t\t\t\treturn nil\n")
+	fmt.Fprintf(&b, "\t\t\t},\n")
+	fmt.Fprintf(&b, "\t\t},")
+	return b.String(), nil
+}
+
+func prefixJoin(args []string) string {
+	if len(args) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(args, ", ")
+}
+
+// goReserved lists identifiers that need renaming.
+var goReserved = map[string]bool{
+	"break": true, "case": true, "chan": true, "const": true,
+	"continue": true, "default": true, "defer": true, "else": true,
+	"fallthrough": true, "for": true, "func": true, "go": true,
+	"goto": true, "if": true, "import": true, "interface": true,
+	"map": true, "package": true, "range": true, "return": true,
+	"select": true, "struct": true, "switch": true, "type": true,
+	"var": true, "call": true, "ctx": true, "impl": true, "err": true,
+}
+
+// safeIdent makes an IDL parameter name usable as a Go identifier.
+func safeIdent(name string) string {
+	if goReserved[name] {
+		return name + "_"
+	}
+	return name
+}

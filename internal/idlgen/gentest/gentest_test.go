@@ -1,0 +1,427 @@
+// Package gentest exercises pardisc-generated stubs end-to-end: the
+// committed spec_gen.go (regenerate with
+// `go run ./cmd/pardisc -pkg gentest -o internal/idlgen/gentest/spec_gen.go internal/idlgen/gentest/spec.idl`)
+// is driven through a real export/bind/invoke cycle on both transfer
+// methods.
+package gentest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/mp"
+	"pardis/internal/rts"
+	"pardis/internal/transport"
+)
+
+// solverImpl implements SolverServant per computing thread.
+type solverImpl struct {
+	mu     sync.Mutex
+	traces []string
+	resets int
+}
+
+func (s *solverImpl) Reset(call *core.Call) error {
+	s.mu.Lock()
+	s.resets++
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *solverImpl) Relax(call *core.Call, steps int32, omega float64, grid *dseq.Doubles) error {
+	local := grid.LocalData()
+	for k := int32(0); k < steps; k++ {
+		for i := range local {
+			local[i] *= omega
+		}
+	}
+	return nil
+}
+
+func (s *solverImpl) Gradient(call *core.Call, grid *dseq.Doubles, gradientOut *dseq.Doubles) error {
+	// Same layout: local forward difference, boundary zero.
+	g := grid.LocalData()
+	out := gradientOut.LocalData()
+	for i := range out {
+		if i+1 < len(g) {
+			out[i] = g[i+1] - g[i]
+		} else {
+			out[i] = 0
+		}
+	}
+	return nil
+}
+
+func (s *solverImpl) Norm(call *core.Call, grid *dseq.Doubles, evaluations *int32) (float64, error) {
+	sum := 0.0
+	for _, v := range grid.LocalData() {
+		sum += v * v
+	}
+	total, err := call.Thread.AllgatherU64(math.Float64bits(sum))
+	if err != nil {
+		return 0, err
+	}
+	all := 0.0
+	for _, b := range total {
+		all += math.Float64frombits(b)
+	}
+	*evaluations = int32(grid.Len())
+	return math.Sqrt(all), nil
+}
+
+func (s *solverImpl) Status(call *core.Call, label string) (Report, error) {
+	return Report{
+		Domain:    Extent{Lo: -1, Hi: 1, Cells: 128},
+		State:     PhaseRUNNING,
+		Label:     "status:" + label,
+		Residuals: []float64{1.0, 0.5, 0.25},
+	}, nil
+}
+
+func (s *solverImpl) Advance(call *core.Call, current *Phase) (Phase, error) {
+	prev := *current
+	if *current < PhaseDONE {
+		*current++
+	}
+	return prev, nil
+}
+
+func (s *solverImpl) Configure(call *core.Call, weights []float64, domain Extent) error {
+	if len(weights) == 0 {
+		return errors.New("no weights")
+	}
+	if domain.Cells <= 0 {
+		return fmt.Errorf("bad extent %+v", domain)
+	}
+	return nil
+}
+
+func (s *solverImpl) Trace(call *core.Call, message string) error {
+	s.mu.Lock()
+	s.traces = append(s.traces, message)
+	s.mu.Unlock()
+	return nil
+}
+
+var _ SolverServant = (*solverImpl)(nil)
+
+// fixture boots an m-thread solver and returns the domain plus stop.
+func fixture(t *testing.T, m int) (*core.Domain, *solverImpl, func()) {
+	t.Helper()
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	dom, err := core.JoinDomain(core.DomainConfig{Registry: reg, ListenEndpoint: "inproc:*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := &solverImpl{}
+	w := mp.MustWorld(m)
+	var objs []*core.Object
+	var mu sync.Mutex
+	ready := make(chan error, m)
+	for r := 0; r < m; r++ {
+		go func(rank int) {
+			th := rts.NewMessagePassing(w.Rank(rank))
+			obj, err := ExportSolver(context.Background(), dom, th, "solver", true, impl)
+			ready <- err
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			objs = append(objs, obj)
+			mu.Unlock()
+			_ = obj.Serve(context.Background())
+		}(r)
+	}
+	for i := 0; i < m; i++ {
+		if err := <-ready; err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := func() {
+		mu.Lock()
+		for _, o := range objs {
+			o.Close()
+		}
+		mu.Unlock()
+		w.Close()
+		dom.Close()
+	}
+	return dom, impl, stop
+}
+
+// withClient runs fn on an n-thread client bound via the generated
+// proxy.
+func withClient(t *testing.T, dom *core.Domain, n int, method core.TransferMethod,
+	fn func(s *Solver, th rts.Thread) error) {
+	t.Helper()
+	err := mp.Run(n, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		s, err := BindSolver(context.Background(), dom, th, "solver", method)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		return fn(s, th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedRelax(t *testing.T) {
+	for _, method := range []core.TransferMethod{core.Centralized, core.MultiPort} {
+		t.Run(method.String(), func(t *testing.T) {
+			dom, _, stop := fixture(t, 3)
+			defer stop()
+			withClient(t, dom, 2, method, func(s *Solver, th rts.Thread) error {
+				grid, err := dseq.NewDoubles(64, dist.Block(), th.Size(), th.Rank())
+				if err != nil {
+					return err
+				}
+				for i := range grid.LocalData() {
+					grid.LocalData()[i] = 2
+				}
+				if err := s.Relax(context.Background(), 3, 0.5, grid); err != nil {
+					return err
+				}
+				for i, v := range grid.LocalData() {
+					if v != 0.25 {
+						return fmt.Errorf("[%d] = %v", i, v)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestGeneratedGradientOutArg(t *testing.T) {
+	dom, _, stop := fixture(t, 2)
+	defer stop()
+	withClient(t, dom, 2, core.MultiPort, func(s *Solver, th rts.Thread) error {
+		grid, _ := dseq.NewDoubles(32, dist.Block(), th.Size(), th.Rank())
+		grad, _ := dseq.NewDoubles(32, dist.Block(), th.Size(), th.Rank())
+		for i := range grid.LocalData() {
+			grid.LocalData()[i] = float64(grid.Lo()+i) * 3
+		}
+		if err := s.Gradient(context.Background(), grid, grad); err != nil {
+			return err
+		}
+		// Interior entries of each server-local block are 3.
+		nonzero := 0
+		for _, v := range grad.LocalData() {
+			if v == 3 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 {
+			return errors.New("gradient is all zeros")
+		}
+		return nil
+	})
+}
+
+func TestGeneratedScalarResultAndOutParam(t *testing.T) {
+	dom, _, stop := fixture(t, 2)
+	defer stop()
+	withClient(t, dom, 2, core.Centralized, func(s *Solver, th rts.Thread) error {
+		grid, _ := dseq.NewDoubles(16, dist.Block(), th.Size(), th.Rank())
+		for i := range grid.LocalData() {
+			grid.LocalData()[i] = 1
+		}
+		var evals int32
+		norm, err := s.Norm(context.Background(), grid, &evals)
+		if err != nil {
+			return err
+		}
+		if math.Abs(norm-4) > 1e-12 {
+			return fmt.Errorf("norm = %v, want 4", norm)
+		}
+		if evals != 16 {
+			return fmt.Errorf("evaluations = %d", evals)
+		}
+		return nil
+	})
+}
+
+func TestGeneratedStructResult(t *testing.T) {
+	dom, _, stop := fixture(t, 2)
+	defer stop()
+	withClient(t, dom, 1, core.Centralized, func(s *Solver, th rts.Thread) error {
+		rep, err := s.Status(context.Background(), "t0")
+		if err != nil {
+			return err
+		}
+		if rep.Label != "status:t0" || rep.State != PhaseRUNNING {
+			return fmt.Errorf("report = %+v", rep)
+		}
+		if rep.Domain.Cells != 128 || rep.Domain.Lo != -1 {
+			return fmt.Errorf("extent = %+v", rep.Domain)
+		}
+		if len(rep.Residuals) != 3 || rep.Residuals[2] != 0.25 {
+			return fmt.Errorf("residuals = %v", rep.Residuals)
+		}
+		return nil
+	})
+}
+
+func TestGeneratedEnumInOut(t *testing.T) {
+	dom, _, stop := fixture(t, 2)
+	defer stop()
+	withClient(t, dom, 2, core.Centralized, func(s *Solver, th rts.Thread) error {
+		cur := PhaseINIT
+		prev, err := s.Advance(context.Background(), &cur)
+		if err != nil {
+			return err
+		}
+		if prev != PhaseINIT || cur != PhaseRUNNING {
+			return fmt.Errorf("prev=%v cur=%v", prev, cur)
+		}
+		if cur.String() != "RUNNING" {
+			return fmt.Errorf("enum string = %s", cur)
+		}
+		return nil
+	})
+}
+
+func TestGeneratedSequenceAndStructArgs(t *testing.T) {
+	dom, _, stop := fixture(t, 2)
+	defer stop()
+	withClient(t, dom, 1, core.Centralized, func(s *Solver, th rts.Thread) error {
+		return s.Configure(context.Background(),
+			[]float64{0.2, 0.8}, Extent{Lo: 0, Hi: 10, Cells: 100})
+	})
+}
+
+func TestGeneratedServantErrorPropagates(t *testing.T) {
+	dom, _, stop := fixture(t, 2)
+	defer stop()
+	withClient(t, dom, 1, core.Centralized, func(s *Solver, th rts.Thread) error {
+		err := s.Configure(context.Background(), nil, Extent{Cells: 1})
+		if err == nil || !strings.Contains(err.Error(), "no weights") {
+			return fmt.Errorf("want servant error, got %v", err)
+		}
+		return nil
+	})
+}
+
+func TestGeneratedOneway(t *testing.T) {
+	dom, impl, stop := fixture(t, 2)
+	defer stop()
+	withClient(t, dom, 2, core.Centralized, func(s *Solver, th rts.Thread) error {
+		if err := s.Trace(context.Background(), "checkpoint"); err != nil {
+			return err
+		}
+		// A following blocking call flushes the oneway through the
+		// serial server loop.
+		return s.Reset(context.Background())
+	})
+	impl.mu.Lock()
+	defer impl.mu.Unlock()
+	found := 0
+	for _, tr := range impl.traces {
+		if tr == "checkpoint" {
+			found++
+		}
+	}
+	// The oneway ran on both server threads exactly once.
+	if found != 2 {
+		t.Fatalf("trace ran %d times, want 2 (once per server thread): %v", found, impl.traces)
+	}
+}
+
+func TestGeneratedInheritedOp(t *testing.T) {
+	dom, impl, stop := fixture(t, 3)
+	defer stop()
+	withClient(t, dom, 1, core.Centralized, func(s *Solver, th rts.Thread) error {
+		return s.Reset(context.Background())
+	})
+	impl.mu.Lock()
+	defer impl.mu.Unlock()
+	if impl.resets != 3 {
+		t.Fatalf("resets = %d, want 3 (once per server thread)", impl.resets)
+	}
+}
+
+func TestGeneratedAsync(t *testing.T) {
+	dom, _, stop := fixture(t, 2)
+	defer stop()
+	withClient(t, dom, 2, core.MultiPort, func(s *Solver, th rts.Thread) error {
+		grid, _ := dseq.NewDoubles(32, dist.Block(), th.Size(), th.Rank())
+		for i := range grid.LocalData() {
+			grid.LocalData()[i] = 1
+		}
+		pending, err := s.RelaxAsync(context.Background(), 1, 2.0, grid)
+		if err != nil {
+			return err
+		}
+		if err := pending.Wait(context.Background()); err != nil {
+			return err
+		}
+		for i, v := range grid.LocalData() {
+			if v != 2 {
+				return fmt.Errorf("[%d] = %v", i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestGeneratedConstants(t *testing.T) {
+	if MAXSTEPS != 64 {
+		t.Fatalf("MAXSTEPS = %d", MAXSTEPS)
+	}
+	if TOLERANCE != 1.5e-6 {
+		t.Fatalf("TOLERANCE = %v", TOLERANCE)
+	}
+	if ENGINE != "pardis-go" {
+		t.Fatalf("ENGINE = %q", ENGINE)
+	}
+	if VERBOSE {
+		t.Fatal("VERBOSE should be false")
+	}
+	if FieldBound != 4096 {
+		t.Fatalf("FieldBound = %d", FieldBound)
+	}
+	if SolverTypeID != "IDL:solver:1.0" {
+		t.Fatalf("type id = %s", SolverTypeID)
+	}
+}
+
+func TestGeneratedExceptionType(t *testing.T) {
+	var err error = &Diverged{Reason: "blew up", Residual: 1e9}
+	if !strings.Contains(err.Error(), "blew up") {
+		t.Fatalf("exception error = %q", err.Error())
+	}
+}
+
+func TestBindRejectsWrongTypeID(t *testing.T) {
+	// "solver" is exported as IDL:solver:1.0; binding it through the
+	// SolverBase proxy (IDL:solver_base:1.0) must be rejected at
+	// bind time.
+	dom, _, stop := fixture(t, 2)
+	defer stop()
+	err := mp.Run(1, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		_, err := BindSolverBase(context.Background(), dom, th, "solver", core.Centralized)
+		if err == nil {
+			return errors.New("cross-type bind accepted")
+		}
+		if !strings.Contains(err.Error(), "IDL:solver_base:1.0") {
+			return fmt.Errorf("unhelpful error: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package idlgen
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"pardis/internal/idl"
+)
+
+func gen(t *testing.T, src string) string {
+	t.Helper()
+	c, err := idl.ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(c, Options{Package: "p", Source: "test.idl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestGeneratePaperExample(t *testing.T) {
+	src := `
+typedef dsequence<double, 1024, BLOCK> diffusion_array;
+interface diffusion_object {
+    void diffusion(in long timestep, inout diffusion_array myarray);
+};
+`
+	out := gen(t, src)
+	for _, want := range []string{
+		"type DiffusionArray = dseq.Doubles",
+		"type DiffusionObject struct",
+		"func BindDiffusionObject(",
+		"func (o *DiffusionObject) Diffusion(ctx context.Context, timestep int32, myarray *dseq.Doubles) error",
+		"func (o *DiffusionObject) DiffusionAsync(",
+		"type DiffusionObjectServant interface",
+		"Diffusion(call *core.Call, timestep int32, myarray *dseq.Doubles) error",
+		"func DiffusionObjectOps(impl DiffusionObjectServant) map[string]*core.Op",
+		"func ExportDiffusionObject(",
+		`"IDL:diffusion_object:1.0"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("generated code missing %q\n----\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateGoldenMatchesCommitted(t *testing.T) {
+	src, err := os.ReadFile("gentest/spec.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := idl.ParseAndCheck(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Generate(c, Options{Package: "gentest", Source: "internal/idlgen/gentest/spec.idl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("gentest/spec_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("gentest/spec_gen.go is stale: regenerate with " +
+			"`go run ./cmd/pardisc -pkg gentest -o internal/idlgen/gentest/spec_gen.go internal/idlgen/gentest/spec.idl`")
+	}
+}
+
+func TestGenerateNameCollision(t *testing.T) {
+	src := `
+interface my_thing { void f(); };
+interface myThing { void f(); };
+`
+	c, err := idl.ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(c, Options{}); err == nil {
+		t.Fatal("colliding Go names accepted")
+	}
+}
+
+func TestGenerateArrayTypedefInOperationRejected(t *testing.T) {
+	src := `
+typedef long grid[4];
+interface i { void f(in grid g); };
+`
+	c, err := idl.ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(c, Options{}); err == nil {
+		t.Fatal("array typedef marshaling accepted")
+	}
+}
+
+func TestGenerateModulesFlattenScopes(t *testing.T) {
+	src := `
+module sim {
+    interface solver { void go_(in double x); };
+};
+`
+	out := gen(t, src)
+	if !strings.Contains(out, "type SimSolver struct") {
+		t.Fatalf("scoped interface not flattened:\n%s", out)
+	}
+	if !strings.Contains(out, `"IDL:sim::solver:1.0"`) {
+		t.Fatalf("repo id should keep IDL scoping:\n%s", out)
+	}
+}
+
+func TestGenerateReservedIdentifiers(t *testing.T) {
+	src := `interface i { void f(in long type, in double range); };`
+	out := gen(t, src)
+	if !strings.Contains(out, "type_ int32") || !strings.Contains(out, "range_ float64") {
+		t.Fatalf("reserved identifiers not renamed:\n%s", out)
+	}
+}
+
+func TestGenerateOnewaySpec(t *testing.T) {
+	src := `interface mon { oneway void report(in string msg); };`
+	out := gen(t, src)
+	if !strings.Contains(out, "Oneway:") {
+		t.Fatalf("oneway flag missing:\n%s", out)
+	}
+	if strings.Contains(out, "ReportAsync") {
+		t.Fatalf("oneway ops must not get Async variants:\n%s", out)
+	}
+}
+
+func TestGoNameMangling(t *testing.T) {
+	cases := map[string]string{
+		"diffusion_object": "DiffusionObject",
+		"sim::inner::x":    "SimInnerX",
+		"a":                "A",
+		"MAX_STEPS":        "MAXSTEPS",
+	}
+	for in, want := range cases {
+		if got := goName(in); got != want {
+			t.Fatalf("goName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGenerateAttributes(t *testing.T) {
+	src := `
+interface account {
+    readonly attribute double balance;
+    attribute string owner;
+};
+`
+	out := gen(t, src)
+	for _, want := range []string{
+		"func (o *Account) GetBalance(ctx context.Context) (float64, error)",
+		"func (o *Account) GetOwner(ctx context.Context) (string, error)",
+		"func (o *Account) SetOwner(ctx context.Context, value string) error",
+		`"_get_balance"`,
+		`"_set_owner"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("generated code missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "SetBalance") {
+		t.Fatal("readonly attribute generated a setter")
+	}
+}

@@ -1,0 +1,23 @@
+package ior
+
+import "testing"
+
+// FuzzParse: stringified-IOR parsing must never panic and accepted
+// references must re-stringify to an equal reference.
+func FuzzParse(f *testing.F) {
+	sample := &Ref{TypeID: "IDL:x:1.0", Key: "k", Threads: 2,
+		Endpoints: []string{"tcp:a:1", "tcp:a:2"}}
+	f.Add(sample.Stringify())
+	f.Add("IOR:00")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		ref, err := Parse(s)
+		if err != nil {
+			return
+		}
+		again, err := Parse(ref.Stringify())
+		if err != nil || !again.Equal(ref) {
+			t.Fatalf("round trip broke: %v %v", again, err)
+		}
+	})
+}

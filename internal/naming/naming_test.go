@@ -1,0 +1,179 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pardis/internal/ior"
+	"pardis/internal/orb"
+	"pardis/internal/transport"
+)
+
+func ref(key string) *ior.Ref {
+	return &ior.Ref{
+		TypeID:    "IDL:test:1.0",
+		Key:       key,
+		Threads:   1,
+		Endpoints: []string{"tcp:10.0.0.9:9999"},
+	}
+}
+
+func TestRegistryBindResolveUnbind(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Bind("a", ref("a"), false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Resolve("a")
+	if err != nil || got.Key != "a" {
+		t.Fatalf("resolve: %v %v", got, err)
+	}
+	if err := r.Bind("a", ref("a2"), false); !errors.Is(err, ErrAlreadyBound) {
+		t.Fatalf("duplicate bind: %v", err)
+	}
+	if err := r.Bind("a", ref("a2"), true); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	got, _ = r.Resolve("a")
+	if got.Key != "a2" {
+		t.Fatal("rebind did not replace")
+	}
+	if err := r.Unbind("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("resolve after unbind: %v", err)
+	}
+	if err := r.Unbind("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double unbind: %v", err)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Bind("", ref("x"), false); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	bad := &ior.Ref{TypeID: "t", Key: "", Threads: 1, Endpoints: []string{"tcp:a:1"}}
+	if err := r.Bind("x", bad, false); err == nil {
+		t.Fatal("invalid ref accepted")
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"apps/diffusion", "apps/monitor", "svc/naming"} {
+		if err := r.Bind(n, ref(n), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.List("apps/")
+	if len(got) != 2 || got[0] != "apps/diffusion" || got[1] != "apps/monitor" {
+		t.Fatalf("list = %v", got)
+	}
+	if all := r.List(""); len(all) != 3 {
+		t.Fatalf("list all = %v", all)
+	}
+}
+
+// newService spins up a naming service over inproc and returns a
+// client for it.
+func newService(t *testing.T) *Client {
+	t.Helper()
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	srv := orb.NewServer(reg)
+	Serve(srv, NewRegistry())
+	ep, err := srv.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := orb.NewClient(reg)
+	t.Cleanup(func() {
+		oc.Close()
+		srv.Close()
+	})
+	return NewClient(oc, ep)
+}
+
+func TestRemoteBindResolve(t *testing.T) {
+	c := newService(t)
+	ctx := context.Background()
+	want := ref("objects/example")
+	if err := c.Bind(ctx, "example", want, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Resolve(ctx, "example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("resolved %v, want %v", got, want)
+	}
+}
+
+func TestRemoteNotFound(t *testing.T) {
+	c := newService(t)
+	if _, err := c.Resolve(context.Background(), "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("resolve ghost: %v", err)
+	}
+	if err := c.Unbind(context.Background(), "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unbind ghost: %v", err)
+	}
+}
+
+func TestRemoteAlreadyBound(t *testing.T) {
+	c := newService(t)
+	ctx := context.Background()
+	if err := c.Bind(ctx, "n", ref("1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind(ctx, "n", ref("2"), false); !errors.Is(err, ErrAlreadyBound) {
+		t.Fatalf("dup: %v", err)
+	}
+	if err := c.Bind(ctx, "n", ref("2"), true); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+}
+
+func TestRemoteListAndUnbind(t *testing.T) {
+	c := newService(t)
+	ctx := context.Background()
+	for _, n := range []string{"x/1", "x/2", "y/1"} {
+		if err := c.Bind(ctx, n, ref(n), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := c.List(ctx, "x/")
+	if err != nil || len(names) != 2 {
+		t.Fatalf("list = %v %v", names, err)
+	}
+	if err := c.Unbind(ctx, "x/1"); err != nil {
+		t.Fatal(err)
+	}
+	names, _ = c.List(ctx, "x/")
+	if len(names) != 1 || names[0] != "x/2" {
+		t.Fatalf("after unbind: %v", names)
+	}
+}
+
+func TestBadOperation(t *testing.T) {
+	// Drive an unknown operation through the raw ORB client and
+	// expect a system exception.
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	srv := orb.NewServer(reg)
+	Serve(srv, NewRegistry())
+	ep, err := srv.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	oc := orb.NewClient(reg)
+	defer oc.Close()
+	c := NewClient(oc, ep)
+	_, err = c.invoke(context.Background(), "shred", nil)
+	if err == nil {
+		t.Fatal("unknown operation accepted")
+	}
+}

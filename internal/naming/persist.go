@@ -1,0 +1,90 @@
+package naming
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pardis/internal/ior"
+)
+
+// Snapshot writes the registry's bindings as plain text, one
+// "name<TAB>stringified-IOR" line each, sorted by name. The format is
+// human-inspectable and diff-friendly.
+func (r *Registry) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range r.List("") {
+		ref, err := r.Resolve(name)
+		if err != nil {
+			// Raced with an unbind; skip.
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", name, ref.Stringify()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore loads bindings from a Snapshot stream into the registry
+// (rebinding over existing names). Malformed lines abort with an
+// error identifying the line number.
+func (r *Registry) Restore(rd io.Reader) error {
+	sc := bufio.NewScanner(rd)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, iorStr, ok := strings.Cut(line, "\t")
+		if !ok {
+			return fmt.Errorf("naming: state line %d: missing tab separator", lineNo)
+		}
+		ref, err := ior.Parse(iorStr)
+		if err != nil {
+			return fmt.Errorf("naming: state line %d: %w", lineNo, err)
+		}
+		if err := r.Bind(name, ref, true); err != nil {
+			return fmt.Errorf("naming: state line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+// SaveFile snapshots the registry atomically to path (write to a
+// temporary file, then rename).
+func (r *Registry) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := r.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores the registry from a SaveFile path. A missing file
+// is not an error (fresh start).
+func (r *Registry) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	return r.Restore(f)
+}

@@ -1,0 +1,93 @@
+package naming
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRestore(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"b/two", "a/one", "c/three"} {
+		if err := r.Bind(n, ref(n), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Sorted, one line per binding.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "a/one\t") {
+		t.Fatalf("snapshot:\n%s", buf.String())
+	}
+	r2 := NewRegistry()
+	if err := r2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"a/one", "b/two", "c/three"} {
+		got, err := r2.Resolve(n)
+		if err != nil || got.Key != n {
+			t.Fatalf("restore %s: %v %v", n, got, err)
+		}
+	}
+}
+
+func TestRestoreSkipsCommentsAndBlanks(t *testing.T) {
+	r := NewRegistry()
+	state := "# header comment\n\nx\t" + ref("x").Stringify() + "\n"
+	if err := r.Restore(strings.NewReader(state)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve("x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	cases := []string{
+		"no-tab-here\n",
+		"name\tIOR:zz\n",
+	}
+	for _, c := range cases {
+		r := NewRegistry()
+		if err := r.Restore(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "domain.state")
+	r := NewRegistry()
+	if err := r.Bind("svc", ref("svc"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No stray temp file.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temporary file left behind")
+	}
+	r2 := NewRegistry()
+	if err := r2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Resolve("svc"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadFileMissingIsFreshStart(t *testing.T) {
+	r := NewRegistry()
+	if err := r.LoadFile(filepath.Join(t.TempDir(), "nope.state")); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.List("")) != 0 {
+		t.Fatal("registry not empty")
+	}
+}

@@ -1,0 +1,127 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pardis/internal/cdr"
+	"pardis/internal/giop"
+	"pardis/internal/transport"
+)
+
+// newBenchPair builds a client/server pair over inproc with an echo
+// handler for benchmarks.
+func newBenchPair(b *testing.B, payload int) (*Client, string) {
+	b.Helper()
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	srv := NewServer(reg)
+	srv.Handle("echo", func(in *Incoming) {
+		d := in.Decoder()
+		data, err := d.DoubleSeq()
+		if err != nil {
+			_ = in.ReplySystemException("MARSHAL", err.Error())
+			return
+		}
+		_ = in.Reply(giop.ReplyOK, func(e *cdr.Encoder) { e.PutDoubleSeq(data) })
+	})
+	ep, err := srv.Listen("inproc:*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := NewClient(reg)
+	b.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+	})
+	return cli, ep
+}
+
+// BenchmarkInvokeEcho measures request/reply round trips carrying a
+// double-sequence payload of various sizes.
+func BenchmarkInvokeEcho(b *testing.B) {
+	for _, n := range []int{0, 1 << 10, 1 << 14} {
+		n := n
+		b.Run(fmt.Sprintf("doubles=%d", n), func(b *testing.B) {
+			cli, ep := newBenchPair(b, n)
+			data := make([]float64, n)
+			hdr := giop.RequestHeader{
+				ResponseExpected: true,
+				ObjectKey:        "echo",
+				Operation:        "op",
+				ThreadRank:       -1,
+				ThreadCount:      1,
+			}
+			b.SetBytes(int64(n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hdr.InvocationID = cli.NewInvocationID()
+				rh, _, _, err := cli.Invoke(context.Background(), ep, hdr,
+					func(e *cdr.Encoder) { e.PutDoubleSeq(data) })
+				if err != nil || rh.Status != giop.ReplyOK {
+					b.Fatalf("%v %v", rh.Status, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInvokeConcurrent measures pipelined invocations over one
+// connection.
+func BenchmarkInvokeConcurrent(b *testing.B) {
+	cli, ep := newBenchPair(b, 0)
+	data := make([]float64, 64)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			hdr := giop.RequestHeader{
+				InvocationID:     cli.NewInvocationID(),
+				ResponseExpected: true,
+				ObjectKey:        "echo",
+				Operation:        "op",
+				ThreadRank:       -1,
+				ThreadCount:      1,
+			}
+			rh, _, _, err := cli.Invoke(context.Background(), ep, hdr,
+				func(e *cdr.Encoder) { e.PutDoubleSeq(data) })
+			if err != nil || rh.Status != giop.ReplyOK {
+				b.Fatalf("%v %v", rh.Status, err)
+			}
+		}
+	})
+}
+
+// BenchmarkSendBlock measures one-way block shipping throughput.
+func BenchmarkSendBlock(b *testing.B) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	srv := NewServer(reg)
+	ep, err := srv.Listen("inproc:*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewClient(reg)
+	defer cli.Close()
+	sink := make(chan Block, 64)
+	cancel, err := srv.ExpectBlocks(1, sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cancel()
+	payload := make([]float64, 1<<12)
+	hdr := giop.BlockTransferHeader{InvocationID: 1, Count: uint32(len(payload))}
+	b.SetBytes(int64(len(payload) * 8))
+	b.ResetTimer()
+	// Receive each block inline: SendBlock is fire-and-forget, so the
+	// consumer must keep pace or the sink overflows by design (the
+	// router enforces bounded buffering).
+	for i := 0; i < b.N; i++ {
+		if err := cli.SendBlock(ep, hdr, func(e *cdr.Encoder) { e.PutDoubleSeq(payload) }); err != nil {
+			b.Fatal(err)
+		}
+		if blk := <-sink; blk.Header.InvocationID != 1 {
+			b.Fatal("wrong block")
+		}
+	}
+}

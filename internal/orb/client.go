@@ -1,0 +1,408 @@
+package orb
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pardis/internal/cdr"
+	"pardis/internal/giop"
+	"pardis/internal/ior"
+	"pardis/internal/transport"
+)
+
+// Client is the invocation side of the ORB. It caches one connection
+// per endpoint, multiplexes concurrent requests over each, and routes
+// inbound block transfers (out-arguments of multi-port invocations) to
+// the engines expecting them. A Client is safe for concurrent use.
+type Client struct {
+	reg   *transport.Registry
+	order cdr.ByteOrder
+
+	mu     sync.Mutex
+	conns  map[string]*clientConn
+	closed bool
+
+	invPrefix  uint64
+	invCounter atomic.Uint64
+	blocks     *blockRouter
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithByteOrder sets the byte order the client marshals in.
+func WithByteOrder(o cdr.ByteOrder) ClientOption {
+	return func(c *Client) { c.order = o }
+}
+
+// NewClient creates a client using the given transport registry (nil
+// means transport.Default).
+func NewClient(reg *transport.Registry, opts ...ClientOption) *Client {
+	if reg == nil {
+		reg = transport.Default
+	}
+	c := &Client{
+		reg:    reg,
+		order:  cdr.BigEndian,
+		conns:  make(map[string]*clientConn),
+		blocks: newBlockRouter(),
+	}
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		c.invPrefix = binary.BigEndian.Uint64(seed[:]) &^ 0xFFFFFFFF
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Order returns the byte order the client marshals in.
+func (c *Client) Order() cdr.ByteOrder { return c.order }
+
+// NewInvocationID allocates an invocation id unique across this
+// client process (random 32-bit prefix + counter).
+func (c *Client) NewInvocationID() uint64 {
+	return c.invPrefix | (c.invCounter.Add(1) & 0xFFFFFFFF)
+}
+
+// ExpectBlocks registers a sink for block transfers addressed to this
+// client under the given invocation id. The channel must have
+// capacity for the whole expected plan. The returned cancel must be
+// called when the transfer completes.
+func (c *Client) ExpectBlocks(inv uint64, ch chan<- Block) (func(), error) {
+	return c.blocks.register(inv, ch)
+}
+
+// conn returns the cached connection for endpoint, dialing if needed.
+func (c *Client) conn(endpoint string) (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if cc, ok := c.conns[endpoint]; ok {
+		return cc, nil
+	}
+	raw, err := c.reg.Dial(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{
+		owner:    c,
+		endpoint: endpoint,
+		raw:      raw,
+		pending:  make(map[uint32]chan reply),
+	}
+	c.conns[endpoint] = cc
+	go cc.readLoop()
+	return cc, nil
+}
+
+// dropConn removes a dead connection from the cache.
+func (c *Client) dropConn(cc *clientConn) {
+	c.mu.Lock()
+	if c.conns[cc.endpoint] == cc {
+		delete(c.conns, cc.endpoint)
+	}
+	c.mu.Unlock()
+}
+
+// maxForwards bounds LOCATION_FORWARD chains.
+const maxForwards = 4
+
+// Invoke sends a request to endpoint and, unless the header marks it
+// oneway, waits for the matching reply. The client assigns
+// hdr.RequestID. body is the CDR-marshaled in-arguments, encoded in
+// c.Order() starting at the offset right after the request header.
+// Cancellation via ctx sends a CancelRequest and abandons the wait.
+//
+// LOCATION_FORWARD replies are followed transparently (up to
+// maxForwards hops): the reply body carries a stringified IOR and the
+// request is re-issued at the forwarded communicator endpoint — the
+// CORBA mechanism that lets objects migrate without breaking clients.
+func (c *Client) Invoke(ctx context.Context, endpoint string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
+	for hop := 0; ; hop++ {
+		rh, order, raw, err := c.invokeOnce(ctx, endpoint, hdr, body)
+		if err != nil || rh.Status != giop.ReplyLocationForward {
+			return rh, order, raw, err
+		}
+		if hop >= maxForwards {
+			return rh, order, raw, fmt.Errorf("orb: too many location forwards (%d)", hop+1)
+		}
+		fwd, err := decodeForward(order, raw)
+		if err != nil {
+			return rh, order, raw, err
+		}
+		endpoint = fwd
+	}
+}
+
+// decodeForward extracts the forwarded communicator endpoint from a
+// LOCATION_FORWARD reply body (a stringified IOR).
+func decodeForward(order cdr.ByteOrder, body []byte) (string, error) {
+	d := cdr.NewDecoderAt(order, body, 8)
+	s, err := d.String()
+	if err != nil {
+		return "", fmt.Errorf("orb: undecodable forward body: %w", err)
+	}
+	ref, err := ior.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("orb: forward carries bad IOR: %w", err)
+	}
+	return ref.CommunicatorEndpoint(), nil
+}
+
+func (c *Client) invokeOnce(ctx context.Context, endpoint string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
+	cc, err := c.conn(endpoint)
+	if err != nil {
+		return giop.ReplyHeader{}, 0, nil, err
+	}
+	hdr.RequestID = cc.nextID.Add(1)
+
+	e := cdr.NewEncoder(c.order)
+	hdr.Encode(e)
+	if body != nil {
+		body(e)
+	}
+
+	if !hdr.ResponseExpected {
+		if err := cc.write(giop.MsgRequest, e.Bytes()); err != nil {
+			return giop.ReplyHeader{}, 0, nil, err
+		}
+		return giop.ReplyHeader{RequestID: hdr.RequestID, Status: giop.ReplyOK}, c.order, nil, nil
+	}
+
+	ch := make(chan reply, 1)
+	cc.addPending(hdr.RequestID, ch)
+	defer cc.removePending(hdr.RequestID)
+
+	if err := cc.write(giop.MsgRequest, e.Bytes()); err != nil {
+		return giop.ReplyHeader{}, 0, nil, err
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return giop.ReplyHeader{}, 0, nil, r.err
+		}
+		return r.hdr, r.order, r.body, nil
+	case <-ctx.Done():
+		// Best-effort cancel; the reply, if it still comes, is
+		// discarded by removePending.
+		ce := cdr.NewEncoder(c.order)
+		(&giop.CancelRequestHeader{RequestID: hdr.RequestID}).Encode(ce)
+		_ = cc.write(giop.MsgCancelRequest, ce.Bytes())
+		return giop.ReplyHeader{}, 0, nil, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+}
+
+// SendBlock ships one block-transfer message to endpoint. payload is
+// encoded by the callback at the correct stream offset.
+func (c *Client) SendBlock(endpoint string, hdr giop.BlockTransferHeader, payload func(*cdr.Encoder)) error {
+	cc, err := c.conn(endpoint)
+	if err != nil {
+		return err
+	}
+	e := cdr.NewEncoder(c.order)
+	hdr.Encode(e)
+	if payload != nil {
+		payload(e)
+	}
+	return cc.write(giop.MsgBlockTransfer, e.Bytes())
+}
+
+// Locate asks whether endpoint serves the object key, returning the
+// locate status and, for LocateForward, the stringified IOR to retry.
+func (c *Client) Locate(ctx context.Context, endpoint, key string) (giop.LocateStatus, string, error) {
+	cc, err := c.conn(endpoint)
+	if err != nil {
+		return 0, "", err
+	}
+	id := cc.nextID.Add(1)
+	e := cdr.NewEncoder(c.order)
+	(&giop.LocateRequestHeader{RequestID: id, ObjectKey: key}).Encode(e)
+
+	ch := make(chan reply, 1)
+	cc.addPending(id, ch)
+	defer cc.removePending(id)
+	if err := cc.write(giop.MsgLocateRequest, e.Bytes()); err != nil {
+		return 0, "", err
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return 0, "", r.err
+		}
+		d := cdr.NewDecoder(r.order, r.body)
+		lh, err := giop.DecodeLocateReplyHeader(d)
+		if err != nil {
+			return 0, "", err
+		}
+		fwd := ""
+		if lh.Status == giop.LocateForward {
+			if fwd, err = d.String(); err != nil {
+				return 0, "", err
+			}
+		}
+		return lh.Status, fwd, nil
+	case <-ctx.Done():
+		return 0, "", fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+}
+
+// Close shuts down every cached connection. In-flight invocations
+// fail with ErrConnectionLost.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]*clientConn, 0, len(c.conns))
+	for _, cc := range c.conns {
+		conns = append(conns, cc)
+	}
+	c.conns = make(map[string]*clientConn)
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.shutdown(ErrClosed)
+	}
+	return nil
+}
+
+// reply is what the read loop hands back to a waiting invoker.
+type reply struct {
+	hdr   giop.ReplyHeader
+	order cdr.ByteOrder
+	body  []byte
+	err   error
+}
+
+// clientConn is one cached connection with a reader goroutine.
+type clientConn struct {
+	owner    *Client
+	endpoint string
+	raw      transport.Conn
+	nextID   atomic.Uint32
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint32]chan reply
+	dead    bool
+}
+
+func (cc *clientConn) write(t giop.MsgType, body []byte) error {
+	cc.writeMu.Lock()
+	defer cc.writeMu.Unlock()
+	if err := giop.WriteMessage(cc.raw, cc.owner.order, t, body); err != nil {
+		cc.shutdown(fmt.Errorf("%w: %v", ErrConnectionLost, err))
+		return fmt.Errorf("%w: %v", ErrConnectionLost, err)
+	}
+	return nil
+}
+
+func (cc *clientConn) addPending(id uint32, ch chan reply) {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		ch <- reply{err: ErrConnectionLost}
+		return
+	}
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) removePending(id uint32) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+}
+
+// shutdown closes the socket and fails all waiters exactly once.
+func (cc *clientConn) shutdown(cause error) {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return
+	}
+	cc.dead = true
+	waiters := cc.pending
+	cc.pending = make(map[uint32]chan reply)
+	cc.mu.Unlock()
+	cc.raw.Close()
+	cc.owner.dropConn(cc)
+	for _, ch := range waiters {
+		select {
+		case ch <- reply{err: cause}:
+		default:
+		}
+	}
+}
+
+func (cc *clientConn) readLoop() {
+	for {
+		t, order, body, err := giop.ReadMessage(cc.raw)
+		if err != nil {
+			cc.shutdown(fmt.Errorf("%w: %v", ErrConnectionLost, err))
+			return
+		}
+		switch t {
+		case giop.MsgReply:
+			d := cdr.NewDecoder(order, body)
+			rh, err := giop.DecodeReplyHeader(d)
+			if err != nil {
+				cc.shutdown(fmt.Errorf("%w: bad reply header: %v", ErrConnectionLost, err))
+				return
+			}
+			cc.mu.Lock()
+			ch, ok := cc.pending[rh.RequestID]
+			delete(cc.pending, rh.RequestID)
+			cc.mu.Unlock()
+			if ok {
+				ch <- reply{hdr: rh, order: order, body: body[d.Pos():]}
+			}
+		case giop.MsgLocateReply:
+			// LocateReply shares the pending table; the request id
+			// is the header's first field in both layouts.
+			d := cdr.NewDecoder(order, body)
+			id, err := d.ULong()
+			if err != nil {
+				cc.shutdown(fmt.Errorf("%w: bad locate reply: %v", ErrConnectionLost, err))
+				return
+			}
+			cc.mu.Lock()
+			ch, ok := cc.pending[id]
+			delete(cc.pending, id)
+			cc.mu.Unlock()
+			if ok {
+				ch <- reply{order: order, body: body}
+			}
+		case giop.MsgBlockTransfer:
+			d := cdr.NewDecoder(order, body)
+			bh, err := giop.DecodeBlockTransferHeader(d)
+			if err != nil {
+				cc.shutdown(fmt.Errorf("%w: bad block header: %v", ErrConnectionLost, err))
+				return
+			}
+			blk := Block{Header: bh, Order: order, Payload: body[d.Pos():]}
+			if err := cc.owner.blocks.deliver(blk); err != nil {
+				cc.shutdown(err)
+				return
+			}
+		case giop.MsgCloseConnection, giop.MsgError:
+			cc.shutdown(ErrConnectionLost)
+			return
+		default:
+			// Requests arriving at a client connection are a
+			// protocol violation.
+			cc.shutdown(fmt.Errorf("%w: unexpected %v on client connection", ErrConnectionLost, t))
+			return
+		}
+	}
+}

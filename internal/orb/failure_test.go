@@ -1,0 +1,255 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"pardis/internal/cdr"
+	"pardis/internal/giop"
+	"pardis/internal/ior"
+	"pardis/internal/transport"
+)
+
+// TestLocationForwardFollowed: a "moved" object redirects clients to
+// its new home transparently.
+func TestLocationForwardFollowed(t *testing.T) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+
+	// New home.
+	home := NewServer(reg)
+	home.Handle("obj", func(in *Incoming) {
+		_ = in.Reply(giop.ReplyOK, func(e *cdr.Encoder) { e.PutString("from new home") })
+	})
+	homeEp, err := home.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer home.Close()
+	fwdRef := &ior.Ref{TypeID: "IDL:obj:1.0", Key: "obj", Threads: 1, Endpoints: []string{homeEp}}
+
+	// Old home forwards.
+	old := NewServer(reg)
+	old.Handle("obj", func(in *Incoming) {
+		_ = in.ReplyForward(fwdRef.Stringify())
+	})
+	oldEp, err := old.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+
+	cli := NewClient(reg)
+	defer cli.Close()
+	rh, order, body, err := cli.Invoke(context.Background(), oldEp,
+		requestHeader(cli, "obj", "op"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Status != giop.ReplyOK {
+		t.Fatalf("status = %v", rh.Status)
+	}
+	s, err := cdr.NewDecoderAt(order, body, 8).String()
+	if err != nil || s != "from new home" {
+		t.Fatalf("reply = %q %v", s, err)
+	}
+}
+
+// TestForwardLoopBounded: a forward cycle fails instead of spinning.
+func TestForwardLoopBounded(t *testing.T) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	srv := NewServer(reg)
+	ep, err := srv.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	self := &ior.Ref{TypeID: "t", Key: "obj", Threads: 1, Endpoints: []string{ep}}
+	srv.Handle("obj", func(in *Incoming) {
+		_ = in.ReplyForward(self.Stringify()) // forward to itself forever
+	})
+	cli := NewClient(reg)
+	defer cli.Close()
+	_, _, _, err = cli.Invoke(context.Background(), ep, requestHeader(cli, "obj", "op"), nil)
+	if err == nil || !strings.Contains(err.Error(), "location forwards") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestForwardWithBadIORFails: a malformed forward body surfaces as an
+// error rather than a retry storm.
+func TestForwardWithBadIORFails(t *testing.T) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	srv := NewServer(reg)
+	srv.Handle("obj", func(in *Incoming) {
+		_ = in.Reply(giop.ReplyLocationForward, func(e *cdr.Encoder) {
+			e.PutString("IOR:not-hex!")
+		})
+	})
+	ep, _ := srv.Listen("inproc:*")
+	defer srv.Close()
+	cli := NewClient(reg)
+	defer cli.Close()
+	_, _, _, err := cli.Invoke(context.Background(), ep, requestHeader(cli, "obj", "op"), nil)
+	if err == nil || !strings.Contains(err.Error(), "bad IOR") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestGarbageBytesOnServer: a connection spewing garbage must not
+// take the server down; other connections keep working.
+func TestGarbageBytesOnServer(t *testing.T) {
+	reg := transport.NewRegistry()
+	inproc := transport.NewInproc()
+	reg.Register(inproc)
+	srv := NewServer(reg)
+	srv.Handle("echo", func(in *Incoming) {
+		_ = in.Reply(giop.ReplyOK, nil)
+	})
+	ep, err := srv.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Raw garbage connection.
+	raw, err := reg.Dial(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write may fail midway if the server already detected the
+	// bad magic and closed the synchronous pipe — both outcomes are
+	// fine; the assertion is that the server survives.
+	_, _ = raw.Write([]byte("GET / HTTP/1.1\r\n\r\n lots of garbage"))
+	// The server should drop it; reads eventually fail.
+	raw.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 16)
+	for {
+		if _, err := raw.Read(buf); err != nil {
+			break
+		}
+	}
+	raw.Close()
+
+	// A proper client still works.
+	cli := NewClient(reg)
+	defer cli.Close()
+	if _, _, _, err := cli.Invoke(context.Background(), ep, requestHeader(cli, "echo", "op"), nil); err != nil {
+		t.Fatalf("server damaged by garbage connection: %v", err)
+	}
+}
+
+// TestTruncatedFrameKillsOnlyThatConnection: a frame that announces a
+// large body and then hangs up must not wedge the server.
+func TestTruncatedFrameKillsOnlyThatConnection(t *testing.T) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	srv := NewServer(reg)
+	srv.Handle("echo", func(in *Incoming) { _ = in.Reply(giop.ReplyOK, nil) })
+	ep, _ := srv.Listen("inproc:*")
+	defer srv.Close()
+
+	raw, err := reg.Dial(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid header, 1 MB announced, then close.
+	hdr := []byte{'P', 'I', 'O', 'P', 1, 0, 0, byte(giop.MsgRequest), 0, 0x10, 0, 0}
+	if _, err := raw.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+
+	cli := NewClient(reg)
+	defer cli.Close()
+	if _, _, _, err := cli.Invoke(context.Background(), ep, requestHeader(cli, "echo", "op"), nil); err != nil {
+		t.Fatalf("server wedged by truncated frame: %v", err)
+	}
+}
+
+// TestServerDiesMidInvocation: killing the server while a request is
+// in flight surfaces ErrConnectionLost quickly.
+func TestServerDiesMidInvocation(t *testing.T) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	srv := NewServer(reg)
+	started := make(chan struct{})
+	srv.Handle("hang", func(in *Incoming) {
+		close(started)
+		<-in.Ctx.Done()
+	})
+	ep, _ := srv.Listen("inproc:*")
+	cli := NewClient(reg)
+	defer cli.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, _, _, err := cli.Invoke(context.Background(), ep, requestHeader(cli, "hang", "op"), nil)
+		errc <- err
+	}()
+	<-started
+	srv.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrConnectionLost) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("invocation hung after server death")
+	}
+}
+
+// TestOversizedBlockSinkBackpressure: more unmatched blocks than the
+// router's buffer kills the connection instead of consuming unbounded
+// memory.
+func TestUnmatchedBlockFloodBounded(t *testing.T) {
+	r := newBlockRouter()
+	r.maxPending = 8
+	for i := 0; i < 8; i++ {
+		if err := r.deliver(Block{Header: giop.BlockTransferHeader{InvocationID: uint64(i)}}); err != nil {
+			t.Fatalf("deliver %d: %v", i, err)
+		}
+	}
+	err := r.deliver(Block{Header: giop.BlockTransferHeader{InvocationID: 99}})
+	if !errors.Is(err, ErrTooManyBlocks) {
+		t.Fatalf("flood not bounded: %v", err)
+	}
+}
+
+// TestClientReadsGarbageReply: a server that answers with garbage
+// bytes fails the invocation cleanly.
+func TestClientReadsGarbageReply(t *testing.T) {
+	reg := transport.NewRegistry()
+	inproc := transport.NewInproc()
+	reg.Register(inproc)
+	l, err := inproc.Listen("garbage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		// Drain the request frame, then answer nonsense.
+		buf := make([]byte, 4096)
+		if _, err := c.Read(buf); err != nil && err != io.EOF {
+			return
+		}
+		c.Write([]byte("***not a piop frame***"))
+	}()
+	cli := NewClient(reg)
+	defer cli.Close()
+	_, _, _, err = cli.Invoke(context.Background(), "inproc:garbage",
+		requestHeader(cli, "x", "op"), nil)
+	if !errors.Is(err, ErrConnectionLost) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package orb implements the PARDIS Object Request Broker core: the
+// client-side invocation engine (connection caching, request/reply
+// matching, cancellation, locate queries) and the server-side object
+// adapter (endpoint listeners, request dispatch, reply writing), plus
+// the routing of multi-port block-transfer messages that distinguishes
+// PARDIS from a conventional ORB.
+//
+// The ORB is deliberately mechanism-only: argument marshaling lives in
+// compiler-generated stubs (package idlgen) and the SPMD collective
+// logic lives in package spmd. Both sides of an SPMD object — client
+// threads and server threads — each hold a Client and/or Server from
+// this package.
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pardis/internal/cdr"
+	"pardis/internal/giop"
+)
+
+// Errors returned by ORB operations.
+var (
+	ErrClosed         = errors.New("orb: closed")
+	ErrCanceled       = errors.New("orb: request canceled")
+	ErrConnectionLost = errors.New("orb: connection lost")
+	ErrTooManyBlocks  = errors.New("orb: too many unmatched block transfers buffered")
+)
+
+// Block is one received block-transfer message: a slice of a
+// distributed argument in flight between a client thread and a server
+// thread.
+type Block struct {
+	// Header describes where the payload lands.
+	Header giop.BlockTransferHeader
+	// Order is the byte order of Payload.
+	Order cdr.ByteOrder
+	// Payload is the CDR-encoded element data following the header.
+	Payload []byte
+}
+
+// defaultMaxPendingBlocks bounds how many block transfers may be
+// buffered while waiting for their invocation to register a sink
+// (blocks race the invocation header across separate connections).
+const defaultMaxPendingBlocks = 4096
+
+// blockRouter delivers incoming blocks to the invocation engines
+// expecting them, buffering early arrivals.
+type blockRouter struct {
+	mu         sync.Mutex
+	sinks      map[uint64]chan<- Block
+	pending    map[uint64][]Block
+	pendingLen int
+	maxPending int
+}
+
+func newBlockRouter() *blockRouter {
+	return &blockRouter{
+		sinks:      make(map[uint64]chan<- Block),
+		pending:    make(map[uint64][]Block),
+		maxPending: defaultMaxPendingBlocks,
+	}
+}
+
+// deliver hands a block to its registered sink, or buffers it until
+// the sink registers. The sink channel must be buffered generously
+// (at least the plan size) — delivery never blocks; a full sink is an
+// error surfaced to the connection.
+func (r *blockRouter) deliver(b Block) error {
+	r.mu.Lock()
+	sink, ok := r.sinks[b.Header.InvocationID]
+	if !ok {
+		if r.pendingLen >= r.maxPending {
+			r.mu.Unlock()
+			return fmt.Errorf("%w: invocation %d", ErrTooManyBlocks, b.Header.InvocationID)
+		}
+		r.pending[b.Header.InvocationID] = append(r.pending[b.Header.InvocationID], b)
+		r.pendingLen++
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+	select {
+	case sink <- b:
+		return nil
+	default:
+		return fmt.Errorf("orb: block sink full for invocation %d", b.Header.InvocationID)
+	}
+}
+
+// register installs a sink for an invocation id, flushing any blocks
+// that arrived early. The returned cancel function removes the sink
+// and discards later strays.
+func (r *blockRouter) register(inv uint64, ch chan<- Block) (cancel func(), err error) {
+	r.mu.Lock()
+	if _, dup := r.sinks[inv]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("orb: duplicate block sink for invocation %d", inv)
+	}
+	r.sinks[inv] = ch
+	early := r.pending[inv]
+	delete(r.pending, inv)
+	r.pendingLen -= len(early)
+	r.mu.Unlock()
+	for _, b := range early {
+		select {
+		case ch <- b:
+		default:
+			return nil, fmt.Errorf("orb: block sink full for invocation %d", inv)
+		}
+	}
+	return func() {
+		r.mu.Lock()
+		delete(r.sinks, inv)
+		r.mu.Unlock()
+	}, nil
+}

@@ -1,0 +1,384 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"pardis/internal/cdr"
+	"pardis/internal/giop"
+	"pardis/internal/transport"
+)
+
+// Handler processes one inbound request. It runs on its own goroutine
+// and must eventually call exactly one of the Incoming reply methods
+// (unless the request is oneway).
+type Handler func(in *Incoming)
+
+// Incoming is one request as seen by a Handler.
+type Incoming struct {
+	// Header is the decoded request header.
+	Header giop.RequestHeader
+	// Order is the byte order of Body.
+	Order cdr.ByteOrder
+	// Body is the CDR-encoded in-arguments (stream offset continues
+	// from the request header).
+	Body []byte
+	// BodyBase is the stream offset at which Body starts, for
+	// alignment-correct decoding.
+	BodyBase int
+	// Ctx is canceled if the client sends CancelRequest or the
+	// connection drops.
+	Ctx context.Context
+
+	// Endpoint is the bound endpoint the request arrived at — for
+	// SPMD servers, which thread's port.
+	Endpoint string
+
+	conn *serverConn
+}
+
+// Decoder returns a CDR decoder positioned at the first in-argument.
+func (in *Incoming) Decoder() *cdr.Decoder {
+	return cdr.NewDecoderAt(in.Order, in.Body, in.BodyBase)
+}
+
+// Reply sends a normal or exceptional reply with a marshaled body.
+func (in *Incoming) Reply(status giop.ReplyStatus, body func(*cdr.Encoder)) error {
+	if !in.Header.ResponseExpected {
+		return nil
+	}
+	e := cdr.NewEncoder(in.conn.srv.order)
+	(&giop.ReplyHeader{RequestID: in.Header.RequestID, Status: status}).Encode(e)
+	if body != nil {
+		body(e)
+	}
+	return in.conn.write(giop.MsgReply, e.Bytes())
+}
+
+// ReplySystemException reports a PIOP-level failure.
+func (in *Incoming) ReplySystemException(code, detail string) error {
+	ex := &giop.SystemException{Code: code, Detail: detail}
+	return in.Reply(giop.ReplySystemException, ex.Encode)
+}
+
+// ReplyForward redirects the client to another object location; the
+// client's ORB transparently retries there.
+func (in *Incoming) ReplyForward(stringifiedIOR string) error {
+	return in.Reply(giop.ReplyLocationForward, func(e *cdr.Encoder) {
+		e.PutString(stringifiedIOR)
+	})
+}
+
+// Server is the object-adapter side of the ORB: it owns listeners,
+// dispatches requests to handlers by object key, answers locate
+// queries, and routes inbound block transfers.
+type Server struct {
+	reg   *transport.Registry
+	order cdr.ByteOrder
+
+	mu        sync.Mutex
+	listeners []transport.Listener
+	handlers  map[string]Handler
+	conns     map[*serverConn]struct{}
+	closed    bool
+
+	blocks *blockRouter
+	wg     sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerByteOrder sets the byte order replies are marshaled in.
+func WithServerByteOrder(o cdr.ByteOrder) ServerOption {
+	return func(s *Server) { s.order = o }
+}
+
+// NewServer creates a server using the given transport registry (nil
+// means transport.Default).
+func NewServer(reg *transport.Registry, opts ...ServerOption) *Server {
+	if reg == nil {
+		reg = transport.Default
+	}
+	s := &Server{
+		reg:      reg,
+		order:    cdr.BigEndian,
+		handlers: make(map[string]Handler),
+		conns:    make(map[*serverConn]struct{}),
+		blocks:   newBlockRouter(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Order returns the byte order the server marshals replies in.
+func (s *Server) Order() cdr.ByteOrder { return s.order }
+
+// Handle installs a handler for an object key.
+func (s *Server) Handle(key string, h Handler) {
+	s.mu.Lock()
+	s.handlers[key] = h
+	s.mu.Unlock()
+}
+
+// Unhandle removes a handler.
+func (s *Server) Unhandle(key string) {
+	s.mu.Lock()
+	delete(s.handlers, key)
+	s.mu.Unlock()
+}
+
+// handler looks up the handler for a key.
+func (s *Server) handler(key string) (Handler, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.handlers[key]
+	return h, ok
+}
+
+// ExpectBlocks registers a sink for inbound block transfers under an
+// invocation id (in-arguments of multi-port invocations). The channel
+// must have capacity for the whole expected plan.
+func (s *Server) ExpectBlocks(inv uint64, ch chan<- Block) (func(), error) {
+	return s.blocks.register(inv, ch)
+}
+
+// Listen binds an endpoint ("tcp:host:port", port 0 for ephemeral, or
+// "inproc:name"/"inproc:*") and serves connections on it until Close.
+// It returns the resolved endpoint to advertise in object references.
+func (s *Server) Listen(endpoint string) (string, error) {
+	l, err := s.reg.Listen(endpoint)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return "", ErrClosed
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Endpoint(), nil
+}
+
+func (s *Server) acceptLoop(l transport.Listener) {
+	defer s.wg.Done()
+	for {
+		raw, err := l.Accept()
+		if err != nil {
+			return
+		}
+		sc := &serverConn{
+			srv:      s,
+			raw:      raw,
+			endpoint: l.Endpoint(),
+			inflight: make(map[uint32]context.CancelFunc),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			raw.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sc.readLoop()
+			s.mu.Lock()
+			delete(s.conns, sc)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops all listeners and connections and waits for the serving
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ls := s.listeners
+	s.listeners = nil
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, sc := range conns {
+		sc.close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// serverConn is one accepted connection.
+type serverConn struct {
+	srv      *Server
+	raw      transport.Conn
+	endpoint string
+
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	inflight map[uint32]context.CancelFunc
+	dead     bool
+}
+
+func (sc *serverConn) write(t giop.MsgType, body []byte) error {
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	if err := giop.WriteMessage(sc.raw, sc.srv.order, t, body); err != nil {
+		sc.close()
+		return fmt.Errorf("%w: %v", ErrConnectionLost, err)
+	}
+	return nil
+}
+
+func (sc *serverConn) close() {
+	sc.mu.Lock()
+	if sc.dead {
+		sc.mu.Unlock()
+		return
+	}
+	sc.dead = true
+	cancels := make([]context.CancelFunc, 0, len(sc.inflight))
+	for _, c := range sc.inflight {
+		cancels = append(cancels, c)
+	}
+	sc.inflight = make(map[uint32]context.CancelFunc)
+	sc.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	sc.raw.Close()
+}
+
+func (sc *serverConn) readLoop() {
+	defer sc.close()
+	for {
+		t, order, body, err := giop.ReadMessage(sc.raw)
+		if err != nil {
+			return
+		}
+		switch t {
+		case giop.MsgRequest:
+			if err := sc.handleRequest(order, body); err != nil {
+				return
+			}
+		case giop.MsgLocateRequest:
+			if err := sc.handleLocate(order, body); err != nil {
+				return
+			}
+		case giop.MsgCancelRequest:
+			d := cdr.NewDecoder(order, body)
+			ch, err := giop.DecodeCancelRequestHeader(d)
+			if err != nil {
+				return
+			}
+			sc.mu.Lock()
+			cancel := sc.inflight[ch.RequestID]
+			sc.mu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+		case giop.MsgBlockTransfer:
+			d := cdr.NewDecoder(order, body)
+			bh, err := giop.DecodeBlockTransferHeader(d)
+			if err != nil {
+				return
+			}
+			blk := Block{Header: bh, Order: order, Payload: body[d.Pos():]}
+			if err := sc.srv.blocks.deliver(blk); err != nil {
+				return
+			}
+		case giop.MsgCloseConnection, giop.MsgError:
+			return
+		default:
+			// Replies have no business arriving at a server.
+			e := cdr.NewEncoder(sc.srv.order)
+			_ = giop.WriteMessage(sc.raw, sc.srv.order, giop.MsgError, e.Bytes())
+			return
+		}
+	}
+}
+
+func (sc *serverConn) handleRequest(order cdr.ByteOrder, body []byte) error {
+	d := cdr.NewDecoder(order, body)
+	hdr, err := giop.DecodeRequestHeader(d)
+	if err != nil {
+		// Unparseable request: poison the stream, give up.
+		return fmt.Errorf("orb: bad request header: %w", err)
+	}
+	in := &Incoming{
+		Header:   hdr,
+		Order:    order,
+		Body:     body[d.Pos():],
+		BodyBase: d.Pos(),
+		Endpoint: sc.endpoint,
+		conn:     sc,
+	}
+	h, ok := sc.srv.handler(hdr.ObjectKey)
+	if !ok {
+		_ = in.ReplySystemException("OBJECT_NOT_EXIST",
+			fmt.Sprintf("no object with key %q", hdr.ObjectKey))
+		return nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	in.Ctx = ctx
+	if hdr.ResponseExpected {
+		sc.mu.Lock()
+		if sc.dead {
+			sc.mu.Unlock()
+			cancel()
+			return nil
+		}
+		sc.inflight[hdr.RequestID] = cancel
+		sc.mu.Unlock()
+	}
+	go func() {
+		defer func() {
+			if hdr.ResponseExpected {
+				sc.mu.Lock()
+				delete(sc.inflight, hdr.RequestID)
+				sc.mu.Unlock()
+			}
+			cancel()
+			if p := recover(); p != nil {
+				// A panicking servant becomes a system exception,
+				// not a dead server.
+				_ = in.ReplySystemException("UNKNOWN", fmt.Sprintf("servant panic: %v", p))
+			}
+		}()
+		h(in)
+	}()
+	return nil
+}
+
+func (sc *serverConn) handleLocate(order cdr.ByteOrder, body []byte) error {
+	d := cdr.NewDecoder(order, body)
+	lh, err := giop.DecodeLocateRequestHeader(d)
+	if err != nil {
+		return fmt.Errorf("orb: bad locate header: %w", err)
+	}
+	status := giop.LocateUnknown
+	if _, ok := sc.srv.handler(lh.ObjectKey); ok {
+		status = giop.LocateHere
+	}
+	e := cdr.NewEncoder(sc.srv.order)
+	(&giop.LocateReplyHeader{RequestID: lh.RequestID, Status: status}).Encode(e)
+	return sc.write(giop.MsgLocateReply, e.Bytes())
+}

@@ -1,0 +1,303 @@
+// Package perfmodel regenerates the paper's evaluation artifacts —
+// Table 1 (centralized argument transfer), Table 2 (multi-port
+// argument transfer), Figure 4 (effective bandwidth versus sequence
+// length) and the §3.3 uneven-split spot check — from the calibrated
+// testbed model in package simnet, and carries the paper's published
+// numbers for side-by-side comparison.
+//
+// A note on Figure 4's units: the paper labels its bandwidth axis
+// "MB/s" with peaks of 26.7 (multi-port) and 12.27 (centralized), but
+// those values are inconsistent with the times in Tables 1-2 if MB/s
+// means 10^6 bytes per second (2^17 doubles in 336 ms is 3.1 MB/s,
+// not 26.7). They are consistent with *megabits* per second:
+// 8 bits/byte × 1 MiB / 0.336 s ≈ 25 Mb/s. EffectiveBandwidth
+// therefore reports 8·bytes/time/10^6 — the paper's plotted unit —
+// and EXPERIMENTS.md documents the reconciliation.
+package perfmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"pardis/internal/simnet"
+)
+
+// ExperimentBytes is the argument size of Tables 1-2: a dsequence of
+// 2^17 doubles.
+const ExperimentBytes = (1 << 17) * 8
+
+// Config is one (client threads, server threads) grid point.
+type Config struct{ N, M int }
+
+// GridN and GridM are the paper's table axes.
+var (
+	GridN = []int{1, 2, 4}
+	GridM = []int{1, 2, 4, 8}
+)
+
+// Table1Cell holds the columns of Table 1 (milliseconds).
+type Table1Cell struct {
+	TC, TGather, TPS, TU, TScatter float64
+}
+
+// Table2Cell holds the columns of Table 2 (milliseconds).
+type Table2Cell struct {
+	TMP, TP, TSend, TU, TExit float64
+}
+
+// PaperTable1 is Table 1 as published.
+var PaperTable1 = map[Config]Table1Cell{
+	{1, 1}: {417, 0.74, 380, 16.7, 0.2},
+	{1, 2}: {442, 0.74, 382, 20.5, 21.3},
+	{1, 4}: {451, 0.74, 385, 21.1, 25},
+	{1, 8}: {461, 0.74, 394, 21.8, 25.8},
+	{2, 1}: {497, 33.6, 421, 17.1, 0.2},
+	{2, 2}: {529, 33.6, 430, 20.3, 20.2},
+	{2, 4}: {538, 33.6, 433, 21.2, 24.6},
+	{2, 8}: {552, 33.6, 446, 21.7, 26.2},
+	{4, 1}: {571, 43.2, 486, 15.9, 0.2},
+	{4, 2}: {634, 43.2, 528, 20, 18.9},
+	{4, 4}: {685, 43.2, 571, 21.1, 25.5},
+	{4, 8}: {697, 43.2, 577, 21.6, 26.7},
+}
+
+// PaperTable2 is Table 2 as published.
+var PaperTable2 = map[Config]Table2Cell{
+	{1, 1}: {420, 37.2, 338, 23.5, 0.03},
+	{1, 2}: {417, 38.4, 348, 18.3, 165},
+	{1, 4}: {408, 35.1, 347, 8.1, 256},
+	{1, 8}: {412, 30.9, 356, 3.5, 307},
+	{2, 1}: {431, 15.9, 361, 23.6, 0.03},
+	{2, 2}: {425, 16.4, 358, 12.6, 3.9},
+	{2, 4}: {412, 17, 352, 7.5, 169},
+	{2, 8}: {393, 16.4, 336, 3.5, 240},
+	{4, 1}: {367, 13.1, 285, 25.8, 0.03},
+	{4, 2}: {376, 13.8, 298, 13.5, 3.9},
+	{4, 4}: {368, 13.4, 296, 6.4, 8.3},
+	{4, 8}: {336, 13.1, 261, 3.4, 129},
+}
+
+// PaperFigure4Peaks records the peak bandwidths the paper reports for
+// Figure 4 (in the paper's plotted unit; see the package comment).
+var PaperFigure4Peaks = struct {
+	MultiPort, Centralized float64
+	MultiPortAtDoubles     int
+	CentralizedAtDoubles   int
+}{26.7, 12.27, 1 << 17, 1 << 16}
+
+// PaperUnevenSpot is the §3.3 n=3, m=5 multi-port invocation time.
+const PaperUnevenSpot = 370.0
+
+// Table1Row pairs a grid point with model and paper cells.
+type Table1Row struct {
+	Config Config
+	Model  Table1Cell
+	Paper  Table1Cell
+}
+
+// Table2Row pairs a grid point with model and paper cells.
+type Table2Row struct {
+	Config Config
+	Model  Table2Cell
+	Paper  Table2Cell
+}
+
+// Table1 regenerates Table 1 over the paper's grid.
+func Table1(p simnet.Params) []Table1Row {
+	var rows []Table1Row
+	for _, n := range GridN {
+		for _, m := range GridM {
+			b := simnet.Centralized(p, n, m, ExperimentBytes)
+			rows = append(rows, Table1Row{
+				Config: Config{n, m},
+				Model: Table1Cell{
+					TC: b.Total, TGather: b.Gather, TPS: b.PackSend,
+					TU: b.Unpack, TScatter: b.Scatter,
+				},
+				Paper: PaperTable1[Config{n, m}],
+			})
+		}
+	}
+	return rows
+}
+
+// Table2 regenerates Table 2 over the paper's grid.
+func Table2(p simnet.Params) []Table2Row {
+	var rows []Table2Row
+	for _, n := range GridN {
+		for _, m := range GridM {
+			b := simnet.MultiPort(p, n, m, ExperimentBytes)
+			rows = append(rows, Table2Row{
+				Config: Config{n, m},
+				Model: Table2Cell{
+					TMP: b.Total, TP: b.Pack, TSend: b.Send,
+					TU: b.Unpack, TExit: b.ExitBarrier,
+				},
+				Paper: PaperTable2[Config{n, m}],
+			})
+		}
+	}
+	return rows
+}
+
+// EffectiveBandwidth converts an invocation time into the paper's
+// Figure 4 unit (see the package comment on units).
+func EffectiveBandwidth(bytes int, totalMs float64) float64 {
+	if totalMs <= 0 {
+		return 0
+	}
+	return 8 * float64(bytes) / 1e6 / (totalMs / 1000)
+}
+
+// Figure4Point is one x-position of Figure 4.
+type Figure4Point struct {
+	Doubles                  int
+	CentralizedMs, MultiMs   float64
+	CentralizedBW, MultiBW   float64
+	MultiPortWinsBy          float64 // MultiBW / CentralizedBW
+	CentralizedWinsAbsolutey bool
+}
+
+// Figure4Lengths is the default x-axis: log-spaced from 10^1 to 10^7
+// doubles with the paper's powers of two included.
+var Figure4Lengths = []int{
+	10, 32, 100, 316, 1000, 3162, 10000, 31623,
+	1 << 16, 100000, 1 << 17, 316228, 1000000, 3162278, 10000000,
+}
+
+// Figure4 regenerates Figure 4 at n=4, m=8.
+func Figure4(p simnet.Params, lengths []int) []Figure4Point {
+	if lengths == nil {
+		lengths = Figure4Lengths
+	}
+	const n, m = 4, 8
+	var pts []Figure4Point
+	for _, L := range lengths {
+		bytes := L * 8
+		c := simnet.Centralized(p, n, m, bytes)
+		mp := simnet.MultiPort(p, n, m, bytes)
+		pt := Figure4Point{
+			Doubles:       L,
+			CentralizedMs: c.Total,
+			MultiMs:       mp.Total,
+			CentralizedBW: EffectiveBandwidth(bytes, c.Total),
+			MultiBW:       EffectiveBandwidth(bytes, mp.Total),
+		}
+		if pt.CentralizedBW > 0 {
+			pt.MultiPortWinsBy = pt.MultiBW / pt.CentralizedBW
+		}
+		pt.CentralizedWinsAbsolutey = c.Total < mp.Total
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// SpotUneven regenerates the §3.3 n=3, m=5 check.
+func SpotUneven(p simnet.Params) (modelMs, paperMs float64) {
+	b := simnet.MultiPort(p, 3, 5, ExperimentBytes)
+	return b.Total, PaperUnevenSpot
+}
+
+// FormatTable1 renders Table 1 in the paper's layout with model vs
+// paper columns.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: centralized argument transfer, 2^17 doubles (ms; model | paper)\n")
+	fmt.Fprintf(&b, "%-8s %-15s %-15s %-15s %-15s %-15s\n",
+		"n  m", "t_c", "t_gather", "t_p&s", "t_u", "t_scatter")
+	for _, r := range rows {
+		p := r.Paper
+		m := r.Model
+		fmt.Fprintf(&b, "%-2d %-2d   %6.0f|%-6.0f  %6.1f|%-6.1f  %6.0f|%-6.0f  %6.1f|%-6.1f  %6.1f|%-6.1f\n",
+			r.Config.N, r.Config.M,
+			m.TC, p.TC, m.TGather, p.TGather, m.TPS, p.TPS, m.TU, p.TU, m.TScatter, p.TScatter)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2 in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: multi-port argument transfer, 2^17 doubles (ms; model | paper)\n")
+	fmt.Fprintf(&b, "%-8s %-15s %-15s %-15s %-15s %-15s\n",
+		"n  m", "t_mp", "t_p", "t_send", "t_u", "t_exit_barrier")
+	for _, r := range rows {
+		p := r.Paper
+		m := r.Model
+		fmt.Fprintf(&b, "%-2d %-2d   %6.0f|%-6.0f  %6.1f|%-6.1f  %6.0f|%-6.0f  %6.1f|%-6.1f  %6.1f|%-6.1f\n",
+			r.Config.N, r.Config.M,
+			m.TMP, p.TMP, m.TP, p.TP, m.TSend, p.TSend, m.TU, p.TU, m.TExit, p.TExit)
+	}
+	return b.String()
+}
+
+// FormatFigure4 renders Figure 4 as a table plus an ASCII plot.
+func FormatFigure4(pts []Figure4Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: effective bandwidth vs sequence length, n=4 m=8\n")
+	fmt.Fprintf(&b, "(paper's plotted unit, 8*bytes/time/1e6; see EXPERIMENTS.md on units)\n")
+	fmt.Fprintf(&b, "%12s  %12s  %12s  %8s\n", "doubles", "centralized", "multi-port", "ratio")
+	maxBW := 0.0
+	for _, pt := range pts {
+		if pt.MultiBW > maxBW {
+			maxBW = pt.MultiBW
+		}
+	}
+	for _, pt := range pts {
+		fmt.Fprintf(&b, "%12d  %12.2f  %12.2f  %8.2f\n",
+			pt.Doubles, pt.CentralizedBW, pt.MultiBW, pt.MultiPortWinsBy)
+	}
+	b.WriteString("\n")
+	// ASCII rendering, log x-axis implied by the point spacing.
+	const width = 60
+	for _, pt := range pts {
+		cbar := int(pt.CentralizedBW / maxBW * width)
+		mbar := int(pt.MultiBW / maxBW * width)
+		fmt.Fprintf(&b, "%9d |%s\n", pt.Doubles, bar(cbar, 'c', mbar, 'm'))
+	}
+	fmt.Fprintf(&b, "          c = centralized, m = multi-port; paper peaks: c %.2f, m %.2f\n",
+		PaperFigure4Peaks.Centralized, PaperFigure4Peaks.MultiPort)
+	return b.String()
+}
+
+// bar renders two overlaid markers on one line.
+func bar(aPos int, aCh byte, bPos int, bCh byte) string {
+	n := max(aPos, bPos) + 1
+	row := make([]byte, n)
+	for i := range row {
+		row[i] = ' '
+	}
+	if aPos >= 0 {
+		row[aPos] = aCh
+	}
+	if bPos >= 0 {
+		if row[bPos] == aCh {
+			row[bPos] = '*'
+		} else {
+			row[bPos] = bCh
+		}
+	}
+	return string(row)
+}
+
+// Deviation summarizes model-vs-paper error for one total.
+type Deviation struct {
+	Config       Config
+	ModelMs      float64
+	PaperMs      float64
+	RelativeName string
+}
+
+// Relative returns (model-paper)/paper.
+func (d Deviation) Relative() float64 { return (d.ModelMs - d.PaperMs) / d.PaperMs }
+
+// Deviations computes total-time deviations for both tables.
+func Deviations(p simnet.Params) (table1, table2 []Deviation) {
+	for _, r := range Table1(p) {
+		table1 = append(table1, Deviation{Config: r.Config, ModelMs: r.Model.TC, PaperMs: r.Paper.TC, RelativeName: "t_c"})
+	}
+	for _, r := range Table2(p) {
+		table2 = append(table2, Deviation{Config: r.Config, ModelMs: r.Model.TMP, PaperMs: r.Paper.TMP, RelativeName: "t_mp"})
+	}
+	return table1, table2
+}

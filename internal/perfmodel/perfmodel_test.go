@@ -1,0 +1,195 @@
+package perfmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pardis/internal/simnet"
+)
+
+func TestTable1Coverage(t *testing.T) {
+	rows := Table1(simnet.DefaultParams())
+	if len(rows) != len(GridN)*len(GridM) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	seen := map[Config]bool{}
+	for _, r := range rows {
+		seen[r.Config] = true
+		if r.Paper.TC == 0 {
+			t.Fatalf("missing paper cell for %+v", r.Config)
+		}
+		if r.Model.TC <= 0 {
+			t.Fatalf("model produced nonpositive t_c for %+v", r.Config)
+		}
+	}
+	if len(seen) != 12 {
+		t.Fatalf("grid coverage = %d", len(seen))
+	}
+}
+
+func TestTable2Coverage(t *testing.T) {
+	rows := Table2(simnet.DefaultParams())
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Paper.TMP == 0 || r.Model.TMP <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}
+
+func TestDeviationsWithinBand(t *testing.T) {
+	t1, t2 := Deviations(simnet.DefaultParams())
+	if len(t1) != 12 || len(t2) != 12 {
+		t.Fatalf("deviation counts: %d %d", len(t1), len(t2))
+	}
+	worst := 0.0
+	for _, d := range append(t1, t2...) {
+		if r := math.Abs(d.Relative()); r > worst {
+			worst = r
+		}
+	}
+	if worst > 0.12 {
+		t.Fatalf("worst relative deviation %.1f%% exceeds the 12%% band", worst*100)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	pts := Figure4(simnet.DefaultParams(), nil)
+	if len(pts) != len(Figure4Lengths) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Paper shape: nearly equal at small sizes; multi-port
+	// significantly ahead at large sizes; crossover between 10^3 and
+	// 10^5 doubles; multi-port never significantly behind.
+	var crossAt int
+	for _, pt := range pts {
+		if pt.Doubles <= 100 {
+			if pt.MultiPortWinsBy < 0.5 || pt.MultiPortWinsBy > 1.5 {
+				t.Fatalf("small size %d: ratio %.2f not ~1", pt.Doubles, pt.MultiPortWinsBy)
+			}
+		}
+		if pt.Doubles >= 1<<17 {
+			if pt.MultiPortWinsBy < 1.8 {
+				t.Fatalf("large size %d: ratio %.2f, want > 1.8", pt.Doubles, pt.MultiPortWinsBy)
+			}
+		}
+		if crossAt == 0 && pt.MultiPortWinsBy > 1.05 {
+			crossAt = pt.Doubles
+		}
+	}
+	if crossAt < 1000 || crossAt > 100000 {
+		t.Fatalf("crossover at %d doubles, expected within [10^3, 10^5]", crossAt)
+	}
+	// Peak bandwidths approximate the paper's.
+	maxC, maxM := 0.0, 0.0
+	for _, pt := range pts {
+		maxC = math.Max(maxC, pt.CentralizedBW)
+		maxM = math.Max(maxM, pt.MultiBW)
+	}
+	if math.Abs(maxC-PaperFigure4Peaks.Centralized) > 0.15*PaperFigure4Peaks.Centralized {
+		t.Fatalf("centralized peak %.2f, paper %.2f", maxC, PaperFigure4Peaks.Centralized)
+	}
+	// The multi-port curve keeps rising past 2^17 in the model (the
+	// paper stops plotting at 10^7); compare at the paper's peak x.
+	at17 := 0.0
+	for _, pt := range pts {
+		if pt.Doubles == 1<<17 {
+			at17 = pt.MultiBW
+		}
+	}
+	if math.Abs(at17-PaperFigure4Peaks.MultiPort) > 0.15*PaperFigure4Peaks.MultiPort {
+		t.Fatalf("multi-port at 2^17 = %.2f, paper %.2f", at17, PaperFigure4Peaks.MultiPort)
+	}
+}
+
+func TestSpotUneven(t *testing.T) {
+	model, paper := SpotUneven(simnet.DefaultParams())
+	if paper != PaperUnevenSpot {
+		t.Fatal("paper constant drifted")
+	}
+	if math.Abs(model-paper)/paper > 0.10 {
+		t.Fatalf("uneven spot: model %.0f vs paper %.0f", model, paper)
+	}
+}
+
+func TestEffectiveBandwidthUnits(t *testing.T) {
+	// 2^17 doubles in 336 ms → ≈25 in the paper's plotted unit.
+	bw := EffectiveBandwidth(ExperimentBytes, 336)
+	if bw < 24 || bw < 0 || bw > 26 {
+		t.Fatalf("bandwidth = %.2f, want ≈25", bw)
+	}
+	if EffectiveBandwidth(100, 0) != 0 {
+		t.Fatal("zero time must give zero bandwidth")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	p := simnet.DefaultParams()
+	t1 := FormatTable1(Table1(p))
+	if !strings.Contains(t1, "t_gather") || !strings.Contains(t1, "Table 1") {
+		t.Fatalf("table 1 format:\n%s", t1)
+	}
+	if strings.Count(t1, "\n") < 13 {
+		t.Fatalf("table 1 too short:\n%s", t1)
+	}
+	t2 := FormatTable2(Table2(p))
+	if !strings.Contains(t2, "t_exit_barrier") {
+		t.Fatalf("table 2 format:\n%s", t2)
+	}
+	f4 := FormatFigure4(Figure4(p, []int{100, 10000, 131072}))
+	if !strings.Contains(f4, "Figure 4") || !strings.Contains(f4, "multi-port") {
+		t.Fatalf("figure 4 format:\n%s", f4)
+	}
+}
+
+func TestDistStudyGradient(t *testing.T) {
+	rows := DistStudy(simnet.DefaultParams())
+	if len(rows) < 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]DistStudyRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.TotalMs <= 0 || r.Blocks <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	uniform := byName["uniform/uniform"].TotalMs
+	mild := byName["uniform/mild-skew"].TotalMs
+	single := byName["single-owner/uniform"].TotalMs
+	// Mild skew stays comparable (the paper's n=3/m=5 observation).
+	if mild > uniform*1.15 {
+		t.Fatalf("mild skew should stay comparable: %v vs %v", mild, uniform)
+	}
+	// Concentrating the data on one sender re-serializes the
+	// transfer: it must cost at least twice the uniform case.
+	if single < uniform*2 {
+		t.Fatalf("single-owner should forfeit the advantage: %v vs %v", single, uniform)
+	}
+}
+
+func TestCSVOutputs(t *testing.T) {
+	p := simnet.DefaultParams()
+	csv1 := CSVTable1(Table1(p))
+	if !strings.HasPrefix(csv1, "n,m,model_tc") || strings.Count(csv1, "\n") != 13 {
+		t.Fatalf("csv1:\n%s", csv1)
+	}
+	csv2 := CSVTable2(Table2(p))
+	if !strings.HasPrefix(csv2, "n,m,model_tmp") || strings.Count(csv2, "\n") != 13 {
+		t.Fatalf("csv2:\n%s", csv2)
+	}
+	csv4 := CSVFigure4(Figure4(p, []int{100, 1000}))
+	if strings.Count(csv4, "\n") != 3 {
+		t.Fatalf("csv4:\n%s", csv4)
+	}
+}
+
+func TestFormatDistStudy(t *testing.T) {
+	out := FormatDistStudy(DistStudy(simnet.DefaultParams()))
+	if !strings.Contains(out, "Distribution study") || !strings.Contains(out, "single-owner") {
+		t.Fatalf("study format:\n%s", out)
+	}
+}

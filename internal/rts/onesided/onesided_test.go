@@ -1,0 +1,209 @@
+package onesided
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pardis/internal/rts"
+)
+
+func TestNewDomainValidation(t *testing.T) {
+	if _, err := NewDomain(0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := NewDomain(-3); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	d, err := NewDomain(2)
+	if err != nil || d.Size() != 2 {
+		t.Fatalf("NewDomain(2): %v %v", d, err)
+	}
+}
+
+func TestCloseUnblocksBarrier(t *testing.T) {
+	d := MustDomain(2)
+	done := make(chan error, 1)
+	go func() { done <- d.Thread(0).Barrier() }()
+	time.Sleep(10 * time.Millisecond)
+	d.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("barrier never unblocked")
+	}
+	// Operations after close fail fast.
+	if err := d.Thread(1).Barrier(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close barrier: %v", err)
+	}
+	if _, err := d.Thread(1).Bcast(0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close bcast: %v", err)
+	}
+}
+
+func TestCollectiveArgumentErrors(t *testing.T) {
+	d := MustDomain(2)
+	defer d.Close()
+	th := d.Thread(0)
+	if _, err := th.Bcast(5, nil); err == nil {
+		t.Fatal("bad root accepted")
+	}
+	if _, err := th.GatherDoubles(0, []float64{1}, []int{1}); err == nil {
+		t.Fatal("short counts accepted")
+	}
+	if _, err := th.GatherDoubles(0, []float64{1, 2}, []int{1, 1}); err == nil {
+		t.Fatal("count/local mismatch accepted")
+	}
+}
+
+func TestThreadHandleIsStable(t *testing.T) {
+	d := MustDomain(3)
+	defer d.Close()
+	if d.Thread(1) != d.Thread(1) {
+		t.Fatal("Thread(r) must return a stable handle (epoch state lives on it)")
+	}
+}
+
+// runAll drives fn on every thread and fails on any error.
+func runAll(t *testing.T, d *Domain, fn func(th rts.Thread) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, d.Size())
+	for r := 0; r < d.Size(); r++ {
+		wg.Add(1)
+		go func(th rts.Thread) {
+			defer wg.Done()
+			if err := fn(th); err != nil {
+				errs <- err
+				d.Close()
+			}
+		}(d.Thread(r))
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestDirectCollectives(t *testing.T) {
+	d := MustDomain(4)
+	defer d.Close()
+	counts := []int{2, 0, 3, 1}
+	runAll(t, d, func(th rts.Thread) error {
+		// Bcast.
+		var in []byte
+		if th.Rank() == 2 {
+			in = []byte("window")
+		}
+		out, err := th.Bcast(2, in)
+		if err != nil || string(out) != "window" {
+			return fmt.Errorf("bcast: %q %v", out, err)
+		}
+		// Gather + scatter round trip.
+		base := 0
+		for r := 0; r < th.Rank(); r++ {
+			base += counts[r]
+		}
+		local := make([]float64, counts[th.Rank()])
+		for i := range local {
+			local[i] = float64(base + i)
+		}
+		full, err := th.GatherDoubles(0, local, counts)
+		if err != nil {
+			return err
+		}
+		if th.Rank() == 0 {
+			for i, v := range full {
+				if v != float64(i) {
+					return fmt.Errorf("gather[%d] = %v", i, v)
+				}
+			}
+		}
+		blk, err := th.ScatterDoubles(0, full, counts)
+		if err != nil {
+			return err
+		}
+		for i, v := range blk {
+			if v != float64(base+i) {
+				return fmt.Errorf("scatter[%d] = %v", i, v)
+			}
+		}
+		// Allgather.
+		vals, err := th.AllgatherU64(uint64(th.Rank() * 11))
+		if err != nil {
+			return err
+		}
+		for i, v := range vals {
+			if v != uint64(i*11) {
+				return fmt.Errorf("allgather[%d] = %d", i, v)
+			}
+		}
+		// Point-to-point ring.
+		next := (th.Rank() + 1) % th.Size()
+		prev := (th.Rank() + 3) % th.Size()
+		if err := th.SendBytes(next, 5, []byte{byte(th.Rank())}); err != nil {
+			return err
+		}
+		got, err := th.RecvBytes(prev, 5)
+		if err != nil || got[0] != byte(prev) {
+			return fmt.Errorf("ring: %v %v", got, err)
+		}
+		return th.Barrier()
+	})
+}
+
+func TestDirectRepeatedEpochs(t *testing.T) {
+	d := MustDomain(3)
+	defer d.Close()
+	counts := []int{1, 1, 1}
+	runAll(t, d, func(th rts.Thread) error {
+		for round := 0; round < 25; round++ {
+			full, err := th.GatherDoubles(round%3, []float64{float64(round)}, counts)
+			if err != nil {
+				return err
+			}
+			if th.Rank() == round%3 {
+				for _, v := range full {
+					if v != float64(round) {
+						return fmt.Errorf("round %d saw %v", round, v)
+					}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatterDataSizeError(t *testing.T) {
+	d := MustDomain(2)
+	defer d.Close()
+	runAll(t, d, func(th rts.Thread) error {
+		if th.Rank() == 0 {
+			_, err := th.ScatterDoubles(0, []float64{1}, []int{1, 1})
+			if err == nil {
+				return fmt.Errorf("short scatter data accepted")
+			}
+			return nil
+		}
+		return nil
+	})
+}
+
+func TestP2PArgumentErrors(t *testing.T) {
+	d := MustDomain(2)
+	defer d.Close()
+	th := d.Thread(0)
+	if err := th.SendBytes(9, 0, nil); err == nil {
+		t.Fatal("bad dst accepted")
+	}
+	if err := th.SendBytes(1, -1, nil); err == nil {
+		t.Fatal("negative tag accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Package rts defines PARDIS's generic run-time-system interface: the
+// portal through which the ORB and compiler-generated stubs interact
+// with the parallel runtime underlying an SPMD application (figure 1
+// of the paper). PARDIS specified one such interface, covering the
+// functionality of message-passing runtimes (tested against MPI and
+// Tulip), and planned a second capturing one-sided runtimes; this
+// package provides both:
+//
+//   - MessagePassing adapts an mp.Proc (the MPI stand-in), and
+//   - the onesided subpackage implements the interface with direct
+//     remote-memory access over exposed windows.
+//
+// The ORB only ever sees the Thread interface, so an application built
+// on either runtime flavor can be made into an SPMD object without
+// rewriting its internals — the property the paper contrasts against
+// Nexus-style metacomputing, where the application must be coded
+// against the metacomputing runtime itself.
+package rts
+
+import "pardis/internal/mp"
+
+// Thread is the per-computing-thread portal into the application's
+// runtime. All collective methods must be entered by every thread of
+// the SPMD section, with equal root and counts arguments.
+type Thread interface {
+	// Rank identifies this computing thread within the SPMD section.
+	Rank() int
+	// Size is the number of computing threads.
+	Size() int
+	// Barrier blocks until all threads have entered it.
+	Barrier() error
+	// Bcast distributes root's byte payload to every thread.
+	Bcast(root int, data []byte) ([]byte, error)
+	// GatherDoubles gathers counts[r] float64s from each thread r to
+	// root, concatenated in rank order; non-roots return nil.
+	GatherDoubles(root int, local []float64, counts []int) ([]float64, error)
+	// ScatterDoubles splits data at root into counts[r]-sized blocks
+	// and returns each thread its block.
+	ScatterDoubles(root int, data []float64, counts []int) ([]float64, error)
+	// AllgatherU64 gathers one uint64 per thread to all threads, in
+	// rank order. It backs the identical-scalar-argument check.
+	AllgatherU64(v uint64) ([]uint64, error)
+	// SendBytes delivers a tagged byte payload to thread dst within
+	// the section (tags must be >= 0). The payload is copied.
+	SendBytes(dst, tag int, data []byte) error
+	// RecvBytes blocks until a payload matching (src, tag) arrives.
+	RecvBytes(src, tag int) ([]byte, error)
+}
+
+// MessagePassing adapts an mp rank to the RTS interface. It is the
+// flavor PARDIS shipped first, corresponding to MPI/Tulip.
+type MessagePassing struct {
+	proc *mp.Proc
+}
+
+// NewMessagePassing wraps an mp rank.
+func NewMessagePassing(p *mp.Proc) *MessagePassing {
+	return &MessagePassing{proc: p}
+}
+
+// Proc exposes the underlying mp rank for application code that wants
+// to use the runtime directly alongside the ORB.
+func (m *MessagePassing) Proc() *mp.Proc { return m.proc }
+
+// Rank implements Thread.
+func (m *MessagePassing) Rank() int { return m.proc.Rank() }
+
+// Size implements Thread.
+func (m *MessagePassing) Size() int { return m.proc.Size() }
+
+// Barrier implements Thread.
+func (m *MessagePassing) Barrier() error { return m.proc.Barrier() }
+
+// Bcast implements Thread.
+func (m *MessagePassing) Bcast(root int, data []byte) ([]byte, error) {
+	return m.proc.Bcast(root, data)
+}
+
+// GatherDoubles implements Thread.
+func (m *MessagePassing) GatherDoubles(root int, local []float64, counts []int) ([]float64, error) {
+	return m.proc.GatherV(root, local, counts)
+}
+
+// ScatterDoubles implements Thread.
+func (m *MessagePassing) ScatterDoubles(root int, data []float64, counts []int) ([]float64, error) {
+	return m.proc.ScatterV(root, data, counts)
+}
+
+// AllgatherU64 implements Thread.
+func (m *MessagePassing) AllgatherU64(v uint64) ([]uint64, error) {
+	return m.proc.AllgatherU64(v)
+}
+
+// SendBytes implements Thread.
+func (m *MessagePassing) SendBytes(dst, tag int, data []byte) error {
+	return m.proc.Send(dst, tag, data)
+}
+
+// RecvBytes implements Thread.
+func (m *MessagePassing) RecvBytes(src, tag int) ([]byte, error) {
+	b, _, err := m.proc.Recv(src, tag)
+	return b, err
+}
+
+var _ Thread = (*MessagePassing)(nil)

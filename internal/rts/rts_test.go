@@ -1,0 +1,239 @@
+package rts_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pardis/internal/mp"
+	"pardis/internal/rts"
+	"pardis/internal/rts/onesided"
+)
+
+// harness runs fn on every thread of a size-P section for each RTS
+// flavor, so the same conformance suite exercises both adapters.
+func harness(t *testing.T, size int, fn func(th rts.Thread) error) {
+	t.Helper()
+	t.Run("message-passing", func(t *testing.T) {
+		err := mp.Run(size, func(p *mp.Proc) error {
+			return fn(rts.NewMessagePassing(p))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("one-sided", func(t *testing.T) {
+		d := onesided.MustDomain(size)
+		defer d.Close()
+		var wg sync.WaitGroup
+		errc := make(chan error, size)
+		for r := 0; r < size; r++ {
+			wg.Add(1)
+			go func(th rts.Thread) {
+				defer wg.Done()
+				if err := fn(th); err != nil {
+					errc <- err
+					d.Close()
+				}
+			}(d.Thread(r))
+		}
+		wg.Wait()
+		select {
+		case err := <-errc:
+			t.Fatal(err)
+		default:
+		}
+	})
+}
+
+func TestRankSize(t *testing.T) {
+	seen := make(map[string]map[int]bool)
+	var mu sync.Mutex
+	harness(t, 4, func(th rts.Thread) error {
+		if th.Size() != 4 {
+			return fmt.Errorf("size = %d", th.Size())
+		}
+		mu.Lock()
+		key := fmt.Sprintf("%T", th)
+		if seen[key] == nil {
+			seen[key] = map[int]bool{}
+		}
+		if seen[key][th.Rank()] {
+			mu.Unlock()
+			return fmt.Errorf("duplicate rank %d", th.Rank())
+		}
+		seen[key][th.Rank()] = true
+		mu.Unlock()
+		return nil
+	})
+}
+
+func TestBcast(t *testing.T) {
+	harness(t, 3, func(th rts.Thread) error {
+		var in []byte
+		if th.Rank() == 1 {
+			in = []byte("spmd header")
+		}
+		out, err := th.Bcast(1, in)
+		if err != nil {
+			return err
+		}
+		if string(out) != "spmd header" {
+			return fmt.Errorf("rank %d: bcast = %q", th.Rank(), out)
+		}
+		return nil
+	})
+}
+
+func TestGatherScatter(t *testing.T) {
+	counts := []int{4, 1, 0, 3}
+	harness(t, 4, func(th rts.Thread) error {
+		base := 0
+		for r := 0; r < th.Rank(); r++ {
+			base += counts[r]
+		}
+		local := make([]float64, counts[th.Rank()])
+		for i := range local {
+			local[i] = float64(base+i) * 1.5
+		}
+		g, err := th.GatherDoubles(0, local, counts)
+		if err != nil {
+			return err
+		}
+		if th.Rank() == 0 {
+			if len(g) != 8 {
+				return fmt.Errorf("gathered %d elements", len(g))
+			}
+			for i, v := range g {
+				if v != float64(i)*1.5 {
+					return fmt.Errorf("gathered[%d] = %v", i, v)
+				}
+			}
+		}
+		var data []float64
+		if th.Rank() == 0 {
+			data = g
+		}
+		s, err := th.ScatterDoubles(0, data, counts)
+		if err != nil {
+			return err
+		}
+		if len(s) != counts[th.Rank()] {
+			return fmt.Errorf("scattered %d elements, want %d", len(s), counts[th.Rank()])
+		}
+		for i, v := range s {
+			if v != float64(base+i)*1.5 {
+				return fmt.Errorf("scattered[%d] = %v", i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgatherU64(t *testing.T) {
+	harness(t, 5, func(th rts.Thread) error {
+		got, err := th.AllgatherU64(uint64(th.Rank()+1) * 7)
+		if err != nil {
+			return err
+		}
+		if len(got) != 5 {
+			return fmt.Errorf("len = %d", len(got))
+		}
+		for i, v := range got {
+			if v != uint64(i+1)*7 {
+				return fmt.Errorf("rank %d: got[%d] = %d", th.Rank(), i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBarrierSequence(t *testing.T) {
+	// Repeated collectives must not interfere across epochs.
+	harness(t, 3, func(th rts.Thread) error {
+		for round := 0; round < 10; round++ {
+			if err := th.Barrier(); err != nil {
+				return err
+			}
+			got, err := th.AllgatherU64(uint64(round))
+			if err != nil {
+				return err
+			}
+			for _, v := range got {
+				if v != uint64(round) {
+					return fmt.Errorf("round %d saw value %d", round, v)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestSingleThreadSection(t *testing.T) {
+	harness(t, 1, func(th rts.Thread) error {
+		if err := th.Barrier(); err != nil {
+			return err
+		}
+		g, err := th.GatherDoubles(0, []float64{1, 2}, []int{2})
+		if err != nil || len(g) != 2 {
+			return fmt.Errorf("gather: %v %v", g, err)
+		}
+		s, err := th.ScatterDoubles(0, g, []int{2})
+		if err != nil || len(s) != 2 || s[1] != 2 {
+			return fmt.Errorf("scatter: %v %v", s, err)
+		}
+		return nil
+	})
+}
+
+func TestSendRecvBytes(t *testing.T) {
+	harness(t, 3, func(th rts.Thread) error {
+		// Ring: each thread sends to (rank+1) mod 3, tagged by sender.
+		next := (th.Rank() + 1) % 3
+		prev := (th.Rank() + 2) % 3
+		if err := th.SendBytes(next, th.Rank(), []byte{byte(th.Rank())}); err != nil {
+			return err
+		}
+		b, err := th.RecvBytes(prev, prev)
+		if err != nil {
+			return err
+		}
+		if len(b) != 1 || b[0] != byte(prev) {
+			return fmt.Errorf("rank %d got %v from %d", th.Rank(), b, prev)
+		}
+		return nil
+	})
+}
+
+func TestSendRecvBytesFIFO(t *testing.T) {
+	harness(t, 2, func(th rts.Thread) error {
+		const N = 20
+		if th.Rank() == 0 {
+			for i := 0; i < N; i++ {
+				if err := th.SendBytes(1, 9, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < N; i++ {
+			b, err := th.RecvBytes(0, 9)
+			if err != nil {
+				return err
+			}
+			if b[0] != byte(i) {
+				return fmt.Errorf("message %d overtaken by %d", i, b[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestMessagePassingExposesProc(t *testing.T) {
+	w := mp.MustWorld(2)
+	defer w.Close()
+	m := rts.NewMessagePassing(w.Rank(1))
+	if m.Proc() != w.Rank(1) {
+		t.Fatal("Proc() does not return the wrapped rank")
+	}
+}

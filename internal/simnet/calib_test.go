@@ -1,0 +1,53 @@
+package simnet
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestPrintCalibration prints model vs paper for manual calibration.
+// Run with PARDIS_CALIB=1.
+func TestPrintCalibration(t *testing.T) {
+	if os.Getenv("PARDIS_CALIB") == "" {
+		t.Skip("set PARDIS_CALIB=1 to print the calibration grid")
+	}
+	p := DefaultParams()
+	const L = (1 << 17) * 8
+	fmt.Println("== centralized (paper: tc, tgather, tp&s, tu, tscatter) ==")
+	paper1 := map[[2]int][5]float64{
+		{1, 1}: {417, 0.74, 380, 16.7, 0.2}, {1, 2}: {442, 0.74, 382, 20.5, 21.3},
+		{1, 4}: {451, 0.74, 385, 21.1, 25}, {1, 8}: {461, 0.74, 394, 21.8, 25.8},
+		{2, 1}: {497, 33.6, 421, 17.1, 0.2}, {2, 2}: {529, 33.6, 430, 20.3, 20.2},
+		{2, 4}: {538, 33.6, 433, 21.2, 24.6}, {2, 8}: {552, 33.6, 446, 21.7, 26.2},
+		{4, 1}: {571, 43.2, 486, 15.9, 0.2}, {4, 2}: {634, 43.2, 528, 20, 18.9},
+		{4, 4}: {685, 43.2, 571, 21.1, 25.5}, {4, 8}: {697, 43.2, 577, 21.6, 26.7},
+	}
+	for _, n := range []int{1, 2, 4} {
+		for _, m := range []int{1, 2, 4, 8} {
+			b := Centralized(p, n, m, L)
+			pp := paper1[[2]int{n, m}]
+			fmt.Printf("n=%d m=%d  tc %6.0f/%6.0f (%+5.1f%%)  tg %5.1f/%5.1f  tps %5.0f/%5.0f  tu %5.1f/%5.1f  tsc %5.1f/%5.1f\n",
+				n, m, b.Total, pp[0], 100*(b.Total-pp[0])/pp[0],
+				b.Gather, pp[1], b.PackSend, pp[2], b.Unpack, pp[3], b.Scatter, pp[4])
+		}
+	}
+	fmt.Println("== multiport (paper: tmp, tp, tsend, tu, texit) ==")
+	paper2 := map[[2]int][5]float64{
+		{1, 1}: {420, 37.2, 338, 23.5, 0.03}, {1, 2}: {417, 38.4, 348, 18.3, 165},
+		{1, 4}: {408, 35.1, 347, 8.1, 256}, {1, 8}: {412, 30.9, 356, 3.5, 307},
+		{2, 1}: {431, 15.9, 361, 23.6, 0.03}, {2, 2}: {425, 16.4, 358, 12.6, 3.9},
+		{2, 4}: {412, 17, 352, 7.5, 169}, {2, 8}: {393, 16.4, 336, 3.5, 240},
+		{4, 1}: {367, 13.1, 285, 25.8, 0.03}, {4, 2}: {376, 13.8, 298, 13.5, 3.9},
+		{4, 4}: {368, 13.4, 296, 6.4, 8.3}, {4, 8}: {336, 13.1, 261, 3.4, 129},
+	}
+	for _, n := range []int{1, 2, 4} {
+		for _, m := range []int{1, 2, 4, 8} {
+			b := MultiPort(p, n, m, L)
+			pp := paper2[[2]int{n, m}]
+			fmt.Printf("n=%d m=%d  tmp %6.0f/%6.0f (%+5.1f%%)  tp %5.1f/%5.1f  tsend %5.0f/%5.0f  tu %5.1f/%5.1f  texit %5.0f/%5.0f\n",
+				n, m, b.Total, pp[0], 100*(b.Total-pp[0])/pp[0],
+				b.Pack, pp[1], b.Send, pp[2], b.Unpack, pp[3], b.ExitBarrier, pp[4])
+		}
+	}
+}

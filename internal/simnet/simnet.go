@@ -1,0 +1,538 @@
+// Package simnet models the paper's 1996 testbed so its experiments
+// can be regenerated: a 4-CPU SGI R4400 client and a 10-CPU SGI Power
+// Challenge R8000 server joined by one dedicated 155 Mb/s ATM link
+// (LAN Emulation), with MPICH 1.0.12 shared-memory runtimes on both
+// sides and NexusLite network transport whose large-message sends are
+// effectively synchronous.
+//
+// The model executes the same protocol steps as the real PARDIS
+// engines in package spmd — gather → pack → send → unpack → scatter
+// for the centralized method; header delivery followed by planned
+// point-to-point block transfers for the multi-port method, using the
+// very same dist.Plan computation — on a discrete-event simulation of
+// the hardware. Two mechanisms carry the phenomena the paper observes:
+//
+//  1. Synchronous chunked sends: a send progresses chunk by chunk and
+//     each chunk requires a rendezvous whose latency grows with the
+//     number of runnable threads on both nodes (MPICH shared-memory
+//     processes spin-wait, so blocked SPMD threads still consume CPU
+//     and stretch scheduling latency — the paper's "scheduler
+//     interference" hypothesis in §3.2).
+//  2. A shared wire: chunk transmissions from concurrent streams
+//     interleave on one FCFS link, so while one stream waits on its
+//     rendezvous another can transmit — which is why multi-port
+//     transfer recovers link utilization that the centralized method
+//     loses (§3.3).
+//
+// Parameters are calibrated against Tables 1-2 (see DefaultParams and
+// EXPERIMENTS.md); the calibration targets the tables' shape, not
+// digit-exact replay.
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"pardis/internal/des"
+	"pardis/internal/dist"
+)
+
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }
+
+// erlangShape controls the variance of per-chunk rendezvous draws:
+// delays are Erlang(k, mean) — the sum of k exponentials — giving a
+// coefficient of variation 1/sqrt(k). Real rendezvous latencies are
+// far less dispersed than exponential; k = 8 reproduces the paper's
+// tight synchronization of symmetric configurations (t_exit_barrier
+// of 3.9 ms at n = m = 2).
+const erlangShape = 8
+
+// drawDelay samples an Erlang-distributed delay with the given mean.
+func drawDelay(sim *des.Sim, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	d := 0.0
+	for i := 0; i < erlangShape; i++ {
+		d += sim.Exp(mean / erlangShape)
+	}
+	return d
+}
+
+// Params holds the calibrated testbed constants. All rates are MB/s
+// (MB = 1e6 bytes), times are milliseconds, sizes are bytes.
+type Params struct {
+	// WireMBps is the raw effective link bandwidth available to
+	// chunk transmissions (ATM LANE + 1996 TCP overhead).
+	WireMBps float64
+	// ChunkBytes is the transfer granularity of the synchronous
+	// send protocol.
+	ChunkBytes int
+	// Delta0 is the base per-chunk rendezvous latency with a single
+	// runnable thread on each node.
+	Delta0 float64
+	// SigmaClient/SigmaServer scale rendezvous latency per extra
+	// runnable thread on the client/server node (multiplicative).
+	SigmaClient float64
+	SigmaServer float64
+	// Cross is the additive interaction term per (n-1)*(m-1).
+	Cross float64
+
+	// ClientPackMBps is the communicator's marshaling rate; PackFloor
+	// is the fixed per-thread marshaling setup cost.
+	ClientPackMBps float64
+	PackFloor      float64
+	// ClientShmMBps is the MPI shared-memory gather rate on the
+	// client; ShmParallelGain is the relative speedup per additional
+	// concurrent shm sender beyond the second.
+	ClientShmMBps   float64
+	ServerShmMBps   float64
+	ShmParallelGain float64
+	// GatherFloor is the fixed cost of the gather/scatter step.
+	GatherFloor float64
+
+	// ServerUnpackMBps is the server-side unmarshal rate;
+	// UnpackInterference scales it per extra runnable server thread.
+	ServerUnpackMBps   float64
+	UnpackInterference float64
+
+	// RequestOverhead is the fixed invocation cost (header delivery,
+	// dispatch, reply); OverheadPerClientThread/ServerThread add the
+	// per-thread synchronization cost.
+	RequestOverhead         float64
+	OverheadPerClientThread float64
+	OverheadPerServerThread float64
+
+	// PerBlockCost is the multi-port per-block handling cost
+	// (transfer header, matching) on each side.
+	PerBlockCost float64
+
+	// EagerBytes is the threshold below which a transfer is sent
+	// eagerly (buffered, no rendezvous): the paper notes that only
+	// sends of LARGE data are "in practice synchronous operations".
+	// EagerCost is the fixed per-message cost of an eager send.
+	EagerBytes int
+	EagerCost  float64
+
+	// Multi-port stream contention: with n concurrent sender threads
+	// the per-chunk rendezvous latency of each stream rises steeply
+	// (all threads do protocol work and contend for CPU and NIC),
+	// tempered by receiver-side parallelism. The per-chunk delay is
+	//   n == 1: delta(n, m) (same as centralized)
+	//   n >= 2: (Delta0 + MPDeltaSlope*(n-1)^MPDeltaExp) /
+	//           (1 + MPRecvGain*(m-1))
+	MPDeltaSlope float64
+	MPDeltaExp   float64
+	MPRecvGain   float64
+
+	// CacheBytes is the client working-set size beyond which pack and
+	// send rates degrade by CachePenalty (secondary-cache overflow on
+	// the R4400 node) — responsible for the centralized method's
+	// bandwidth peak at 2^16 doubles in Figure 4.
+	CacheBytes   int
+	CachePenalty float64
+
+	// Seed drives the exponential rendezvous draws; Reps averages
+	// that many simulated invocations (the paper averaged 1000; a
+	// handful suffices for stable means here).
+	Reps int
+	Seed int64
+}
+
+// DefaultParams returns the constants calibrated against Tables 1-2.
+func DefaultParams() Params {
+	return Params{
+		WireMBps:    4.6,
+		ChunkBytes:  16384,
+		Delta0:      1.80,
+		SigmaClient: 0.32,
+		SigmaServer: 0.017,
+		Cross:       0.044,
+
+		ClientPackMBps:  28.5,
+		PackFloor:       4.0,
+		ClientShmMBps:   15.0,
+		ServerShmMBps:   26.0,
+		ShmParallelGain: 0.08,
+		GatherFloor:     0.7,
+
+		ServerUnpackMBps:   63.0,
+		UnpackInterference: 0.044,
+
+		RequestOverhead:         18.5,
+		OverheadPerClientThread: 0.9,
+		OverheadPerServerThread: 1.0,
+
+		PerBlockCost: 2.0,
+		EagerBytes:   16384,
+		EagerCost:    0.4,
+
+		MPDeltaSlope: 5.8,
+		MPDeltaExp:   0.6,
+		MPRecvGain:   0.035,
+
+		CacheBytes:   1 << 20,
+		CachePenalty: 0.06,
+
+		Reps: 4,
+		Seed: 1996,
+	}
+}
+
+// delta returns the mean per-chunk rendezvous latency with n runnable
+// threads on the client node and m on the server node (centralized
+// method: one active sender, the rest spinning).
+func (p Params) delta(n, m int) float64 {
+	return p.Delta0*(1+p.SigmaClient*float64(n-1))*(1+p.SigmaServer*float64(m-1)) +
+		p.Cross*float64(n-1)*float64(m-1)
+}
+
+// mpDelta returns the mean per-chunk rendezvous latency of one
+// multi-port stream with n concurrent sender threads and m receiver
+// threads.
+func (p Params) mpDelta(n, m int) float64 {
+	if n <= 1 {
+		return p.delta(n, m)
+	}
+	base := p.Delta0 + p.MPDeltaSlope*pow(float64(n-1), p.MPDeltaExp)
+	return base / (1 + p.MPRecvGain*float64(m-1))
+}
+
+// pow is math.Pow; aliased to keep the import list honest.
+func pow(x, y float64) float64 { return mathPow(x, y) }
+
+// wireMs returns the transmission time of size bytes on the link.
+func (p Params) wireMs(size int) float64 {
+	return float64(size) / p.WireMBps / 1000.0
+}
+
+// packMs returns the communicator-side marshaling time for size
+// bytes, including the large-working-set penalty.
+func (p Params) packMs(size int) float64 {
+	rate := p.ClientPackMBps
+	if size > p.CacheBytes {
+		rate /= 1 + p.CachePenalty
+	}
+	return p.PackFloor + float64(size)/rate/1000.0
+}
+
+// unpackMs returns the server-side unmarshal time for size bytes with
+// m runnable threads.
+func (p Params) unpackMs(size, m int) float64 {
+	rate := p.ServerUnpackMBps / (1 + p.UnpackInterference*float64(m-1))
+	return float64(size) / rate / 1000.0
+}
+
+// shmMoveMs returns the time to gather/scatter a sequence of size
+// bytes between k threads over the node's shared memory (the
+// communicator exchanges (k-1)/k of the data with k-1 peers, who
+// proceed partly in parallel).
+func (p Params) shmMoveMs(size, k int, rate float64) float64 {
+	if k <= 1 {
+		return p.GatherFloor
+	}
+	moved := float64(size) * float64(k-1) / float64(k)
+	eff := rate * (1 + p.ShmParallelGain*float64(k-2))
+	return p.GatherFloor + moved/eff/1000.0
+}
+
+// overheadMs returns the fixed invocation overhead.
+func (p Params) overheadMs(n, m int) float64 {
+	return p.RequestOverhead +
+		p.OverheadPerClientThread*float64(n-1) +
+		p.OverheadPerServerThread*float64(m-1)
+}
+
+// CentralizedBreakdown mirrors the columns of Table 1.
+type CentralizedBreakdown struct {
+	N, M  int
+	Bytes int
+	// Gather and Scatter are the RTS collective times; PackSend is
+	// the communicator's marshal+send (the paper's t_p&s); Unpack is
+	// the server's receive+unmarshal (t_u); Overhead is everything
+	// else (header, dispatch, reply, synchronization).
+	Gather, PackSend, Unpack, Scatter, Overhead float64
+	// Total is t_c.
+	Total float64
+}
+
+// MultiPortBreakdown mirrors the columns of Table 2.
+type MultiPortBreakdown struct {
+	N, M  int
+	Bytes int
+	// Pack is the per-thread marshal max (t_p); Send the per-stream
+	// transfer max (t_send); Unpack the per-server-thread unmarshal
+	// max (t_u); ExitBarrier the communicator's post-invocation
+	// barrier wait (t_exit_barrier, measured on processor 0).
+	Pack, Send, Unpack, ExitBarrier float64
+	// Total is t_mp.
+	Total float64
+}
+
+// Centralized simulates one centralized-method invocation carrying an
+// "in" dsequence of the given byte size from an n-thread client to an
+// m-thread server, averaged over Params.Reps runs.
+func Centralized(p Params, n, m, bytes int) CentralizedBreakdown {
+	if n < 1 || m < 1 || bytes < 0 {
+		panic(fmt.Sprintf("simnet: bad configuration n=%d m=%d bytes=%d", n, m, bytes))
+	}
+	var acc CentralizedBreakdown
+	for rep := 0; rep < p.Reps; rep++ {
+		b := centralizedOnce(p, n, m, bytes, p.Seed+int64(rep)*7919)
+		acc.Gather += b.Gather
+		acc.PackSend += b.PackSend
+		acc.Unpack += b.Unpack
+		acc.Scatter += b.Scatter
+		acc.Overhead += b.Overhead
+		acc.Total += b.Total
+	}
+	inv := 1 / float64(p.Reps)
+	acc.Gather *= inv
+	acc.PackSend *= inv
+	acc.Unpack *= inv
+	acc.Scatter *= inv
+	acc.Overhead *= inv
+	acc.Total *= inv
+	acc.N, acc.M, acc.Bytes = n, m, bytes
+	return acc
+}
+
+func centralizedOnce(p Params, n, m, bytes int, seed int64) CentralizedBreakdown {
+	sim := des.New(seed)
+	wire := sim.NewResource(1)
+	var b CentralizedBreakdown
+
+	sim.Spawn("centralized", func(pr *des.Proc) {
+		// Phase 1: gather to the client communicator over MPI shm.
+		t0 := pr.Now()
+		pr.Wait(p.shmMoveMs(bytes, n, p.ClientShmMBps))
+		b.Gather = pr.Now() - t0
+
+		// Phase 2+3: the communicator packs, then sends the single
+		// message chunk by chunk; every chunk needs a rendezvous
+		// with the (possibly descheduled) server communicator.
+		t0 = pr.Now()
+		pr.Wait(p.packMs(bytes))
+		sendRate := 1.0
+		if bytes > p.CacheBytes {
+			sendRate = 1 + p.CachePenalty
+		}
+		if bytes <= p.EagerBytes {
+			// Small messages go out eagerly (buffered send): no
+			// rendezvous with the receiver.
+			pr.Wait(p.EagerCost)
+			wire.Use(pr, p.wireMs(bytes))
+		} else {
+			remaining := bytes
+			for remaining > 0 {
+				c := p.ChunkBytes
+				if c > remaining {
+					c = remaining
+				}
+				remaining -= c
+				pr.Wait(drawDelay(sim, p.delta(n, m)))
+				wire.Use(pr, p.wireMs(c)*sendRate)
+			}
+		}
+		b.PackSend = pr.Now() - t0
+
+		// Phase 4: server communicator unpacks.
+		t0 = pr.Now()
+		pr.Wait(p.unpackMs(bytes, m))
+		b.Unpack = pr.Now() - t0
+
+		// Phase 5: scatter over server MPI shm.
+		t0 = pr.Now()
+		pr.Wait(p.shmMoveMs(bytes, m, p.ServerShmMBps))
+		b.Scatter = pr.Now() - t0
+
+		// Fixed overhead: header, dispatch, reply, synchronization.
+		b.Overhead = p.overheadMs(n, m)
+		pr.Wait(b.Overhead)
+	})
+	b.Total = sim.Run()
+	return b
+}
+
+// MultiPort simulates one multi-port invocation carrying an "in"
+// dsequence of the given byte size, block-distributed from n client
+// threads to m server threads, averaged over Params.Reps runs. Both
+// sides use the uniform BLOCK distribution, as in the experiment.
+func MultiPort(p Params, n, m, bytes int) MultiPortBreakdown {
+	if n < 1 || m < 1 || bytes < 0 {
+		panic(fmt.Sprintf("simnet: bad configuration n=%d m=%d bytes=%d", n, m, bytes))
+	}
+	var acc MultiPortBreakdown
+	for rep := 0; rep < p.Reps; rep++ {
+		b := multiPortOnce(p, n, m, bytes, p.Seed+int64(rep)*7919)
+		acc.Pack += b.Pack
+		acc.Send += b.Send
+		acc.Unpack += b.Unpack
+		acc.ExitBarrier += b.ExitBarrier
+		acc.Total += b.Total
+	}
+	inv := 1 / float64(p.Reps)
+	acc.Pack *= inv
+	acc.Send *= inv
+	acc.Unpack *= inv
+	acc.ExitBarrier *= inv
+	acc.Total *= inv
+	acc.N, acc.M, acc.Bytes = n, m, bytes
+	return acc
+}
+
+func multiPortOnce(p Params, n, m, bytes int, seed int64) MultiPortBreakdown {
+	const elem = 8 // doubles
+	length := bytes / elem
+	src := dist.Block().MustApply(length, n)
+	dst := dist.Block().MustApply(length, m)
+	return multiPortLayoutsOnce(p, src, dst, seed)
+}
+
+// MultiPortLayouts simulates a multi-port invocation whose argument
+// uses arbitrary client/server layouts — the §5 future-work study of
+// transfer strategies "under different assumptions about argument
+// distribution". Layout lengths are in doubles.
+func MultiPortLayouts(p Params, src, dst dist.Layout) MultiPortBreakdown {
+	if src.Len() != dst.Len() {
+		panic("simnet: layout length mismatch")
+	}
+	var acc MultiPortBreakdown
+	for rep := 0; rep < p.Reps; rep++ {
+		b := multiPortLayoutsOnce(p, src, dst, p.Seed+int64(rep)*7919)
+		acc.Pack += b.Pack
+		acc.Send += b.Send
+		acc.Unpack += b.Unpack
+		acc.ExitBarrier += b.ExitBarrier
+		acc.Total += b.Total
+	}
+	inv := 1 / float64(p.Reps)
+	acc.Pack *= inv
+	acc.Send *= inv
+	acc.Unpack *= inv
+	acc.ExitBarrier *= inv
+	acc.Total *= inv
+	acc.N, acc.M, acc.Bytes = src.P(), dst.P(), src.Len()*8
+	return acc
+}
+
+func multiPortLayoutsOnce(p Params, src, dst dist.Layout, seed int64) MultiPortBreakdown {
+	const elem = 8 // doubles
+	n, m := src.P(), dst.P()
+	plan, err := dist.Plan(src, dst)
+	if err != nil {
+		panic(err)
+	}
+
+	sim := des.New(seed)
+	wire := sim.NewResource(1)
+	var b MultiPortBreakdown
+
+	// Header delivery: centralized, before data transfer begins
+	// (§3.3 separates invocation from argument transfer).
+	headerDone := sim.NewGate()
+	sim.Spawn("header", func(pr *des.Proc) {
+		pr.Wait(p.overheadMs(n, m))
+		headerDone.Open()
+	})
+
+	// Per-server-thread accounting.
+	recvDone := make([]float64, m)
+	recvBytes := make([]int, m)
+	recvBlocks := make([]int, m)
+	for _, tr := range plan {
+		recvBytes[tr.To] += tr.Count * elem
+		recvBlocks[tr.To]++
+	}
+
+	// One stream per client thread, sending its plan share block by
+	// block (sequentially within a thread, concurrently across
+	// threads — the wire resource arbitrates).
+	done := sim.NewBarrier(n + 1)
+	sendEnd := make([]float64, n)
+	packEnd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		mine := dist.PlanFor(plan, i)
+		sim.Spawn(fmt.Sprintf("stream-%d", i), func(pr *des.Proc) {
+			headerDone.WaitOpen(pr)
+			// Per-thread pack of the local share.
+			myBytes := src.Count(i) * elem
+			if myBytes > 0 {
+				pr.Wait(p.PackFloor + float64(myBytes)/p.ClientPackMBps/1000.0)
+			}
+			packEnd[i] = pr.Now()
+			for _, tr := range mine {
+				pr.Wait(p.PerBlockCost) // transfer header, matching
+				blockBytes := tr.Count * elem
+				if blockBytes <= p.EagerBytes {
+					pr.Wait(p.EagerCost)
+					wire.Use(pr, p.wireMs(blockBytes))
+				} else {
+					remaining := blockBytes
+					for remaining > 0 {
+						c := p.ChunkBytes
+						if c > remaining {
+							c = remaining
+						}
+						remaining -= c
+						pr.Wait(drawDelay(sim, p.mpDelta(n, m)))
+						wire.Use(pr, p.wireMs(c))
+					}
+				}
+				if pr.Now() > recvDone[tr.To] {
+					recvDone[tr.To] = pr.Now()
+				}
+			}
+			sendEnd[i] = pr.Now()
+			done.Arrive(pr)
+		})
+	}
+	var unpackMax, lastServer, firstServer float64
+	sim.Spawn("collector", func(pr *des.Proc) {
+		done.Arrive(pr)
+		// Every server thread unpacks its blocks after its last one
+		// arrives; completion skew becomes the exit-barrier wait.
+		serverDone := make([]float64, m)
+		for j := 0; j < m; j++ {
+			u := float64(recvBlocks[j])*p.PerBlockCost + p.unpackMs(recvBytes[j], m)
+			serverDone[j] = recvDone[j] + u
+			if u > unpackMax {
+				unpackMax = u
+			}
+		}
+		firstServer, lastServer = serverDone[0], serverDone[0]
+		for _, d := range serverDone {
+			if d > lastServer {
+				lastServer = d
+			}
+			if d < firstServer {
+				firstServer = d
+			}
+		}
+		if wait := lastServer - pr.Now(); wait > 0 {
+			pr.Wait(wait)
+		}
+	})
+	total := sim.Run()
+
+	// Columns: per-thread maxima, as in Table 2.
+	for i := 0; i < n; i++ {
+		if pk := packEnd[i] - p.overheadMs(n, m); pk > b.Pack {
+			b.Pack = pk
+		}
+		if sd := sendEnd[i] - packEnd[i]; sd > b.Send {
+			b.Send = sd
+		}
+	}
+	b.Unpack = unpackMax
+	// The paper reports processor 0's barrier wait; server thread 0
+	// receives the earliest blocks under block distributions, so its
+	// wait is the full skew.
+	b.ExitBarrier = lastServer - (recvDone[0] + float64(recvBlocks[0])*p.PerBlockCost + p.unpackMs(recvBytes[0], m))
+	if b.ExitBarrier < 0 {
+		b.ExitBarrier = 0
+	}
+	b.Total = total
+	return b
+}

@@ -1,0 +1,233 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const expBytes = (1 << 17) * 8
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	p := DefaultParams()
+	a := Centralized(p, 4, 8, expBytes)
+	b := Centralized(p, 4, 8, expBytes)
+	if a != b {
+		t.Fatalf("centralized not deterministic: %+v vs %+v", a, b)
+	}
+	ma := MultiPort(p, 4, 8, expBytes)
+	mb := MultiPort(p, 4, 8, expBytes)
+	if ma != mb {
+		t.Fatalf("multiport not deterministic: %+v vs %+v", ma, mb)
+	}
+}
+
+func TestBreakdownSumsBelowTotal(t *testing.T) {
+	p := DefaultParams()
+	for _, n := range []int{1, 2, 4} {
+		for _, m := range []int{1, 2, 4, 8} {
+			b := Centralized(p, n, m, expBytes)
+			sum := b.Gather + b.PackSend + b.Unpack + b.Scatter + b.Overhead
+			if sum > b.Total*1.0001 || b.Total <= 0 {
+				t.Fatalf("n=%d m=%d: phases %.1f exceed total %.1f", n, m, sum, b.Total)
+			}
+		}
+	}
+}
+
+// Shape invariant (Table 1): centralized time grows with both n and m
+// — "the time of argument transfer grows with the increase of
+// computational resources at client and server".
+func TestCentralizedGrowsWithThreads(t *testing.T) {
+	p := DefaultParams()
+	prevN := 0.0
+	for _, n := range []int{1, 2, 4} {
+		b := Centralized(p, n, 8, expBytes)
+		if b.Total <= prevN {
+			t.Fatalf("t_c not increasing in n: n=%d gives %.1f, previous %.1f", n, b.Total, prevN)
+		}
+		prevN = b.Total
+	}
+	prevM := 0.0
+	for _, m := range []int{1, 2, 4, 8} {
+		b := Centralized(p, 4, m, expBytes)
+		if b.Total <= prevM {
+			t.Fatalf("t_c not increasing in m: m=%d gives %.1f, previous %.1f", m, b.Total, prevM)
+		}
+		prevM = b.Total
+	}
+}
+
+// Shape invariant (Table 1): gather cost grows with n; scatter with m;
+// pack time is essentially constant.
+func TestCentralizedCollectiveCosts(t *testing.T) {
+	p := DefaultParams()
+	g1 := Centralized(p, 1, 1, expBytes).Gather
+	g4 := Centralized(p, 4, 1, expBytes).Gather
+	if g4 < 10*g1 {
+		t.Fatalf("gather cost must jump once n > 1: %v vs %v", g1, g4)
+	}
+	s1 := Centralized(p, 1, 1, expBytes).Scatter
+	s8 := Centralized(p, 1, 8, expBytes).Scatter
+	if s8 < 10*s1 {
+		t.Fatalf("scatter cost must jump once m > 1: %v vs %v", s1, s8)
+	}
+}
+
+// Shape invariant (Table 2): multi-port per-thread pack decreases as n
+// grows (each thread handles 1/n of the data).
+func TestMultiPortPackShrinksWithN(t *testing.T) {
+	p := DefaultParams()
+	p1 := MultiPort(p, 1, 8, expBytes).Pack
+	p4 := MultiPort(p, 4, 8, expBytes).Pack
+	if p4 >= p1/2 {
+		t.Fatalf("per-thread pack must shrink with n: n=1 %.1f, n=4 %.1f", p1, p4)
+	}
+}
+
+// Shape invariant (Table 2): with a single client thread, sends are
+// sequentialized and the exit-barrier skew grows with m; with n = m
+// the threads are nearly synchronized.
+func TestMultiPortExitBarrierSkew(t *testing.T) {
+	p := DefaultParams()
+	prev := -1.0
+	for _, m := range []int{2, 4, 8} {
+		b := MultiPort(p, 1, m, expBytes)
+		if b.ExitBarrier <= prev {
+			t.Fatalf("exit barrier must grow with m at n=1: m=%d gives %.1f, prev %.1f",
+				m, b.ExitBarrier, prev)
+		}
+		prev = b.ExitBarrier
+	}
+	sym := MultiPort(p, 2, 2, expBytes)
+	asym := MultiPort(p, 1, 2, expBytes)
+	if sym.ExitBarrier > asym.ExitBarrier/3 {
+		t.Fatalf("n=m must be nearly synchronized: sym %.1f vs asym %.1f",
+			sym.ExitBarrier, asym.ExitBarrier)
+	}
+}
+
+// Shape invariant (§3.4): multi-port total decreases as resources
+// grow, and never loses to centralized at the experimental size.
+func TestMultiPortScalesDown(t *testing.T) {
+	p := DefaultParams()
+	t11 := MultiPort(p, 1, 1, expBytes).Total
+	t48 := MultiPort(p, 4, 8, expBytes).Total
+	if t48 >= t11 {
+		t.Fatalf("multi-port must speed up with resources: (1,1)=%.1f (4,8)=%.1f", t11, t48)
+	}
+	for _, n := range []int{1, 2, 4} {
+		for _, m := range []int{1, 2, 4, 8} {
+			mp := MultiPort(p, n, m, expBytes).Total
+			ce := Centralized(p, n, m, expBytes).Total
+			if mp > ce*1.10 {
+				t.Fatalf("multi-port loses at n=%d m=%d: %.1f vs %.1f", n, m, mp, ce)
+			}
+		}
+	}
+}
+
+// Quantitative fidelity: every total within 12% of the paper's value.
+func TestTotalsWithinTolerance(t *testing.T) {
+	p := DefaultParams()
+	paper1 := map[[2]int]float64{
+		{1, 1}: 417, {1, 2}: 442, {1, 4}: 451, {1, 8}: 461,
+		{2, 1}: 497, {2, 2}: 529, {2, 4}: 538, {2, 8}: 552,
+		{4, 1}: 571, {4, 2}: 634, {4, 4}: 685, {4, 8}: 697,
+	}
+	paper2 := map[[2]int]float64{
+		{1, 1}: 420, {1, 2}: 417, {1, 4}: 408, {1, 8}: 412,
+		{2, 1}: 431, {2, 2}: 425, {2, 4}: 412, {2, 8}: 393,
+		{4, 1}: 367, {4, 2}: 376, {4, 4}: 368, {4, 8}: 336,
+	}
+	const tol = 0.12
+	for k, want := range paper1 {
+		got := Centralized(p, k[0], k[1], expBytes).Total
+		if rel := (got - want) / want; rel > tol || rel < -tol {
+			t.Errorf("centralized n=%d m=%d: model %.0f, paper %.0f (%+.1f%%)",
+				k[0], k[1], got, want, rel*100)
+		}
+	}
+	for k, want := range paper2 {
+		got := MultiPort(p, k[0], k[1], expBytes).Total
+		if rel := (got - want) / want; rel > tol || rel < -tol {
+			t.Errorf("multi-port n=%d m=%d: model %.0f, paper %.0f (%+.1f%%)",
+				k[0], k[1], got, want, rel*100)
+		}
+	}
+}
+
+// §3.3 spot check: uneven splits stay comparable to even ones.
+func TestUnevenSplitComparable(t *testing.T) {
+	p := DefaultParams()
+	got := MultiPort(p, 3, 5, expBytes).Total
+	if got < 330 || got > 410 {
+		t.Fatalf("n=3 m=5 total = %.0f, paper reports ~370", got)
+	}
+}
+
+// Small sizes: both methods cost about the same (eager sends).
+func TestSmallSizesComparable(t *testing.T) {
+	p := DefaultParams()
+	for _, L := range []int{10, 100, 1000} {
+		c := Centralized(p, 4, 8, L*8).Total
+		m := MultiPort(p, 4, 8, L*8).Total
+		if m > c*1.6 || c > m*1.6 {
+			t.Fatalf("L=%d: methods diverge at small sizes: cent %.1f, mp %.1f", L, c, m)
+		}
+	}
+}
+
+// Large sizes: multi-port wins by roughly the paper's factor (~2.2x
+// at 2^17 doubles).
+func TestLargeSizeAdvantage(t *testing.T) {
+	p := DefaultParams()
+	c := Centralized(p, 4, 8, expBytes).Total
+	m := MultiPort(p, 4, 8, expBytes).Total
+	ratio := c / m
+	if ratio < 1.8 || ratio > 2.6 {
+		t.Fatalf("advantage at 2^17 = %.2fx, paper shows ~2.1x", ratio)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	p := DefaultParams()
+	for _, f := range []func(){
+		func() { Centralized(p, 0, 1, 10) },
+		func() { Centralized(p, 1, 0, 10) },
+		func() { Centralized(p, 1, 1, -1) },
+		func() { MultiPort(p, 0, 1, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad configuration accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: totals are positive and monotone in size for both
+// methods over random configurations.
+func TestQuickMonotoneInSize(t *testing.T) {
+	p := DefaultParams()
+	p.Reps = 2
+	f := func(nRaw, mRaw uint8) bool {
+		n := int(nRaw%4) + 1
+		m := int(mRaw%8) + 1
+		prevC, prevM := 0.0, 0.0
+		for _, L := range []int{1 << 12, 1 << 15, 1 << 18, 1 << 21} {
+			c := Centralized(p, n, m, L)
+			mp := MultiPort(p, n, m, L)
+			if c.Total <= prevC || mp.Total <= prevM {
+				return false
+			}
+			prevC, prevM = c.Total, mp.Total
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,815 @@
+package spmd
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"pardis/internal/cdr"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/future"
+	"pardis/internal/giop"
+	"pardis/internal/ior"
+	"pardis/internal/mp"
+	"pardis/internal/orb"
+	"pardis/internal/rts"
+	"pardis/internal/transport"
+)
+
+// BindConfig configures one client computing thread's binding to a
+// remote SPMD object. All threads must pass equal Method and
+// equivalent endpoints.
+type BindConfig struct {
+	// Thread is this client thread's RTS handle. For a plain
+	// (non-parallel) client, wrap a single-rank world.
+	Thread rts.Thread
+	// Registry supplies transports (nil means transport.Default).
+	Registry *transport.Registry
+	// Method selects centralized or multi-port argument transfer.
+	Method TransferMethod
+	// ListenEndpoint is the template each client thread listens on
+	// for multi-port out-argument blocks ("inproc:*",
+	// "tcp:127.0.0.1:0"). Unused under Centralized.
+	ListenEndpoint string
+}
+
+// Binding is one client thread's stub-side connection to an SPMD
+// object — what _spmd_bind returns in the paper's client code. All
+// collective methods must be entered by every client thread.
+type Binding struct {
+	cfg    BindConfig
+	th     rts.Thread
+	rank   int
+	size   int
+	ref    *ior.Ref
+	desc   *describeWire
+	oc     *orb.Client // this thread's outbound connections
+	recv   *orb.Server // this thread's port for out-blocks (multi-port)
+	recvEP string
+	method TransferMethod
+	// allEndpoints is the per-thread receive endpoint list, known on
+	// the communicator only (it alone builds the argument wire).
+	allEndpoints []string
+
+	stats bindingStats
+}
+
+// bindingStats accumulates per-thread operational counters.
+type bindingStats struct {
+	invocations atomic.Uint64
+	errors      atomic.Uint64
+	bytesOut    atomic.Uint64 // distributed-argument bytes this thread shipped
+	bytesIn     atomic.Uint64 // distributed-argument bytes this thread received
+}
+
+// Stats is a snapshot of a binding's per-thread counters.
+type Stats struct {
+	// Invocations counts completed collective invocations entered
+	// through this thread's binding handle (successes and failures).
+	Invocations uint64
+	// Errors counts invocations that returned an error.
+	Errors uint64
+	// BytesOut / BytesIn count distributed-argument payload bytes
+	// this thread shipped to / received from the server (multi-port
+	// blocks, or this thread's share of centralized gathers and
+	// scatters).
+	BytesOut, BytesIn uint64
+}
+
+// Stats returns a snapshot of this thread's counters.
+func (b *Binding) Stats() Stats {
+	return Stats{
+		Invocations: b.stats.invocations.Load(),
+		Errors:      b.stats.errors.Load(),
+		BytesOut:    b.stats.bytesOut.Load(),
+		BytesIn:     b.stats.bytesIn.Load(),
+	}
+}
+
+// DistArg pairs a distributed sequence with its parameter mode for
+// one invocation.
+type DistArg struct {
+	Mode ArgMode
+	Seq  *dseq.Doubles
+}
+
+// CallSpec describes one invocation as generated stubs assemble it.
+type CallSpec struct {
+	// Operation is the IDL operation name.
+	Operation string
+	// Scalars marshals the non-distributed in-arguments; every
+	// thread must produce identical bytes (§2.1: "It is assumed that
+	// all threads will invoke the request with identical values of
+	// non-distributed arguments" — PARDIS-Go verifies and errors
+	// instead of leaving behavior undefined).
+	Scalars func(e *cdr.Encoder)
+	// Args lists the distributed arguments in declaration order.
+	Args []DistArg
+	// DecodeReply consumes the scalar results on every thread.
+	DecodeReply func(d *cdr.Decoder) error
+	// Oneway suppresses the reply: the invocation returns as soon as
+	// the arguments are shipped. Oneway calls cannot have Out/InOut
+	// arguments or a DecodeReply.
+	Oneway bool
+}
+
+// Bind establishes a collective binding from every client computing
+// thread to the object named by ref (the stub-level _spmd_bind). It
+// fetches the object's interface description so transfer plans can be
+// computed client-side.
+func Bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
+	if cfg.Thread == nil {
+		return nil, fmt.Errorf("%w: nil RTS thread", ErrBadCall)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = transport.Default
+	}
+	b := &Binding{
+		cfg:    cfg,
+		th:     cfg.Thread,
+		rank:   cfg.Thread.Rank(),
+		size:   cfg.Thread.Size(),
+		ref:    ref,
+		oc:     orb.NewClient(reg),
+		method: cfg.Method,
+	}
+	if cfg.Method == MultiPort && !ref.MultiPort() {
+		b.oc.Close()
+		return nil, fmt.Errorf("%w: object %s does not export multi-port endpoints",
+			ErrBadCall, ref.Key)
+	}
+	// Per-thread receive port for out-argument blocks.
+	if cfg.Method == MultiPort {
+		if cfg.ListenEndpoint == "" {
+			b.oc.Close()
+			return nil, fmt.Errorf("%w: multi-port binding needs a ListenEndpoint", ErrBadCall)
+		}
+		b.recv = orb.NewServer(reg)
+		ep, err := b.recv.Listen(cfg.ListenEndpoint)
+		if err != nil {
+			b.oc.Close()
+			return nil, err
+		}
+		b.recvEP = ep
+	}
+
+	// Exchange receive endpoints so the communicator can advertise
+	// them for out-argument transfers.
+	if cfg.Method == MultiPort {
+		if b.rank == 0 {
+			b.allEndpoints = make([]string, b.size)
+			b.allEndpoints[0] = b.recvEP
+			for i := 1; i < b.size; i++ {
+				raw, err := b.th.RecvBytes(i, tagRefExchange)
+				if err != nil {
+					b.Close()
+					return nil, err
+				}
+				b.allEndpoints[i] = string(raw)
+			}
+		} else {
+			if err := b.th.SendBytes(0, tagRefExchange, []byte(b.recvEP)); err != nil {
+				b.Close()
+				return nil, err
+			}
+		}
+	}
+
+	// The communicator fetches the interface description once and
+	// broadcasts it (collective part of _spmd_bind).
+	var raw []byte
+	if b.rank == 0 {
+		hdr := giop.RequestHeader{
+			InvocationID:     b.oc.NewInvocationID(),
+			ResponseExpected: true,
+			ObjectKey:        ref.Key,
+			Operation:        DescribeOperation,
+			ThreadRank:       0,
+			ThreadCount:      int32(b.size),
+		}
+		rh, order, body, err := b.oc.Invoke(ctx, ref.CommunicatorEndpoint(), hdr, nil)
+		if err == nil && rh.Status != giop.ReplyOK {
+			err = fmt.Errorf("%w: describe returned %v", ErrRemote, rh.Status)
+		}
+		if err != nil {
+			// Engage the collective with an empty payload so peers
+			// fail too, then report.
+			_, _ = b.th.Bcast(0, nil)
+			b.Close()
+			return nil, err
+		}
+		// Re-encode big-endian so every thread decodes uniformly.
+		if order != cdr.BigEndian {
+			w, derr := decodeDescribeWire(cdr.NewDecoder(order, body))
+			if derr != nil {
+				_, _ = b.th.Bcast(0, nil)
+				b.Close()
+				return nil, derr
+			}
+			e := cdr.NewEncoder(cdr.BigEndian)
+			w.encode(e)
+			body = e.Bytes()
+		}
+		raw = body
+		if _, err := b.th.Bcast(0, raw); err != nil {
+			b.Close()
+			return nil, err
+		}
+	} else {
+		var err error
+		raw, err = b.th.Bcast(0, nil)
+		if err != nil {
+			b.Close()
+			return nil, err
+		}
+	}
+	if len(raw) == 0 {
+		b.Close()
+		return nil, fmt.Errorf("%w: bind failed on communicator", ErrRemote)
+	}
+	desc, err := decodeDescribeWire(cdr.NewDecoder(cdr.BigEndian, raw))
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	if desc.Threads != ref.Threads {
+		b.Close()
+		return nil, fmt.Errorf("%w: reference says %d threads, object says %d",
+			ErrRemote, ref.Threads, desc.Threads)
+	}
+	if cfg.Method == MultiPort && !desc.MultiPort {
+		b.Close()
+		return nil, fmt.Errorf("%w: object %s was not exported multi-port",
+			ErrBadCall, ref.Key)
+	}
+	b.desc = desc
+	return b, nil
+}
+
+// BindPlain establishes a non-collective binding for a conventional
+// (single-threaded) client — the stub-level _bind. It is implemented
+// as a one-thread SPMD section, which is exactly what the paper's
+// semantics reduce to for n = 1.
+func BindPlain(ctx context.Context, reg *transport.Registry, method TransferMethod, listenEndpoint string, ref *ior.Ref) (*Binding, *mp.World, error) {
+	w := mp.MustWorld(1)
+	b, err := Bind(ctx, BindConfig{
+		Thread:         rts.NewMessagePassing(w.Rank(0)),
+		Registry:       reg,
+		Method:         method,
+		ListenEndpoint: listenEndpoint,
+	}, ref)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	return b, w, nil
+}
+
+// Ref returns the bound object's reference.
+func (b *Binding) Ref() *ior.Ref { return b.ref }
+
+// Describe returns the bound object's operation table.
+func (b *Binding) Describe() map[string]*OpSpec { return b.desc.Ops }
+
+// Method returns the binding's transfer method.
+func (b *Binding) Method() TransferMethod { return b.method }
+
+// Close releases the binding's connections and receive port.
+func (b *Binding) Close() {
+	b.oc.Close()
+	if b.recv != nil {
+		b.recv.Close()
+	}
+}
+
+// Invoke performs one blocking collective invocation.
+func (b *Binding) Invoke(ctx context.Context, spec *CallSpec) error {
+	p, err := b.start(ctx, spec)
+	if err != nil {
+		b.stats.invocations.Add(1)
+		b.stats.errors.Add(1)
+		return err
+	}
+	return p.Wait(ctx)
+}
+
+// InvokeAsync begins a non-blocking invocation: all argument transfer
+// happens before it returns, but the reply is awaited by Pending.Wait
+// (collective), letting the client overlap remote computation with
+// its own — the futures model of the paper's diffusion_nb stub.
+func (b *Binding) InvokeAsync(ctx context.Context, spec *CallSpec) (*Pending, error) {
+	return b.start(ctx, spec)
+}
+
+// Pending is an in-flight invocation. Wait must be called
+// collectively by every client thread exactly once.
+type Pending struct {
+	b        *Binding
+	spec     *CallSpec
+	inv      uint64
+	fut      *future.Future[replyEnvelope]
+	outSinks []*outCollector
+}
+
+type replyEnvelope struct {
+	order cdr.ByteOrder
+	body  []byte
+}
+
+// outCollector accumulates multi-port out-blocks for one argument on
+// this client thread.
+type outCollector struct {
+	arg    int
+	expect int
+	sink   chan orb.Block
+	cancel func()
+	seq    *dseq.Doubles
+}
+
+// start validates the call collectively, ships in-arguments, issues
+// the request, and returns a Pending for the reply.
+func (b *Binding) start(ctx context.Context, spec *CallSpec) (*Pending, error) {
+	if spec == nil || spec.Operation == "" {
+		return nil, fmt.Errorf("%w: missing operation", ErrBadCall)
+	}
+	op, ok := b.desc.Ops[spec.Operation]
+	if !ok {
+		return nil, fmt.Errorf("%w: object has no operation %q", ErrBadCall, spec.Operation)
+	}
+	if len(spec.Args) != len(op.Args) {
+		return nil, fmt.Errorf("%w: operation %s takes %d distributed args, got %d",
+			ErrBadCall, spec.Operation, len(op.Args), len(spec.Args))
+	}
+	if spec.Oneway && spec.DecodeReply != nil {
+		return nil, fmt.Errorf("%w: oneway call with DecodeReply", ErrBadCall)
+	}
+	for i, a := range spec.Args {
+		if spec.Oneway && a.Mode != In {
+			return nil, fmt.Errorf("%w: oneway call with %v argument", ErrBadCall, a.Mode)
+		}
+		if a.Mode != op.Args[i].Mode {
+			return nil, fmt.Errorf("%w: arg %d is %v, interface declares %v",
+				ErrBadCall, i, a.Mode, op.Args[i].Mode)
+		}
+		if a.Seq == nil {
+			return nil, fmt.Errorf("%w: arg %d is nil", ErrBadCall, i)
+		}
+		if a.Seq.Layout().P() != b.size {
+			return nil, fmt.Errorf("%w: arg %d distributed over %d threads, client has %d",
+				ErrBadCall, i, a.Seq.Layout().P(), b.size)
+		}
+	}
+
+	// Marshal scalars into an encapsulation and verify all threads
+	// agree on them and on the operation (§2.1's identical-values
+	// contract, checked rather than undefined).
+	scalarEnc := cdr.NewEncoder(cdr.BigEndian)
+	scalarEnc.PutOctet(byte(cdr.BigEndian))
+	if spec.Scalars != nil {
+		inner := cdr.NewEncoderAt(cdr.BigEndian, 1)
+		spec.Scalars(inner)
+		scalarEnc.PutOctets(inner.Bytes())
+	}
+	scalarBytes := scalarEnc.Bytes()
+	sigSrc := cdr.NewEncoder(cdr.BigEndian)
+	sigSrc.PutString(spec.Operation)
+	sigSrc.PutOctetSeq(scalarBytes)
+	for _, a := range spec.Args {
+		sigSrc.PutOctet(byte(a.Mode))
+		sigSrc.PutULong(uint32(a.Seq.Len()))
+		for _, c := range a.Seq.Layout().Counts() {
+			sigSrc.PutULong(uint32(c))
+		}
+	}
+	sig := mp.HashBytes(sigSrc.Bytes())
+	sigs, err := b.th.AllgatherU64(sig)
+	if err != nil {
+		return nil, err
+	}
+	for r, s := range sigs {
+		if s != sigs[0] {
+			return nil, fmt.Errorf("%w: thread %d invoked with different operation or scalars",
+				ErrInconsistent, r)
+		}
+	}
+
+	// The communicator allocates the invocation id and shares it.
+	var inv uint64
+	if b.rank == 0 {
+		inv = b.oc.NewInvocationID()
+	}
+	invs, err := b.th.AllgatherU64(inv)
+	if err != nil {
+		return nil, err
+	}
+	inv = invs[0]
+
+	p := &Pending{b: b, spec: spec, inv: inv}
+
+	// Server-side layouts for planning.
+	serverLayouts := make([]dist.Layout, len(spec.Args))
+	for i := range spec.Args {
+		sl, err := op.Args[i].Dist.Apply(spec.Args[i].Seq.Len(), b.desc.Threads)
+		if err != nil {
+			return nil, err
+		}
+		serverLayouts[i] = sl
+	}
+
+	// Register out-block sinks before anything is sent.
+	if b.method == MultiPort {
+		for i, a := range spec.Args {
+			if a.Mode != Out && a.Mode != InOut {
+				continue
+			}
+			plan, err := dist.Plan(serverLayouts[i], a.Seq.Layout())
+			if err != nil {
+				p.cancelSinks()
+				return nil, err
+			}
+			mine := dist.PlanTo(plan, b.rank)
+			if len(mine) == 0 {
+				continue
+			}
+			col := &outCollector{
+				arg:    i,
+				expect: len(mine),
+				sink:   make(chan orb.Block, len(plan)+1),
+				seq:    a.Seq,
+			}
+			cancel, err := b.recv.ExpectBlocks(inv<<8|uint64(i), col.sink)
+			if err != nil {
+				p.cancelSinks()
+				return nil, err
+			}
+			col.cancel = cancel
+			p.outSinks = append(p.outSinks, col)
+		}
+	}
+
+	// Gather (centralized) — "the distributed arguments are gathered
+	// and scattered by the communicators of the client and server as
+	// part of the marshaling or unmarshaling process" (§3.2).
+	gathered := make([][]float64, len(spec.Args))
+	if b.method == Centralized {
+		for i, a := range spec.Args {
+			if a.Mode != In && a.Mode != InOut {
+				continue
+			}
+			full, err := dseq.GatherDoubles(a.Seq, b.th, 0)
+			if err != nil {
+				p.cancelSinks()
+				return nil, err
+			}
+			gathered[i] = full
+			b.stats.bytesOut.Add(uint64(a.Seq.LocalLen()) * 8)
+		}
+	}
+
+	// The communicator issues the request.
+	if b.rank == 0 {
+		w := &invocationWire{Method: b.method, Scalars: scalarBytes,
+			Args: make([]*argWire, len(spec.Args))}
+		for i, a := range spec.Args {
+			aw := &argWire{
+				Mode:         a.Mode,
+				Length:       a.Seq.Len(),
+				ClientCounts: a.Seq.Layout().Counts(),
+			}
+			if b.method == MultiPort && (a.Mode == Out || a.Mode == InOut) {
+				aw.ClientEndpoints = b.allEndpoints
+			}
+			if b.method == Centralized && (a.Mode == In || a.Mode == InOut) {
+				data := gathered[i]
+				if data == nil {
+					data = []float64{}
+				}
+				aw.Data = data
+			}
+			w.Args[i] = aw
+		}
+		hdr := giop.RequestHeader{
+			InvocationID:     inv,
+			ResponseExpected: !spec.Oneway,
+			ObjectKey:        b.ref.Key,
+			Operation:        spec.Operation,
+			ThreadRank:       0,
+			ThreadCount:      int32(b.size),
+		}
+		fut, resolver := future.New[replyEnvelope]()
+		p.fut = fut
+		go func() {
+			rh, order, body, err := b.oc.Invoke(ctx, b.ref.CommunicatorEndpoint(), hdr, w.encode)
+			if err != nil {
+				resolver.Reject(err)
+				return
+			}
+			switch rh.Status {
+			case giop.ReplyOK:
+				resolver.Resolve(replyEnvelope{order: order, body: body})
+			case giop.ReplySystemException:
+				ex, derr := giop.DecodeSystemException(cdr.NewDecoder(order, body))
+				if derr != nil {
+					resolver.Reject(fmt.Errorf("%w: undecodable system exception", ErrRemote))
+					return
+				}
+				resolver.Reject(fmt.Errorf("%w: %v", ErrRemote, ex))
+			default:
+				resolver.Reject(fmt.Errorf("%w: reply status %v", ErrRemote, rh.Status))
+			}
+		}()
+	}
+
+	// Multi-port data transfer: every client thread ships its blocks
+	// directly to the owning server threads (§3.3).
+	var sendErr error
+	if b.method == MultiPort {
+		for i, a := range spec.Args {
+			if a.Mode != In && a.Mode != InOut {
+				continue
+			}
+			plan, err := dist.Plan(a.Seq.Layout(), serverLayouts[i])
+			if err != nil {
+				sendErr = err
+				break
+			}
+			if err := b.sendBlocks(inv, uint32(i), plan, a.Seq); err != nil {
+				sendErr = err
+				break
+			}
+		}
+	}
+
+	// Collective verdict on the send phase: either every thread
+	// proceeds to Wait or none does, so a per-thread transport
+	// failure cannot strand the others in a collective.
+	flag := uint64(0)
+	if sendErr != nil {
+		flag = 1
+	}
+	flags, err := b.th.AllgatherU64(flag)
+	if err != nil {
+		p.cancelSinks()
+		return nil, err
+	}
+	for r, f := range flags {
+		if f != 0 {
+			p.cancelSinks()
+			if sendErr != nil {
+				return nil, sendErr
+			}
+			return nil, fmt.Errorf("%w: in-transfer failed on thread %d", ErrRemote, r)
+		}
+	}
+	return p, nil
+}
+
+// sendBlocks ships this client thread's share of an in transfer.
+func (b *Binding) sendBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles) error {
+	mine := dist.PlanFor(plan, b.rank)
+	local := seq.LocalData()
+	lastIdx := make(map[int]int)
+	for idx, tr := range mine {
+		lastIdx[tr.To] = idx
+	}
+	for idx, tr := range mine {
+		h := giop.BlockTransferHeader{
+			InvocationID: inv<<8 | uint64(argIdx),
+			ArgIndex:     argIdx,
+			FromThread:   int32(b.rank),
+			ToThread:     int32(tr.To),
+			DstOff:       uint32(tr.DstOff),
+			Count:        uint32(tr.Count),
+			Last:         lastIdx[tr.To] == idx,
+		}
+		blk := local[tr.SrcOff : tr.SrcOff+tr.Count]
+		ep := b.ref.ThreadEndpoint(tr.To)
+		if err := b.oc.SendBlock(ep, h, func(e *cdr.Encoder) { e.PutDoubleSeq(blk) }); err != nil {
+			return err
+		}
+		b.stats.bytesOut.Add(uint64(tr.Count) * 8)
+	}
+	return nil
+}
+
+func (p *Pending) cancelSinks() {
+	for _, c := range p.outSinks {
+		if c.cancel != nil {
+			c.cancel()
+			c.cancel = nil
+		}
+	}
+	p.outSinks = nil
+}
+
+// Wait completes the invocation collectively: the communicator
+// receives the reply and broadcasts the completion status (§3.2);
+// on success every thread collects its multi-port out-blocks (the
+// ORB buffers blocks that arrived before or after the reply), the
+// scalar results and centralized out-data are distributed, and the
+// threads synchronize on the exit barrier (§3.3).
+//
+// Status travels before block collection so that a failed invocation
+// cannot strand threads waiting for out-blocks the server never sent.
+func (p *Pending) Wait(ctx context.Context) (err error) {
+	b := p.b
+	defer func() {
+		b.stats.invocations.Add(1)
+		if err != nil {
+			b.stats.errors.Add(1)
+		}
+	}()
+
+	// A oneway invocation has nothing to collect or decode; the
+	// threads only resynchronize.
+	if p.spec.Oneway {
+		return b.th.Barrier()
+	}
+	defer p.cancelSinks()
+
+	// The communicator awaits the reply; every thread then learns
+	// the outcome (completion status broadcast of §3.2).
+	var envBytes []byte
+	if b.rank == 0 {
+		env, err := p.fut.GetContext(ctx)
+		e := cdr.NewEncoder(cdr.BigEndian)
+		if err != nil {
+			e.PutBoolean(false)
+			e.PutString(err.Error())
+		} else {
+			e.PutBoolean(true)
+			// Re-encode the reply body big-endian if needed so all
+			// threads decode uniformly.
+			body := env.body
+			if env.order != cdr.BigEndian {
+				var rerr error
+				body, rerr = reencodeReplyBody(env.order, env.body)
+				if rerr != nil {
+					e.Reset()
+					e.PutBoolean(false)
+					e.PutString(rerr.Error())
+					body = nil
+				}
+			}
+			if body != nil {
+				e.PutOctetSeq(body)
+			}
+		}
+		envBytes = e.Bytes()
+		if _, err := b.th.Bcast(0, envBytes); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		envBytes, err = b.th.Bcast(0, nil)
+		if err != nil {
+			return err
+		}
+	}
+
+	d := cdr.NewDecoder(cdr.BigEndian, envBytes)
+	okFlag, err := d.Boolean()
+	if err != nil {
+		return err
+	}
+	if !okFlag {
+		msg, _ := d.String()
+		return fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	body, err := d.OctetSeq()
+	if err != nil {
+		return err
+	}
+
+	// Collect multi-port out-blocks destined for this thread. The
+	// server completed successfully, so every planned block was (or
+	// is being) sent; early arrivals sit in the router's buffer.
+	var localErr error
+	for _, col := range p.outSinks {
+		local := col.seq.LocalData()
+		for got := 0; got < col.expect && localErr == nil; got++ {
+			select {
+			case blk := <-col.sink:
+				h := blk.Header
+				base := blockPayloadBase(h, blk.Order)
+				bd := cdr.NewDecoderAt(blk.Order, blk.Payload, base)
+				data, err := bd.DoubleSeq()
+				if err != nil {
+					localErr = err
+					break
+				}
+				if int(h.DstOff)+len(data) > len(local) || int(h.Count) != len(data) {
+					localErr = fmt.Errorf("%w: out-block bounds", ErrRemote)
+					break
+				}
+				copy(local[h.DstOff:], data)
+				b.stats.bytesIn.Add(uint64(len(data)) * 8)
+			case <-ctx.Done():
+				localErr = ctx.Err()
+			}
+		}
+		col.cancel()
+		col.cancel = nil
+	}
+
+	// Collective verdict on the collection phase.
+	flag := uint64(0)
+	if localErr != nil {
+		flag = 1
+	}
+	flags, aerr := b.th.AllgatherU64(flag)
+	if aerr != nil {
+		return aerr
+	}
+	for r, f := range flags {
+		if f != 0 {
+			if localErr != nil {
+				return localErr
+			}
+			return fmt.Errorf("%w: out-transfer failed on thread %d", ErrRemote, r)
+		}
+	}
+
+	// Reply body layout (from Object.dispatch): scalar encapsulation
+	// then centralized out-args. It was encoded at stream base 8; the
+	// octet-seq embedding shifts offsets, so decode from a copy at
+	// base 8 for alignment correctness.
+	rd := cdr.NewDecoderAt(cdr.BigEndian, body, 8)
+	scalarEnc, err := rd.Encapsulation()
+	if err != nil {
+		return err
+	}
+	nOut, err := rd.ULong()
+	if err != nil {
+		return err
+	}
+	outs := make([][]float64, nOut)
+	for i := range outs {
+		if outs[i], err = rd.DoubleSeq(); err != nil {
+			return err
+		}
+	}
+
+	// Scatter centralized out-args back into the caller's sequences.
+	if b.method == Centralized {
+		idx := 0
+		for _, a := range p.spec.Args {
+			if a.Mode != Out && a.Mode != InOut {
+				continue
+			}
+			var full []float64
+			if b.rank == 0 {
+				if idx >= len(outs) {
+					return fmt.Errorf("%w: reply missing out argument %d", ErrRemote, idx)
+				}
+				full = outs[idx]
+			}
+			idx++
+			if err := dseq.ScatterDoubles(a.Seq, b.th, 0, full); err != nil {
+				return err
+			}
+			b.stats.bytesIn.Add(uint64(a.Seq.LocalLen()) * 8)
+		}
+	}
+
+	// Deliver scalar results on every thread.
+	if p.spec.DecodeReply != nil {
+		if err := p.spec.DecodeReply(scalarEnc); err != nil {
+			return err
+		}
+	}
+
+	// Exit barrier (§3.3's texit_barrier).
+	return b.th.Barrier()
+}
+
+// reencodeReplyBody normalizes a foreign-order reply body to
+// big-endian. Bodies are produced by Object.dispatch at stream base 8:
+// a scalar encapsulation (order-tagged internally, copied verbatim)
+// followed by the centralized out-argument sequences.
+func reencodeReplyBody(order cdr.ByteOrder, body []byte) ([]byte, error) {
+	d := cdr.NewDecoderAt(order, body, 8)
+	raw, err := d.OctetSeq()
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.ULong()
+	if err != nil {
+		return nil, err
+	}
+	outs := make([][]float64, n)
+	for i := range outs {
+		if outs[i], err = d.DoubleSeq(); err != nil {
+			return nil, err
+		}
+	}
+	e := cdr.NewEncoderAt(cdr.BigEndian, 8)
+	e.PutOctetSeq(raw)
+	e.PutULong(n)
+	for _, o := range outs {
+		e.PutDoubleSeq(o)
+	}
+	return e.Bytes(), nil
+}

@@ -1,0 +1,742 @@
+package spmd
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"pardis/internal/cdr"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/giop"
+	"pardis/internal/ior"
+	"pardis/internal/orb"
+	"pardis/internal/rts"
+	"pardis/internal/transport"
+)
+
+// Call is what a servant's operation handler receives on each
+// computing thread of the SPMD object: the decoded scalar arguments
+// and this thread's local blocks of every distributed argument.
+type Call struct {
+	// Op is the operation name.
+	Op string
+	// Thread is the computing thread's RTS handle (usable for
+	// application-internal collectives during the call).
+	Thread rts.Thread
+	// Scalars decodes the non-distributed in-arguments; the same
+	// values are delivered to every thread, as §2.1 promises.
+	Scalars *cdr.Decoder
+	// Args holds the distributed arguments. In and InOut arguments
+	// arrive filled; Out arguments arrive zeroed at the length the
+	// client declared. The servant mutates InOut/Out contents in
+	// place.
+	Args []*dseq.Doubles
+
+	reply *cdr.Encoder
+}
+
+// Reply returns the encoder for scalar results. Every thread may
+// write to it, but only the communicator thread's bytes travel; all
+// threads must therefore write identical values (the same contract as
+// scalar in-arguments).
+func (c *Call) Reply() *cdr.Encoder { return c.reply }
+
+// Handler implements one operation of an SPMD object. It is invoked
+// collectively: once per computing thread per request. An error from
+// any thread aborts the request with a system exception.
+type Handler func(call *Call) error
+
+// ObjectConfig configures one computing thread's share of an exported
+// SPMD object. All threads must pass identical Key, TypeID, Ops
+// (modulo Handler closures) and MultiPort settings.
+type ObjectConfig struct {
+	// Thread is this computing thread's RTS handle.
+	Thread rts.Thread
+	// Registry supplies transports (nil means transport.Default).
+	Registry *transport.Registry
+	// ListenEndpoint is the endpoint template each thread listens on
+	// ("inproc:*", "tcp:127.0.0.1:0", ...).
+	ListenEndpoint string
+	// Key is the object key; TypeID its repository id.
+	Key    string
+	TypeID string
+	// MultiPort opens one port per computing thread and advertises
+	// all of them in the object reference; otherwise only the
+	// communicator listens and only centralized transfer is usable.
+	MultiPort bool
+	// Ops maps operation names to their distributed-argument
+	// declarations and handlers.
+	Ops map[string]*Op
+}
+
+// Op couples an operation's signature with its implementation.
+type Op struct {
+	Spec    OpSpec
+	Handler Handler
+}
+
+// Object is one computing thread's handle on an exported SPMD object.
+// Construction is collective; afterwards every thread must run Serve.
+type Object struct {
+	cfg    ObjectConfig
+	th     rts.Thread
+	rank   int
+	size   int
+	srv    *orb.Server // this thread's port (communicator always has one)
+	out    *orb.Client // for sending out-blocks back to clients
+	ref    *ior.Ref
+	queue  chan *orb.Incoming // communicator only
+	closed chan struct{}
+
+	served atomic.Uint64
+	failed atomic.Uint64
+}
+
+// ObjectStats is a snapshot of a thread's request counters.
+type ObjectStats struct {
+	// Served counts requests this thread participated in
+	// (collective dispatches, including failed ones).
+	Served uint64
+	// Failed counts dispatches that ended in an error.
+	Failed uint64
+}
+
+// Stats returns this thread's counters.
+func (o *Object) Stats() ObjectStats {
+	return ObjectStats{Served: o.served.Load(), Failed: o.failed.Load()}
+}
+
+// tagRefExchange keeps SPMD-engine RTS messages clear of application
+// tags used inside servant handlers.
+const tagRefExchange = 1 << 20
+
+// Export creates the thread's share of an SPMD object: it opens this
+// thread's port (communicator always; other threads only under
+// MultiPort), exchanges endpoints, and assembles the object
+// reference. It must be called collectively.
+func Export(cfg ObjectConfig) (*Object, error) {
+	if cfg.Thread == nil {
+		return nil, fmt.Errorf("%w: nil RTS thread", ErrBadCall)
+	}
+	if cfg.Key == "" {
+		return nil, fmt.Errorf("%w: empty object key", ErrBadCall)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = transport.Default
+	}
+	th := cfg.Thread
+	o := &Object{
+		cfg:    cfg,
+		th:     th,
+		rank:   th.Rank(),
+		size:   th.Size(),
+		closed: make(chan struct{}),
+	}
+
+	needPort := o.rank == 0 || cfg.MultiPort
+	var myEndpoint string
+	if needPort {
+		o.srv = orb.NewServer(reg)
+		ep, err := o.srv.Listen(cfg.ListenEndpoint)
+		if err != nil {
+			return nil, err
+		}
+		myEndpoint = ep
+	}
+	o.out = orb.NewClient(reg)
+
+	// Endpoint exchange: every thread reports to the communicator,
+	// which assembles and validates the reference, then broadcasts
+	// the stringified form.
+	if o.rank == 0 {
+		endpoints := make([]string, o.size)
+		endpoints[0] = myEndpoint
+		if cfg.MultiPort {
+			for i := 1; i < o.size; i++ {
+				b, err := th.RecvBytes(i, tagRefExchange)
+				if err != nil {
+					return nil, err
+				}
+				endpoints[i] = string(b)
+			}
+		} else {
+			endpoints = endpoints[:1]
+		}
+		o.ref = &ior.Ref{
+			TypeID:    cfg.TypeID,
+			Key:       cfg.Key,
+			Threads:   o.size,
+			Endpoints: endpoints,
+		}
+		if err := o.ref.Validate(); err != nil {
+			return nil, err
+		}
+		if _, err := th.Bcast(0, []byte(o.ref.Stringify())); err != nil {
+			return nil, err
+		}
+	} else {
+		if cfg.MultiPort {
+			if err := th.SendBytes(0, tagRefExchange, []byte(myEndpoint)); err != nil {
+				return nil, err
+			}
+		}
+		refStr, err := th.Bcast(0, nil)
+		if err != nil {
+			return nil, err
+		}
+		if o.ref, err = ior.Parse(string(refStr)); err != nil {
+			return nil, err
+		}
+	}
+
+	// The communicator accepts requests and queues them for the
+	// collective serve loop; non-communicator ports only receive
+	// block transfers (handled inside the ORB), but they still
+	// answer describe/locate for robustness.
+	if o.rank == 0 {
+		o.queue = make(chan *orb.Incoming, 64)
+		o.srv.Handle(cfg.Key, func(in *orb.Incoming) {
+			if in.Header.Operation == DescribeOperation {
+				o.replyDescribe(in)
+				return
+			}
+			select {
+			case o.queue <- in:
+			case <-o.closed:
+				_ = in.ReplySystemException("OBJ_ADAPTER", "object closed")
+			case <-in.Ctx.Done():
+			}
+		})
+	} else if o.srv != nil {
+		o.srv.Handle(cfg.Key, func(in *orb.Incoming) {
+			if in.Header.Operation == DescribeOperation {
+				o.replyDescribe(in)
+				return
+			}
+			_ = in.ReplySystemException("BAD_OPERATION",
+				"requests must target the communicator port")
+		})
+	}
+	return o, nil
+}
+
+// Ref returns the object reference to register with the naming
+// service. Valid on every thread.
+func (o *Object) Ref() *ior.Ref { return o.ref }
+
+func (o *Object) replyDescribe(in *orb.Incoming) {
+	w := describeWire{Threads: o.size, MultiPort: o.cfg.MultiPort,
+		Ops: make(map[string]*OpSpec, len(o.cfg.Ops))}
+	for name, op := range o.cfg.Ops {
+		spec := op.Spec
+		w.Ops[name] = &spec
+	}
+	_ = in.Reply(giop.ReplyOK, w.encode)
+}
+
+// Close shuts the object down. Serve loops return ErrClosed on all
+// threads once in-flight requests complete. Collective.
+func (o *Object) Close() {
+	if o.rank == 0 {
+		select {
+		case <-o.closed:
+		default:
+			close(o.closed)
+		}
+	}
+	if o.srv != nil {
+		o.srv.Close()
+	}
+	o.out.Close()
+}
+
+// control is the per-invocation metadata the communicator broadcasts
+// to the other computing threads before the collective dispatch.
+type control struct {
+	OK      bool // false: serve loop should exit
+	Op      string
+	Inv     uint64
+	Method  TransferMethod
+	Scalars []byte
+	Args    []controlArg
+	ErrMsg  string
+}
+
+type controlArg struct {
+	Mode            ArgMode
+	Length          int
+	ClientCounts    []int
+	ClientEndpoints []string
+}
+
+func (c *control) encode(e *cdr.Encoder) {
+	e.PutBoolean(c.OK)
+	e.PutString(c.Op)
+	e.PutULongLong(c.Inv)
+	e.PutOctet(byte(c.Method))
+	e.PutOctetSeq(c.Scalars)
+	e.PutULong(uint32(len(c.Args)))
+	for _, a := range c.Args {
+		e.PutOctet(byte(a.Mode))
+		e.PutULong(uint32(a.Length))
+		u := make([]uint32, len(a.ClientCounts))
+		for i, x := range a.ClientCounts {
+			u[i] = uint32(x)
+		}
+		e.PutULongSeq(u)
+		e.PutStringSeq(a.ClientEndpoints)
+	}
+	e.PutString(c.ErrMsg)
+}
+
+func decodeControl(d *cdr.Decoder) (*control, error) {
+	var c control
+	var err error
+	if c.OK, err = d.Boolean(); err != nil {
+		return nil, err
+	}
+	if c.Op, err = d.String(); err != nil {
+		return nil, err
+	}
+	if c.Inv, err = d.ULongLong(); err != nil {
+		return nil, err
+	}
+	m, err := d.Octet()
+	if err != nil {
+		return nil, err
+	}
+	c.Method = TransferMethod(m)
+	if c.Scalars, err = d.OctetSeq(); err != nil {
+		return nil, err
+	}
+	n, err := d.ULong()
+	if err != nil {
+		return nil, err
+	}
+	c.Args = make([]controlArg, n)
+	for i := range c.Args {
+		mo, err := d.Octet()
+		if err != nil {
+			return nil, err
+		}
+		c.Args[i].Mode = ArgMode(mo)
+		l, err := d.ULong()
+		if err != nil {
+			return nil, err
+		}
+		c.Args[i].Length = int(l)
+		u, err := d.ULongSeq()
+		if err != nil {
+			return nil, err
+		}
+		c.Args[i].ClientCounts = make([]int, len(u))
+		for j, x := range u {
+			c.Args[i].ClientCounts[j] = int(x)
+		}
+		if c.Args[i].ClientEndpoints, err = d.StringSeq(); err != nil {
+			return nil, err
+		}
+	}
+	if c.ErrMsg, err = d.String(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Serve processes requests until Close; it must run on every
+// computing thread of the object concurrently. It returns ErrClosed
+// after a clean shutdown.
+func (o *Object) Serve(ctx context.Context) error {
+	for {
+		err := o.serveOne(ctx)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// ServeOne processes exactly one request collectively (useful for
+// tests and lock-step servers); Serve is the loop over it.
+func (o *Object) ServeOne(ctx context.Context) error { return o.serveOne(ctx) }
+
+func (o *Object) serveOne(ctx context.Context) error {
+	if o.rank == 0 {
+		return o.communicatorServeOne(ctx)
+	}
+	return o.workerServeOne()
+}
+
+// communicatorServeOne pops one queued request, drives the collective
+// dispatch, and replies.
+func (o *Object) communicatorServeOne(ctx context.Context) error {
+	var in *orb.Incoming
+	select {
+	case in = <-o.queue:
+	case <-o.closed:
+		o.bcastControl(&control{OK: false})
+		return ErrClosed
+	case <-ctx.Done():
+		o.bcastControl(&control{OK: false})
+		return ctx.Err()
+	}
+
+	// Decode the invocation body.
+	w, err := decodeInvocationWire(in.Decoder())
+	if err != nil {
+		_ = in.ReplySystemException("MARSHAL", err.Error())
+		// The collective is not engaged yet; keep serving.
+		return nil
+	}
+	op, ok := o.cfg.Ops[in.Header.Operation]
+	if !ok {
+		_ = in.ReplySystemException("BAD_OPERATION", in.Header.Operation)
+		return nil
+	}
+	if len(w.Args) != len(op.Spec.Args) {
+		_ = in.ReplySystemException("BAD_PARAM",
+			fmt.Sprintf("operation %s takes %d distributed args, got %d",
+				in.Header.Operation, len(op.Spec.Args), len(w.Args)))
+		return nil
+	}
+	for i, a := range w.Args {
+		if a.Mode != op.Spec.Args[i].Mode {
+			_ = in.ReplySystemException("BAD_PARAM",
+				fmt.Sprintf("arg %d mode %v, declared %v", i, a.Mode, op.Spec.Args[i].Mode))
+			return nil
+		}
+	}
+	if w.Method == MultiPort && !o.cfg.MultiPort {
+		_ = in.ReplySystemException("BAD_PARAM", "object does not export multi-port endpoints")
+		return nil
+	}
+
+	ctrl := &control{
+		OK:     true,
+		Op:     in.Header.Operation,
+		Inv:    in.Header.InvocationID,
+		Method: w.Method,
+		// The scalar encapsulation reaches every thread byte-equal:
+		// "the invocation mechanism provided by PARDIS will ensure
+		// that the same value of non-distributed argument will be
+		// delivered to all computing threads of the server" (§2.1).
+		Scalars: w.Scalars,
+		Args:    make([]controlArg, len(w.Args)),
+	}
+	for i, a := range w.Args {
+		ctrl.Args[i] = controlArg{
+			Mode:            a.Mode,
+			Length:          a.Length,
+			ClientCounts:    a.ClientCounts,
+			ClientEndpoints: a.ClientEndpoints,
+		}
+	}
+	o.bcastControl(ctrl)
+
+	replyBody, derr := o.dispatch(ctrl, w, in.Header)
+	if derr != nil {
+		_ = in.ReplySystemException("UNKNOWN", derr.Error())
+		return nil
+	}
+	return in.Reply(giop.ReplyOK, func(e *cdr.Encoder) { e.PutOctets(replyBody) })
+}
+
+// workerServeOne participates in one collective dispatch.
+func (o *Object) workerServeOne() error {
+	raw, err := o.th.Bcast(0, nil)
+	if err != nil {
+		return err
+	}
+	ctrl, err := decodeControl(cdr.NewDecoder(cdr.BigEndian, raw))
+	if err != nil {
+		return err
+	}
+	if !ctrl.OK {
+		return ErrClosed
+	}
+	_, derr := o.dispatch(ctrl, nil, giop.RequestHeader{})
+	// Worker-side dispatch errors were already folded into the
+	// collective agreement; the communicator reported them.
+	_ = derr
+	return nil
+}
+
+func (o *Object) bcastControl(c *control) {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	c.encode(e)
+	_, _ = o.th.Bcast(0, e.Bytes())
+}
+
+// dispatch is the collective body run by every thread: materialize
+// local argument blocks, invoke the handler, return out-data. Only
+// the communicator (which passes w != nil) builds the reply body.
+func (o *Object) dispatch(ctrl *control, w *invocationWire, hdr giop.RequestHeader) (_ []byte, err error) {
+	o.served.Add(1)
+	defer func() {
+		if err != nil {
+			o.failed.Add(1)
+		}
+	}()
+	op := o.cfg.Ops[ctrl.Op]
+	if op == nil {
+		// Workers learn about unknown ops only here; communicator
+		// filtered already.
+		return nil, fmt.Errorf("%w: unknown operation %q", ErrBadCall, ctrl.Op)
+	}
+
+	// Phase 1: materialize argument sequences.
+	args := make([]*dseq.Doubles, len(ctrl.Args))
+	clientLayouts := make([]dist.Layout, len(ctrl.Args))
+	var firstErr error
+	for i, ca := range ctrl.Args {
+		serverLayout, err := op.Spec.Args[i].Dist.Apply(ca.Length, o.size)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		clientLayout, err := dist.FromCounts(ca.ClientCounts)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if clientLayout.Len() != ca.Length {
+			firstErr = fmt.Errorf("%w: client layout sums to %d, length %d",
+				ErrBadCall, clientLayout.Len(), ca.Length)
+			break
+		}
+		clientLayouts[i] = clientLayout
+		seq, err := dseq.DoublesFromLocal(serverLayout, o.rank,
+			make([]float64, serverLayout.Count(o.rank)), dseq.Owner)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		args[i] = seq
+
+		if ca.Mode == In || ca.Mode == InOut {
+			switch ctrl.Method {
+			case Centralized:
+				// Communicator holds the full data; scatter by the
+				// server layout.
+				var full []float64
+				if o.rank == 0 {
+					full = w.Args[i].Data
+					if len(full) != ca.Length {
+						firstErr = fmt.Errorf("%w: inline data %d of %d elements",
+							ErrBadCall, len(full), ca.Length)
+					}
+				}
+				if firstErr == nil {
+					if err := dseq.ScatterDoubles(seq, o.th, 0, full); err != nil {
+						firstErr = err
+					}
+				}
+			case MultiPort:
+				plan, err := dist.Plan(clientLayout, seq.Layout())
+				if err != nil {
+					firstErr = err
+					break
+				}
+				if err := o.receiveBlocks(ctrl.Inv, uint32(i), plan, seq); err != nil {
+					firstErr = err
+				}
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+
+	// Collective agreement on phase-1 status.
+	if err := o.agree(firstErr); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: invoke the handler on every thread.
+	call := &Call{
+		Op:      ctrl.Op,
+		Thread:  o.th,
+		Scalars: cdr.NewDecoderAt(cdr.BigEndian, nil, 0),
+		Args:    args,
+		// Reply bytes are embedded in an encapsulation whose payload
+		// starts at stream offset 1 (after the byte-order flag).
+		reply: cdr.NewEncoderAt(cdr.BigEndian, 1),
+	}
+	// The scalar encapsulation carries its own byte-order flag.
+	if len(ctrl.Scalars) > 0 {
+		flag := ctrl.Scalars[0]
+		call.Scalars = cdr.NewDecoderAt(cdr.ByteOrder(flag&1), ctrl.Scalars[1:], 1)
+	}
+	herr := op.Handler(call)
+	if err := o.agree(herr); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: return out/inout data.
+	var replyArgs [][]float64
+	for i, ca := range ctrl.Args {
+		if ca.Mode != Out && ca.Mode != InOut {
+			continue
+		}
+		switch ctrl.Method {
+		case Centralized:
+			full, err := dseq.GatherDoubles(args[i], o.th, 0)
+			if err != nil {
+				firstErr = err
+			} else if o.rank == 0 {
+				replyArgs = append(replyArgs, full)
+			}
+		case MultiPort:
+			plan, err := dist.Plan(args[i].Layout(), clientLayouts[i])
+			if err != nil {
+				firstErr = err
+				break
+			}
+			if err := o.sendBlocks(ctrl.Inv, uint32(i), plan, args[i], ca.ClientEndpoints); err != nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	if err := o.agree(firstErr); err != nil {
+		return nil, err
+	}
+
+	// Post-invocation synchronization: "after the invocation the
+	// server's computing threads synchronize and the communicator
+	// informs the client of the completion status" (§3.2).
+	if err := o.th.Barrier(); err != nil {
+		return nil, err
+	}
+
+	if o.rank != 0 {
+		return nil, nil
+	}
+	// The reply body continues the reply message right after the
+	// 8-octet ReplyHeader, so base the encoder there for correct
+	// alignment. The server ORB marshals replies big-endian (its
+	// default), matching this encoder.
+	e := cdr.NewEncoderAt(cdr.BigEndian, 8)
+	e.PutEncapsulation(cdr.BigEndian, func(ie *cdr.Encoder) {
+		ie.PutOctets(call.reply.Bytes())
+	})
+	e.PutULong(uint32(len(replyArgs)))
+	for _, full := range replyArgs {
+		e.PutDoubleSeq(full)
+	}
+	return e.Bytes(), nil
+}
+
+// receiveBlocks collects this thread's share of a multi-port in
+// transfer into seq's local block.
+func (o *Object) receiveBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles) error {
+	mine := dist.PlanTo(plan, o.rank)
+	if len(mine) == 0 {
+		return nil
+	}
+	if o.srv == nil {
+		return fmt.Errorf("%w: thread %d has no port for multi-port transfer", ErrBadCall, o.rank)
+	}
+	sink := make(chan orb.Block, len(plan)+1)
+	cancel, err := o.srv.ExpectBlocks(inv<<8|uint64(argIdx), sink)
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	local := seq.LocalData()
+	for received := 0; received < len(mine); received++ {
+		blk := <-sink
+		h := blk.Header
+		if int(h.ToThread) != o.rank {
+			return fmt.Errorf("%w: block addressed to thread %d arrived at %d",
+				ErrBadCall, h.ToThread, o.rank)
+		}
+		base := blockPayloadBase(h, blk.Order)
+		d := cdr.NewDecoderAt(blk.Order, blk.Payload, base)
+		data, err := d.DoubleSeq()
+		if err != nil {
+			return err
+		}
+		if int(h.Count) != len(data) {
+			return fmt.Errorf("%w: block count %d, payload %d", ErrBadCall, h.Count, len(data))
+		}
+		if int(h.DstOff)+len(data) > len(local) {
+			return fmt.Errorf("%w: block overflows local block", ErrBadCall)
+		}
+		copy(local[h.DstOff:], data)
+	}
+	return nil
+}
+
+// sendBlocks ships this thread's share of a multi-port out transfer
+// directly to the client threads' endpoints.
+func (o *Object) sendBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles, endpoints []string) error {
+	mine := dist.PlanFor(plan, o.rank)
+	if len(mine) == 0 {
+		return nil
+	}
+	if len(endpoints) == 0 {
+		return fmt.Errorf("%w: client sent no endpoints for multi-port out transfer", ErrBadCall)
+	}
+	local := seq.LocalData()
+	// Mark the last block per destination.
+	lastIdx := make(map[int]int)
+	for idx, tr := range mine {
+		lastIdx[tr.To] = idx
+	}
+	for idx, tr := range mine {
+		ep := endpoints[0]
+		if tr.To < len(endpoints) {
+			ep = endpoints[tr.To]
+		}
+		h := giop.BlockTransferHeader{
+			InvocationID: inv<<8 | uint64(argIdx),
+			ArgIndex:     argIdx,
+			FromThread:   int32(o.rank),
+			ToThread:     int32(tr.To),
+			DstOff:       uint32(tr.DstOff),
+			Count:        uint32(tr.Count),
+			Last:         lastIdx[tr.To] == idx,
+		}
+		blk := local[tr.SrcOff : tr.SrcOff+tr.Count]
+		if err := o.out.SendBlock(ep, h, func(e *cdr.Encoder) { e.PutDoubleSeq(blk) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// agree reaches a collective verdict: if any thread reports an error,
+// every thread returns one (the communicator's message wins for
+// reporting).
+func (o *Object) agree(local error) error {
+	flag := uint64(0)
+	if local != nil {
+		flag = 1
+	}
+	flags, err := o.th.AllgatherU64(flag)
+	if err != nil {
+		return err
+	}
+	for r, f := range flags {
+		if f != 0 {
+			if local != nil {
+				return local
+			}
+			return fmt.Errorf("%w: thread %d failed", ErrRemote, r)
+		}
+	}
+	return nil
+}
+
+// blockPayloadBase returns the stream offset at which a block payload
+// starts (right after its header), needed for alignment-correct
+// decoding.
+func blockPayloadBase(h giop.BlockTransferHeader, order cdr.ByteOrder) int {
+	e := cdr.NewEncoder(order)
+	h.Encode(e)
+	return e.Len()
+}

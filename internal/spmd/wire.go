@@ -1,0 +1,314 @@
+package spmd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pardis/internal/cdr"
+	"pardis/internal/dist"
+)
+
+// TransferMethod selects how distributed arguments move between the
+// client's and the server's computing threads — the two methods of §3.
+type TransferMethod int
+
+const (
+	// Centralized gathers the argument to the communicator thread,
+	// ships it inside the request/reply message over the single
+	// communicator connection, and scatters on the far side (§3.2).
+	Centralized TransferMethod = iota
+	// MultiPort ships the invocation header centrally but moves the
+	// argument blocks point-to-point between computing threads over
+	// per-thread ports (§3.3).
+	MultiPort
+)
+
+func (m TransferMethod) String() string {
+	if m == Centralized {
+		return "centralized"
+	}
+	return "multi-port"
+}
+
+// ArgMode is the IDL parameter-passing mode of a distributed argument.
+type ArgMode int
+
+// Argument modes.
+const (
+	// In arguments travel client → server only.
+	In ArgMode = iota
+	// Out arguments travel server → client only.
+	Out
+	// InOut arguments travel both ways.
+	InOut
+)
+
+func (m ArgMode) String() string {
+	switch m {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("ArgMode(%d)", int(m))
+	}
+}
+
+// DescribeOperation is the implicit operation every SPMD object
+// answers, returning its OpSpec table so clients can plan transfers
+// (the server may have fixed non-default distributions before
+// registering, §2.2).
+const DescribeOperation = "_pardis_describe"
+
+// Errors returned by the SPMD layer.
+var (
+	ErrInconsistent = errors.New("spmd: computing threads disagree on invocation")
+	ErrBadCall      = errors.New("spmd: malformed call specification")
+	ErrRemote       = errors.New("spmd: remote invocation failed")
+	ErrClosed       = errors.New("spmd: object closed")
+)
+
+// argWire is the per-argument metadata the client sends in the
+// invocation body.
+type argWire struct {
+	Mode ArgMode
+	// Length is the sequence's global length.
+	Length int
+	// ClientCounts is the client-side layout (per client thread), so
+	// the server can compute both transfer plans.
+	ClientCounts []int
+	// ClientEndpoints carries the client threads' listening
+	// endpoints when out-data must return multi-port.
+	ClientEndpoints []string
+	// Data is the full gathered sequence (centralized in/inout only;
+	// nil otherwise, and nil on every thread but the communicator).
+	Data []float64
+}
+
+func (a *argWire) encode(e *cdr.Encoder) {
+	e.PutOctet(byte(a.Mode))
+	e.PutULong(uint32(a.Length))
+	counts := make([]uint32, len(a.ClientCounts))
+	for i, c := range a.ClientCounts {
+		counts[i] = uint32(c)
+	}
+	e.PutULongSeq(counts)
+	e.PutStringSeq(a.ClientEndpoints)
+	hasData := a.Data != nil
+	e.PutBoolean(hasData)
+	if hasData {
+		e.PutDoubleSeq(a.Data)
+	}
+}
+
+func decodeArgWire(d *cdr.Decoder) (*argWire, error) {
+	var a argWire
+	m, err := d.Octet()
+	if err != nil {
+		return nil, err
+	}
+	if m > byte(InOut) {
+		return nil, fmt.Errorf("%w: argument mode %d", ErrBadCall, m)
+	}
+	a.Mode = ArgMode(m)
+	n, err := d.ULong()
+	if err != nil {
+		return nil, err
+	}
+	a.Length = int(n)
+	counts, err := d.ULongSeq()
+	if err != nil {
+		return nil, err
+	}
+	a.ClientCounts = make([]int, len(counts))
+	for i, c := range counts {
+		a.ClientCounts[i] = int(c)
+	}
+	if a.ClientEndpoints, err = d.StringSeq(); err != nil {
+		return nil, err
+	}
+	hasData, err := d.Boolean()
+	if err != nil {
+		return nil, err
+	}
+	if hasData {
+		if a.Data, err = d.DoubleSeq(); err != nil {
+			return nil, err
+		}
+		if a.Data == nil {
+			a.Data = []float64{}
+		}
+	}
+	return &a, nil
+}
+
+// invocationWire is the invocation body the client communicator sends
+// after the request header.
+type invocationWire struct {
+	Method  TransferMethod
+	Scalars []byte // client-order CDR encapsulation of scalar in-args
+	Args    []*argWire
+}
+
+func (w *invocationWire) encode(e *cdr.Encoder) {
+	e.PutOctet(byte(w.Method))
+	e.PutOctetSeq(w.Scalars)
+	e.PutULong(uint32(len(w.Args)))
+	for _, a := range w.Args {
+		a.encode(e)
+	}
+}
+
+func decodeInvocationWire(d *cdr.Decoder) (*invocationWire, error) {
+	var w invocationWire
+	m, err := d.Octet()
+	if err != nil {
+		return nil, err
+	}
+	if m > byte(MultiPort) {
+		return nil, fmt.Errorf("%w: transfer method %d", ErrBadCall, m)
+	}
+	w.Method = TransferMethod(m)
+	if w.Scalars, err = d.OctetSeq(); err != nil {
+		return nil, err
+	}
+	n, err := d.ULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(d.Remaining())+1 {
+		return nil, fmt.Errorf("%w: %d arguments", ErrBadCall, n)
+	}
+	w.Args = make([]*argWire, n)
+	for i := range w.Args {
+		if w.Args[i], err = decodeArgWire(d); err != nil {
+			return nil, err
+		}
+	}
+	return &w, nil
+}
+
+// ArgSpec describes one distributed parameter of an operation as the
+// server declares it: its mode and the distribution the server wants
+// the argument delivered in (§2.2: set before registering, defaulting
+// to uniform BLOCK).
+type ArgSpec struct {
+	Mode ArgMode
+	Dist dist.Spec
+}
+
+// OpSpec describes one operation of an SPMD object's interface.
+type OpSpec struct {
+	// Args lists the operation's distributed parameters in order.
+	Args []ArgSpec
+}
+
+// describeWire is the payload of the DescribeOperation reply.
+type describeWire struct {
+	Threads   int
+	MultiPort bool
+	Ops       map[string]*OpSpec
+}
+
+func (w *describeWire) encode(e *cdr.Encoder) {
+	e.PutULong(uint32(w.Threads))
+	e.PutBoolean(w.MultiPort)
+	e.PutULong(uint32(len(w.Ops)))
+	// Deterministic order is unnecessary for correctness but keeps
+	// byte-level tests stable.
+	names := make([]string, 0, len(w.Ops))
+	for name := range w.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		op := w.Ops[name]
+		e.PutString(name)
+		e.PutULong(uint32(len(op.Args)))
+		for _, a := range op.Args {
+			e.PutOctet(byte(a.Mode))
+			e.PutOctet(byte(a.Dist.Kind()))
+			ws := a.Dist.Weights()
+			u := make([]uint32, len(ws))
+			for i, x := range ws {
+				u[i] = uint32(x)
+			}
+			e.PutULongSeq(u)
+		}
+	}
+}
+
+func decodeDescribeWire(d *cdr.Decoder) (*describeWire, error) {
+	var w describeWire
+	n, err := d.ULong()
+	if err != nil {
+		return nil, err
+	}
+	w.Threads = int(n)
+	if w.MultiPort, err = d.Boolean(); err != nil {
+		return nil, err
+	}
+	nops, err := d.ULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(nops) > uint64(d.Remaining())+1 {
+		return nil, fmt.Errorf("%w: %d operations", ErrBadCall, nops)
+	}
+	w.Ops = make(map[string]*OpSpec, nops)
+	for i := uint32(0); i < nops; i++ {
+		name, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		nargs, err := d.ULong()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(nargs) > uint64(d.Remaining())+1 {
+			return nil, fmt.Errorf("%w: %d args", ErrBadCall, nargs)
+		}
+		op := &OpSpec{Args: make([]ArgSpec, nargs)}
+		for j := range op.Args {
+			m, err := d.Octet()
+			if err != nil {
+				return nil, err
+			}
+			k, err := d.Octet()
+			if err != nil {
+				return nil, err
+			}
+			u, err := d.ULongSeq()
+			if err != nil {
+				return nil, err
+			}
+			ws := make([]int, len(u))
+			for x, v := range u {
+				ws[x] = int(v)
+			}
+			spec, err := specFromWire(dist.Kind(k), ws)
+			if err != nil {
+				return nil, err
+			}
+			op.Args[j] = ArgSpec{Mode: ArgMode(m), Dist: spec}
+		}
+		w.Ops[name] = op
+	}
+	return &w, nil
+}
+
+func specFromWire(k dist.Kind, weights []int) (dist.Spec, error) {
+	switch k {
+	case dist.KindBlock:
+		return dist.Block(), nil
+	case dist.KindProportions:
+		return dist.Proportions(weights...)
+	case dist.KindExplicit:
+		return dist.Explicit(weights...)
+	default:
+		return dist.Spec{}, fmt.Errorf("%w: distribution kind %d", ErrBadCall, k)
+	}
+}

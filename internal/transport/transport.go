@@ -1,0 +1,254 @@
+// Package transport abstracts the byte-stream transports the PARDIS
+// ORB runs over. The original system used NexusLite for network
+// transport; here two transports are provided behind one interface:
+//
+//   - "tcp"    — real sockets via the net package, used by the
+//     daemons, the examples, and the cross-process tests;
+//   - "inproc" — synchronous in-memory pipes (net.Pipe), used to wire
+//     client and server threads inside one test process without
+//     touching the network stack.
+//
+// Endpoints are strings of the form "scheme:address", e.g.
+// "tcp:127.0.0.1:9050" or "inproc:diffusion-server-3". The Registry
+// maps schemes to transports; the package-level Default registry has
+// both built-in transports installed.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Errors returned by transports.
+var (
+	ErrBadEndpoint = errors.New("transport: malformed endpoint")
+	ErrUnknown     = errors.New("transport: unknown scheme")
+	ErrClosed      = errors.New("transport: closed")
+	ErrNotFound    = errors.New("transport: no listener at address")
+)
+
+// Conn is a reliable, ordered, full-duplex byte stream.
+type Conn = net.Conn
+
+// Listener accepts inbound connections at a bound endpoint.
+type Listener interface {
+	// Accept blocks for the next inbound connection.
+	Accept() (Conn, error)
+	// Endpoint returns the full "scheme:address" this listener is
+	// reachable at (with any wildcard port resolved).
+	Endpoint() string
+	// Close stops accepting; blocked Accepts return ErrClosed.
+	Close() error
+}
+
+// Transport creates listeners and outbound connections for one scheme.
+type Transport interface {
+	// Scheme returns the endpoint prefix this transport serves.
+	Scheme() string
+	// Listen binds to address (the part after "scheme:").
+	Listen(address string) (Listener, error)
+	// Dial connects to address.
+	Dial(address string) (Conn, error)
+}
+
+// SplitEndpoint separates "scheme:address" into its parts.
+func SplitEndpoint(endpoint string) (scheme, address string, err error) {
+	i := strings.IndexByte(endpoint, ':')
+	if i <= 0 || i == len(endpoint)-1 {
+		return "", "", fmt.Errorf("%w: %q", ErrBadEndpoint, endpoint)
+	}
+	return endpoint[:i], endpoint[i+1:], nil
+}
+
+// JoinEndpoint forms "scheme:address".
+func JoinEndpoint(scheme, address string) string { return scheme + ":" + address }
+
+// Registry resolves endpoint schemes to transports.
+type Registry struct {
+	mu         sync.RWMutex
+	transports map[string]Transport
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{transports: make(map[string]Transport)}
+}
+
+// Register installs a transport for its scheme, replacing any previous
+// one.
+func (r *Registry) Register(t Transport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.transports[t.Scheme()] = t
+}
+
+// Lookup returns the transport for a scheme.
+func (r *Registry) Lookup(scheme string) (Transport, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.transports[scheme]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, scheme)
+	}
+	return t, nil
+}
+
+// Listen binds a listener at the given "scheme:address" endpoint.
+func (r *Registry) Listen(endpoint string) (Listener, error) {
+	scheme, addr, err := SplitEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	t, err := r.Lookup(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return t.Listen(addr)
+}
+
+// Dial connects to the given "scheme:address" endpoint.
+func (r *Registry) Dial(endpoint string) (Conn, error) {
+	scheme, addr, err := SplitEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	t, err := r.Lookup(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return t.Dial(addr)
+}
+
+// Default is the process-wide registry with "tcp" and a process-wide
+// "inproc" transport installed.
+var Default = func() *Registry {
+	r := NewRegistry()
+	r.Register(TCP{})
+	r.Register(NewInproc())
+	return r
+}()
+
+// TCP is the sockets transport.
+type TCP struct{}
+
+// Scheme implements Transport.
+func (TCP) Scheme() string { return "tcp" }
+
+// Listen implements Transport. Address "127.0.0.1:0" binds an
+// ephemeral port, reported by the listener's Endpoint.
+func (TCP) Listen(address string) (Listener, error) {
+	l, err := net.Listen("tcp", address)
+	if err != nil {
+		return nil, err
+	}
+	return tcpListener{l}, nil
+}
+
+// Dial implements Transport.
+func (TCP) Dial(address string) (Conn, error) {
+	return net.Dial("tcp", address)
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (t tcpListener) Accept() (Conn, error) { return t.l.Accept() }
+func (t tcpListener) Endpoint() string      { return "tcp:" + t.l.Addr().String() }
+func (t tcpListener) Close() error          { return t.l.Close() }
+
+// Inproc is an in-memory transport: listeners are registered in a
+// name table and Dial pairs the caller with an Accept via net.Pipe.
+type Inproc struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	nextAuto  int
+}
+
+// NewInproc returns a fresh in-process transport (its own namespace).
+func NewInproc() *Inproc {
+	return &Inproc{listeners: make(map[string]*inprocListener)}
+}
+
+// Scheme implements Transport.
+func (i *Inproc) Scheme() string { return "inproc" }
+
+// Listen implements Transport. The address "*" allocates a unique
+// name.
+func (i *Inproc) Listen(address string) (Listener, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if address == "*" {
+		i.nextAuto++
+		address = fmt.Sprintf("auto-%d", i.nextAuto)
+	}
+	if _, exists := i.listeners[address]; exists {
+		return nil, fmt.Errorf("transport: inproc address %q already bound", address)
+	}
+	l := &inprocListener{
+		owner:   i,
+		address: address,
+		backlog: make(chan Conn, 16),
+		closed:  make(chan struct{}),
+	}
+	i.listeners[address] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (i *Inproc) Dial(address string) (Conn, error) {
+	i.mu.Lock()
+	l, ok := i.listeners[address]
+	i.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: inproc:%s", ErrNotFound, address)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("%w: inproc:%s", ErrNotFound, address)
+	}
+}
+
+type inprocListener struct {
+	owner     *Inproc
+	address   string
+	backlog   chan Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Endpoint() string { return "inproc:" + l.address }
+
+func (l *inprocListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.owner.mu.Lock()
+		delete(l.owner.listeners, l.address)
+		l.owner.mu.Unlock()
+		// Drain and close queued, never-accepted connections.
+		for {
+			select {
+			case c := <-l.backlog:
+				c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
