@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test verify chaos bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the CI tier: compile everything, static checks, full test
+# suite under the race detector.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# chaos runs only the fault-injection suites (TestFault*): retry,
+# failover, deadlines, breakers, graceful drain, and SPMD
+# partial-failure verdicts, all driven through transport.Faulty under
+# the race detector. Add -short for the abbreviated plans.
+chaos:
+	$(GO) test -run Fault -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+fmt:
+	gofmt -l -w .

@@ -35,10 +35,19 @@ func main() {
 	prefix := flag.String("prefix", "", "name prefix filter for -list")
 	state := flag.String("state", "", "persist the name table to this file (load at start, checkpoint periodically and at shutdown)")
 	checkpoint := flag.Duration("checkpoint", 30*time.Second, "checkpoint interval when -state is set")
+	drain := flag.Duration("drain", 5*time.Second, "grace period for in-flight requests on SIGTERM/SIGINT before the listener is force-closed")
+	retries := flag.Int("retries", 3, "invocation attempts for -list (retry/backoff on transient failures)")
+	rpcTimeout := flag.Duration("rpc-timeout", 10*time.Second, "per-invocation deadline for -list")
 	flag.Parse()
 
 	if *list {
-		oc := orb.NewClient(nil)
+		pol := orb.DefaultRetryPolicy()
+		if *retries > 0 {
+			pol.MaxAttempts = *retries
+		}
+		oc := orb.NewClient(nil,
+			orb.WithRetryPolicy(pol),
+			orb.WithDefaultDeadline(*rpcTimeout))
 		defer oc.Close()
 		nc := naming.NewClient(oc, *at)
 		names, err := nc.List(context.Background(), *prefix)
@@ -95,14 +104,21 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("pardisd: shutting down")
+	fmt.Println("pardisd: draining")
 	close(stopCheckpoints)
 	if *state != "" {
 		if err := reg.SaveFile(*state); err != nil {
 			fmt.Fprintln(os.Stderr, "pardisd: final checkpoint:", err)
 		}
 	}
-	srv.Close()
+	// Graceful shutdown: stop accepting, answer new requests TRANSIENT,
+	// finish in-flight ones up to the -drain deadline, then close the
+	// connections with a goodbye message so clients fail over cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pardisd: drain incomplete:", err)
+	}
 }
 
 func fatal(err error) {

@@ -44,7 +44,10 @@ type Ref struct {
 	Threads int
 	// Endpoints lists where the object is reachable. Endpoints[0] is
 	// the communicator endpoint; when the server enables multi-port
-	// transfer there is one endpoint per computing thread.
+	// transfer there is one endpoint per computing thread. A
+	// conventional (Threads == 1) object may instead list several
+	// endpoints — replica profiles of the same object, tried in order
+	// by the client ORB's failover machinery.
 	Endpoints []string
 }
 
@@ -59,7 +62,7 @@ func (r *Ref) Validate() error {
 	if len(r.Endpoints) == 0 {
 		return fmt.Errorf("%w: no endpoints", ErrBadRef)
 	}
-	if len(r.Endpoints) != 1 && len(r.Endpoints) != r.Threads {
+	if r.Threads > 1 && len(r.Endpoints) != 1 && len(r.Endpoints) != r.Threads {
 		return fmt.Errorf("%w: %d endpoints for %d threads (must be 1 or equal)",
 			ErrBadRef, len(r.Endpoints), r.Threads)
 	}
@@ -76,13 +79,34 @@ func (r *Ref) IsSPMD() bool { return r.Threads > 1 }
 
 // MultiPort reports whether the reference carries one endpoint per
 // computing thread, enabling multi-port argument transfer. A
-// single-thread object is trivially multi-port capable: its one
+// single-thread object is trivially multi-port capable: its
 // endpoint doubles as the data port.
-func (r *Ref) MultiPort() bool { return len(r.Endpoints) == r.Threads }
+func (r *Ref) MultiPort() bool { return r.Threads == 1 || len(r.Endpoints) == r.Threads }
 
 // CommunicatorEndpoint returns the endpoint of the communicator
 // thread (thread 0).
 func (r *Ref) CommunicatorEndpoint() string { return r.Endpoints[0] }
+
+// Replicas returns the number of interchangeable endpoints a client
+// may fail over between. SPMD references pin each thread to its own
+// port, so only conventional objects carry replicas.
+func (r *Ref) Replicas() int {
+	if r.Threads == 1 {
+		return len(r.Endpoints)
+	}
+	return 1
+}
+
+// FailoverEndpoints returns the endpoints an invocation may be issued
+// at, in preference order. For a conventional object that is every
+// replica endpoint; for an SPMD object invocations must target the
+// communicator, so only its endpoint is returned.
+func (r *Ref) FailoverEndpoints() []string {
+	if r.Threads == 1 {
+		return r.Endpoints
+	}
+	return r.Endpoints[:1]
+}
 
 // ThreadEndpoint returns the endpoint serving SPMD thread t, falling
 // back to the communicator endpoint when the reference is not

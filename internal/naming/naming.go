@@ -259,6 +259,37 @@ func (c *Client) Resolve(ctx context.Context, name string) (*ior.Ref, error) {
 	return ior.Parse(s)
 }
 
+// ResolveLive resolves name and filters out replica endpoints the
+// underlying ORB client's health table currently marks down (open
+// circuit breaker), so a reference reloaded from a stale persisted
+// snapshot does not keep steering invocations at dead replicas.
+//
+// Only conventional (single-thread) references are filtered — SPMD
+// thread ports are not interchangeable. If every replica is marked
+// down the full reference is returned unfiltered: forced probes
+// through invocation-level failover beat certain failure.
+func (c *Client) ResolveLive(ctx context.Context, name string) (*ior.Ref, error) {
+	ref, err := c.Resolve(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	if ref.Replicas() <= 1 {
+		return ref, nil
+	}
+	live := make([]string, 0, len(ref.Endpoints))
+	for _, ep := range ref.Endpoints {
+		if c.orb.EndpointUp(ep) {
+			live = append(live, ep)
+		}
+	}
+	if len(live) == 0 || len(live) == len(ref.Endpoints) {
+		return ref, nil
+	}
+	filtered := *ref
+	filtered.Endpoints = live
+	return &filtered, nil
+}
+
 // Unbind removes a name.
 func (c *Client) Unbind(ctx context.Context, name string) error {
 	_, err := c.invoke(ctx, "unbind", func(e *cdr.Encoder) { e.PutString(name) })

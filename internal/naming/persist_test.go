@@ -2,10 +2,17 @@ package naming
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"pardis/internal/giop"
+	"pardis/internal/ior"
+	"pardis/internal/orb"
+	"pardis/internal/transport"
 )
 
 func TestSnapshotRestore(t *testing.T) {
@@ -89,5 +96,96 @@ func TestLoadFileMissingIsFreshStart(t *testing.T) {
 	}
 	if len(r.List("")) != 0 {
 		t.Fatal("registry not empty")
+	}
+}
+
+// TestReloadStaleEndpointsResolveLive: a persisted snapshot can
+// outlive some of a replicated object's endpoints. After the naming
+// daemon reloads it, plain Resolve still hands out the stale replica,
+// but once the client's health table has marked that endpoint down,
+// ResolveLive stops returning it.
+func TestReloadStaleEndpointsResolveLive(t *testing.T) {
+	treg := transport.NewRegistry()
+	treg.Register(transport.NewInproc())
+
+	// Two live replicas; a third endpoint that died while the snapshot
+	// sat on disk.
+	liveA, liveB, dead := "inproc:replica-a", "inproc:replica-b", "inproc:replica-dead"
+	for _, ep := range []string{liveA, liveB} {
+		srv := orb.NewServer(treg)
+		srv.Handle("calc", func(in *orb.Incoming) {
+			_ = in.Reply(giop.ReplyOK, nil)
+		})
+		if _, err := srv.Listen(ep); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+	}
+
+	// Persist a registry holding the replicated binding, then reload it
+	// into a fresh registry as a restarted daemon would.
+	path := filepath.Join(t.TempDir(), "domain.state")
+	before := NewRegistry()
+	bound := &ior.Ref{TypeID: "IDL:calc:1.0", Key: "calc", Threads: 1,
+		Endpoints: []string{dead, liveA, liveB}}
+	if err := before.Bind("svc/calc", bound, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := before.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reloaded := NewRegistry()
+	if err := reloaded.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	nsrv := orb.NewServer(treg)
+	Serve(nsrv, reloaded)
+	nameEp, err := nsrv.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nsrv.Close()
+
+	oc := orb.NewClient(treg, orb.WithBreaker(2, time.Minute))
+	defer oc.Close()
+	c := NewClient(oc, nameEp)
+	ctx := context.Background()
+
+	// Before any failures are observed, both Resolve and ResolveLive
+	// return the snapshot verbatim.
+	got, err := c.ResolveLive(ctx, "svc/calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Endpoints) != 3 {
+		t.Fatalf("ResolveLive with no health data filtered to %v", got.Endpoints)
+	}
+
+	// Let the client learn the stale endpoint is dead (two failed
+	// invokes open its breaker).
+	hdr := giop.RequestHeader{InvocationID: oc.NewInvocationID(), ResponseExpected: true,
+		ObjectKey: "calc", Operation: "op", ThreadRank: -1, ThreadCount: 1}
+	for i := 0; i < 2; i++ {
+		hdr.InvocationID = oc.NewInvocationID()
+		if _, _, _, err := oc.Invoke(ctx, dead, hdr, nil); err == nil {
+			t.Fatal("invoking the dead replica succeeded")
+		}
+	}
+	if oc.EndpointUp(dead) {
+		t.Fatalf("breaker never opened for %s: %+v", dead, oc.Health())
+	}
+
+	got, err = c.ResolveLive(ctx, "svc/calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Endpoints) != 2 || got.Endpoints[0] != liveA || got.Endpoints[1] != liveB {
+		t.Fatalf("ResolveLive = %v, want the two live replicas", got.Endpoints)
+	}
+	// Plain Resolve is unfiltered: the snapshot is what it is.
+	raw, err := c.Resolve(ctx, "svc/calc")
+	if err != nil || len(raw.Endpoints) != 3 {
+		t.Fatalf("Resolve = %v, %v", raw, err)
 	}
 }

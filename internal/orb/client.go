@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pardis/internal/cdr"
 	"pardis/internal/giop"
@@ -18,9 +19,18 @@ import (
 // per endpoint, multiplexes concurrent requests over each, and routes
 // inbound block transfers (out-arguments of multi-port invocations) to
 // the engines expecting them. A Client is safe for concurrent use.
+//
+// Invocations are fault-tolerant to the extent the configured
+// RetryPolicy allows: failures inside the safe-to-retry window are
+// re-issued with exponential backoff, rotating across the endpoints
+// offered to InvokeRef, steered by a per-endpoint circuit breaker.
 type Client struct {
 	reg   *transport.Registry
 	order cdr.ByteOrder
+
+	retry    RetryPolicy
+	deadline time.Duration // default per-invoke deadline (0 = none)
+	health   *healthTable
 
 	mu     sync.Mutex
 	conns  map[string]*clientConn
@@ -39,6 +49,27 @@ func WithByteOrder(o cdr.ByteOrder) ClientOption {
 	return func(c *Client) { c.order = o }
 }
 
+// WithRetryPolicy enables transparent retry of invocations that
+// failed inside the safe-to-retry window.
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithDefaultDeadline applies a deadline to every invocation whose
+// context does not already carry one, so a hung or partitioned server
+// cannot block Invoke forever.
+func WithDefaultDeadline(d time.Duration) ClientOption {
+	return func(c *Client) { c.deadline = d }
+}
+
+// WithBreaker tunes the endpoint circuit breaker: an endpoint is
+// marked down after threshold consecutive transport failures and
+// skipped by failover for cooldown, after which a single half-open
+// probe decides whether it is back.
+func WithBreaker(threshold int, cooldown time.Duration) ClientOption {
+	return func(c *Client) { c.health = newHealthTable(threshold, cooldown) }
+}
+
 // NewClient creates a client using the given transport registry (nil
 // means transport.Default).
 func NewClient(reg *transport.Registry, opts ...ClientOption) *Client {
@@ -48,6 +79,7 @@ func NewClient(reg *transport.Registry, opts ...ClientOption) *Client {
 	c := &Client{
 		reg:    reg,
 		order:  cdr.BigEndian,
+		health: newHealthTable(0, 0),
 		conns:  make(map[string]*clientConn),
 		blocks: newBlockRouter(),
 	}
@@ -64,6 +96,15 @@ func NewClient(reg *transport.Registry, opts ...ClientOption) *Client {
 // Order returns the byte order the client marshals in.
 func (c *Client) Order() cdr.ByteOrder { return c.order }
 
+// EndpointUp reports whether the client's health table currently
+// believes endpoint is reachable (its circuit breaker is not open).
+// Unknown endpoints are presumed up.
+func (c *Client) EndpointUp(endpoint string) bool { return c.health.up(endpoint) }
+
+// Health returns a snapshot of the per-endpoint circuit-breaker
+// states, keyed by endpoint.
+func (c *Client) Health() map[string]EndpointState { return c.health.snapshot() }
+
 // NewInvocationID allocates an invocation id unique across this
 // client process (random 32-bit prefix + counter).
 func (c *Client) NewInvocationID() uint64 {
@@ -79,6 +120,8 @@ func (c *Client) ExpectBlocks(inv uint64, ch chan<- Block) (func(), error) {
 }
 
 // conn returns the cached connection for endpoint, dialing if needed.
+// Dial failures are tagged ErrUnreachable: the request never left the
+// process, so the retry layer may re-issue it freely.
 func (c *Client) conn(endpoint string) (*clientConn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -90,7 +133,7 @@ func (c *Client) conn(endpoint string) (*clientConn, error) {
 	}
 	raw, err := c.reg.Dial(endpoint)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, endpoint, err)
 	}
 	cc := &clientConn{
 		owner:    c,
@@ -121,13 +164,44 @@ const maxForwards = 4
 // c.Order() starting at the offset right after the request header.
 // Cancellation via ctx sends a CancelRequest and abandons the wait.
 //
+// Failures inside the safe-to-retry window are retried per the
+// client's RetryPolicy, and the client's default deadline applies
+// when ctx carries none.
+//
 // LOCATION_FORWARD replies are followed transparently (up to
-// maxForwards hops): the reply body carries a stringified IOR and the
-// request is re-issued at the forwarded communicator endpoint — the
-// CORBA mechanism that lets objects migrate without breaking clients.
+// maxForwards hops, with cycle detection): the reply body carries a
+// stringified IOR and the request is re-issued at the forwarded
+// endpoints — the CORBA mechanism that lets objects migrate without
+// breaking clients.
 func (c *Client) Invoke(ctx context.Context, endpoint string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
+	return c.invokeEndpoints(ctx, []string{endpoint}, hdr, body)
+}
+
+// InvokeRef invokes across all of a reference's failover endpoints:
+// the attempt rotates to the next replica when one fails inside the
+// safe-to-retry window, skipping endpoints whose circuit breaker is
+// open. For SPMD references only the communicator endpoint is used.
+func (c *Client) InvokeRef(ctx context.Context, ref *ior.Ref, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
+	return c.invokeEndpoints(ctx, ref.FailoverEndpoints(), hdr, body)
+}
+
+// invokeEndpoints applies the default deadline, follows location
+// forwards (bounded, cycle-checked), and delegates each hop to the
+// retry/failover engine.
+func (c *Client) invokeEndpoints(ctx context.Context, endpoints []string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
+	if len(endpoints) == 0 {
+		return giop.ReplyHeader{}, 0, nil, fmt.Errorf("%w: no endpoints", ErrUnreachable)
+	}
+	if c.deadline > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.deadline)
+			defer cancel()
+		}
+	}
+	seen := map[string]bool{endpoints[0]: true}
 	for hop := 0; ; hop++ {
-		rh, order, raw, err := c.invokeOnce(ctx, endpoint, hdr, body)
+		rh, order, raw, err := c.invokeRetry(ctx, endpoints, hdr, body)
 		if err != nil || rh.Status != giop.ReplyLocationForward {
 			return rh, order, raw, err
 		}
@@ -138,23 +212,90 @@ func (c *Client) Invoke(ctx context.Context, endpoint string, hdr giop.RequestHe
 		if err != nil {
 			return rh, order, raw, err
 		}
-		endpoint = fwd
+		if seen[fwd[0]] {
+			return rh, order, raw, fmt.Errorf("%w: %s seen twice after %d forwards",
+				ErrForwardCycle, fwd[0], hop+1)
+		}
+		seen[fwd[0]] = true
+		endpoints = fwd
 	}
 }
 
-// decodeForward extracts the forwarded communicator endpoint from a
+// invokeRetry runs the retry/backoff/failover loop for one logical
+// request at one location (forward hops restart it).
+func (c *Client) invokeRetry(ctx context.Context, endpoints []string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
+	pol := c.retry
+	attempts := pol.attempts()
+	rotor := 0
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if !pol.Budget.spend() {
+				return giop.ReplyHeader{}, 0, nil,
+					fmt.Errorf("orb: retry budget exhausted after %d attempts: %w", attempt-1, lastErr)
+			}
+			if err := sleepCtx(ctx, pol.backoff(attempt-1)); err != nil {
+				return giop.ReplyHeader{}, 0, nil, fmt.Errorf("%w: %v (last error: %v)", ErrCanceled, err, lastErr)
+			}
+		}
+		ep := c.pickEndpoint(endpoints, rotor)
+		rh, order, raw, err := c.invokeOnce(ctx, ep, hdr, body)
+		if err == nil && rh.Status == giop.ReplySystemException {
+			// A draining server answers TRANSIENT: treat it like a
+			// transport failure and move to another replica.
+			if ex, derr := giop.DecodeSystemException(cdr.NewDecoder(order, raw)); derr == nil && ex.Code == "TRANSIENT" {
+				err = fmt.Errorf("%w: %s: %s", ErrTransient, ep, ex.Detail)
+			}
+		}
+		if err == nil {
+			c.health.onSuccess(ep)
+			pol.Budget.onSuccess()
+			return rh, order, raw, nil
+		}
+		if retryable(err) {
+			c.health.onFailure(ep)
+		}
+		if !retryable(err) || ctx.Err() != nil {
+			return giop.ReplyHeader{}, 0, nil, err
+		}
+		lastErr = err
+		rotor++ // prefer a different replica on the next attempt
+	}
+	if attempts > 1 {
+		return giop.ReplyHeader{}, 0, nil,
+			fmt.Errorf("orb: %d attempts across %d endpoints failed: %w", attempts, len(endpoints), lastErr)
+	}
+	return giop.ReplyHeader{}, 0, nil, lastErr
+}
+
+// pickEndpoint chooses the attempt's endpoint: the first one from
+// position start (wrapping) whose breaker admits traffic, or — when
+// every breaker is open — the nominal choice anyway, as a forced
+// probe beats certain failure.
+func (c *Client) pickEndpoint(endpoints []string, start int) string {
+	n := len(endpoints)
+	for i := 0; i < n; i++ {
+		ep := endpoints[(start+i)%n]
+		if c.health.allow(ep) {
+			return ep
+		}
+	}
+	return endpoints[start%n]
+}
+
+// decodeForward extracts the forwarded failover endpoints from a
 // LOCATION_FORWARD reply body (a stringified IOR).
-func decodeForward(order cdr.ByteOrder, body []byte) (string, error) {
+func decodeForward(order cdr.ByteOrder, body []byte) ([]string, error) {
 	d := cdr.NewDecoderAt(order, body, 8)
 	s, err := d.String()
 	if err != nil {
-		return "", fmt.Errorf("orb: undecodable forward body: %w", err)
+		return nil, fmt.Errorf("orb: undecodable forward body: %w", err)
 	}
 	ref, err := ior.Parse(s)
 	if err != nil {
-		return "", fmt.Errorf("orb: forward carries bad IOR: %w", err)
+		return nil, fmt.Errorf("orb: forward carries bad IOR: %w", err)
 	}
-	return ref.CommunicatorEndpoint(), nil
+	return ref.FailoverEndpoints(), nil
 }
 
 func (c *Client) invokeOnce(ctx context.Context, endpoint string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
@@ -395,7 +536,12 @@ func (cc *clientConn) readLoop() {
 				cc.shutdown(err)
 				return
 			}
-		case giop.MsgCloseConnection, giop.MsgError:
+		case giop.MsgCloseConnection:
+			// Orderly shutdown: the server promises it processed
+			// nothing further, so waiters may re-issue elsewhere.
+			cc.shutdown(ErrServerClosed)
+			return
+		case giop.MsgError:
 			cc.shutdown(ErrConnectionLost)
 			return
 		default:

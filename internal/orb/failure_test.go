@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -59,7 +60,8 @@ func TestLocationForwardFollowed(t *testing.T) {
 	}
 }
 
-// TestForwardLoopBounded: a forward cycle fails instead of spinning.
+// TestForwardLoopBounded: a forward cycle is detected as soon as an
+// endpoint is seen twice, instead of burning all maxForwards hops.
 func TestForwardLoopBounded(t *testing.T) {
 	reg := transport.NewRegistry()
 	reg.Register(transport.NewInproc())
@@ -70,13 +72,48 @@ func TestForwardLoopBounded(t *testing.T) {
 	}
 	defer srv.Close()
 	self := &ior.Ref{TypeID: "t", Key: "obj", Threads: 1, Endpoints: []string{ep}}
+	var hops atomic.Int32
 	srv.Handle("obj", func(in *Incoming) {
+		hops.Add(1)
 		_ = in.ReplyForward(self.Stringify()) // forward to itself forever
 	})
 	cli := NewClient(reg)
 	defer cli.Close()
 	_, _, _, err = cli.Invoke(context.Background(), ep, requestHeader(cli, "obj", "op"), nil)
-	if err == nil || !strings.Contains(err.Error(), "location forwards") {
+	if !errors.Is(err, ErrForwardCycle) {
+		t.Fatalf("err = %v", err)
+	}
+	// The self-cycle is caught after the first forward, not after
+	// maxForwards round-trips.
+	if n := hops.Load(); n != 1 {
+		t.Fatalf("server dispatched %d times; cycle not detected early", n)
+	}
+}
+
+// TestForwardCycleTwoServers: an A→B→A forward cycle is detected when
+// A's endpoint shows up the second time.
+func TestForwardCycleTwoServers(t *testing.T) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	a, b := NewServer(reg), NewServer(reg)
+	epA, err := a.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	epB, err := b.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	refA := &ior.Ref{TypeID: "t", Key: "obj", Threads: 1, Endpoints: []string{epA}}
+	refB := &ior.Ref{TypeID: "t", Key: "obj", Threads: 1, Endpoints: []string{epB}}
+	a.Handle("obj", func(in *Incoming) { _ = in.ReplyForward(refB.Stringify()) })
+	b.Handle("obj", func(in *Incoming) { _ = in.ReplyForward(refA.Stringify()) })
+	cli := NewClient(reg)
+	defer cli.Close()
+	_, _, _, err = cli.Invoke(context.Background(), epA, requestHeader(cli, "obj", "op"), nil)
+	if !errors.Is(err, ErrForwardCycle) {
 		t.Fatalf("err = %v", err)
 	}
 }

@@ -27,6 +27,20 @@ var (
 	ErrCanceled       = errors.New("orb: request canceled")
 	ErrConnectionLost = errors.New("orb: connection lost")
 	ErrTooManyBlocks  = errors.New("orb: too many unmatched block transfers buffered")
+	// ErrServerClosed means the server announced an orderly shutdown
+	// (MsgCloseConnection): it processed nothing further on this
+	// connection, so pending invocations are always safe to re-issue
+	// at another endpoint.
+	ErrServerClosed = errors.New("orb: server closed connection")
+	// ErrUnreachable marks dial-stage failures: the request never
+	// left this process, so retrying elsewhere is always safe.
+	ErrUnreachable = errors.New("orb: endpoint unreachable")
+	// ErrTransient wraps a TRANSIENT system exception: the server
+	// explicitly asked the client to retry (e.g. it is draining).
+	ErrTransient = errors.New("orb: transient server condition")
+	// ErrForwardCycle reports a LOCATION_FORWARD loop (an endpoint
+	// forwarded back to a location already visited).
+	ErrForwardCycle = errors.New("orb: location forward cycle")
 )
 
 // Block is one received block-transfer message: a slice of a

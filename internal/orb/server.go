@@ -81,10 +81,12 @@ type Server struct {
 	listeners []transport.Listener
 	handlers  map[string]Handler
 	conns     map[*serverConn]struct{}
+	draining  bool
 	closed    bool
 
 	blocks *blockRouter
-	wg     sync.WaitGroup
+	wg     sync.WaitGroup // accept loops and connection readers
+	reqWG  sync.WaitGroup // in-flight request handlers
 }
 
 // ServerOption configures a Server.
@@ -199,8 +201,9 @@ func (s *Server) acceptLoop(l transport.Listener) {
 	}
 }
 
-// Close stops all listeners and connections and waits for the serving
-// goroutines to drain.
+// Close stops all listeners and connections immediately and waits for
+// the serving goroutines to drain. In-flight requests are canceled.
+// For an orderly stop that lets clients fail over, use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -223,6 +226,73 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return nil
+}
+
+// Shutdown stops the server gracefully: it stops accepting
+// connections, rejects newly arriving requests with a TRANSIENT
+// system exception (which the client retry layer treats as an
+// invitation to fail over), waits for in-flight requests to complete
+// until ctx expires, then announces MsgCloseConnection on every
+// connection — so clients see an orderly close and re-issue pending
+// work elsewhere instead of hitting raw resets — and finally tears
+// the connections down.
+//
+// It returns ctx.Err() when the drain deadline expired before all
+// in-flight requests finished (they were then canceled), nil on a
+// clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.draining
+	s.draining = true
+	ls := s.listeners
+	s.listeners = nil
+	s.mu.Unlock()
+	if alreadyDraining {
+		return nil // a concurrent Shutdown is already in charge
+	}
+	for _, l := range ls {
+		l.Close()
+	}
+
+	// Drain in-flight handlers up to the deadline.
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+	}
+
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		// Best-effort goodbye; the close that follows is what
+		// guarantees progress.
+		_ = sc.write(giop.MsgCloseConnection, nil)
+		sc.close()
+	}
+	s.wg.Wait()
+	return drainErr
+}
+
+// Draining reports whether the server is in a graceful shutdown.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // serverConn is one accepted connection.
@@ -337,6 +407,19 @@ func (sc *serverConn) handleRequest(order cdr.ByteOrder, body []byte) error {
 			fmt.Sprintf("no object with key %q", hdr.ObjectKey))
 		return nil
 	}
+	// Admission is gated on the drain flag under the server mutex, so
+	// Shutdown's reqWG.Wait cannot race a late Add: once draining is
+	// observed set, no new handler starts; requests arriving during
+	// the drain are bounced with TRANSIENT, which the client retry
+	// layer converts into failover.
+	sc.srv.mu.Lock()
+	if sc.srv.draining {
+		sc.srv.mu.Unlock()
+		_ = in.ReplySystemException("TRANSIENT", "server draining")
+		return nil
+	}
+	sc.srv.reqWG.Add(1)
+	sc.srv.mu.Unlock()
 	ctx, cancel := context.WithCancel(context.Background())
 	in.Ctx = ctx
 	if hdr.ResponseExpected {
@@ -344,6 +427,7 @@ func (sc *serverConn) handleRequest(order cdr.ByteOrder, body []byte) error {
 		if sc.dead {
 			sc.mu.Unlock()
 			cancel()
+			sc.srv.reqWG.Done()
 			return nil
 		}
 		sc.inflight[hdr.RequestID] = cancel
@@ -362,6 +446,7 @@ func (sc *serverConn) handleRequest(order cdr.ByteOrder, body []byte) error {
 				// not a dead server.
 				_ = in.ReplySystemException("UNKNOWN", fmt.Sprintf("servant panic: %v", p))
 			}
+			sc.srv.reqWG.Done()
 		}()
 		h(in)
 	}()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"pardis/internal/cdr"
 	"pardis/internal/dist"
@@ -32,6 +33,13 @@ type BindConfig struct {
 	// for multi-port out-argument blocks ("inproc:*",
 	// "tcp:127.0.0.1:0"). Unused under Centralized.
 	ListenEndpoint string
+	// Retry is the invocation retry policy for this binding's ORB
+	// client. The zero value enables failover-grade defaults: at
+	// least one attempt per replica endpoint of the bound reference.
+	Retry orb.RetryPolicy
+	// Deadline is the default per-invocation deadline applied when a
+	// call's context has none (0 = no default deadline).
+	Deadline time.Duration
 }
 
 // Binding is one client thread's stub-side connection to an SPMD
@@ -126,13 +134,28 @@ func Bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 	if reg == nil {
 		reg = transport.Default
 	}
+	// The binding's ORB client defaults to a failover-grade retry
+	// policy: enough attempts to try every replica endpoint of the
+	// reference at least once (the "retry the next endpoint when one
+	// thread's dial fails" behavior of a fault-tolerant bind).
+	pol := cfg.Retry
+	if pol.MaxAttempts == 0 {
+		pol = orb.DefaultRetryPolicy()
+		if n := len(ref.FailoverEndpoints()); n > pol.MaxAttempts {
+			pol.MaxAttempts = n
+		}
+	}
+	clientOpts := []orb.ClientOption{orb.WithRetryPolicy(pol)}
+	if cfg.Deadline > 0 {
+		clientOpts = append(clientOpts, orb.WithDefaultDeadline(cfg.Deadline))
+	}
 	b := &Binding{
 		cfg:    cfg,
 		th:     cfg.Thread,
 		rank:   cfg.Thread.Rank(),
 		size:   cfg.Thread.Size(),
 		ref:    ref,
-		oc:     orb.NewClient(reg),
+		oc:     orb.NewClient(reg, clientOpts...),
 		method: cfg.Method,
 	}
 	if cfg.Method == MultiPort && !ref.MultiPort() {
@@ -140,19 +163,28 @@ func Bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 		return nil, fmt.Errorf("%w: object %s does not export multi-port endpoints",
 			ErrBadCall, ref.Key)
 	}
-	// Per-thread receive port for out-argument blocks.
+	// Per-thread receive port for out-argument blocks, with a
+	// collective verdict on the listen phase: a thread whose port
+	// failed to open must not leave its peers deadlocked in the
+	// endpoint exchange — every thread instead learns which rank
+	// failed and returns a partial-failure error naming it.
 	if cfg.Method == MultiPort {
+		var listenErr error
 		if cfg.ListenEndpoint == "" {
-			b.oc.Close()
-			return nil, fmt.Errorf("%w: multi-port binding needs a ListenEndpoint", ErrBadCall)
+			listenErr = fmt.Errorf("%w: multi-port binding needs a ListenEndpoint", ErrBadCall)
+		} else {
+			b.recv = orb.NewServer(reg)
+			ep, err := b.recv.Listen(cfg.ListenEndpoint)
+			if err != nil {
+				listenErr = err
+			} else {
+				b.recvEP = ep
+			}
 		}
-		b.recv = orb.NewServer(reg)
-		ep, err := b.recv.Listen(cfg.ListenEndpoint)
-		if err != nil {
-			b.oc.Close()
+		if err := collectiveVerdict(b.th, listenErr, "open its receive port"); err != nil {
+			b.Close()
 			return nil, err
 		}
-		b.recvEP = ep
 	}
 
 	// Exchange receive endpoints so the communicator can advertise
@@ -178,7 +210,12 @@ func Bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 	}
 
 	// The communicator fetches the interface description once and
-	// broadcasts it (collective part of _spmd_bind).
+	// broadcasts it (collective part of _spmd_bind). The describe
+	// invocation fails over across every replica endpoint of the
+	// reference (InvokeRef), so a dead first endpoint does not doom
+	// the bind. The broadcast payload is tagged: 1 + describe bytes
+	// on success, 0 + error text on failure, so the peers report the
+	// failed thread and cause instead of a bare "bind failed".
 	var raw []byte
 	if b.rank == 0 {
 		hdr := giop.RequestHeader{
@@ -189,41 +226,52 @@ func Bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 			ThreadRank:       0,
 			ThreadCount:      int32(b.size),
 		}
-		rh, order, body, err := b.oc.Invoke(ctx, ref.CommunicatorEndpoint(), hdr, nil)
+		rh, order, body, err := b.oc.InvokeRef(ctx, ref, hdr, nil)
 		if err == nil && rh.Status != giop.ReplyOK {
 			err = fmt.Errorf("%w: describe returned %v", ErrRemote, rh.Status)
 		}
-		if err != nil {
-			// Engage the collective with an empty payload so peers
-			// fail too, then report.
-			_, _ = b.th.Bcast(0, nil)
-			b.Close()
-			return nil, err
-		}
 		// Re-encode big-endian so every thread decodes uniformly.
-		if order != cdr.BigEndian {
+		if err == nil && order != cdr.BigEndian {
 			w, derr := decodeDescribeWire(cdr.NewDecoder(order, body))
 			if derr != nil {
-				_, _ = b.th.Bcast(0, nil)
-				b.Close()
-				return nil, derr
+				err = derr
+			} else {
+				e := cdr.NewEncoder(cdr.BigEndian)
+				w.encode(e)
+				body = e.Bytes()
 			}
-			e := cdr.NewEncoder(cdr.BigEndian)
-			w.encode(e)
-			body = e.Bytes()
 		}
-		raw = body
-		if _, err := b.th.Bcast(0, raw); err != nil {
+		var payload []byte
+		if err != nil {
+			payload = append([]byte{0}, err.Error()...)
+		} else {
+			payload = append([]byte{1}, body...)
+		}
+		if _, berr := b.th.Bcast(0, payload); berr != nil {
 			b.Close()
-			return nil, err
+			return nil, berr
 		}
-	} else {
-		var err error
-		raw, err = b.th.Bcast(0, nil)
 		if err != nil {
 			b.Close()
 			return nil, err
 		}
+		raw = body
+	} else {
+		payload, err := b.th.Bcast(0, nil)
+		if err != nil {
+			b.Close()
+			return nil, err
+		}
+		if len(payload) == 0 {
+			b.Close()
+			return nil, fmt.Errorf("%w: bind failed on communicator", ErrRemote)
+		}
+		if payload[0] == 0 {
+			b.Close()
+			return nil, fmt.Errorf("%w: bind failed on thread 0: %s",
+				ErrPartialFailure, payload[1:])
+		}
+		raw = payload[1:]
 	}
 	if len(raw) == 0 {
 		b.Close()
@@ -500,8 +548,12 @@ func (b *Binding) start(ctx context.Context, spec *CallSpec) (*Pending, error) {
 		}
 		fut, resolver := future.New[replyEnvelope]()
 		p.fut = fut
+		// InvokeRef rather than a pinned communicator endpoint: for a
+		// conventional (Threads==1) object it fails over across every
+		// replica endpoint; for an SPMD object the failover set is
+		// exactly the communicator port.
 		go func() {
-			rh, order, body, err := b.oc.Invoke(ctx, b.ref.CommunicatorEndpoint(), hdr, w.encode)
+			rh, order, body, err := b.oc.InvokeRef(ctx, b.ref, hdr, w.encode)
 			if err != nil {
 				resolver.Reject(err)
 				return

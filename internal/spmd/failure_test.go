@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"pardis/internal/dist"
 	"pardis/internal/dseq"
 	"pardis/internal/giop"
+	"pardis/internal/ior"
 	"pardis/internal/mp"
 	"pardis/internal/orb"
 	"pardis/internal/rts"
@@ -292,3 +294,112 @@ func TestOnewayWithOutArgRejected(t *testing.T) {
 }
 
 var _ = orb.ErrClosed // keep the orb import for documentation parity
+
+// TestFaultBindPartialFailure: one client thread failing to open its
+// multi-port receive port must surface ErrPartialFailure naming that
+// rank on EVERY thread, instead of the healthy ranks deadlocking in
+// the endpoint exchange.
+func TestFaultBindPartialFailure(t *testing.T) {
+	reg := newReg()
+	obj := startObject(t, reg, 2, true, diffusionOps)
+	defer obj.close()
+	err := mp.Run(2, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		listen := "inproc:*"
+		if th.Rank() == 1 {
+			listen = "bogus:*" // unregistered scheme: Listen fails on this rank only
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := Bind(context.Background(), BindConfig{
+				Thread: th, Registry: reg, Method: MultiPort, ListenEndpoint: listen,
+			}, obj.ref)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrPartialFailure) {
+				return fmt.Errorf("rank %d: want ErrPartialFailure, got %v", th.Rank(), err)
+			}
+			if !strings.Contains(err.Error(), "thread 1") {
+				return fmt.Errorf("rank %d: error does not name the failed rank: %v", th.Rank(), err)
+			}
+			return nil
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("rank %d: Bind deadlocked on a peer's listen failure", th.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultExportPartialFailure: same contract on the server side —
+// if one computing thread cannot open its port, Export fails
+// collectively with the rank named, rather than wedging the
+// communicator in the endpoint exchange.
+func TestFaultExportPartialFailure(t *testing.T) {
+	reg := newReg()
+	err := mp.Run(2, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		listen := "inproc:*"
+		if th.Rank() == 1 {
+			listen = "bogus:*"
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := Export(ObjectConfig{
+				Thread: th, Registry: reg, ListenEndpoint: listen,
+				Key: "objects/partial", TypeID: "IDL:partial:1.0",
+				MultiPort: true, Ops: diffusionOps(th),
+			})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrPartialFailure) {
+				return fmt.Errorf("rank %d: want ErrPartialFailure, got %v", th.Rank(), err)
+			}
+			if !strings.Contains(err.Error(), "thread 1") {
+				return fmt.Errorf("rank %d: error does not name the failed rank: %v", th.Rank(), err)
+			}
+			return nil
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("rank %d: Export deadlocked on a peer's listen failure", th.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultBindRetriesAcrossReplicas: Bind's describe call rides the
+// retry/failover layer, so a conventional object whose first listed
+// endpoint is dead still binds via the second.
+func TestFaultBindRetriesAcrossReplicas(t *testing.T) {
+	reg := newReg()
+	obj := startObject(t, reg, 1, false, diffusionOps)
+	defer obj.close()
+	// A stale first endpoint in front of the real communicator.
+	stale := &ior.Ref{
+		TypeID:  obj.ref.TypeID,
+		Key:     obj.ref.Key,
+		Threads: 1,
+		Endpoints: append([]string{"inproc:long-gone"},
+			obj.ref.Endpoints...),
+	}
+	err := mp.Run(1, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		b, err := Bind(context.Background(), BindConfig{
+			Thread: th, Registry: reg, Method: Centralized,
+		}, stale)
+		if err != nil {
+			return fmt.Errorf("bind did not fail over past the dead endpoint: %v", err)
+		}
+		defer b.Close()
+		return invokeDiffusion(b, th, 64, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

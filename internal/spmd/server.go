@@ -137,44 +137,75 @@ func Export(cfg ObjectConfig) (*Object, error) {
 
 	needPort := o.rank == 0 || cfg.MultiPort
 	var myEndpoint string
+	var listenErr error
 	if needPort {
 		o.srv = orb.NewServer(reg)
 		ep, err := o.srv.Listen(cfg.ListenEndpoint)
 		if err != nil {
-			return nil, err
+			listenErr = err
+		} else {
+			myEndpoint = ep
 		}
-		myEndpoint = ep
 	}
 	o.out = orb.NewClient(reg)
 
+	// Collective verdict on the listen phase: if any thread failed to
+	// open its port, every thread learns which one and returns a
+	// partial-failure error, instead of the communicator deadlocking
+	// in the endpoint exchange waiting for a port that will never
+	// exist.
+	if err := collectiveVerdict(th, listenErr, "open its port"); err != nil {
+		if o.srv != nil {
+			o.srv.Close()
+		}
+		o.out.Close()
+		return nil, err
+	}
+
 	// Endpoint exchange: every thread reports to the communicator,
 	// which assembles and validates the reference, then broadcasts
-	// the stringified form.
+	// the stringified form. The broadcast is tagged (1 + IOR on
+	// success, 0 + error text on failure) so a communicator-side
+	// failure reaches the peers as a named error instead of leaving
+	// them deadlocked in the collective.
 	if o.rank == 0 {
 		endpoints := make([]string, o.size)
 		endpoints[0] = myEndpoint
+		var refErr error
 		if cfg.MultiPort {
 			for i := 1; i < o.size; i++ {
 				b, err := th.RecvBytes(i, tagRefExchange)
 				if err != nil {
-					return nil, err
+					refErr = err
+					break
 				}
 				endpoints[i] = string(b)
 			}
 		} else {
 			endpoints = endpoints[:1]
 		}
-		o.ref = &ior.Ref{
-			TypeID:    cfg.TypeID,
-			Key:       cfg.Key,
-			Threads:   o.size,
-			Endpoints: endpoints,
+		if refErr == nil {
+			o.ref = &ior.Ref{
+				TypeID:    cfg.TypeID,
+				Key:       cfg.Key,
+				Threads:   o.size,
+				Endpoints: endpoints,
+			}
+			refErr = o.ref.Validate()
 		}
-		if err := o.ref.Validate(); err != nil {
+		var payload []byte
+		if refErr != nil {
+			payload = append([]byte{0}, refErr.Error()...)
+		} else {
+			payload = append([]byte{1}, o.ref.Stringify()...)
+		}
+		if _, err := th.Bcast(0, payload); err != nil {
 			return nil, err
 		}
-		if _, err := th.Bcast(0, []byte(o.ref.Stringify())); err != nil {
-			return nil, err
+		if refErr != nil {
+			o.srv.Close()
+			o.out.Close()
+			return nil, refErr
 		}
 	} else {
 		if cfg.MultiPort {
@@ -182,11 +213,23 @@ func Export(cfg ObjectConfig) (*Object, error) {
 				return nil, err
 			}
 		}
-		refStr, err := th.Bcast(0, nil)
+		payload, err := th.Bcast(0, nil)
 		if err != nil {
 			return nil, err
 		}
-		if o.ref, err = ior.Parse(string(refStr)); err != nil {
+		if len(payload) == 0 || payload[0] == 0 {
+			if o.srv != nil {
+				o.srv.Close()
+			}
+			o.out.Close()
+			msg := "unknown error"
+			if len(payload) > 1 {
+				msg = string(payload[1:])
+			}
+			return nil, fmt.Errorf("%w: thread 0 failed to assemble the object reference: %s",
+				ErrPartialFailure, msg)
+		}
+		if o.ref, err = ior.Parse(string(payload[1:])); err != nil {
 			return nil, err
 		}
 	}

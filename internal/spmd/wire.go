@@ -7,6 +7,7 @@ import (
 
 	"pardis/internal/cdr"
 	"pardis/internal/dist"
+	"pardis/internal/rts"
 )
 
 // TransferMethod selects how distributed arguments move between the
@@ -69,7 +70,43 @@ var (
 	ErrBadCall      = errors.New("spmd: malformed call specification")
 	ErrRemote       = errors.New("spmd: remote invocation failed")
 	ErrClosed       = errors.New("spmd: object closed")
+	// ErrPartialFailure reports that a collective phase failed on a
+	// subset of the computing threads; the message names the first
+	// failed rank. Every thread returns it instead of some ranks
+	// deadlocking in a collective the failed thread never enters.
+	ErrPartialFailure = errors.New("spmd: partial failure")
 )
+
+// collectiveVerdict agrees collectively on whether a per-thread setup
+// phase succeeded everywhere. Each thread contributes its local error
+// (nil for success); on any failure every thread returns an
+// ErrPartialFailure naming the first failed rank (the failing thread
+// itself additionally carries its local error detail). what describes
+// the phase, e.g. "open its receive port".
+func collectiveVerdict(th rts.Thread, localErr error, what string) error {
+	flag := uint64(0)
+	if localErr != nil {
+		flag = 1
+	}
+	flags, err := th.AllgatherU64(flag)
+	if err != nil {
+		if localErr != nil {
+			return localErr
+		}
+		return err
+	}
+	for r, f := range flags {
+		if f == 0 {
+			continue
+		}
+		if localErr != nil {
+			return fmt.Errorf("%w: thread %d failed to %s: %w",
+				ErrPartialFailure, th.Rank(), what, localErr)
+		}
+		return fmt.Errorf("%w: thread %d failed to %s", ErrPartialFailure, r, what)
+	}
+	return nil
+}
 
 // argWire is the per-argument metadata the client sends in the
 // invocation body.

@@ -1,0 +1,271 @@
+// Fault-injection transport. Faulty wraps any Transport and injects
+// network failures according to a deterministic, seedable plan:
+// refused dials, added dial and write latency, connections cut after
+// a byte budget (mid-message), byte-level truncation of a final
+// write, and one-way partitions (writes silently vanish). It exists
+// so the ORB's retry, deadline, failover and drain machinery can be
+// exercised in-process, repeatably, without touching a real network.
+//
+// The wrapper is scheme-composable: wrapping a transport with scheme
+// "inproc" yields scheme "faulty+inproc", so endpoints read
+// "faulty+inproc:name" and a listener bound through the wrapper
+// advertises a faulty endpoint — references minted by a server behind
+// the wrapper automatically route clients through the fault plan.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjectedFault marks failures manufactured by a Faulty transport,
+// so tests can tell injected faults from real bugs.
+var ErrInjectedFault = fmt.Errorf("transport: injected fault")
+
+// FaultPlan describes the fault mix a Faulty transport injects. All
+// probabilities are in [0, 1] and are evaluated against a private
+// RNG seeded from Seed, so a given (plan, dial sequence) replays
+// identically.
+type FaultPlan struct {
+	// Seed seeds the plan's RNG (0 is a valid, fixed seed).
+	Seed int64
+
+	// DialRefuse is the probability a Dial fails outright.
+	DialRefuse float64
+	// DialLatency is added to every successful dial.
+	DialLatency time.Duration
+
+	// Cut is the probability a dialed connection is doomed: after
+	// CutAfter bytes have been written through it (in either
+	// adjacent call's direction on this wrapped side), the
+	// connection is closed — typically mid-message.
+	Cut float64
+	// CutAfter is the write-byte budget of a doomed connection. Zero
+	// picks a small budget (inside the first message) from the RNG.
+	CutAfter int
+
+	// Truncate is the probability a doomed connection's final write
+	// is split: only part of the fatal write is delivered before the
+	// close, exercising torn-frame handling on the peer.
+	Truncate float64
+
+	// Blackhole is the probability a dialed connection is one-way
+	// partitioned: writes report success but deliver nothing, so the
+	// peer sees silence rather than a close. Victims hang until a
+	// deadline fires — pair with client deadlines.
+	Blackhole float64
+
+	// WriteLatency is added to every delivered write.
+	WriteLatency time.Duration
+}
+
+// FaultStats counts the faults a Faulty transport has injected.
+type FaultStats struct {
+	// Dials counts dial attempts seen.
+	Dials int
+	// RefusedDials counts dials failed by DialRefuse.
+	RefusedDials int
+	// CutConns counts connections closed by a byte-budget cut.
+	CutConns int
+	// TruncatedWrites counts fatal writes that were split.
+	TruncatedWrites int
+	// BlackholedConns counts one-way partitioned connections.
+	BlackholedConns int
+}
+
+// Faulty wraps an inner Transport, injecting faults on dialed
+// connections per its FaultPlan. Listeners pass through (accepted
+// conns are not wrapped); their endpoints carry the composed scheme
+// so clients dial back through the fault layer.
+type Faulty struct {
+	inner Transport
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	plan  FaultPlan
+	stats FaultStats
+}
+
+// NewFaulty wraps inner with the given fault plan.
+func NewFaulty(inner Transport, plan FaultPlan) *Faulty {
+	return &Faulty{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		plan:  plan,
+	}
+}
+
+// Scheme implements Transport: "faulty+" + the inner scheme.
+func (f *Faulty) Scheme() string { return "faulty+" + f.inner.Scheme() }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *Faulty) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// SetPlan replaces the fault plan (and reseeds the RNG), e.g. to heal
+// the network partway through a test.
+func (f *Faulty) SetPlan(plan FaultPlan) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan = plan
+	f.rng = rand.New(rand.NewSource(plan.Seed))
+}
+
+// Listen implements Transport, delegating to the inner transport. The
+// listener's Endpoint is rewritten to the composed scheme.
+func (f *Faulty) Listen(address string) (Listener, error) {
+	l, err := f.inner.Listen(address)
+	if err != nil {
+		return nil, err
+	}
+	return faultyListener{l: l, scheme: f.Scheme()}, nil
+}
+
+// connFate is what the dial-time dice decided for one connection.
+type connFate struct {
+	cutAfter  int  // >0: close after this many written bytes
+	truncate  bool // split the fatal write before closing
+	blackhole bool // writes vanish instead of being delivered
+	latency   time.Duration
+}
+
+// Dial implements Transport. Fault rolls happen here, under one lock,
+// in dial order — the sequence of fates is a pure function of the
+// plan's seed and the number of dials, independent of goroutine
+// scheduling after the dial.
+func (f *Faulty) Dial(address string) (Conn, error) {
+	f.mu.Lock()
+	f.stats.Dials++
+	p := f.plan
+	refuse := f.roll(p.DialRefuse)
+	if refuse {
+		f.stats.RefusedDials++
+	}
+	var fate connFate
+	fate.latency = p.WriteLatency
+	if !refuse {
+		switch {
+		case f.roll(p.Cut):
+			fate.cutAfter = p.CutAfter
+			if fate.cutAfter == 0 {
+				// Inside a typical first message: past the 12-byte
+				// PIOP header, short of a full request.
+				fate.cutAfter = giopHeaderLen + f.rng.Intn(32)
+			}
+			fate.truncate = f.roll(p.Truncate)
+		case f.roll(p.Blackhole):
+			fate.blackhole = true
+			f.stats.BlackholedConns++
+		}
+	}
+	f.mu.Unlock()
+
+	if refuse {
+		return nil, fmt.Errorf("%w: dial %s:%s refused", ErrInjectedFault, f.Scheme(), address)
+	}
+	if p.DialLatency > 0 {
+		time.Sleep(p.DialLatency)
+	}
+	c, err := f.inner.Dial(address)
+	if err != nil {
+		return nil, err
+	}
+	if fate.cutAfter == 0 && !fate.blackhole && fate.latency == 0 {
+		return c, nil // healthy connection, no per-write overhead
+	}
+	return &faultyConn{Conn: c, owner: f, fate: fate}, nil
+}
+
+// giopHeaderLen mirrors giop.HeaderLen without importing the package
+// (transport sits below giop in the dependency order).
+const giopHeaderLen = 12
+
+// roll consumes one RNG sample and reports whether an event with
+// probability p fires. Must be called with f.mu held.
+func (f *Faulty) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return f.rng.Float64() < p
+}
+
+type faultyListener struct {
+	l      Listener
+	scheme string
+}
+
+func (fl faultyListener) Accept() (Conn, error) { return fl.l.Accept() }
+func (fl faultyListener) Close() error          { return fl.l.Close() }
+
+func (fl faultyListener) Endpoint() string {
+	_, addr, err := SplitEndpoint(fl.l.Endpoint())
+	if err != nil {
+		return fl.l.Endpoint()
+	}
+	return JoinEndpoint(fl.scheme, addr)
+}
+
+// faultyConn carries out a connection's fate on the write path. Reads
+// pass through: a cut closes the underlying conn, which both sides
+// observe.
+type faultyConn struct {
+	Conn
+	owner *Faulty
+	fate  connFate
+
+	mu      sync.Mutex
+	written int
+	dead    bool
+}
+
+func (fc *faultyConn) Write(b []byte) (int, error) {
+	fc.mu.Lock()
+	if fc.dead {
+		fc.mu.Unlock()
+		return 0, fmt.Errorf("%w: connection cut", ErrInjectedFault)
+	}
+	fate := fc.fate
+	cut := fate.cutAfter > 0 && fc.written+len(b) >= fate.cutAfter
+	keep := len(b)
+	if cut {
+		fc.dead = true
+		if fate.truncate {
+			// Tear mid-frame at the byte budget: only the prefix of
+			// the fatal write is delivered.
+			keep = fate.cutAfter - fc.written
+			if keep < 0 {
+				keep = 0
+			}
+		}
+	}
+	fc.written += keep
+	fc.mu.Unlock()
+
+	if fate.latency > 0 {
+		time.Sleep(fate.latency)
+	}
+	if fate.blackhole {
+		return len(b), nil // swallowed; peer never sees it
+	}
+	if !cut {
+		return fc.Conn.Write(b)
+	}
+	if keep > 0 {
+		// Deliver the surviving bytes (all of them for a clean cut,
+		// a torn prefix under Truncate), then kill the connection.
+		_, _ = fc.Conn.Write(b[:keep])
+	}
+	fc.owner.mu.Lock()
+	fc.owner.stats.CutConns++
+	if fate.truncate {
+		fc.owner.stats.TruncatedWrites++
+	}
+	fc.owner.mu.Unlock()
+	fc.Conn.Close()
+	return keep, fmt.Errorf("%w: connection cut after %d bytes", ErrInjectedFault, fc.written)
+}

@@ -15,11 +15,13 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Errors returned by transports.
@@ -28,6 +30,7 @@ var (
 	ErrUnknown     = errors.New("transport: unknown scheme")
 	ErrClosed      = errors.New("transport: closed")
 	ErrNotFound    = errors.New("transport: no listener at address")
+	ErrDialTimeout = errors.New("transport: dial timeout")
 )
 
 // Conn is a reliable, ordered, full-duplex byte stream.
@@ -131,16 +134,44 @@ var Default = func() *Registry {
 	return r
 }()
 
-// TCP is the sockets transport.
-type TCP struct{}
+// Default TCP timers, used when the corresponding TCP field is zero.
+const (
+	// DefaultDialTimeout bounds how long a TCP dial may block; an
+	// unreachable host fails fast instead of waiting out the kernel's
+	// SYN retransmission schedule (minutes).
+	DefaultDialTimeout = 10 * time.Second
+	// DefaultKeepAlive is the TCP keep-alive probe period, so a peer
+	// that vanished without a FIN (power loss, cable pull) is detected
+	// instead of holding the connection open forever.
+	DefaultKeepAlive = 30 * time.Second
+)
+
+// TCP is the sockets transport. The zero value uses the default dial
+// timeout and keep-alive period; set the fields (and re-Register) to
+// override, or a negative KeepAlive to disable probes.
+type TCP struct {
+	// DialTimeout bounds Dial (0 means DefaultDialTimeout).
+	DialTimeout time.Duration
+	// KeepAlive is the keep-alive probe period for dialed and
+	// accepted connections (0 means DefaultKeepAlive, < 0 disables).
+	KeepAlive time.Duration
+}
 
 // Scheme implements Transport.
 func (TCP) Scheme() string { return "tcp" }
 
+func (t TCP) keepAlive() time.Duration {
+	if t.KeepAlive == 0 {
+		return DefaultKeepAlive
+	}
+	return t.KeepAlive
+}
+
 // Listen implements Transport. Address "127.0.0.1:0" binds an
 // ephemeral port, reported by the listener's Endpoint.
-func (TCP) Listen(address string) (Listener, error) {
-	l, err := net.Listen("tcp", address)
+func (t TCP) Listen(address string) (Listener, error) {
+	lc := net.ListenConfig{KeepAlive: t.keepAlive()}
+	l, err := lc.Listen(context.Background(), "tcp", address)
 	if err != nil {
 		return nil, err
 	}
@@ -148,8 +179,20 @@ func (TCP) Listen(address string) (Listener, error) {
 }
 
 // Dial implements Transport.
-func (TCP) Dial(address string) (Conn, error) {
-	return net.Dial("tcp", address)
+func (t TCP) Dial(address string) (Conn, error) {
+	timeout := t.DialTimeout
+	if timeout == 0 {
+		timeout = DefaultDialTimeout
+	}
+	d := net.Dialer{Timeout: timeout, KeepAlive: t.keepAlive()}
+	c, err := d.Dial("tcp", address)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return nil, fmt.Errorf("%w: tcp:%s after %v", ErrDialTimeout, address, timeout)
+		}
+		return nil, err
+	}
+	return c, nil
 }
 
 type tcpListener struct{ l net.Listener }
@@ -158,9 +201,20 @@ func (t tcpListener) Accept() (Conn, error) { return t.l.Accept() }
 func (t tcpListener) Endpoint() string      { return "tcp:" + t.l.Addr().String() }
 func (t tcpListener) Close() error          { return t.l.Close() }
 
+// DefaultInprocDialTimeout bounds how long an inproc Dial waits for a
+// backlog slot when Inproc.DialTimeout is zero. A listener whose
+// backlog (16) is full and never drained used to block dialers
+// forever; now they fail with ErrDialTimeout.
+const DefaultInprocDialTimeout = 5 * time.Second
+
 // Inproc is an in-memory transport: listeners are registered in a
 // name table and Dial pairs the caller with an Accept via net.Pipe.
 type Inproc struct {
+	// DialTimeout bounds how long Dial waits for a backlog slot
+	// (0 means DefaultInprocDialTimeout, < 0 waits forever). Set it
+	// before sharing the transport.
+	DialTimeout time.Duration
+
 	mu        sync.Mutex
 	listeners map[string]*inprocListener
 	nextAuto  int
@@ -196,7 +250,10 @@ func (i *Inproc) Listen(address string) (Listener, error) {
 	return l, nil
 }
 
-// Dial implements Transport.
+// Dial implements Transport. It fails with ErrNotFound when no
+// listener is bound (or the listener closes while the dial is
+// queued), and with ErrDialTimeout when the listener's backlog stays
+// full past the dial timeout.
 func (i *Inproc) Dial(address string) (Conn, error) {
 	i.mu.Lock()
 	l, ok := i.listeners[address]
@@ -205,13 +262,35 @@ func (i *Inproc) Dial(address string) (Conn, error) {
 		return nil, fmt.Errorf("%w: inproc:%s", ErrNotFound, address)
 	}
 	client, server := net.Pipe()
+	refuse := func(err error) (Conn, error) {
+		client.Close()
+		server.Close()
+		return nil, err
+	}
+	// Fast path; also guarantees a closed listener is seen even when
+	// a backlog slot is free (select picks ready cases at random).
+	select {
+	case <-l.closed:
+		return refuse(fmt.Errorf("%w: inproc:%s", ErrNotFound, address))
+	default:
+	}
+	timeout := i.DialTimeout
+	if timeout == 0 {
+		timeout = DefaultInprocDialTimeout
+	}
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
 	select {
 	case l.backlog <- server:
 		return client, nil
 	case <-l.closed:
-		client.Close()
-		server.Close()
-		return nil, fmt.Errorf("%w: inproc:%s", ErrNotFound, address)
+		return refuse(fmt.Errorf("%w: inproc:%s", ErrNotFound, address))
+	case <-expired:
+		return refuse(fmt.Errorf("%w: inproc:%s backlog full after %v", ErrDialTimeout, address, timeout))
 	}
 }
 
