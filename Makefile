@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench fmt
+.PHONY: build test verify chaos bench bench-snapshot lint-telemetry fmt
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,23 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the CI tier: compile everything, static checks, full test
-# suite under the race detector.
+# verify is the CI tier: compile everything, static checks, telemetry
+# lint, full test suite under the race detector.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) lint-telemetry
 	$(GO) test -race ./...
+
+# lint-telemetry forbids raw printf-style output in internal/ (tests
+# excepted): library code must log through telemetry.Logger(), which
+# is structured and off by default, never straight to stdout/stderr.
+lint-telemetry:
+	@if grep -rn --include='*.go' -e 'fmt\.Print' -e 'log\.Print' internal/ | grep -v '_test\.go'; then \
+		echo 'lint-telemetry: internal/ must log via telemetry.Logger(), not fmt/log printing'; \
+		exit 1; \
+	fi
+	@echo 'lint-telemetry: ok'
 
 # chaos runs only the fault-injection suites (TestFault*): retry,
 # failover, deadlines, breakers, graceful drain, and SPMD
@@ -24,6 +35,13 @@ chaos:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-snapshot archives a dated live-stack benchmark summary
+# (ops/s and p50/p95/p99 invoke latency from the telemetry registry)
+# so perf regressions are visible across commits.
+bench-snapshot:
+	$(GO) run ./cmd/pardis-bench -live -json > BENCH_$$(date +%Y%m%d).json
+	@cat BENCH_$$(date +%Y%m%d).json
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,242 @@
+// Live benchmark mode: unlike the calibrated testbed model, -live
+// drives the real ORB stack in-process (client → transport → server
+// dispatch and back) and reports what the telemetry registry measured,
+// so the numbers come from the same instruments an operator reads off
+// /metrics in production. With -faulty the run goes through the
+// fault-injection transport and the summary reconciles the faults the
+// plan injected against the retries and failovers the ORB recorded.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"pardis/internal/cdr"
+	"pardis/internal/giop"
+	"pardis/internal/orb"
+	"pardis/internal/telemetry"
+	"pardis/internal/transport"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pardis-bench:", err)
+	os.Exit(1)
+}
+
+// liveConfig carries the -live flag group.
+type liveConfig struct {
+	ops         int
+	doubles     int
+	concurrency int
+	faulty      bool
+	jsonOut     bool
+}
+
+// liveResult is the machine-readable summary emitted by -live -json
+// (the bench-snapshot make target archives it as BENCH_<date>.json).
+type liveResult struct {
+	Date        string  `json:"date"`
+	Ops         int     `json:"ops"`
+	Errors      int     `json:"errors"`
+	Doubles     int     `json:"doubles_per_op"`
+	Concurrency int     `json:"concurrency"`
+	Faulty      bool    `json:"faulty"`
+	Elapsed     float64 `json:"elapsed_seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50us       float64 `json:"p50_us"`
+	P95us       float64 `json:"p95_us"`
+	P99us       float64 `json:"p99_us"`
+	Retries     uint64  `json:"retries"`
+	Failovers   uint64  `json:"failovers"`
+	Deadlines   uint64  `json:"deadline_misses"`
+	Faults      uint64  `json:"faults_injected"`
+}
+
+// benchFaultPlan is the moderate chaos mix used by -live -faulty:
+// enough injected failure to exercise retry and failover without
+// drowning the run.
+// The client pools connections, so dials are rare relative to ops;
+// high per-dial rates are what keep faults flowing through the run.
+var benchFaultPlan = transport.FaultPlan{
+	Seed:       7,
+	DialRefuse: 0.25,
+	Cut:        0.6,
+	CutAfter:   32 * 1024,
+	Truncate:   0.5,
+}
+
+func runLive(cfg liveConfig) {
+	reg := transport.NewRegistry()
+	in := transport.NewInproc()
+	reg.Register(in)
+	var faulty *transport.Faulty
+	listenAt := "inproc:bench"
+	if cfg.faulty {
+		faulty = transport.NewFaulty(in, benchFaultPlan)
+		reg.Register(faulty)
+		listenAt = "faulty+inproc:bench"
+	}
+
+	srv := orb.NewServer(reg)
+	srv.Handle("bench/echo", func(inc *orb.Incoming) {
+		v, err := inc.Decoder().DoubleSeq()
+		if err != nil {
+			_ = inc.ReplySystemException("MARSHAL", err.Error())
+			return
+		}
+		_ = inc.Reply(giop.ReplyOK, func(e *cdr.Encoder) { e.PutDoubleSeq(v) })
+	})
+	ep, err := srv.Listen(listenAt)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	pol := orb.DefaultRetryPolicy()
+	pol.MaxAttempts = 5
+	oc := orb.NewClient(reg,
+		orb.WithRetryPolicy(pol),
+		orb.WithDefaultDeadline(5*time.Second))
+	defer oc.Close()
+
+	payload := make([]float64, cfg.doubles)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	body := func(e *cdr.Encoder) { e.PutDoubleSeq(payload) }
+
+	var errCount int
+	var errMu sync.Mutex
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				hdr := giop.RequestHeader{
+					InvocationID:     oc.NewInvocationID(),
+					ResponseExpected: true,
+					ObjectKey:        "bench/echo",
+					Operation:        "echo",
+					ThreadRank:       -1,
+					ThreadCount:      1,
+				}
+				_, _, _, err := oc.Invoke(context.Background(), ep, hdr, body)
+				if err != nil {
+					errMu.Lock()
+					errCount++
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.ops; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Everything below reads the same process-wide registry the ORB
+	// layers wrote into during the run.
+	tr := telemetry.Default
+	var snap telemetry.HistogramSnapshot
+	for k, s := range tr.HistogramsByName("pardis_client_invoke_seconds") {
+		if strings.Contains(k, `op="echo"`) {
+			snap = s
+		}
+	}
+	res := liveResult{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Ops:         cfg.ops,
+		Errors:      errCount,
+		Doubles:     cfg.doubles,
+		Concurrency: cfg.concurrency,
+		Faulty:      cfg.faulty,
+		Elapsed:     elapsed.Seconds(),
+		OpsPerSec:   float64(cfg.ops) / elapsed.Seconds(),
+		P50us:       snap.Quantile(0.50) * 1e6,
+		P95us:       snap.Quantile(0.95) * 1e6,
+		P99us:       snap.Quantile(0.99) * 1e6,
+		Retries:     tr.CounterValue("pardis_client_retries_total"),
+		Failovers:   tr.CounterValue("pardis_client_failovers_total"),
+		Deadlines:   tr.CounterValue("pardis_client_deadline_misses_total"),
+		Faults:      tr.CounterValue("pardis_faults_injected_total"),
+	}
+
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("live bench: %d ops x %d doubles, concurrency %d, faulty=%v\n",
+		res.Ops, res.Doubles, res.Concurrency, res.Faulty)
+	fmt.Printf("  %.0f ops/s over %.2fs (%d errors)\n", res.OpsPerSec, res.Elapsed, res.Errors)
+	fmt.Printf("  invoke latency: p50 %.0fus  p95 %.0fus  p99 %.0fus  (min %.0fus max %.0fus, n=%d)\n",
+		res.P50us, res.P95us, res.P99us, snap.Min*1e6, snap.Max*1e6, snap.Count)
+	printHistogram(snap)
+	fmt.Printf("  retries=%d failovers=%d deadline_misses=%d\n",
+		res.Retries, res.Failovers, res.Deadlines)
+	if faulty != nil {
+		// Reconcile the transport's own fault ledger against the
+		// mirrored telemetry counters — the two are independent
+		// bookkeeping paths and must agree.
+		st := faulty.Stats()
+		planned := uint64(st.RefusedDials + st.CutConns + st.TruncatedWrites + st.BlackholedConns)
+		status := "OK"
+		if planned != res.Faults {
+			status = "MISMATCH"
+		}
+		fmt.Printf("  faults: injected=%d (refused=%d cut=%d truncated=%d blackholed=%d) telemetry=%d [%s]\n",
+			planned, st.RefusedDials, st.CutConns, st.TruncatedWrites, st.BlackholedConns,
+			res.Faults, status)
+	}
+}
+
+// printHistogram renders the invoke-latency histogram as a bar per
+// occupied bucket, upper bound in microseconds.
+func printHistogram(s telemetry.HistogramSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	max := s.Inf
+	for _, c := range s.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return
+	}
+	bar := func(c uint64) string {
+		n := int(c * 40 / max)
+		if c > 0 && n == 0 {
+			n = 1
+		}
+		return strings.Repeat("#", n)
+	}
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		fmt.Printf("  %10.0fus %7d %s\n", s.Edges[i]*1e6, c, bar(c))
+	}
+	if s.Inf > 0 {
+		fmt.Printf("  %10s %7d %s\n", "+Inf", s.Inf, bar(s.Inf))
+	}
+}

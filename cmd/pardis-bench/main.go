@@ -10,6 +10,15 @@
 // Each output shows the model value next to the paper's published
 // value. See EXPERIMENTS.md for the per-cell comparison and the
 // Figure 4 unit reconciliation.
+//
+// -live instead benchmarks the real ORB stack in-process and reports
+// the latency histogram and retry/failover summary straight from the
+// telemetry registry (add -json for the bench-snapshot format, -faulty
+// to run through the fault-injection transport):
+//
+//	pardis-bench -live -ops 5000 -doubles 1024
+//	pardis-bench -live -faulty
+//	pardis-bench -live -json
 package main
 
 import (
@@ -31,7 +40,24 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	seed := flag.Int64("seed", 0, "override simulation seed (0 = calibrated default)")
 	reps := flag.Int("reps", 0, "override invocation repetitions (0 = default)")
+	live := flag.Bool("live", false, "benchmark the real ORB stack in-process instead of the model")
+	ops := flag.Int("ops", 5000, "invocations to issue in -live mode")
+	doubles := flag.Int("doubles", 1024, "payload doubles per invocation in -live mode")
+	concurrency := flag.Int("concurrency", 4, "concurrent invokers in -live mode")
+	faulty := flag.Bool("faulty", false, "route -live traffic through the fault-injection transport")
+	jsonOut := flag.Bool("json", false, "emit the -live summary as JSON (bench-snapshot format)")
 	flag.Parse()
+
+	if *live {
+		runLive(liveConfig{
+			ops:         *ops,
+			doubles:     *doubles,
+			concurrency: *concurrency,
+			faulty:      *faulty,
+			jsonOut:     *jsonOut,
+		})
+		return
+	}
 
 	p := simnet.DefaultParams()
 	if *seed != 0 {

@@ -10,6 +10,14 @@
 //
 //	pardisd -listen tcp:0.0.0.0:9050 -state /var/lib/pardis/domain.state
 //
+// Observability: -metrics-listen exposes the process's operational
+// surface over HTTP (/metrics, /healthz, /debug/vars, /debug/traces,
+// /debug/pprof), -log-level enables structured logging on stderr, and
+// -trace-sample sets the root trace-sampling probability.
+//
+//	pardisd -listen tcp:0.0.0.0:9050 -metrics-listen 127.0.0.1:9051 \
+//	        -log-level info -trace-sample 0.01
+//
 // Inspect a running domain with -list:
 //
 //	pardisd -list -at tcp:127.0.0.1:9050
@@ -19,6 +27,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,6 +37,7 @@ import (
 
 	"pardis/internal/naming"
 	"pardis/internal/orb"
+	"pardis/internal/telemetry"
 )
 
 func main() {
@@ -38,31 +50,22 @@ func main() {
 	drain := flag.Duration("drain", 5*time.Second, "grace period for in-flight requests on SIGTERM/SIGINT before the listener is force-closed")
 	retries := flag.Int("retries", 3, "invocation attempts for -list (retry/backoff on transient failures)")
 	rpcTimeout := flag.Duration("rpc-timeout", 10*time.Second, "per-invocation deadline for -list")
+	metricsListen := flag.String("metrics-listen", "", "host:port to serve /metrics, /healthz, /debug/vars, /debug/traces and /debug/pprof at (empty = disabled)")
+	logLevel := flag.String("log-level", "", "enable structured logging on stderr at this level: debug, info, warn or error (empty = silent)")
+	traceSample := flag.Float64("trace-sample", 0, "probability a root request starts a recorded trace, in [0,1]")
 	flag.Parse()
 
-	if *list {
-		pol := orb.DefaultRetryPolicy()
-		if *retries > 0 {
-			pol.MaxAttempts = *retries
-		}
-		oc := orb.NewClient(nil,
-			orb.WithRetryPolicy(pol),
-			orb.WithDefaultDeadline(*rpcTimeout))
-		defer oc.Close()
-		nc := naming.NewClient(oc, *at)
-		names, err := nc.List(context.Background(), *prefix)
+	if *logLevel != "" {
+		lvl, err := parseLevel(*logLevel)
 		if err != nil {
 			fatal(err)
 		}
-		for _, n := range names {
-			ref, err := nc.Resolve(context.Background(), n)
-			if err != nil {
-				fmt.Printf("%-30s <%v>\n", n, err)
-				continue
-			}
-			fmt.Printf("%-30s %s threads=%d endpoints=%d\n",
-				n, ref.TypeID, ref.Threads, len(ref.Endpoints))
-		}
+		telemetry.EnableLogging(os.Stderr, lvl)
+	}
+	telemetry.SetTraceSampling(*traceSample)
+
+	if *list {
+		runList(*at, *prefix, *retries, *rpcTimeout, *traceSample)
 		return
 	}
 
@@ -82,6 +85,25 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("pardisd: naming service at %s\n", ep)
+
+	if *metricsListen != "" {
+		ml, err := net.Listen("tcp", *metricsListen)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		healthy := func() error {
+			if srv.Draining() {
+				return fmt.Errorf("draining")
+			}
+			return nil
+		}
+		go func() {
+			_ = http.Serve(ml, telemetry.Handler(nil, nil, healthy))
+		}()
+		// Machine-readable marker (the integration tests scrape it),
+		// with the wildcard port resolved.
+		fmt.Printf("METRICS=%s\n", ml.Addr())
+	}
 
 	stopCheckpoints := make(chan struct{})
 	if *state != "" {
@@ -118,6 +140,62 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "pardisd: drain incomplete:", err)
+	}
+}
+
+// runList implements -list. With tracing sampled on, the whole listing
+// runs under one root span whose trace id is printed as "TRACE=<hex>",
+// so a cross-process test (or an operator) can find the server-side
+// spans of the same trace in the service's /debug/traces.
+func runList(at, prefix string, retries int, rpcTimeout time.Duration, traceSample float64) {
+	pol := orb.DefaultRetryPolicy()
+	if retries > 0 {
+		pol.MaxAttempts = retries
+	}
+	oc := orb.NewClient(nil,
+		orb.WithRetryPolicy(pol),
+		orb.WithDefaultDeadline(rpcTimeout))
+	defer oc.Close()
+	nc := naming.NewClient(oc, at)
+
+	ctx := context.Background()
+	var span *telemetry.Span
+	if traceSample > 0 {
+		ctx, span = telemetry.StartSpan(ctx, "pardisd:list")
+		if span != nil {
+			fmt.Printf("TRACE=%016x\n", span.TraceID)
+		}
+	}
+	defer span.End()
+
+	names, err := nc.List(ctx, prefix)
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range names {
+		ref, err := nc.Resolve(ctx, n)
+		if err != nil {
+			fmt.Printf("%-30s <%v>\n", n, err)
+			continue
+		}
+		fmt.Printf("%-30s %s threads=%d endpoints=%d\n",
+			n, ref.TypeID, ref.Threads, len(ref.Endpoints))
+	}
+}
+
+// parseLevel maps a -log-level string onto a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
 	}
 }
 

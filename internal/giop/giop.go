@@ -22,6 +22,7 @@ import (
 	"io"
 
 	"pardis/internal/cdr"
+	"pardis/internal/telemetry"
 )
 
 // Protocol constants.
@@ -31,8 +32,11 @@ const (
 	// HeaderLen is the fixed message-header length.
 	HeaderLen = 12
 	// VersionMajor and VersionMinor identify this PIOP revision.
+	// 1.1 added the trace context to the request header; 1.0 peers
+	// (headers without trace bytes) are still decoded — see
+	// DecodeRequestHeaderV.
 	VersionMajor = 1
-	VersionMinor = 0
+	VersionMinor = 1
 	// MaxBodyLen bounds a message body; longer lengths are treated
 	// as stream corruption.
 	MaxBodyLen = 1 << 30
@@ -114,23 +118,33 @@ func WriteMessage(w io.Writer, order cdr.ByteOrder, t MsgType, body []byte) erro
 	return err
 }
 
-// ReadMessage reads and validates one PIOP message, returning its
-// type, body byte order and body.
-func ReadMessage(r io.Reader) (MsgType, cdr.ByteOrder, []byte, error) {
+// Frame is one framed PIOP message plus the protocol revision it was
+// sent under. Decoders of version-evolved bodies (the request header
+// gained trace bytes in 1.1) need Minor to pick the right layout.
+type Frame struct {
+	Type  MsgType
+	Order cdr.ByteOrder
+	Minor byte
+	Body  []byte
+}
+
+// ReadFrame reads and validates one PIOP message, keeping the sender's
+// minor protocol version alongside the body.
+func ReadFrame(r io.Reader) (Frame, error) {
 	hdr := make([]byte, HeaderLen)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return 0, 0, nil, err
+		return Frame{}, err
 	}
 	if [MagicLen]byte(hdr[:MagicLen]) != magic {
-		return 0, 0, nil, fmt.Errorf("%w: % x", ErrBadMagic, hdr[:MagicLen])
+		return Frame{}, fmt.Errorf("%w: % x", ErrBadMagic, hdr[:MagicLen])
 	}
 	if hdr[4] != VersionMajor || hdr[5] > VersionMinor {
-		return 0, 0, nil, fmt.Errorf("%w: %d.%d", ErrBadVersion, hdr[4], hdr[5])
+		return Frame{}, fmt.Errorf("%w: %d.%d", ErrBadVersion, hdr[4], hdr[5])
 	}
 	order := cdr.ByteOrder(hdr[6] & 1)
 	t := MsgType(hdr[7])
 	if t >= msgTypeCount {
-		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadType, hdr[7])
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadType, hdr[7])
 	}
 	var n uint32
 	if order == cdr.BigEndian {
@@ -139,13 +153,25 @@ func ReadMessage(r io.Reader) (MsgType, cdr.ByteOrder, []byte, error) {
 		n = uint32(hdr[11])<<24 | uint32(hdr[10])<<16 | uint32(hdr[9])<<8 | uint32(hdr[8])
 	}
 	if n > MaxBodyLen {
-		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrTooLong, n)
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTooLong, n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	return Frame{Type: t, Order: order, Minor: hdr[5], Body: body}, nil
+}
+
+// ReadMessage reads and validates one PIOP message, returning its
+// type, body byte order and body. Callers that must decode
+// version-evolved bodies should use ReadFrame to keep the sender's
+// minor version.
+func ReadMessage(r io.Reader) (MsgType, cdr.ByteOrder, []byte, error) {
+	f, err := ReadFrame(r)
+	if err != nil {
 		return 0, 0, nil, err
 	}
-	return t, order, body, nil
+	return f.Type, f.Order, f.Body, nil
 }
 
 // ReplyStatus enumerates reply outcomes.
@@ -200,9 +226,15 @@ type RequestHeader struct {
 	// ThreadCount is the client's SPMD section size (1 for plain
 	// clients). The server uses it to compute transfer plans.
 	ThreadCount int32
+	// Trace carries the request's distributed tracing identity (trace
+	// id, parent span id, sampled flag) across the process boundary.
+	// Added in PIOP 1.1; a zero value means "untraced" and costs the
+	// wire 17 zero bytes. Headers framed as 1.0 omit it entirely.
+	Trace telemetry.TraceContext
 }
 
-// Encode appends the header to an encoder.
+// Encode appends the header to an encoder (PIOP 1.1 layout, trace
+// context included).
 func (h *RequestHeader) Encode(e *cdr.Encoder) {
 	e.PutULong(h.RequestID)
 	e.PutULongLong(h.InvocationID)
@@ -211,10 +243,23 @@ func (h *RequestHeader) Encode(e *cdr.Encoder) {
 	e.PutString(h.Operation)
 	e.PutLong(h.ThreadRank)
 	e.PutLong(h.ThreadCount)
+	e.PutULongLong(h.Trace.TraceID)
+	e.PutULongLong(h.Trace.SpanID)
+	e.PutBoolean(h.Trace.Sampled)
 }
 
-// DecodeRequestHeader reads a RequestHeader.
+// DecodeRequestHeader reads a current-version RequestHeader. For
+// bodies framed under an older minor version use
+// DecodeRequestHeaderV.
 func DecodeRequestHeader(d *cdr.Decoder) (RequestHeader, error) {
+	return DecodeRequestHeaderV(d, VersionMinor)
+}
+
+// DecodeRequestHeaderV reads a RequestHeader laid out by the given
+// minor protocol version: 1.0 headers carry no trace bytes (the
+// decoder leaves Trace zero), 1.1 headers carry trace id, span id and
+// the sampled flag.
+func DecodeRequestHeaderV(d *cdr.Decoder, minor byte) (RequestHeader, error) {
 	var h RequestHeader
 	var err error
 	if h.RequestID, err = d.ULong(); err != nil {
@@ -238,7 +283,31 @@ func DecodeRequestHeader(d *cdr.Decoder) (RequestHeader, error) {
 	if h.ThreadCount, err = d.Long(); err != nil {
 		return h, err
 	}
+	if minor == 0 {
+		return h, nil // 1.0 header: no trace bytes on the wire
+	}
+	if h.Trace.TraceID, err = d.ULongLong(); err != nil {
+		return h, err
+	}
+	if h.Trace.SpanID, err = d.ULongLong(); err != nil {
+		return h, err
+	}
+	if h.Trace.Sampled, err = d.Boolean(); err != nil {
+		return h, err
+	}
 	return h, nil
+}
+
+// EncodeV10 appends the header in the PIOP 1.0 layout (no trace
+// bytes) — used by tests that exercise old-peer compatibility.
+func (h *RequestHeader) EncodeV10(e *cdr.Encoder) {
+	e.PutULong(h.RequestID)
+	e.PutULongLong(h.InvocationID)
+	e.PutBoolean(h.ResponseExpected)
+	e.PutString(h.ObjectKey)
+	e.PutString(h.Operation)
+	e.PutLong(h.ThreadRank)
+	e.PutLong(h.ThreadCount)
 }
 
 // ReplyHeader precedes the marshaled out-arguments in a Reply body.

@@ -1,0 +1,122 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+
+	"pardis/internal/cdr"
+	"pardis/internal/telemetry"
+)
+
+// TestTraceContextRoundTrip: the 1.1 request header carries the trace
+// identity through framing in both byte orders.
+func TestTraceContextRoundTrip(t *testing.T) {
+	h := RequestHeader{
+		RequestID:        7,
+		InvocationID:     42,
+		ResponseExpected: true,
+		ObjectKey:        "objects/x",
+		Operation:        "solve",
+		ThreadRank:       -1,
+		ThreadCount:      1,
+		Trace: telemetry.TraceContext{
+			TraceID: 0x0123456789ABCDEF,
+			SpanID:  0xFEDCBA9876543210,
+			Sampled: true,
+		},
+	}
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		e := cdr.NewEncoder(order)
+		h.Encode(e)
+		e.PutLong(99) // body data after the header must still align
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, order, MsgRequest, e.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Minor != VersionMinor {
+			t.Fatalf("frame minor = %d, want %d", f.Minor, VersionMinor)
+		}
+		d := cdr.NewDecoder(f.Order, f.Body)
+		got, err := DecodeRequestHeaderV(d, f.Minor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, h)
+		}
+		if v, _ := d.Long(); v != 99 {
+			t.Fatalf("body after traced header = %d", v)
+		}
+	}
+}
+
+// TestOldHeaderWithoutTraceBytes: a header framed by a 1.0 peer ends
+// right after ThreadCount; the decoder must accept it, leave Trace
+// zero, and hand the body bytes through undisturbed.
+func TestOldHeaderWithoutTraceBytes(t *testing.T) {
+	h := RequestHeader{
+		RequestID:        3,
+		InvocationID:     11,
+		ResponseExpected: true,
+		ObjectKey:        "objects/y",
+		Operation:        "old",
+		ThreadRank:       0,
+		ThreadCount:      2,
+	}
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		e := cdr.NewEncoder(order)
+		h.EncodeV10(e)
+		e.PutLong(1234)
+
+		// Frame it exactly as a 1.0 peer would: minor version byte 0.
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, order, MsgRequest, e.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		frame := buf.Bytes()
+		frame[5] = 0 // downgrade the minor version on the wire
+
+		f, err := ReadFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("1.0 frame rejected: %v", err)
+		}
+		if f.Minor != 0 {
+			t.Fatalf("frame minor = %d, want 0", f.Minor)
+		}
+		d := cdr.NewDecoder(f.Order, f.Body)
+		got, err := DecodeRequestHeaderV(d, f.Minor)
+		if err != nil {
+			t.Fatalf("1.0 header rejected: %v", err)
+		}
+		if got.Trace.Valid() || got.Trace.Sampled {
+			t.Fatalf("1.0 header produced trace %+v", got.Trace)
+		}
+		got.Trace = telemetry.TraceContext{}
+		if got != h {
+			t.Fatalf("1.0 round trip:\n got %+v\nwant %+v", got, h)
+		}
+		if v, _ := d.Long(); v != 1234 {
+			t.Fatalf("body after 1.0 header = %d", v)
+		}
+	}
+}
+
+// TestUntracedHeaderCostsZeros: an untraced 1.1 request carries a zero
+// trace context, and decoding reports it invalid (so servers skip span
+// creation entirely).
+func TestUntracedHeaderCostsZeros(t *testing.T) {
+	h := RequestHeader{RequestID: 1, ObjectKey: "k", Operation: "op", ThreadCount: 1}
+	e := cdr.NewEncoder(cdr.BigEndian)
+	h.Encode(e)
+	got, err := DecodeRequestHeader(cdr.NewDecoder(cdr.BigEndian, e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace.Valid() {
+		t.Fatalf("zero trace decoded as valid: %+v", got.Trace)
+	}
+}

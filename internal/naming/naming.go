@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"pardis/internal/giop"
 	"pardis/internal/ior"
 	"pardis/internal/orb"
+	"pardis/internal/telemetry"
 )
 
 // ServiceKey is the object key the naming service answers to.
@@ -103,6 +105,8 @@ func (r *Registry) List(prefix string) []string {
 // ServiceKey, backed by reg.
 func Serve(srv *orb.Server, reg *Registry) {
 	srv.Handle(ServiceKey, func(in *orb.Incoming) {
+		telemetry.Default.Counter("pardis_naming_requests_total",
+			"op", in.Header.Operation).Inc()
 		d := in.Decoder()
 		switch in.Header.Operation {
 		case "bind":
@@ -122,6 +126,10 @@ func Serve(srv *orb.Server, reg *Registry) {
 				replyUserError(in, err)
 				return
 			}
+			if telemetry.LogEnabled(slog.LevelInfo) {
+				telemetry.Logger().Info("name bound",
+					"name", name, "key", ref.Key, "replicas", ref.Replicas(), "rebind", rebind)
+			}
 			_ = in.Reply(giop.ReplyOK, nil)
 		case "resolve":
 			name, err := d.String()
@@ -131,9 +139,11 @@ func Serve(srv *orb.Server, reg *Registry) {
 			}
 			ref, err := reg.Resolve(name)
 			if err != nil {
+				telemetry.Default.Counter("pardis_naming_resolves_total", "result", "miss").Inc()
 				replyUserError(in, err)
 				return
 			}
+			telemetry.Default.Counter("pardis_naming_resolves_total", "result", "hit").Inc()
 			_ = in.Reply(giop.ReplyOK, func(e *cdr.Encoder) {
 				e.PutString(ref.Stringify())
 			})
@@ -146,6 +156,9 @@ func Serve(srv *orb.Server, reg *Registry) {
 			if err := reg.Unbind(name); err != nil {
 				replyUserError(in, err)
 				return
+			}
+			if telemetry.LogEnabled(slog.LevelInfo) {
+				telemetry.Logger().Info("name unbound", "name", name)
 			}
 			_ = in.Reply(giop.ReplyOK, nil)
 		case "list":
@@ -284,6 +297,12 @@ func (c *Client) ResolveLive(ctx context.Context, name string) (*ior.Ref, error)
 	}
 	if len(live) == 0 || len(live) == len(ref.Endpoints) {
 		return ref, nil
+	}
+	dropped := len(ref.Endpoints) - len(live)
+	telemetry.Default.Counter("pardis_naming_stale_filtered_total").Add(uint64(dropped))
+	if telemetry.LogEnabled(slog.LevelInfo) {
+		telemetry.Logger().Info("filtered stale replica endpoints",
+			"name", name, "dropped", dropped, "live", len(live))
 	}
 	filtered := *ref
 	filtered.Endpoints = live

@@ -4,7 +4,10 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +15,7 @@ import (
 	"pardis/internal/cdr"
 	"pardis/internal/giop"
 	"pardis/internal/ior"
+	"pardis/internal/telemetry"
 	"pardis/internal/transport"
 )
 
@@ -39,6 +43,46 @@ type Client struct {
 	invPrefix  uint64
 	invCounter atomic.Uint64
 	blocks     *blockRouter
+
+	// Interned-instrument caches: the telemetry registry's lookup
+	// builds a label key per call, which is too hot for the invoke
+	// path, so instruments are resolved once per op / endpoint.
+	opMetrics sync.Map // operation → *clientOpMetrics
+	epHists   sync.Map // endpoint → *telemetry.Histogram (attempt latency)
+}
+
+// clientOpMetrics holds the per-operation instruments the invoke path
+// touches on every call.
+type clientOpMetrics struct {
+	invokes   *telemetry.Counter
+	errors    *telemetry.Counter
+	deadlines *telemetry.Counter
+	retries   *telemetry.Counter
+	latency   *telemetry.Histogram
+}
+
+func (c *Client) opMetricsFor(op string) *clientOpMetrics {
+	if m, ok := c.opMetrics.Load(op); ok {
+		return m.(*clientOpMetrics)
+	}
+	m := &clientOpMetrics{
+		invokes:   telemetry.Default.Counter("pardis_client_invokes_total", "op", op),
+		errors:    telemetry.Default.Counter("pardis_client_invoke_errors_total", "op", op),
+		deadlines: telemetry.Default.Counter("pardis_client_deadline_misses_total", "op", op),
+		retries:   telemetry.Default.Counter("pardis_client_retries_total", "op", op),
+		latency:   telemetry.Default.Histogram("pardis_client_invoke_seconds", "op", op),
+	}
+	actual, _ := c.opMetrics.LoadOrStore(op, m)
+	return actual.(*clientOpMetrics)
+}
+
+func (c *Client) attemptHist(ep string) *telemetry.Histogram {
+	if h, ok := c.epHists.Load(ep); ok {
+		return h.(*telemetry.Histogram)
+	}
+	h := telemetry.Default.Histogram("pardis_client_attempt_seconds", "endpoint", ep)
+	actual, _ := c.epHists.LoadOrStore(ep, h)
+	return actual.(*telemetry.Histogram)
 }
 
 // ClientOption configures a Client.
@@ -185,9 +229,9 @@ func (c *Client) InvokeRef(ctx context.Context, ref *ior.Ref, hdr giop.RequestHe
 	return c.invokeEndpoints(ctx, ref.FailoverEndpoints(), hdr, body)
 }
 
-// invokeEndpoints applies the default deadline, follows location
-// forwards (bounded, cycle-checked), and delegates each hop to the
-// retry/failover engine.
+// invokeEndpoints applies the default deadline, records the
+// invocation's outcome and end-to-end latency, and delegates to the
+// forward-following engine.
 func (c *Client) invokeEndpoints(ctx context.Context, endpoints []string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
 	if len(endpoints) == 0 {
 		return giop.ReplyHeader{}, 0, nil, fmt.Errorf("%w: no endpoints", ErrUnreachable)
@@ -199,6 +243,26 @@ func (c *Client) invokeEndpoints(ctx context.Context, endpoints []string, hdr gi
 			defer cancel()
 		}
 	}
+	m := c.opMetricsFor(hdr.Operation)
+	start := time.Now()
+	rh, order, raw, err := c.invokeForward(ctx, endpoints, hdr, body)
+	m.invokes.Inc()
+	m.latency.ObserveDuration(time.Since(start))
+	if err != nil {
+		m.errors.Inc()
+		if errors.Is(err, ErrCanceled) && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			m.deadlines.Inc()
+		}
+		if telemetry.LogEnabled(slog.LevelWarn) {
+			telemetry.Logger().Warn("invoke failed", "op", hdr.Operation, "key", hdr.ObjectKey, "err", err)
+		}
+	}
+	return rh, order, raw, err
+}
+
+// invokeForward follows location forwards (bounded, cycle-checked),
+// delegating each hop to the retry/failover engine.
+func (c *Client) invokeForward(ctx context.Context, endpoints []string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
 	seen := map[string]bool{endpoints[0]: true}
 	for hop := 0; ; hop++ {
 		rh, order, raw, err := c.invokeRetry(ctx, endpoints, hdr, body)
@@ -228,6 +292,7 @@ func (c *Client) invokeRetry(ctx context.Context, endpoints []string, hdr giop.R
 	attempts := pol.attempts()
 	rotor := 0
 	var lastErr error
+	prevEp := ""
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
 			if !pol.Budget.spend() {
@@ -237,9 +302,30 @@ func (c *Client) invokeRetry(ctx context.Context, endpoints []string, hdr giop.R
 			if err := sleepCtx(ctx, pol.backoff(attempt-1)); err != nil {
 				return giop.ReplyHeader{}, 0, nil, fmt.Errorf("%w: %v (last error: %v)", ErrCanceled, err, lastErr)
 			}
+			c.opMetricsFor(hdr.Operation).retries.Inc()
 		}
 		ep := c.pickEndpoint(endpoints, rotor)
-		rh, order, raw, err := c.invokeOnce(ctx, ep, hdr, body)
+		if prevEp != "" && ep != prevEp {
+			telemetry.Default.Counter("pardis_client_failovers_total").Inc()
+			if telemetry.LogEnabled(slog.LevelInfo) {
+				telemetry.Logger().Info("failing over",
+					"op", hdr.Operation, "from", prevEp, "to", ep, "attempt", attempt)
+			}
+		}
+		prevEp = ep
+		// Each attempt is its own span: the span's identity rides the
+		// request header onto the wire, so the server's handler span
+		// attaches under this exact attempt (not a sibling retry).
+		attemptCtx := ctx
+		var span *telemetry.Span
+		if telemetry.TraceActive(ctx) {
+			attemptCtx, span = telemetry.StartSpan(ctx, "client:"+hdr.Operation,
+				telemetry.Attr{Key: "endpoint", Value: ep},
+				telemetry.Attr{Key: "attempt", Value: strconv.Itoa(attempt)})
+		}
+		attemptStart := time.Now()
+		rh, order, raw, err := c.invokeOnce(attemptCtx, ep, hdr, body)
+		c.attemptHist(ep).ObserveDuration(time.Since(attemptStart))
 		if err == nil && rh.Status == giop.ReplySystemException {
 			// A draining server answers TRANSIENT: treat it like a
 			// transport failure and move to another replica.
@@ -247,13 +333,17 @@ func (c *Client) invokeRetry(ctx context.Context, endpoints []string, hdr giop.R
 				err = fmt.Errorf("%w: %s: %s", ErrTransient, ep, ex.Detail)
 			}
 		}
+		if err != nil {
+			span.Annotate("error", err.Error())
+		}
+		span.End()
 		if err == nil {
 			c.health.onSuccess(ep)
 			pol.Budget.onSuccess()
 			return rh, order, raw, nil
 		}
 		if retryable(err) {
-			c.health.onFailure(ep)
+			c.health.onFailure(ep, err)
 		}
 		if !retryable(err) || ctx.Err() != nil {
 			return giop.ReplyHeader{}, 0, nil, err
@@ -304,6 +394,9 @@ func (c *Client) invokeOnce(ctx context.Context, endpoint string, hdr giop.Reque
 		return giop.ReplyHeader{}, 0, nil, err
 	}
 	hdr.RequestID = cc.nextID.Add(1)
+	// The attempt's trace identity (if any) rides the request header,
+	// so the server continues this trace rather than rooting its own.
+	hdr.Trace = telemetry.TraceFromContext(ctx)
 
 	e := cdr.NewEncoder(c.order)
 	hdr.Encode(e)

@@ -7,9 +7,12 @@ package orb
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"time"
+
+	"pardis/internal/telemetry"
 )
 
 // RetryPolicy governs how a Client re-issues invocations that failed
@@ -185,6 +188,10 @@ type endpointHealth struct {
 	state       breakerState
 	consecFails int
 	openUntil   time.Time
+	// lastChange and lastReason record the breaker's most recent state
+	// transition — when it happened and why — for Health snapshots.
+	lastChange time.Time
+	lastReason string
 }
 
 // healthTable is a Client's per-endpoint circuit breaker: after
@@ -224,6 +231,26 @@ func (h *healthTable) get(ep string) *endpointHealth {
 	return e
 }
 
+// transition moves one endpoint's breaker to a new state, stamping
+// when and why, and mirrors the change into the telemetry registry.
+// Caller holds h.mu. A no-op when the state is unchanged.
+func (h *healthTable) transition(ep string, e *endpointHealth, to breakerState, reason string) {
+	if e.state == to {
+		return
+	}
+	from := e.state
+	e.state = to
+	e.lastChange = h.now()
+	e.lastReason = reason
+	telemetry.Default.Counter("pardis_client_breaker_transitions_total",
+		"endpoint", ep, "to", to.String()).Inc()
+	telemetry.Default.Gauge("pardis_client_breaker_state", "endpoint", ep).Set(int64(to))
+	if telemetry.LogEnabled(slog.LevelInfo) {
+		telemetry.Logger().Info("breaker transition",
+			"endpoint", ep, "from", from.String(), "to", to.String(), "reason", reason)
+	}
+}
+
 // allow reports whether the endpoint should be tried now. An expired
 // open breaker transitions to half-open and admits this caller as the
 // probe.
@@ -240,7 +267,7 @@ func (h *healthTable) allow(ep string) bool {
 		if h.now().Before(e.openUntil) {
 			return false
 		}
-		e.state = breakerHalfOpen
+		h.transition(ep, e, breakerHalfOpen, "cooldown expired; admitting probe")
 		return true
 	}
 }
@@ -251,19 +278,27 @@ func (h *healthTable) onSuccess(ep string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	e := h.get(ep)
-	e.state = breakerClosed
+	h.transition(ep, e, breakerClosed, "invocation succeeded")
 	e.consecFails = 0
 }
 
-// onFailure records a transport-level failure at ep; enough in a row
-// (or a failed half-open probe) opens the breaker.
-func (h *healthTable) onFailure(ep string) {
+// onFailure records a transport-level failure at ep (cause says what
+// went wrong); enough in a row (or a failed half-open probe) opens the
+// breaker.
+func (h *healthTable) onFailure(ep string, cause error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	e := h.get(ep)
 	e.consecFails++
 	if e.state == breakerHalfOpen || e.consecFails >= h.threshold {
-		e.state = breakerOpen
+		reason := "transport failure"
+		if cause != nil {
+			reason = cause.Error()
+		}
+		if e.state == breakerHalfOpen {
+			reason = "half-open probe failed: " + reason
+		}
+		h.transition(ep, e, breakerOpen, reason)
 		e.openUntil = h.now().Add(h.cooldown)
 	}
 }
@@ -290,6 +325,12 @@ type EndpointState struct {
 	// ConsecutiveFailures counts transport failures since the last
 	// success.
 	ConsecutiveFailures int
+	// Since is when the breaker last changed state (zero if it has
+	// never transitioned).
+	Since time.Time
+	// Reason explains the last transition — the failure that opened
+	// the breaker, the probe admission, or the success that closed it.
+	Reason string
 }
 
 // snapshot exports the table for diagnostics.
@@ -298,7 +339,12 @@ func (h *healthTable) snapshot() map[string]EndpointState {
 	defer h.mu.Unlock()
 	out := make(map[string]EndpointState, len(h.m))
 	for ep, e := range h.m {
-		out[ep] = EndpointState{State: e.state.String(), ConsecutiveFailures: e.consecFails}
+		out[ep] = EndpointState{
+			State:               e.state.String(),
+			ConsecutiveFailures: e.consecFails,
+			Since:               e.lastChange,
+			Reason:              e.lastReason,
+		}
 	}
 	return out
 }

@@ -3,10 +3,13 @@ package orb
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"pardis/internal/cdr"
 	"pardis/internal/giop"
+	"pardis/internal/telemetry"
 	"pardis/internal/transport"
 )
 
@@ -87,6 +90,33 @@ type Server struct {
 	blocks *blockRouter
 	wg     sync.WaitGroup // accept loops and connection readers
 	reqWG  sync.WaitGroup // in-flight request handlers
+
+	// Interned per-object-key instruments, cached because the registry
+	// lookup builds a label key per call — too hot for dispatch.
+	keyMetrics sync.Map // object key → *serverKeyMetrics
+}
+
+// serverInflight is the process-wide in-dispatch gauge (no labels, so
+// it is interned once at package load).
+var serverInflight = telemetry.Default.Gauge("pardis_server_inflight")
+
+// serverKeyMetrics holds the per-key instruments touched on every
+// dispatched request.
+type serverKeyMetrics struct {
+	requests *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+func (s *Server) keyMetricsFor(key string) *serverKeyMetrics {
+	if m, ok := s.keyMetrics.Load(key); ok {
+		return m.(*serverKeyMetrics)
+	}
+	m := &serverKeyMetrics{
+		requests: telemetry.Default.Counter("pardis_server_requests_total", "key", key),
+		latency:  telemetry.Default.Histogram("pardis_server_request_seconds", "key", key),
+	}
+	actual, _ := s.keyMetrics.LoadOrStore(key, m)
+	return actual.(*serverKeyMetrics)
 }
 
 // ServerOption configures a Server.
@@ -259,6 +289,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	// Drain in-flight handlers up to the deadline.
+	drainStart := time.Now()
 	done := make(chan struct{})
 	go func() {
 		s.reqWG.Wait()
@@ -269,6 +300,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		drainErr = ctx.Err()
+	}
+	telemetry.Default.Histogram("pardis_server_drain_seconds").ObserveDuration(time.Since(drainStart))
+	if telemetry.LogEnabled(slog.LevelInfo) {
+		telemetry.Logger().Info("server drained",
+			"duration", time.Since(drainStart), "clean", drainErr == nil)
 	}
 
 	s.mu.Lock()
@@ -340,13 +376,17 @@ func (sc *serverConn) close() {
 func (sc *serverConn) readLoop() {
 	defer sc.close()
 	for {
-		t, order, body, err := giop.ReadMessage(sc.raw)
+		// ReadFrame (not ReadMessage) so the sender's protocol minor
+		// version survives to the header decoder: 1.0 peers frame
+		// request headers without trace bytes.
+		f, err := giop.ReadFrame(sc.raw)
 		if err != nil {
 			return
 		}
+		t, order, body := f.Type, f.Order, f.Body
 		switch t {
 		case giop.MsgRequest:
-			if err := sc.handleRequest(order, body); err != nil {
+			if err := sc.handleRequest(f.Minor, order, body); err != nil {
 				return
 			}
 		case giop.MsgLocateRequest:
@@ -386,9 +426,9 @@ func (sc *serverConn) readLoop() {
 	}
 }
 
-func (sc *serverConn) handleRequest(order cdr.ByteOrder, body []byte) error {
+func (sc *serverConn) handleRequest(minor byte, order cdr.ByteOrder, body []byte) error {
 	d := cdr.NewDecoder(order, body)
-	hdr, err := giop.DecodeRequestHeader(d)
+	hdr, err := giop.DecodeRequestHeaderV(d, minor)
 	if err != nil {
 		// Unparseable request: poison the stream, give up.
 		return fmt.Errorf("orb: bad request header: %w", err)
@@ -403,6 +443,7 @@ func (sc *serverConn) handleRequest(order cdr.ByteOrder, body []byte) error {
 	}
 	h, ok := sc.srv.handler(hdr.ObjectKey)
 	if !ok {
+		telemetry.Default.Counter("pardis_server_no_object_total", "key", hdr.ObjectKey).Inc()
 		_ = in.ReplySystemException("OBJECT_NOT_EXIST",
 			fmt.Sprintf("no object with key %q", hdr.ObjectKey))
 		return nil
@@ -415,24 +456,41 @@ func (sc *serverConn) handleRequest(order cdr.ByteOrder, body []byte) error {
 	sc.srv.mu.Lock()
 	if sc.srv.draining {
 		sc.srv.mu.Unlock()
+		telemetry.Default.Counter("pardis_server_transient_rejections_total").Inc()
 		_ = in.ReplySystemException("TRANSIENT", "server draining")
 		return nil
 	}
 	sc.srv.reqWG.Add(1)
 	sc.srv.mu.Unlock()
 	ctx, cancel := context.WithCancel(context.Background())
+	// A trace identity on the wire continues the caller's trace: the
+	// handler span (and anything the handler invokes through a client
+	// with this ctx) attaches under the client's attempt span.
+	if hdr.Trace.Valid() {
+		ctx = telemetry.ContextWithTrace(ctx, hdr.Trace)
+	}
+	var span *telemetry.Span
+	if telemetry.TraceActive(ctx) {
+		ctx, span = telemetry.StartSpan(ctx, "server:"+hdr.Operation,
+			telemetry.Attr{Key: "key", Value: hdr.ObjectKey},
+			telemetry.Attr{Key: "endpoint", Value: sc.endpoint})
+	}
 	in.Ctx = ctx
 	if hdr.ResponseExpected {
 		sc.mu.Lock()
 		if sc.dead {
 			sc.mu.Unlock()
 			cancel()
+			span.End()
 			sc.srv.reqWG.Done()
 			return nil
 		}
 		sc.inflight[hdr.RequestID] = cancel
 		sc.mu.Unlock()
 	}
+	km := sc.srv.keyMetricsFor(hdr.ObjectKey)
+	serverInflight.Inc()
+	start := time.Now()
 	go func() {
 		defer func() {
 			if hdr.ResponseExpected {
@@ -444,8 +502,18 @@ func (sc *serverConn) handleRequest(order cdr.ByteOrder, body []byte) error {
 			if p := recover(); p != nil {
 				// A panicking servant becomes a system exception,
 				// not a dead server.
+				telemetry.Default.Counter("pardis_server_panics_total", "key", hdr.ObjectKey).Inc()
+				span.Annotate("panic", fmt.Sprint(p))
+				if telemetry.LogEnabled(slog.LevelError) {
+					telemetry.Logger().Error("servant panic",
+						"key", hdr.ObjectKey, "op", hdr.Operation, "panic", fmt.Sprint(p))
+				}
 				_ = in.ReplySystemException("UNKNOWN", fmt.Sprintf("servant panic: %v", p))
 			}
+			span.End()
+			serverInflight.Dec()
+			km.requests.Inc()
+			km.latency.ObserveDuration(time.Since(start))
 			sc.srv.reqWG.Done()
 		}()
 		h(in)

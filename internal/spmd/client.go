@@ -3,6 +3,7 @@ package spmd
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"pardis/internal/mp"
 	"pardis/internal/orb"
 	"pardis/internal/rts"
+	"pardis/internal/telemetry"
 	"pardis/internal/transport"
 )
 
@@ -61,7 +63,20 @@ type Binding struct {
 	allEndpoints []string
 
 	stats bindingStats
+
+	// rankLag is this rank's interned exit-barrier histogram (rank is
+	// fixed for the binding's lifetime, so resolve the labels once).
+	rankLag *telemetry.Histogram
 }
+
+// Interned once at package load: the registry's per-call label-key
+// building is too hot for the collective invocation path.
+var (
+	bindSeconds    = telemetry.Default.Histogram("pardis_spmd_bind_seconds")
+	bindErrors     = telemetry.Default.Counter("pardis_spmd_bind_errors_total")
+	phaseStartHist = telemetry.Default.Histogram("pardis_spmd_phase_seconds", "phase", "start")
+	phaseWaitHist  = telemetry.Default.Histogram("pardis_spmd_phase_seconds", "phase", "wait")
+)
 
 // bindingStats accumulates per-thread operational counters.
 type bindingStats struct {
@@ -126,7 +141,32 @@ type CallSpec struct {
 // thread to the object named by ref (the stub-level _spmd_bind). It
 // fetches the object's interface description so transfer plans can be
 // computed client-side.
+//
+// The collective bind is timed into pardis_spmd_bind_seconds and runs
+// under an "spmd:bind" span, so the describe invocation the
+// communicator issues appears nested in the trace.
 func Bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
+	start := time.Now()
+	var span *telemetry.Span
+	if telemetry.TraceActive(ctx) {
+		key := ""
+		if ref != nil {
+			key = ref.Key
+		}
+		ctx, span = telemetry.StartSpan(ctx, "spmd:bind",
+			telemetry.Attr{Key: "key", Value: key})
+	}
+	b, err := bind(ctx, cfg, ref)
+	bindSeconds.ObserveDuration(time.Since(start))
+	if err != nil {
+		bindErrors.Inc()
+		span.Annotate("error", err.Error())
+	}
+	span.End()
+	return b, err
+}
+
+func bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 	if cfg.Thread == nil {
 		return nil, fmt.Errorf("%w: nil RTS thread", ErrBadCall)
 	}
@@ -158,6 +198,8 @@ func Bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 		oc:     orb.NewClient(reg, clientOpts...),
 		method: cfg.Method,
 	}
+	b.rankLag = telemetry.Default.Histogram("pardis_spmd_rank_lag_seconds",
+		"side", "client", "rank", strconv.Itoa(b.rank))
 	if cfg.Method == MultiPort && !ref.MultiPort() {
 		b.oc.Close()
 		return nil, fmt.Errorf("%w: object %s does not export multi-port endpoints",
@@ -359,6 +401,7 @@ type Pending struct {
 	inv      uint64
 	fut      *future.Future[replyEnvelope]
 	outSinks []*outCollector
+	span     *telemetry.Span // covers start through Wait; nil unsampled
 }
 
 type replyEnvelope struct {
@@ -377,8 +420,36 @@ type outCollector struct {
 }
 
 // start validates the call collectively, ships in-arguments, issues
-// the request, and returns a Pending for the reply.
+// the request, and returns a Pending for the reply. The start phase
+// (validation, argument fan-out, request issue) is timed into
+// pardis_spmd_phase_seconds{phase="start"}; a per-invocation
+// "spmd:<op>" span covers start through Wait, so the communicator's
+// wire invocation (and the server's handler span beyond it) nest
+// under this collective call.
 func (b *Binding) start(ctx context.Context, spec *CallSpec) (*Pending, error) {
+	op := ""
+	if spec != nil {
+		op = spec.Operation
+	}
+	phaseStart := time.Now()
+	var span *telemetry.Span
+	if telemetry.TraceActive(ctx) {
+		ctx, span = telemetry.StartSpan(ctx, "spmd:"+op,
+			telemetry.Attr{Key: "rank", Value: strconv.Itoa(b.rank)})
+	}
+	p, err := b.startPhase(ctx, spec)
+	phaseStartHist.ObserveDuration(time.Since(phaseStart))
+	if err != nil {
+		span.Annotate("error", err.Error())
+		span.End()
+		return nil, err
+	}
+	p.span = span
+	return p, nil
+}
+
+// startPhase is the uninstrumented body of start.
+func (b *Binding) startPhase(ctx context.Context, spec *CallSpec) (*Pending, error) {
 	if spec == nil || spec.Operation == "" {
 		return nil, fmt.Errorf("%w: missing operation", ErrBadCall)
 	}
@@ -667,17 +738,21 @@ func (p *Pending) cancelSinks() {
 // cannot strand threads waiting for out-blocks the server never sent.
 func (p *Pending) Wait(ctx context.Context) (err error) {
 	b := p.b
+	waitStart := time.Now()
 	defer func() {
 		b.stats.invocations.Add(1)
 		if err != nil {
 			b.stats.errors.Add(1)
+			p.span.Annotate("error", err.Error())
 		}
+		p.span.End()
+		phaseWaitHist.ObserveDuration(time.Since(waitStart))
 	}()
 
 	// A oneway invocation has nothing to collect or decode; the
 	// threads only resynchronize.
 	if p.spec.Oneway {
-		return b.th.Barrier()
+		return b.exitBarrier()
 	}
 	defer p.cancelSinks()
 
@@ -834,7 +909,19 @@ func (p *Pending) Wait(ctx context.Context) (err error) {
 	}
 
 	// Exit barrier (§3.3's texit_barrier).
-	return b.th.Barrier()
+	return b.exitBarrier()
+}
+
+// exitBarrier runs the collective exit barrier, recording how long
+// this rank waited in it. A rank's wait time is its lag ahead of the
+// slowest rank: near-zero means this rank was the straggler, a large
+// value means it sat idle — the skew operators look at when a
+// collective invocation underperforms.
+func (b *Binding) exitBarrier() error {
+	t := time.Now()
+	err := b.th.Barrier()
+	b.rankLag.ObserveDuration(time.Since(t))
+	return err
 }
 
 // reencodeReplyBody normalizes a foreign-order reply body to

@@ -3,7 +3,9 @@ package spmd
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"pardis/internal/cdr"
 	"pardis/internal/dist"
@@ -12,6 +14,7 @@ import (
 	"pardis/internal/ior"
 	"pardis/internal/orb"
 	"pardis/internal/rts"
+	"pardis/internal/telemetry"
 	"pardis/internal/transport"
 )
 
@@ -91,7 +94,20 @@ type Object struct {
 
 	served atomic.Uint64
 	failed atomic.Uint64
+
+	// rankLag is this rank's interned post-invocation barrier
+	// histogram (rank is fixed for the object's lifetime).
+	rankLag *telemetry.Histogram
 }
+
+// Interned once at package load — the per-dispatch phase histograms
+// have fixed labels, so the registry lookup is hoisted out of the
+// dispatch path.
+var (
+	phaseServerArgs    = telemetry.Default.Histogram("pardis_spmd_phase_seconds", "phase", "server_args")
+	phaseServerHandler = telemetry.Default.Histogram("pardis_spmd_phase_seconds", "phase", "server_handler")
+	phaseServerOut     = telemetry.Default.Histogram("pardis_spmd_phase_seconds", "phase", "server_out")
+)
 
 // ObjectStats is a snapshot of a thread's request counters.
 type ObjectStats struct {
@@ -134,6 +150,8 @@ func Export(cfg ObjectConfig) (*Object, error) {
 		size:   th.Size(),
 		closed: make(chan struct{}),
 	}
+	o.rankLag = telemetry.Default.Histogram("pardis_spmd_rank_lag_seconds",
+		"side", "server", "rank", strconv.Itoa(o.rank))
 
 	needPort := o.rank == 0 || cfg.MultiPort
 	var myEndpoint string
@@ -529,6 +547,7 @@ func (o *Object) dispatch(ctrl *control, w *invocationWire, hdr giop.RequestHead
 	}
 
 	// Phase 1: materialize argument sequences.
+	phaseT := time.Now()
 	args := make([]*dseq.Doubles, len(ctrl.Args))
 	clientLayouts := make([]dist.Layout, len(ctrl.Args))
 	var firstErr error
@@ -595,8 +614,10 @@ func (o *Object) dispatch(ctrl *control, w *invocationWire, hdr giop.RequestHead
 	if err := o.agree(firstErr); err != nil {
 		return nil, err
 	}
+	phaseServerArgs.ObserveDuration(time.Since(phaseT))
 
 	// Phase 2: invoke the handler on every thread.
+	phaseT = time.Now()
 	call := &Call{
 		Op:      ctrl.Op,
 		Thread:  o.th,
@@ -615,8 +636,10 @@ func (o *Object) dispatch(ctrl *control, w *invocationWire, hdr giop.RequestHead
 	if err := o.agree(herr); err != nil {
 		return nil, err
 	}
+	phaseServerHandler.ObserveDuration(time.Since(phaseT))
 
 	// Phase 3: return out/inout data.
+	phaseT = time.Now()
 	var replyArgs [][]float64
 	for i, ca := range ctrl.Args {
 		if ca.Mode != Out && ca.Mode != InOut {
@@ -647,13 +670,17 @@ func (o *Object) dispatch(ctrl *control, w *invocationWire, hdr giop.RequestHead
 	if err := o.agree(firstErr); err != nil {
 		return nil, err
 	}
+	phaseServerOut.ObserveDuration(time.Since(phaseT))
 
 	// Post-invocation synchronization: "after the invocation the
 	// server's computing threads synchronize and the communicator
-	// informs the client of the completion status" (§3.2).
+	// informs the client of the completion status" (§3.2). The time a
+	// rank spends here is its lag ahead of the slowest rank.
+	phaseT = time.Now()
 	if err := o.th.Barrier(); err != nil {
 		return nil, err
 	}
+	o.rankLag.ObserveDuration(time.Since(phaseT))
 
 	if o.rank != 0 {
 		return nil, nil

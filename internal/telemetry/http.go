@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves the process's operational surface:
+//
+//	/metrics       — the registry in Prometheus-style text format
+//	/healthz       — 200 "ok" (503 with the error text when the
+//	                 health callback reports one)
+//	/debug/vars    — the registry as JSON (expvar-style)
+//	/debug/traces  — buffered trace ids; ?id=<hex> dumps one trace
+//	                 (&format=tree for the indented text form)
+//	/debug/pprof/* — the standard runtime profiles
+//
+// reg, rec and healthy may be nil: they default to the process-wide
+// registry, the default span recorder and "always healthy".
+func Handler(reg *Registry, rec *Recorder, healthy func() error) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	if rec == nil {
+		rec = DefaultRecorder
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if healthy != nil {
+			if err := healthy(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("id"); id != "" {
+			tid, err := strconv.ParseUint(id, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+				return
+			}
+			spans := rec.Trace(tid)
+			if r.URL.Query().Get("format") == "tree" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				fmt.Fprint(w, FormatTree(spans))
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(spans)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, tid := range rec.TraceIDs() {
+			fmt.Fprintf(w, "%016x\n", tid)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

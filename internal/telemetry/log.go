@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// The ORB's structured logger. Every internal layer logs through
+// Logger() instead of fmt/log so that tests stay silent by default and
+// operators get one leveled, structured stream. The default logger
+// discards everything at zero cost (its handler reports every level
+// disabled, so slog never materializes records).
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(discardHandler{}))
+}
+
+// Logger returns the current process-wide logger.
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the process-wide logger. Pass nil to restore the
+// discarding default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(discardHandler{})
+	}
+	logger.Store(l)
+}
+
+// EnableLogging switches the process-wide logger to a text handler on
+// w at the given level — the one-call setup used by the daemons.
+func EnableLogging(w io.Writer, level slog.Level) {
+	SetLogger(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// LogEnabled reports whether the current logger would emit at level —
+// the guard hot paths use before assembling attributes.
+func LogEnabled(level slog.Level) bool {
+	return Logger().Handler().Enabled(context.Background(), level)
+}
+
+// discardHandler drops everything and reports every level disabled.
+// (log/slog gained DiscardHandler in go 1.24; this keeps the module
+// buildable at its declared go 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

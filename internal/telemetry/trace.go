@@ -1,0 +1,360 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext is the identity a request carries across process
+// boundaries: which trace it belongs to, which span is its immediate
+// parent, and whether the trace is being recorded. It is encoded on
+// the PIOP wire inside the request header (giop.RequestHeader.Trace)
+// and inside a process it rides the context.Context.
+type TraceContext struct {
+	// TraceID identifies the whole request tree; 0 means "no trace".
+	TraceID uint64
+	// SpanID is the caller's span — the parent of whatever span the
+	// callee starts.
+	SpanID uint64
+	// Sampled marks the trace as recorded; unsampled requests carry
+	// zero IDs and cost nothing.
+	Sampled bool
+}
+
+// Valid reports whether the context names a real trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// String renders the trace id in fixed-width hex — the form operators
+// grep for across process logs.
+func (tc TraceContext) String() string {
+	return fmt.Sprintf("%016x/%016x", tc.TraceID, tc.SpanID)
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying tc.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the trace identity carried by ctx, or the
+// zero TraceContext.
+func TraceFromContext(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}
+
+// idState drives the process-wide span/trace id generator: a
+// splitmix64 stream seeded from crypto/rand, lock-free and
+// allocation-free.
+var idState = func() *atomic.Uint64 {
+	var s atomic.Uint64
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		s.Store(binary.BigEndian.Uint64(seed[:]))
+	} else {
+		s.Store(uint64(time.Now().UnixNano()))
+	}
+	return &s
+}()
+
+// newID returns a nonzero pseudorandom 64-bit id.
+func newID() uint64 {
+	for {
+		x := idState.Add(0x9E3779B97F4A7C15)
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// sampleRate is the probability a root span starts sampled, stored as
+// math.Float64bits. Child spans inherit the caller's decision.
+var sampleRate atomic.Uint64 // default 0: tracing off
+
+// SetTraceSampling sets the root-span sampling probability in [0, 1].
+// 0 disables tracing (zero overhead); 1 records every request.
+func SetTraceSampling(rate float64) {
+	if rate < 0 {
+		rate = 0
+	} else if rate > 1 {
+		rate = 1
+	}
+	sampleRate.Store(math.Float64bits(rate))
+}
+
+// TraceSampling returns the current root sampling probability.
+func TraceSampling() float64 { return math.Float64frombits(sampleRate.Load()) }
+
+// TraceActive reports whether StartSpan could record a span for ctx:
+// either root sampling is on, or ctx already carries a sampled trace
+// (e.g. continued from a remote peer). Hot paths use it to skip
+// building span names and attribute lists when tracing is off — the
+// off path costs one atomic load.
+func TraceActive(ctx context.Context) bool {
+	if sampleRate.Load() != 0 {
+		return true
+	}
+	tc := TraceFromContext(ctx)
+	return tc.Valid() && tc.Sampled
+}
+
+func sampleRoot() bool {
+	rate := TraceSampling()
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	return float64(newID())/float64(math.MaxUint64) < rate
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key, Value string
+}
+
+// Span is one timed operation in a trace. A nil *Span is a valid
+// no-op (unsampled), so call sites never branch.
+type Span struct {
+	Name     string
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+	Start    time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	rec   *Recorder
+	done  bool
+}
+
+// Annotate attaches an attribute to the span. Nil-safe.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{key, value})
+	s.mu.Unlock()
+}
+
+// End finishes the span and records it. Nil-safe; double End is
+// ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.rec.record(SpanRecord{
+		Name:     s.Name,
+		TraceID:  s.TraceID,
+		SpanID:   s.SpanID,
+		ParentID: s.ParentID,
+		Start:    s.Start,
+		Duration: time.Since(s.Start),
+		Attrs:    attrs,
+	})
+}
+
+// Context returns the trace identity a callee should inherit from
+// this span. Nil-safe (returns the zero context).
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.TraceID, SpanID: s.SpanID, Sampled: true}
+}
+
+// StartSpan starts a span named name under the trace carried by ctx.
+// With no trace in ctx it makes a root sampling decision; unsampled
+// requests return (ctx, nil) untouched — the zero-overhead path.
+// The returned context carries the new span as the parent for nested
+// calls. Callers must End the span (nil-safe).
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := TraceFromContext(ctx)
+	if !parent.Valid() || !parent.Sampled {
+		if !sampleRoot() {
+			return ctx, nil
+		}
+		parent = TraceContext{TraceID: newID(), Sampled: true}
+	}
+	s := &Span{
+		Name:     name,
+		TraceID:  parent.TraceID,
+		SpanID:   newID(),
+		ParentID: parent.SpanID,
+		Start:    time.Now(),
+		attrs:    attrs,
+		rec:      DefaultRecorder,
+	}
+	return ContextWithTrace(ctx, s.Context()), s
+}
+
+// SpanRecord is one finished span as stored by a Recorder.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	TraceID  uint64        `json:"-"`
+	SpanID   uint64        `json:"-"`
+	ParentID uint64        `json:"-"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+
+	// Hex forms for JSON consumers (filled by Recorder.Trace).
+	TraceIDHex  string `json:"trace_id"`
+	SpanIDHex   string `json:"span_id"`
+	ParentIDHex string `json:"parent_id,omitempty"`
+}
+
+// Recorder keeps the most recent finished spans in a ring buffer, so
+// a process can answer "show me everything that happened under trace
+// X" without external infrastructure.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+}
+
+// DefaultRecorderCapacity bounds the default recorder's ring.
+const DefaultRecorderCapacity = 4096
+
+// DefaultRecorder receives every span finished via StartSpan/End.
+var DefaultRecorder = NewRecorder(DefaultRecorderCapacity)
+
+// NewRecorder returns a recorder holding up to capacity spans.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{ring: make([]SpanRecord, capacity)}
+}
+
+func (r *Recorder) record(sr SpanRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring[r.next] = sr
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// all returns the buffered spans, oldest first.
+func (r *Recorder) all() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]SpanRecord(nil), r.ring[:r.next]...)
+	}
+	out := make([]SpanRecord, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// TraceIDs returns the distinct trace ids currently buffered, newest
+// last.
+func (r *Recorder) TraceIDs() []uint64 {
+	seen := make(map[uint64]bool)
+	var ids []uint64
+	for _, sr := range r.all() {
+		if !seen[sr.TraceID] {
+			seen[sr.TraceID] = true
+			ids = append(ids, sr.TraceID)
+		}
+	}
+	return ids
+}
+
+// Trace returns every buffered span of one trace, parents before
+// children where the hierarchy allows, with hex id forms filled in.
+func (r *Recorder) Trace(traceID uint64) []SpanRecord {
+	var spans []SpanRecord
+	for _, sr := range r.all() {
+		if sr.TraceID == traceID {
+			sr.TraceIDHex = fmt.Sprintf("%016x", sr.TraceID)
+			sr.SpanIDHex = fmt.Sprintf("%016x", sr.SpanID)
+			if sr.ParentID != 0 {
+				sr.ParentIDHex = fmt.Sprintf("%016x", sr.ParentID)
+			}
+			spans = append(spans, sr)
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return spans
+}
+
+// Reset drops all buffered spans — test isolation only.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.next, r.full = 0, false
+	r.mu.Unlock()
+}
+
+// FormatTree renders a trace's spans as an indented tree:
+//
+//	client:solve endpoint=tcp:... 1.2ms
+//	  server:solve key=example 0.9ms
+//	    client:resolve endpoint=tcp:... 0.1ms
+//
+// Orphan spans (parent not in the buffer, e.g. evicted or remote and
+// never shipped) are shown at top level.
+func FormatTree(spans []SpanRecord) string {
+	children := make(map[uint64][]SpanRecord)
+	have := make(map[uint64]bool)
+	for _, s := range spans {
+		have[s.SpanID] = true
+	}
+	var roots []SpanRecord
+	for _, s := range spans {
+		if s.ParentID != 0 && have[s.ParentID] {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var b strings.Builder
+	var walk func(s SpanRecord, depth int)
+	walk = func(s SpanRecord, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(s.Name)
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		fmt.Fprintf(&b, " %v\n", s.Duration.Round(time.Microsecond))
+		for _, c := range children[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

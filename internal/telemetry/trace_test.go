@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// withSampling runs f with the given root sampling rate, restoring the
+// previous rate and resetting the default recorder afterwards.
+func withSampling(t *testing.T, rate float64, f func()) {
+	t.Helper()
+	prev := TraceSampling()
+	SetTraceSampling(rate)
+	DefaultRecorder.Reset()
+	defer func() {
+		SetTraceSampling(prev)
+		DefaultRecorder.Reset()
+	}()
+	f()
+}
+
+func TestStartSpanUnsampledIsFree(t *testing.T) {
+	withSampling(t, 0, func() {
+		ctx, span := StartSpan(context.Background(), "client:solve")
+		if span != nil {
+			t.Fatal("sampling 0 produced a span")
+		}
+		if TraceFromContext(ctx).Valid() {
+			t.Fatal("sampling 0 installed a trace context")
+		}
+		span.End()              // nil-safe
+		span.Annotate("k", "v") // nil-safe
+		_ = span.Context()      // nil-safe
+		if len(DefaultRecorder.TraceIDs()) != 0 {
+			t.Fatal("recorder not empty")
+		}
+	})
+}
+
+func TestStartSpanPropagatesTrace(t *testing.T) {
+	withSampling(t, 1, func() {
+		ctx, root := StartSpan(context.Background(), "client:solve",
+			Attr{"endpoint", "inproc:x"})
+		if root == nil {
+			t.Fatal("sampling 1 produced no span")
+		}
+		tc := TraceFromContext(ctx)
+		if !tc.Valid() || !tc.Sampled {
+			t.Fatalf("context trace = %+v", tc)
+		}
+		if tc.TraceID != root.TraceID || tc.SpanID != root.SpanID {
+			t.Fatal("context does not name the root span")
+		}
+		_, child := StartSpan(ctx, "server:solve")
+		if child.TraceID != root.TraceID {
+			t.Fatal("child changed trace id")
+		}
+		if child.ParentID != root.SpanID {
+			t.Fatal("child's parent is not the root span")
+		}
+		child.End()
+		root.End()
+		root.End() // double End ignored
+
+		spans := DefaultRecorder.Trace(root.TraceID)
+		if len(spans) != 2 {
+			t.Fatalf("recorded %d spans, want 2", len(spans))
+		}
+		for _, s := range spans {
+			if s.TraceIDHex == "" || s.SpanIDHex == "" {
+				t.Fatalf("span %q missing hex ids", s.Name)
+			}
+		}
+	})
+}
+
+func TestRemoteTraceContextContinuation(t *testing.T) {
+	// A server receiving a wire TraceContext must attach its span to
+	// the remote trace, not start a new one.
+	withSampling(t, 0, func() {
+		remote := TraceContext{TraceID: 0xabc, SpanID: 0xdef, Sampled: true}
+		ctx := ContextWithTrace(context.Background(), remote)
+		_, span := StartSpan(ctx, "server:handle")
+		if span == nil {
+			t.Fatal("sampled remote context produced no span")
+		}
+		if span.TraceID != 0xabc || span.ParentID != 0xdef {
+			t.Fatalf("span ids = %x/%x, want abc/def", span.TraceID, span.ParentID)
+		}
+		span.End()
+		if got := len(DefaultRecorder.Trace(0xabc)); got != 1 {
+			t.Fatalf("recorded %d spans, want 1", got)
+		}
+	})
+}
+
+func TestUnsampledRemoteContextRecordsNothing(t *testing.T) {
+	withSampling(t, 0, func() {
+		ctx := ContextWithTrace(context.Background(),
+			TraceContext{TraceID: 7, SpanID: 8, Sampled: false})
+		_, span := StartSpan(ctx, "server:handle")
+		if span != nil {
+			t.Fatal("unsampled remote context produced a span")
+		}
+	})
+}
+
+func TestFormatTree(t *testing.T) {
+	withSampling(t, 1, func() {
+		ctx, root := StartSpan(context.Background(), "client:solve")
+		ctx2, mid := StartSpan(ctx, "server:solve")
+		_, leaf := StartSpan(ctx2, "client:resolve")
+		leaf.End()
+		mid.End()
+		root.End()
+		out := FormatTree(DefaultRecorder.Trace(root.TraceID))
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		if len(lines) != 3 {
+			t.Fatalf("tree has %d lines:\n%s", len(lines), out)
+		}
+		if !strings.HasPrefix(lines[0], "client:solve") {
+			t.Fatalf("root line %q", lines[0])
+		}
+		if !strings.HasPrefix(lines[1], "  server:solve") {
+			t.Fatalf("mid line %q", lines[1])
+		}
+		if !strings.HasPrefix(lines[2], "    client:resolve") {
+			t.Fatalf("leaf line %q", lines[2])
+		}
+	})
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 6; i++ {
+		r.record(SpanRecord{Name: "s", TraceID: uint64(i), SpanID: uint64(i)})
+	}
+	ids := r.TraceIDs()
+	if len(ids) != 4 {
+		t.Fatalf("buffered %d traces, want 4", len(ids))
+	}
+	if ids[0] != 3 || ids[3] != 6 {
+		t.Fatalf("ring kept %v, want oldest 3 .. newest 6", ids)
+	}
+}
+
+func TestLoggerDefaultsSilent(t *testing.T) {
+	if LogEnabled(slog.LevelError) {
+		t.Fatal("default logger should be disabled at every level")
+	}
+	var b strings.Builder
+	EnableLogging(&b, slog.LevelInfo)
+	defer SetLogger(nil)
+	if !LogEnabled(slog.LevelInfo) {
+		t.Fatal("enabled logger reports disabled")
+	}
+	if LogEnabled(slog.LevelDebug) {
+		t.Fatal("debug enabled at info level")
+	}
+	Logger().Info("hello", "k", "v")
+	if !strings.Contains(b.String(), "hello") {
+		t.Fatalf("log output %q", b.String())
+	}
+}
+
+func TestNewIDNonZeroAndDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := newID()
+		if id == 0 {
+			t.Fatal("zero id")
+		}
+		if seen[id] {
+			t.Fatal("duplicate id")
+		}
+		seen[id] = true
+	}
+}

@@ -18,7 +18,19 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"pardis/internal/telemetry"
 )
+
+// recordFault mirrors one injected fault into the process-wide
+// telemetry registry, so chaos runs can reconcile the faults the plan
+// injected against the retries and failovers the ORB recorded:
+//
+//	pardis_faults_injected_total{class="dial_refused"|"cut"|
+//	                             "truncated_write"|"blackhole"}
+func recordFault(class string) {
+	telemetry.Default.Counter("pardis_faults_injected_total", "class", class).Inc()
+}
 
 // ErrInjectedFault marks failures manufactured by a Faulty transport,
 // so tests can tell injected faults from real bugs.
@@ -145,6 +157,7 @@ func (f *Faulty) Dial(address string) (Conn, error) {
 	refuse := f.roll(p.DialRefuse)
 	if refuse {
 		f.stats.RefusedDials++
+		recordFault("dial_refused")
 	}
 	var fate connFate
 	fate.latency = p.WriteLatency
@@ -161,6 +174,7 @@ func (f *Faulty) Dial(address string) (Conn, error) {
 		case f.roll(p.Blackhole):
 			fate.blackhole = true
 			f.stats.BlackholedConns++
+			recordFault("blackhole")
 		}
 	}
 	f.mu.Unlock()
@@ -266,6 +280,10 @@ func (fc *faultyConn) Write(b []byte) (int, error) {
 		fc.owner.stats.TruncatedWrites++
 	}
 	fc.owner.mu.Unlock()
+	recordFault("cut")
+	if fate.truncate {
+		recordFault("truncated_write")
+	}
 	fc.Conn.Close()
 	return keep, fmt.Errorf("%w: connection cut after %d bytes", ErrInjectedFault, fc.written)
 }

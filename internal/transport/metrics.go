@@ -1,0 +1,93 @@
+// Transport-level telemetry. Every connection obtained through a
+// Registry (dialed or accepted) is wrapped in a metered conn that
+// feeds the process-wide registry:
+//
+//	pardis_transport_dials_total{scheme}        dial attempts
+//	pardis_transport_dial_errors_total{scheme}  failed dials
+//	pardis_transport_accepts_total{scheme}      accepted connections
+//	pardis_transport_bytes_read_total{scheme}   bytes off the wire
+//	pardis_transport_bytes_written_total{scheme} bytes onto the wire
+//	pardis_transport_conns_open{scheme}         currently open conns
+//
+// The wrapper is a straight pass-through net.Conn: byte accounting is
+// two atomic adds per Read/Write, so the hot path stays allocation
+// free.
+package transport
+
+import (
+	"log/slog"
+	"sync"
+
+	"pardis/internal/telemetry"
+)
+
+// meteredConn counts bytes and open-conn state for one connection.
+type meteredConn struct {
+	Conn
+	in, out   *telemetry.Counter
+	open      *telemetry.Gauge
+	closeOnce sync.Once
+}
+
+// meterConn wraps c with byte and open-connection accounting for its
+// scheme. The instruments are interned once per wrap, not per I/O call.
+func meterConn(c Conn, scheme string) Conn {
+	mc := &meteredConn{
+		Conn: c,
+		in:   telemetry.Default.Counter("pardis_transport_bytes_read_total", "scheme", scheme),
+		out:  telemetry.Default.Counter("pardis_transport_bytes_written_total", "scheme", scheme),
+		open: telemetry.Default.Gauge("pardis_transport_conns_open", "scheme", scheme),
+	}
+	mc.open.Inc()
+	return mc
+}
+
+func (m *meteredConn) Read(b []byte) (int, error) {
+	n, err := m.Conn.Read(b)
+	if n > 0 {
+		m.in.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (m *meteredConn) Write(b []byte) (int, error) {
+	n, err := m.Conn.Write(b)
+	if n > 0 {
+		m.out.Add(uint64(n))
+	}
+	return n, err
+}
+
+// Close decrements the open gauge exactly once, however many times the
+// connection is closed.
+func (m *meteredConn) Close() error {
+	m.closeOnce.Do(m.open.Dec)
+	return m.Conn.Close()
+}
+
+// meteredListener wraps accepted connections and counts accepts.
+type meteredListener struct {
+	Listener
+	scheme  string
+	accepts *telemetry.Counter
+}
+
+func (ml meteredListener) Accept() (Conn, error) {
+	c, err := ml.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	ml.accepts.Inc()
+	return meterConn(c, ml.scheme), nil
+}
+
+// recordDial updates the dial counters and logs failures at debug.
+func recordDial(scheme string, err error) {
+	telemetry.Default.Counter("pardis_transport_dials_total", "scheme", scheme).Inc()
+	if err != nil {
+		telemetry.Default.Counter("pardis_transport_dial_errors_total", "scheme", scheme).Inc()
+		if telemetry.LogEnabled(slog.LevelDebug) {
+			telemetry.Logger().Debug("transport dial failed", "scheme", scheme, "err", err)
+		}
+	}
+}

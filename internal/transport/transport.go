@@ -22,6 +22,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"pardis/internal/telemetry"
 )
 
 // Errors returned by transports.
@@ -100,6 +102,7 @@ func (r *Registry) Lookup(scheme string) (Transport, error) {
 }
 
 // Listen binds a listener at the given "scheme:address" endpoint.
+// Accepted connections are metered into the telemetry registry.
 func (r *Registry) Listen(endpoint string) (Listener, error) {
 	scheme, addr, err := SplitEndpoint(endpoint)
 	if err != nil {
@@ -109,10 +112,19 @@ func (r *Registry) Listen(endpoint string) (Listener, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.Listen(addr)
+	l, err := t.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return meteredListener{
+		Listener: l,
+		scheme:   scheme,
+		accepts:  telemetry.Default.Counter("pardis_transport_accepts_total", "scheme", scheme),
+	}, nil
 }
 
-// Dial connects to the given "scheme:address" endpoint.
+// Dial connects to the given "scheme:address" endpoint. The returned
+// connection is metered into the telemetry registry.
 func (r *Registry) Dial(endpoint string) (Conn, error) {
 	scheme, addr, err := SplitEndpoint(endpoint)
 	if err != nil {
@@ -122,7 +134,12 @@ func (r *Registry) Dial(endpoint string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.Dial(addr)
+	c, err := t.Dial(addr)
+	recordDial(scheme, err)
+	if err != nil {
+		return nil, err
+	}
+	return meterConn(c, scheme), nil
 }
 
 // Default is the process-wide registry with "tcp" and a process-wide

@@ -1,0 +1,149 @@
+package pardis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTwoProcessTelemetry runs pardisd in one OS process with its
+// metrics endpoint enabled, invokes it from a second process (pardisd
+// -list) with trace sampling on, and verifies the observability
+// surface end to end: the client's trace id shows up in the server's
+// span recorder (cross-process propagation over the wire), /metrics
+// reports the request, and /healthz answers while serving.
+func TestTwoProcessTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and compiles a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "pardisd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/pardisd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build pardisd: %v\n%s", err, out)
+	}
+
+	server := exec.Command(bin,
+		"-listen", "tcp:127.0.0.1:0",
+		"-metrics-listen", "127.0.0.1:0",
+		"-log-level", "info")
+	serverOut, err := server.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Stderr = &logWriter{t: t, prefix: "server! "}
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		server.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { server.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			server.Process.Kill()
+			<-done
+		}
+	}()
+
+	// Scrape the naming and metrics endpoints off the server's stdout.
+	namingCh := make(chan string, 1)
+	metricsCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(serverOut)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("server: %s", line)
+			if ep, ok := strings.CutPrefix(line, "pardisd: naming service at "); ok {
+				namingCh <- ep
+			}
+			if addr, ok := strings.CutPrefix(line, "METRICS="); ok {
+				metricsCh <- addr
+			}
+		}
+	}()
+	var naming, metrics string
+	deadline := time.After(30 * time.Second)
+	for naming == "" || metrics == "" {
+		select {
+		case naming = <-namingCh:
+		case metrics = <-metricsCh:
+		case <-deadline:
+			t.Fatalf("server never printed endpoints (naming=%q metrics=%q)", naming, metrics)
+		}
+	}
+
+	// Second process: list the domain with tracing sampled on. The
+	// root span's trace id rides the PIOP request header into the
+	// server.
+	list := exec.Command(bin, "-list", "-at", naming, "-trace-sample", "1")
+	listOut, err := list.CombinedOutput()
+	t.Logf("pardisd -list:\n%s", listOut)
+	if err != nil {
+		t.Fatalf("pardisd -list: %v", err)
+	}
+	traceID := ""
+	for _, line := range strings.Split(string(listOut), "\n") {
+		if id, ok := strings.CutPrefix(line, "TRACE="); ok {
+			traceID = id
+		}
+	}
+	if traceID == "" {
+		t.Fatal("client never printed TRACE=")
+	}
+
+	// The server must have recorded spans under the client's trace id.
+	// The span is recorded when the handler finishes, which can trail
+	// the client's exit by a moment, so poll briefly.
+	var tree string
+	for i := 0; i < 50; i++ {
+		tree = httpGet(t, fmt.Sprintf("http://%s/debug/traces?id=%s&format=tree", metrics, traceID))
+		if strings.Contains(tree, "server:list") {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !strings.Contains(tree, "server:list") {
+		t.Fatalf("server trace %s has no server:list span:\n%s", traceID, tree)
+	}
+	if !strings.Contains(tree, "key=pardis/naming") {
+		t.Fatalf("server span is missing the object-key attribute:\n%s", tree)
+	}
+
+	// The request must be visible on /metrics.
+	mtext := httpGet(t, "http://"+metrics+"/metrics")
+	if !strings.Contains(mtext, `pardis_server_requests_total{key="pardis/naming"}`) {
+		t.Fatalf("/metrics has no pardis_server_requests_total for the naming key:\n%s", mtext)
+	}
+	if !strings.Contains(mtext, "pardis_transport_accepts_total") {
+		t.Fatalf("/metrics has no transport accept counter:\n%s", mtext)
+	}
+
+	// Health answers while serving.
+	if h := httpGet(t, "http://"+metrics+"/healthz"); !strings.Contains(h, "ok") {
+		t.Fatalf("/healthz = %q, want ok", h)
+	}
+}
+
+// httpGet fetches a URL and returns the body, failing the test on
+// transport errors.
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(b)
+}
