@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-snapshot lint-telemetry fmt
+.PHONY: build test verify chaos bench bench-quick bench-snapshot lint-telemetry fmt
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,7 @@ verify:
 	$(GO) vet ./...
 	$(MAKE) lint-telemetry
 	$(GO) test -race ./...
+	$(MAKE) bench-quick
 
 # lint-telemetry forbids raw printf-style output in internal/ (tests
 # excepted): library code must log through telemetry.Logger(), which
@@ -35,6 +36,18 @@ chaos:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-quick is the hot-path smoke ration run as part of verify: one
+# short pass over the framing, sequence-codec and invoke benchmarks
+# with allocation counts, enough to spot a pooling or vectorization
+# regression without the cost of a full benchmark run.
+bench-quick:
+	$(GO) test -run '^$$' -benchtime 100x -benchmem \
+		-bench 'WriteMessage|FrameReader|AcquireEncoder' ./internal/giop/
+	$(GO) test -run '^$$' -benchtime 100x -benchmem \
+		-bench 'PutDoubleSeq|PutLongSeq|SeqInto' ./internal/cdr/
+	$(GO) test -run '^$$' -benchtime 100x -benchmem \
+		-bench 'InvokeEcho|InvokeConcurrent8' ./internal/orb/
 
 # bench-snapshot archives a dated live-stack benchmark summary
 # (ops/s and p50/p95/p99 invoke latency from the telemetry registry)

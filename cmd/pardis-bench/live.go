@@ -33,6 +33,7 @@ type liveConfig struct {
 	ops         int
 	doubles     int
 	concurrency int
+	stripes     int // 0 = orb.DefaultStripeWidth()
 	faulty      bool
 	jsonOut     bool
 }
@@ -45,6 +46,7 @@ type liveResult struct {
 	Errors      int     `json:"errors"`
 	Doubles     int     `json:"doubles_per_op"`
 	Concurrency int     `json:"concurrency"`
+	Stripes     int     `json:"stripes"`
 	Faulty      bool    `json:"faulty"`
 	Elapsed     float64 `json:"elapsed_seconds"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
@@ -55,6 +57,7 @@ type liveResult struct {
 	Failovers   uint64  `json:"failovers"`
 	Deadlines   uint64  `json:"deadline_misses"`
 	Faults      uint64  `json:"faults_injected"`
+	PoolHitRate float64 `json:"pool_hit_rate"`
 }
 
 // benchFaultPlan is the moderate chaos mix used by -live -faulty:
@@ -103,9 +106,14 @@ func runLive(cfg liveConfig) {
 
 	pol := orb.DefaultRetryPolicy()
 	pol.MaxAttempts = 5
-	oc := orb.NewClient(reg,
+	clientOpts := []orb.ClientOption{
 		orb.WithRetryPolicy(pol),
-		orb.WithDefaultDeadline(5*time.Second))
+		orb.WithDefaultDeadline(5 * time.Second),
+	}
+	if cfg.stripes > 0 {
+		clientOpts = append(clientOpts, orb.WithStripes(cfg.stripes))
+	}
+	oc := orb.NewClient(reg, clientOpts...)
 	defer oc.Close()
 
 	payload := make([]float64, cfg.doubles)
@@ -157,12 +165,23 @@ func runLive(cfg liveConfig) {
 			snap = s
 		}
 	}
+	poolGets := tr.CounterValue("pardis_giop_pool_gets_total")
+	poolMisses := tr.CounterValue("pardis_giop_pool_misses_total")
+	hitRate := 0.0
+	if poolGets > 0 {
+		hitRate = 1 - float64(poolMisses)/float64(poolGets)
+	}
+	stripes := cfg.stripes
+	if stripes == 0 {
+		stripes = orb.DefaultStripeWidth()
+	}
 	res := liveResult{
 		Date:        time.Now().UTC().Format("2006-01-02"),
 		Ops:         cfg.ops,
 		Errors:      errCount,
 		Doubles:     cfg.doubles,
 		Concurrency: cfg.concurrency,
+		Stripes:     stripes,
 		Faulty:      cfg.faulty,
 		Elapsed:     elapsed.Seconds(),
 		OpsPerSec:   float64(cfg.ops) / elapsed.Seconds(),
@@ -173,6 +192,7 @@ func runLive(cfg liveConfig) {
 		Failovers:   tr.CounterValue("pardis_client_failovers_total"),
 		Deadlines:   tr.CounterValue("pardis_client_deadline_misses_total"),
 		Faults:      tr.CounterValue("pardis_faults_injected_total"),
+		PoolHitRate: hitRate,
 	}
 
 	if cfg.jsonOut {
@@ -184,14 +204,14 @@ func runLive(cfg liveConfig) {
 		return
 	}
 
-	fmt.Printf("live bench: %d ops x %d doubles, concurrency %d, faulty=%v\n",
-		res.Ops, res.Doubles, res.Concurrency, res.Faulty)
+	fmt.Printf("live bench: %d ops x %d doubles, concurrency %d, stripes %d, faulty=%v\n",
+		res.Ops, res.Doubles, res.Concurrency, res.Stripes, res.Faulty)
 	fmt.Printf("  %.0f ops/s over %.2fs (%d errors)\n", res.OpsPerSec, res.Elapsed, res.Errors)
 	fmt.Printf("  invoke latency: p50 %.0fus  p95 %.0fus  p99 %.0fus  (min %.0fus max %.0fus, n=%d)\n",
 		res.P50us, res.P95us, res.P99us, snap.Min*1e6, snap.Max*1e6, snap.Count)
 	printHistogram(snap)
-	fmt.Printf("  retries=%d failovers=%d deadline_misses=%d\n",
-		res.Retries, res.Failovers, res.Deadlines)
+	fmt.Printf("  retries=%d failovers=%d deadline_misses=%d pool_hit_rate=%.3f\n",
+		res.Retries, res.Failovers, res.Deadlines, res.PoolHitRate)
 	if faulty != nil {
 		// Reconcile the transport's own fault ledger against the
 		// mirrored telemetry counters — the two are independent

@@ -44,6 +44,7 @@ func main() {
 	ops := flag.Int("ops", 5000, "invocations to issue in -live mode")
 	doubles := flag.Int("doubles", 1024, "payload doubles per invocation in -live mode")
 	concurrency := flag.Int("concurrency", 4, "concurrent invokers in -live mode")
+	stripes := flag.Int("stripes", 0, "connections per endpoint for the -live client (0 = orb default, min(4, GOMAXPROCS))")
 	faulty := flag.Bool("faulty", false, "route -live traffic through the fault-injection transport")
 	jsonOut := flag.Bool("json", false, "emit the -live summary as JSON (bench-snapshot format)")
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 			ops:         *ops,
 			doubles:     *doubles,
 			concurrency: *concurrency,
+			stripes:     *stripes,
 			faulty:      *faulty,
 			jsonOut:     *jsonOut,
 		})

@@ -49,6 +49,7 @@ func main() {
 	checkpoint := flag.Duration("checkpoint", 30*time.Second, "checkpoint interval when -state is set")
 	drain := flag.Duration("drain", 5*time.Second, "grace period for in-flight requests on SIGTERM/SIGINT before the listener is force-closed")
 	retries := flag.Int("retries", 3, "invocation attempts for -list (retry/backoff on transient failures)")
+	stripes := flag.Int("stripes", 0, "connections per endpoint for -list's ORB client (0 = orb default, min(4, GOMAXPROCS))")
 	rpcTimeout := flag.Duration("rpc-timeout", 10*time.Second, "per-invocation deadline for -list")
 	metricsListen := flag.String("metrics-listen", "", "host:port to serve /metrics, /healthz, /debug/vars, /debug/traces and /debug/pprof at (empty = disabled)")
 	logLevel := flag.String("log-level", "", "enable structured logging on stderr at this level: debug, info, warn or error (empty = silent)")
@@ -65,7 +66,7 @@ func main() {
 	telemetry.SetTraceSampling(*traceSample)
 
 	if *list {
-		runList(*at, *prefix, *retries, *rpcTimeout, *traceSample)
+		runList(*at, *prefix, *retries, *stripes, *rpcTimeout, *traceSample)
 		return
 	}
 
@@ -147,14 +148,19 @@ func main() {
 // runs under one root span whose trace id is printed as "TRACE=<hex>",
 // so a cross-process test (or an operator) can find the server-side
 // spans of the same trace in the service's /debug/traces.
-func runList(at, prefix string, retries int, rpcTimeout time.Duration, traceSample float64) {
+func runList(at, prefix string, retries, stripes int, rpcTimeout time.Duration, traceSample float64) {
 	pol := orb.DefaultRetryPolicy()
 	if retries > 0 {
 		pol.MaxAttempts = retries
 	}
-	oc := orb.NewClient(nil,
+	clientOpts := []orb.ClientOption{
 		orb.WithRetryPolicy(pol),
-		orb.WithDefaultDeadline(rpcTimeout))
+		orb.WithDefaultDeadline(rpcTimeout),
+	}
+	if stripes > 0 {
+		clientOpts = append(clientOpts, orb.WithStripes(stripes))
+	}
+	oc := orb.NewClient(nil, clientOpts...)
 	defer oc.Close()
 	nc := naming.NewClient(oc, at)
 

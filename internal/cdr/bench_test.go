@@ -42,3 +42,69 @@ func BenchmarkPutString(b *testing.B) {
 		e.PutString(s)
 	}
 }
+
+func BenchmarkPutLongSeq(b *testing.B) {
+	data := make([]int32, 1<<15)
+	for i := range data {
+		data[i] = int32(i)
+	}
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		order := order
+		b.Run(order.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(data) * 4))
+			b.ReportAllocs()
+			e := NewEncoder(order)
+			for i := 0; i < b.N; i++ {
+				e.Reset()
+				e.PutLongSeq(data)
+			}
+		})
+	}
+}
+
+func BenchmarkPutStringSeq(b *testing.B) {
+	data := make([]string, 256)
+	for i := range data {
+		data[i] = "element-string-payload"
+	}
+	b.ReportAllocs()
+	e := NewEncoder(BigEndian)
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.PutStringSeq(data)
+	}
+}
+
+func BenchmarkDoubleSeqInto(b *testing.B) {
+	data := make([]float64, 1<<15)
+	e := NewEncoder(LittleEndian)
+	e.PutDoubleSeq(data)
+	raw := e.Bytes()
+	dst := make([]float64, 0, len(data))
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(LittleEndian, raw)
+		var err error
+		if dst, err = d.DoubleSeqInto(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLongSeqInto(b *testing.B) {
+	data := make([]int32, 1<<15)
+	e := NewEncoder(LittleEndian)
+	e.PutLongSeq(data)
+	raw := e.Bytes()
+	dst := make([]int32, 0, len(data))
+	b.SetBytes(int64(len(data) * 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(LittleEndian, raw)
+		var err error
+		if dst, err = d.LongSeqInto(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package cdr
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -79,6 +80,24 @@ func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset discards the buffer contents, retaining capacity.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// ResetTo discards the buffer contents and re-targets the encoder to a
+// byte order and stream base, retaining capacity — how pooled encoders
+// are recycled across messages.
+func (e *Encoder) ResetTo(order ByteOrder, base int) {
+	e.buf = e.buf[:0]
+	e.order = order
+	e.base = base
+}
+
+// grow extends the buffer by n zero bytes and returns the extension.
+// The append(make) form is recognized by the compiler and does not
+// allocate a temporary.
+func (e *Encoder) grow(n int) []byte {
+	off := len(e.buf)
+	e.buf = append(e.buf, make([]byte, n)...)
+	return e.buf[off:]
+}
 
 // align pads the buffer with zero octets so the next write lands on a
 // multiple of n relative to the stream start.
@@ -179,67 +198,97 @@ func (e *Encoder) PutOctetSeq(p []byte) {
 }
 
 // PutDoubleSeq appends a sequence<double>: ulong count then each
-// element. The element loop is unrolled through put64's fast path.
+// element. When the stream order matches the host order the element
+// data moves as one memcpy; otherwise a byte-swapping bulk loop runs
+// over a single pre-grown region.
 func (e *Encoder) PutDoubleSeq(v []float64) {
 	e.PutULong(uint32(len(v)))
 	if len(v) == 0 {
 		return
 	}
 	e.align(8)
-	need := len(v) * 8
-	off := len(e.buf)
-	e.buf = append(e.buf, make([]byte, need)...)
-	b := e.buf[off:]
-	if e.order == BigEndian {
+	b := e.grow(len(v) * 8)
+	switch e.order {
+	case NativeOrder:
+		copy(b, f64Bytes(v))
+	case BigEndian:
 		for i, x := range v {
-			u := math.Float64bits(x)
-			bi := b[i*8 : i*8+8]
-			bi[0] = byte(u >> 56)
-			bi[1] = byte(u >> 48)
-			bi[2] = byte(u >> 40)
-			bi[3] = byte(u >> 32)
-			bi[4] = byte(u >> 24)
-			bi[5] = byte(u >> 16)
-			bi[6] = byte(u >> 8)
-			bi[7] = byte(u)
+			binary.BigEndian.PutUint64(b[i*8:], math.Float64bits(x))
 		}
-	} else {
+	default:
 		for i, x := range v {
-			u := math.Float64bits(x)
-			bi := b[i*8 : i*8+8]
-			bi[0] = byte(u)
-			bi[1] = byte(u >> 8)
-			bi[2] = byte(u >> 16)
-			bi[3] = byte(u >> 24)
-			bi[4] = byte(u >> 32)
-			bi[5] = byte(u >> 40)
-			bi[6] = byte(u >> 48)
-			bi[7] = byte(u >> 56)
+			binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(x))
 		}
 	}
 }
 
-// PutLongSeq appends a sequence<long>.
+// PutLongSeq appends a sequence<long> through the bulk ulong path.
 func (e *Encoder) PutLongSeq(v []int32) {
-	e.PutULong(uint32(len(v)))
-	for _, x := range v {
-		e.PutLong(x)
+	if len(v) == 0 {
+		e.PutULong(0)
+		return
 	}
+	e.putULongSeqBody(i32AsU32(v))
 }
 
-// PutULongSeq appends a sequence<unsigned long>.
+// PutULongSeq appends a sequence<unsigned long>: ulong count then the
+// elements, laid out in one pre-grown region like PutDoubleSeq.
 func (e *Encoder) PutULongSeq(v []uint32) {
+	if len(v) == 0 {
+		e.PutULong(0)
+		return
+	}
+	e.putULongSeqBody(v)
+}
+
+func (e *Encoder) putULongSeqBody(v []uint32) {
 	e.PutULong(uint32(len(v)))
-	for _, x := range v {
-		e.PutULong(x)
+	e.align(4) // count leaves us 4-aligned; explicit for clarity
+	b := e.grow(len(v) * 4)
+	switch e.order {
+	case NativeOrder:
+		copy(b, u32Bytes(v))
+	case BigEndian:
+		for i, x := range v {
+			binary.BigEndian.PutUint32(b[i*4:], x)
+		}
+	default:
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(b[i*4:], x)
+		}
 	}
 }
 
-// PutStringSeq appends a sequence<string>.
+// PutStringSeq appends a sequence<string>. The total wire size
+// (per-element count, bytes, NUL, alignment) is computed up front so
+// the buffer grows once for the whole sequence.
 func (e *Encoder) PutStringSeq(v []string) {
 	e.PutULong(uint32(len(v)))
+	if len(v) == 0 {
+		return
+	}
+	start := e.base + len(e.buf)
+	total := 0
 	for _, s := range v {
-		e.PutString(s)
+		if r := (start + total) % 4; r != 0 {
+			total += 4 - r
+		}
+		total += 4 + len(s) + 1
+	}
+	b := e.grow(total) // zeroed, so padding and NULs are pre-written
+	o := 0
+	for _, s := range v {
+		if r := (start + o) % 4; r != 0 {
+			o += 4 - r
+		}
+		if e.order == BigEndian {
+			binary.BigEndian.PutUint32(b[o:], uint32(len(s)+1))
+		} else {
+			binary.LittleEndian.PutUint32(b[o:], uint32(len(s)+1))
+		}
+		o += 4
+		o += copy(b[o:], s)
+		o++ // the NUL terminator, already zero
 	}
 }
 
@@ -451,12 +500,22 @@ func (d *Decoder) OctetSeq() ([]byte, error) {
 }
 
 // DoubleSeq reads a sequence<double>.
-func (d *Decoder) DoubleSeq() ([]float64, error) {
+func (d *Decoder) DoubleSeq() ([]float64, error) { return d.DoubleSeqInto(nil) }
+
+// DoubleSeqInto reads a sequence<double> into dst, reusing its storage
+// when the capacity suffices (the bulk decoder for hot paths that
+// decode into a caller-owned buffer instead of allocating per call).
+// It returns the filled slice, whose length is the wire element count;
+// a same-endianness stream moves as one memcpy.
+func (d *Decoder) DoubleSeqInto(dst []float64) ([]float64, error) {
 	n, err := d.ULong()
 	if err != nil {
 		return nil, err
 	}
 	if n == 0 {
+		if dst != nil {
+			return dst[:0], nil
+		}
 		return nil, nil
 	}
 	if uint64(n) > uint64(d.Remaining())/8+1 {
@@ -466,61 +525,115 @@ func (d *Decoder) DoubleSeq() ([]float64, error) {
 	if err := d.need(int(n) * 8); err != nil {
 		return nil, err
 	}
-	out := make([]float64, n)
-	b := d.buf[d.pos:]
-	if d.order == BigEndian {
-		for i := range out {
-			bi := b[i*8 : i*8+8]
-			u := uint64(bi[0])<<56 | uint64(bi[1])<<48 | uint64(bi[2])<<40 | uint64(bi[3])<<32 |
-				uint64(bi[4])<<24 | uint64(bi[5])<<16 | uint64(bi[6])<<8 | uint64(bi[7])
-			out[i] = math.Float64frombits(u)
-		}
+	if cap(dst) >= int(n) {
+		dst = dst[:n]
 	} else {
-		for i := range out {
-			bi := b[i*8 : i*8+8]
-			u := uint64(bi[7])<<56 | uint64(bi[6])<<48 | uint64(bi[5])<<40 | uint64(bi[4])<<32 |
-				uint64(bi[3])<<24 | uint64(bi[2])<<16 | uint64(bi[1])<<8 | uint64(bi[0])
-			out[i] = math.Float64frombits(u)
+		dst = make([]float64, n)
+	}
+	b := d.buf[d.pos : d.pos+int(n)*8]
+	switch d.order {
+	case NativeOrder:
+		copy(f64Bytes(dst), b)
+	case BigEndian:
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.BigEndian.Uint64(b[i*8:]))
+		}
+	default:
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
 		}
 	}
 	d.pos += int(n) * 8
-	return out, nil
+	return dst, nil
 }
 
 // LongSeq reads a sequence<long>.
-func (d *Decoder) LongSeq() ([]int32, error) {
-	n, err := d.ULong()
+func (d *Decoder) LongSeq() ([]int32, error) { return d.LongSeqInto(nil) }
+
+// LongSeqInto reads a sequence<long> into dst, reusing its storage
+// when the capacity suffices (see DoubleSeqInto).
+func (d *Decoder) LongSeqInto(dst []int32) ([]int32, error) {
+	n, err := d.ulongSeqHeader("long")
 	if err != nil {
 		return nil, err
 	}
-	if uint64(n) > uint64(d.Remaining())/4+1 {
-		return nil, fmt.Errorf("%w: long sequence of %d", ErrTooLarge, n)
-	}
-	out := make([]int32, n)
-	for i := range out {
-		if out[i], err = d.Long(); err != nil {
-			return nil, err
+	if n == 0 {
+		if dst != nil {
+			return dst[:0], nil
 		}
+		return nil, nil
 	}
-	return out, nil
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]int32, n)
+	}
+	d.ulongSeqBody(i32AsU32(dst))
+	return dst, nil
 }
 
 // ULongSeq reads a sequence<unsigned long>.
-func (d *Decoder) ULongSeq() ([]uint32, error) {
-	n, err := d.ULong()
+func (d *Decoder) ULongSeq() ([]uint32, error) { return d.ULongSeqInto(nil) }
+
+// ULongSeqInto reads a sequence<unsigned long> into dst, reusing its
+// storage when the capacity suffices (see DoubleSeqInto).
+func (d *Decoder) ULongSeqInto(dst []uint32) ([]uint32, error) {
+	n, err := d.ulongSeqHeader("ulong")
 	if err != nil {
 		return nil, err
 	}
-	if uint64(n) > uint64(d.Remaining())/4+1 {
-		return nil, fmt.Errorf("%w: ulong sequence of %d", ErrTooLarge, n)
+	if n == 0 {
+		if dst != nil {
+			return dst[:0], nil
+		}
+		return nil, nil
 	}
-	out := make([]uint32, n)
-	for i := range out {
-		if out[i], err = d.ULong(); err != nil {
-			return nil, err
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]uint32, n)
+	}
+	d.ulongSeqBody(dst)
+	return dst, nil
+}
+
+// ulongSeqHeader reads and bounds-checks a 32-bit-element sequence
+// count, leaving the decoder positioned at the first element.
+func (d *Decoder) ulongSeqHeader(kind string) (int, error) {
+	n, err := d.ULong()
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if uint64(n) > uint64(d.Remaining())/4+1 {
+		return 0, fmt.Errorf("%w: %s sequence of %d", ErrTooLarge, kind, n)
+	}
+	d.align(4)
+	if err := d.need(int(n) * 4); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// ulongSeqBody bulk-decodes len(dst) contiguous ulongs; bounds were
+// established by ulongSeqHeader.
+func (d *Decoder) ulongSeqBody(dst []uint32) {
+	b := d.buf[d.pos : d.pos+len(dst)*4]
+	switch d.order {
+	case NativeOrder:
+		copy(u32Bytes(dst), b)
+	case BigEndian:
+		for i := range dst {
+			dst[i] = binary.BigEndian.Uint32(b[i*4:])
+		}
+	default:
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint32(b[i*4:])
 		}
 	}
-	return out, nil
+	d.pos += len(dst) * 4
 }
 
 // StringSeq reads a sequence<string>.

@@ -1,0 +1,37 @@
+// Native-endianness fast paths for the bulk sequence codecs. CDR is
+// receiver-makes-right, so on the (overwhelmingly common) path where
+// the stream's byte order matches the host's, a sequence of fixed-size
+// primitives is bit-identical to the host representation and can move
+// with a single memmove instead of an element-by-element shift/mask
+// loop. The unsafe use is confined to reinterpreting a numeric slice
+// as its backing bytes; no pointer outlives the call.
+package cdr
+
+import "unsafe"
+
+// NativeOrder is the byte order of the host CPU, detected once at
+// process start. Encoders default to it for the same-endianness
+// memcpy fast path on both ends of a same-architecture pair.
+var NativeOrder = func() ByteOrder {
+	x := uint16(0x0102)
+	if *(*byte)(unsafe.Pointer(&x)) == 0x02 {
+		return LittleEndian
+	}
+	return BigEndian
+}()
+
+// f64Bytes reinterprets v's storage as bytes. v must be non-empty.
+func f64Bytes(v []float64) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+// u32Bytes reinterprets v's storage as bytes. v must be non-empty.
+func u32Bytes(v []uint32) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+}
+
+// i32AsU32 reinterprets a []int32 as []uint32 (same size, same bits).
+// v must be non-empty.
+func i32AsU32(v []int32) []uint32 {
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&v[0])), len(v))
+}

@@ -60,9 +60,11 @@ type DoubleCodec struct{}
 // Encode implements Codec.
 func (DoubleCodec) Encode(e *cdr.Encoder, v []float64) { e.PutDoubleSeq(v) }
 
-// Decode implements Codec.
+// Decode implements Codec. The destination is sized up front from the
+// declared count, so the bulk decoder fills it in one pass (a single
+// memcpy when the wire order matches the host).
 func (DoubleCodec) Decode(d *cdr.Decoder, n int) ([]float64, error) {
-	v, err := d.DoubleSeq()
+	v, err := d.DoubleSeqInto(make([]float64, 0, n))
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +82,7 @@ func (LongCodec) Encode(e *cdr.Encoder, v []int32) { e.PutLongSeq(v) }
 
 // Decode implements Codec.
 func (LongCodec) Decode(d *cdr.Decoder, n int) ([]int32, error) {
-	v, err := d.LongSeq()
+	v, err := d.LongSeqInto(make([]int32, 0, n))
 	if err != nil {
 		return nil, err
 	}

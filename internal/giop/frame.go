@@ -1,0 +1,234 @@
+// Pooled zero-copy framing. The seed implementation allocated an
+// encoder, a 12-byte header slice and a header+body copy per message,
+// and paid two raw Read calls (header, then body) per inbound frame.
+// This file removes all of that:
+//
+//   - WriteMessage gathers header and body with net.Buffers (writev on
+//     TCP), so the body is never copied into a combined slice; the
+//     12-byte header comes from a scratch pool.
+//   - FrameReader reads frames through an internal bufio.Reader, so a
+//     header+body pair costs at most one raw Read on the connection.
+//   - AcquireEncoder hands out pooled cdr.Encoders with an explicit
+//     Release discipline, so the request/reply encode path stops
+//     allocating a fresh buffer per message.
+//   - Control-frame bodies (CancelRequest, LocateRequest,
+//     CloseConnection, MessageError) come from a body pool and are
+//     returned with Frame.Release; bodies of Request/Reply/
+//     BlockTransfer frames escape to their consumers and are therefore
+//     always freshly allocated — ownership transfers with the frame.
+//
+// Pool traffic is accounted in pardis_giop_pool_gets_total and
+// pardis_giop_pool_misses_total (labeled by pool), so the hit rate is
+// 1 - misses/gets.
+package giop
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"pardis/internal/cdr"
+	"pardis/internal/telemetry"
+)
+
+// BuffersWriter lets a wrapping connection (metering, fault injection)
+// forward a gather write to the transport underneath, preserving the
+// single-writev path that net.Buffers only takes for raw *net.TCPConn.
+type BuffersWriter interface {
+	WriteBuffers(v *net.Buffers) (int64, error)
+}
+
+var (
+	encPoolGets    = telemetry.Default.Counter("pardis_giop_pool_gets_total", "pool", "encoder")
+	encPoolMisses  = telemetry.Default.Counter("pardis_giop_pool_misses_total", "pool", "encoder")
+	bodyPoolGets   = telemetry.Default.Counter("pardis_giop_pool_gets_total", "pool", "frame_body")
+	bodyPoolMisses = telemetry.Default.Counter("pardis_giop_pool_misses_total", "pool", "frame_body")
+)
+
+// writeScratch is the per-write header and gather vector, pooled so a
+// message write allocates nothing.
+type writeScratch struct {
+	hdr  [HeaderLen]byte
+	vec  [2][]byte
+	bufs net.Buffers // aliases vec for the duration of one write
+}
+
+var writePool = sync.Pool{New: func() any { return new(writeScratch) }}
+
+// putHeader fills a PIOP message header.
+func putHeader(hdr *[HeaderLen]byte, order cdr.ByteOrder, t MsgType, n uint32) {
+	copy(hdr[:], magic[:])
+	hdr[4] = VersionMajor
+	hdr[5] = VersionMinor
+	hdr[6] = byte(order) & 1
+	hdr[7] = byte(t)
+	if order == cdr.BigEndian {
+		hdr[8], hdr[9], hdr[10], hdr[11] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	} else {
+		hdr[8], hdr[9], hdr[10], hdr[11] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	}
+}
+
+// maxRetainedEncoderBytes caps the buffer capacity a released encoder
+// may bring back to the pool; encoders grown beyond it by a huge
+// payload are dropped to the GC instead of pinning the memory.
+const maxRetainedEncoderBytes = 1 << 20
+
+// PooledEncoder is a cdr.Encoder drawn from the package pool by
+// AcquireEncoder. Release returns it; after Release the encoder and
+// any slice obtained from Bytes() must not be used (the buffer will
+// back a later message). A second sequential Release is a safe no-op
+// — the pool never receives the encoder twice, so a later frame
+// cannot be corrupted by two owners sharing one buffer.
+type PooledEncoder struct {
+	*cdr.Encoder
+	released atomic.Bool
+}
+
+var encPool = sync.Pool{New: func() any {
+	encPoolMisses.Inc()
+	return &PooledEncoder{Encoder: cdr.NewEncoder(cdr.BigEndian)}
+}}
+
+// AcquireEncoder returns a pooled encoder reset to the given byte
+// order at stream offset 0. Callers must Release it after the encoded
+// bytes have been written out.
+func AcquireEncoder(order cdr.ByteOrder) *PooledEncoder {
+	encPoolGets.Inc()
+	pe := encPool.Get().(*PooledEncoder)
+	pe.released.Store(false)
+	pe.ResetTo(order, 0)
+	return pe
+}
+
+// Release returns the encoder to the pool. Idempotent: double release
+// does not hand the buffer out twice.
+func (pe *PooledEncoder) Release() {
+	if pe.released.Swap(true) {
+		return
+	}
+	if cap(pe.Encoder.Bytes()) > maxRetainedEncoderBytes {
+		return // oversized one-off: let the GC have it
+	}
+	encPool.Put(pe)
+}
+
+// pooledBodyMax bounds pooled control-frame bodies; larger (or
+// escaping) bodies are allocated fresh.
+const pooledBodyMax = 1 << 10
+
+// pooledBody is a recyclable control-frame body with a double-release
+// guard.
+type pooledBody struct {
+	b        [pooledBodyMax]byte
+	released atomic.Bool
+}
+
+var bodyPool = sync.Pool{New: func() any {
+	bodyPoolMisses.Inc()
+	return new(pooledBody)
+}}
+
+// releasableType reports whether a message type's body never escapes
+// its read loop, making it safe to draw from the body pool.
+func releasableType(t MsgType) bool {
+	switch t {
+	case MsgCancelRequest, MsgLocateRequest, MsgCloseConnection, MsgError:
+		return true
+	}
+	return false
+}
+
+// Release returns the frame's pooled body, if any, for reuse. Safe to
+// call more than once (including on copies of the frame: the
+// underlying buffer is returned at most once). After Release, Body
+// must not be used. Frames whose bodies were not pooled (Request,
+// Reply, BlockTransfer — their bodies transfer ownership to the
+// consumer) make this a no-op.
+func (f *Frame) Release() {
+	pb := f.pb
+	if pb == nil {
+		return
+	}
+	f.pb = nil
+	f.Body = nil
+	if pb.released.Swap(true) {
+		return
+	}
+	bodyPool.Put(pb)
+}
+
+// DefaultReadBufSize is the FrameReader's internal buffer size: large
+// enough that a typical header+body pair arrives in one raw Read.
+const DefaultReadBufSize = 64 << 10
+
+// FrameReader reads PIOP frames through an internal buffered reader,
+// with a reusable header scratch, so steady-state frame reads cost one
+// body allocation (for escaping frame types) and usually one raw Read
+// syscall. Not safe for concurrent use; each connection read loop owns
+// one.
+type FrameReader struct {
+	br  *bufio.Reader
+	hdr [HeaderLen]byte
+}
+
+// NewFrameReader returns a FrameReader over r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReaderSize(r, DefaultReadBufSize)}
+}
+
+// ReadFrame reads and validates one PIOP message. Control-frame
+// bodies are pooled: callers that finish with such a frame should call
+// Frame.Release.
+func (fr *FrameReader) ReadFrame() (Frame, error) {
+	return readFrame(fr.br, &fr.hdr, true)
+}
+
+// readFrame reads one frame using the caller's header scratch. pooled
+// enables drawing control-frame bodies from the body pool.
+func readFrame(r io.Reader, hdr *[HeaderLen]byte, pooled bool) (Frame, error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if [MagicLen]byte(hdr[:MagicLen]) != magic {
+		return Frame{}, fmt.Errorf("%w: % x", ErrBadMagic, hdr[:MagicLen])
+	}
+	if hdr[4] != VersionMajor || hdr[5] > VersionMinor {
+		return Frame{}, fmt.Errorf("%w: %d.%d", ErrBadVersion, hdr[4], hdr[5])
+	}
+	order := cdr.ByteOrder(hdr[6] & 1)
+	t := MsgType(hdr[7])
+	if t >= msgTypeCount {
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadType, hdr[7])
+	}
+	var n uint32
+	if order == cdr.BigEndian {
+		n = uint32(hdr[8])<<24 | uint32(hdr[9])<<16 | uint32(hdr[10])<<8 | uint32(hdr[11])
+	} else {
+		n = uint32(hdr[11])<<24 | uint32(hdr[10])<<16 | uint32(hdr[9])<<8 | uint32(hdr[8])
+	}
+	if n > MaxBodyLen {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTooLong, n)
+	}
+	f := Frame{Type: t, Order: order, Minor: hdr[5]}
+	if n == 0 {
+		return f, nil
+	}
+	if pooled && n <= pooledBodyMax && releasableType(t) {
+		bodyPoolGets.Inc()
+		pb := bodyPool.Get().(*pooledBody)
+		pb.released.Store(false)
+		f.pb = pb
+		f.Body = pb.b[:n]
+	} else {
+		f.Body = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r, f.Body); err != nil {
+		f.Release()
+		return Frame{}, err
+	}
+	return f, nil
+}

@@ -1,0 +1,237 @@
+package giop
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"pardis/internal/cdr"
+)
+
+// buffersRecorder implements BuffersWriter and records whether the
+// gather path was taken.
+type buffersRecorder struct {
+	bytes.Buffer
+	gathered bool
+}
+
+func (r *buffersRecorder) WriteBuffers(v *net.Buffers) (int64, error) {
+	r.gathered = true
+	return v.WriteTo(&r.Buffer)
+}
+
+// TestWriteMessageGatherPath: a writer exposing WriteBuffers must
+// receive the frame through it, and the wire bytes must be identical
+// to the plain-io.Writer path.
+func TestWriteMessageGatherPath(t *testing.T) {
+	body := []byte("gathered body bytes")
+	var plain bytes.Buffer
+	if err := WriteMessage(&plain, cdr.BigEndian, MsgRequest, body); err != nil {
+		t.Fatal(err)
+	}
+	var rec buffersRecorder
+	if err := WriteMessage(&rec, cdr.BigEndian, MsgRequest, body); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.gathered {
+		t.Fatal("WriteMessage did not use the BuffersWriter fast path")
+	}
+	if !bytes.Equal(plain.Bytes(), rec.Bytes()) {
+		t.Fatalf("gather path wire bytes diverge:\n% x\n% x", plain.Bytes(), rec.Bytes())
+	}
+}
+
+// TestFrameReaderRoundTrip streams a mixed sequence of frames through
+// a FrameReader and checks types, orders and bodies survive.
+func TestFrameReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []struct {
+		t    MsgType
+		o    cdr.ByteOrder
+		body []byte
+	}{
+		{MsgRequest, cdr.BigEndian, []byte("request body")},
+		{MsgCancelRequest, cdr.LittleEndian, []byte{1, 2, 3, 4}},
+		{MsgReply, cdr.LittleEndian, bytes.Repeat([]byte("r"), 2048)},
+		{MsgCloseConnection, cdr.BigEndian, nil},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m.o, m.t, m.body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for i, m := range msgs {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != m.t || f.Order != m.o || !bytes.Equal(f.Body, m.body) {
+			t.Fatalf("frame %d: got %v/%v/% x", i, f.Type, f.Order, f.Body)
+		}
+		f.Release()
+	}
+	if _, err := fr.ReadFrame(); err != io.EOF {
+		t.Fatalf("after stream end: %v", err)
+	}
+}
+
+// TestPooledEncoderDoubleRelease: releasing an encoder twice must not
+// hand the same buffer to two subsequent acquirers.
+func TestPooledEncoderDoubleRelease(t *testing.T) {
+	e := AcquireEncoder(cdr.BigEndian)
+	e.PutULong(1)
+	e.Release()
+	e.Release() // must be a no-op
+
+	a := AcquireEncoder(cdr.BigEndian)
+	b := AcquireEncoder(cdr.BigEndian)
+	if a == b {
+		t.Fatal("double release put the encoder into the pool twice")
+	}
+	a.PutULong(0xAAAAAAAA)
+	b.PutULong(0xBBBBBBBB)
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two live pooled encoders share a buffer")
+	}
+	a.Release()
+	b.Release()
+}
+
+// TestFrameDoubleRelease: a pooled control-frame body released twice
+// (directly and through a copy of the frame) must not corrupt later
+// frames by entering the pool twice.
+func TestFrameDoubleRelease(t *testing.T) {
+	var buf bytes.Buffer
+	for i := byte(0); i < 3; i++ {
+		if err := WriteMessage(&buf, cdr.BigEndian, MsgCancelRequest, []byte{i, i, i, i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	f0, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := f0
+	f0.Release()
+	dup.Release() // second release of the same pooled body: no-op
+
+	// If the body had been pooled twice, these two live frames would
+	// alias one buffer and the second read would clobber the first.
+	f1, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f1.Body, []byte{1, 1, 1, 1}) {
+		t.Fatalf("frame 1 body corrupted after double release: % x", f1.Body)
+	}
+	if !bytes.Equal(f2.Body, []byte{2, 2, 2, 2}) {
+		t.Fatalf("frame 2 body corrupted: % x", f2.Body)
+	}
+	f1.Release()
+	f2.Release()
+}
+
+// TestReplyBodyValidAfterRelease: reply bodies escape their read loop
+// (they are handed to waiting invokers), so Release on a reply frame
+// must be a no-op and the body must stay intact while later frames are
+// read and released.
+func TestReplyBodyValidAfterRelease(t *testing.T) {
+	var buf bytes.Buffer
+	replyBody := []byte("reply payload that outlives the frame")
+	if err := WriteMessage(&buf, cdr.BigEndian, MsgReply, replyBody); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := WriteMessage(&buf, cdr.BigEndian, MsgCancelRequest, []byte{9, 9, 9, 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	f, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Body
+	f.Release()
+	for i := 0; i < 4; i++ {
+		cf, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf.Release()
+	}
+	if !bytes.Equal(body, replyBody) {
+		t.Fatalf("reply body corrupted after release + later reads: % x", body)
+	}
+}
+
+// TestPooledEncoderConcurrent hammers acquire/encode/write/release
+// from many goroutines; run under -race it proves the pooling
+// discipline is data-race free and buffers are never shared while
+// live.
+func TestPooledEncoderConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pattern := byte(g + 1)
+			for i := 0; i < 500; i++ {
+				e := AcquireEncoder(cdr.LittleEndian)
+				for j := 0; j < 16; j++ {
+					e.PutOctet(pattern)
+				}
+				got := e.Bytes()
+				for j, b := range got {
+					if b != pattern {
+						t.Errorf("goroutine %d: byte %d = %#x, buffer shared while live", g, j, b)
+						break
+					}
+				}
+				if err := WriteMessage(io.Discard, cdr.LittleEndian, MsgRequest, got); err != nil {
+					t.Error(err)
+				}
+				e.Release()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFrameReaderPooledBodyOnlyControl: large control bodies and all
+// request/reply bodies must bypass the pool (Release is a no-op for
+// them).
+func TestFrameReaderPooledBodyOnlyControl(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, pooledBodyMax+1)
+	if err := WriteMessage(&buf, cdr.BigEndian, MsgError, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMessage(&buf, cdr.BigEndian, MsgRequest, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	f, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.pb != nil {
+		t.Fatal("oversized control body drawn from pool")
+	}
+	f, err = fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.pb != nil {
+		t.Fatal("request body drawn from pool despite escaping ownership")
+	}
+}

@@ -25,3 +25,31 @@ func FuzzReadMessage(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFrameReader: the buffered frame reader must agree with the
+// unbuffered ReadMessage on every input — same accept/reject verdict,
+// same frame contents — and never panic, whatever the pool state.
+func FuzzFrameReader(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteMessage(&buf, 0, MsgRequest, []byte("seed body"))
+	_ = WriteMessage(&buf, 1, MsgCancelRequest, []byte{1, 2, 3, 4})
+	f.Add(buf.Bytes())
+	f.Add([]byte("PIOP"))
+	f.Add([]byte{'P', 'I', 'O', 'P', 1, 1, 0, 2, 0, 0, 0, 4, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		fr := NewFrameReader(bytes.NewReader(stream))
+		typ, order, body, refErr := ReadMessage(bytes.NewReader(stream))
+		got, err := fr.ReadFrame()
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("verdicts diverge: FrameReader=%v ReadMessage=%v", err, refErr)
+		}
+		if err != nil {
+			return
+		}
+		if got.Type != typ || got.Order != order || !bytes.Equal(got.Body, body) {
+			t.Fatalf("frame diverges: %v/%v/% x vs %v/%v/% x",
+				got.Type, got.Order, got.Body, typ, order, body)
+		}
+		got.Release()
+	})
+}

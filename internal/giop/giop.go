@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 
 	"pardis/internal/cdr"
 	"pardis/internal/telemetry"
@@ -91,7 +92,11 @@ var (
 	ErrTooLong    = errors.New("giop: message body exceeds limit")
 )
 
-// WriteMessage frames and writes one PIOP message.
+// WriteMessage frames and writes one PIOP message. Header and body go
+// out as a gather write (writev on TCP, or via the BuffersWriter hook
+// for wrapping conns), so the body is never copied after the header;
+// callers serialize concurrent writers above us, keeping frames whole
+// on the wire.
 func WriteMessage(w io.Writer, order cdr.ByteOrder, t MsgType, body []byte) error {
 	if t >= msgTypeCount {
 		return fmt.Errorf("%w: %d", ErrBadType, t)
@@ -99,22 +104,26 @@ func WriteMessage(w io.Writer, order cdr.ByteOrder, t MsgType, body []byte) erro
 	if len(body) > MaxBodyLen {
 		return fmt.Errorf("%w: %d bytes", ErrTooLong, len(body))
 	}
-	hdr := make([]byte, HeaderLen, HeaderLen+len(body))
-	copy(hdr, magic[:])
-	hdr[4] = VersionMajor
-	hdr[5] = VersionMinor
-	hdr[6] = byte(order) & 1
-	hdr[7] = byte(t)
-	n := uint32(len(body))
-	if order == cdr.BigEndian {
-		hdr[8], hdr[9], hdr[10], hdr[11] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	s := writePool.Get().(*writeScratch)
+	putHeader(&s.hdr, order, t, uint32(len(body)))
+	var err error
+	if len(body) == 0 {
+		_, err = w.Write(s.hdr[:])
 	} else {
-		hdr[8], hdr[9], hdr[10], hdr[11] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+		// The gather vector lives in the pooled scratch so taking its
+		// address (WriteTo/WriteBuffers consume the slice in place)
+		// does not force a per-call allocation.
+		s.vec[0], s.vec[1] = s.hdr[:], body
+		s.bufs = net.Buffers(s.vec[:])
+		if bw, ok := w.(BuffersWriter); ok {
+			_, err = bw.WriteBuffers(&s.bufs)
+		} else {
+			_, err = s.bufs.WriteTo(w)
+		}
+		s.vec[0], s.vec[1] = nil, nil
+		s.bufs = nil
 	}
-	// Single write keeps header+body contiguous on the wire and
-	// avoids interleaving when several goroutines share a locked
-	// writer above us.
-	_, err := w.Write(append(hdr, body...))
+	writePool.Put(s)
 	return err
 }
 
@@ -126,40 +135,22 @@ type Frame struct {
 	Order cdr.ByteOrder
 	Minor byte
 	Body  []byte
+
+	// pb is the pooled backing of Body for control frames read with a
+	// FrameReader; see Frame.Release.
+	pb *pooledBody
 }
 
 // ReadFrame reads and validates one PIOP message, keeping the sender's
-// minor protocol version alongside the body.
+// minor protocol version alongside the body. The header scratch is
+// pooled; the body is always freshly allocated (ownership transfers
+// to the caller). Read loops should prefer a FrameReader, which adds
+// read buffering and body pooling.
 func ReadFrame(r io.Reader) (Frame, error) {
-	hdr := make([]byte, HeaderLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return Frame{}, err
-	}
-	if [MagicLen]byte(hdr[:MagicLen]) != magic {
-		return Frame{}, fmt.Errorf("%w: % x", ErrBadMagic, hdr[:MagicLen])
-	}
-	if hdr[4] != VersionMajor || hdr[5] > VersionMinor {
-		return Frame{}, fmt.Errorf("%w: %d.%d", ErrBadVersion, hdr[4], hdr[5])
-	}
-	order := cdr.ByteOrder(hdr[6] & 1)
-	t := MsgType(hdr[7])
-	if t >= msgTypeCount {
-		return Frame{}, fmt.Errorf("%w: %d", ErrBadType, hdr[7])
-	}
-	var n uint32
-	if order == cdr.BigEndian {
-		n = uint32(hdr[8])<<24 | uint32(hdr[9])<<16 | uint32(hdr[10])<<8 | uint32(hdr[11])
-	} else {
-		n = uint32(hdr[11])<<24 | uint32(hdr[10])<<16 | uint32(hdr[9])<<8 | uint32(hdr[8])
-	}
-	if n > MaxBodyLen {
-		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTooLong, n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return Frame{}, err
-	}
-	return Frame{Type: t, Order: order, Minor: hdr[5], Body: body}, nil
+	hdr := writePool.Get().(*writeScratch)
+	f, err := readFrame(r, &hdr.hdr, false)
+	writePool.Put(hdr)
+	return f, err
 }
 
 // ReadMessage reads and validates one PIOP message, returning its

@@ -12,7 +12,7 @@ import (
 
 // newBenchPair builds a client/server pair over inproc with an echo
 // handler for benchmarks.
-func newBenchPair(b *testing.B, payload int) (*Client, string) {
+func newBenchPair(b *testing.B, payload int, opts ...ClientOption) (*Client, string) {
 	b.Helper()
 	reg := transport.NewRegistry()
 	reg.Register(transport.NewInproc())
@@ -30,7 +30,7 @@ func newBenchPair(b *testing.B, payload int) (*Client, string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cli := NewClient(reg)
+	cli := NewClient(reg, opts...)
 	b.Cleanup(func() {
 		cli.Close()
 		srv.Close()
@@ -89,6 +89,39 @@ func BenchmarkInvokeConcurrent(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkInvokeConcurrent8 drives at least eight concurrent
+// invokers, the acceptance workload for connection striping: one
+// stripe serializes every frame on a single write lock and read loop,
+// wider stripes spread them.
+func BenchmarkInvokeConcurrent8(b *testing.B) {
+	for _, stripes := range []int{1, 4} {
+		stripes := stripes
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			cli, ep := newBenchPair(b, 0, WithStripes(stripes))
+			data := make([]float64, 64)
+			b.SetParallelism(8)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					hdr := giop.RequestHeader{
+						InvocationID:     cli.NewInvocationID(),
+						ResponseExpected: true,
+						ObjectKey:        "echo",
+						Operation:        "op",
+						ThreadRank:       -1,
+						ThreadCount:      1,
+					}
+					rh, _, _, err := cli.Invoke(context.Background(), ep, hdr,
+						func(e *cdr.Encoder) { e.PutDoubleSeq(data) })
+					if err != nil || rh.Status != giop.ReplyOK {
+						b.Fatalf("%v %v", rh.Status, err)
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkSendBlock measures one-way block shipping throughput.

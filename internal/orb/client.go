@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -19,10 +20,12 @@ import (
 	"pardis/internal/transport"
 )
 
-// Client is the invocation side of the ORB. It caches one connection
-// per endpoint, multiplexes concurrent requests over each, and routes
-// inbound block transfers (out-arguments of multi-port invocations) to
-// the engines expecting them. A Client is safe for concurrent use.
+// Client is the invocation side of the ORB. It stripes each endpoint
+// across a small pool of cached connections (grown on demand up to the
+// configured width), multiplexes concurrent requests over each, and
+// routes inbound block transfers (out-arguments of multi-port
+// invocations) to the engines expecting them. A Client is safe for
+// concurrent use.
 //
 // Invocations are fault-tolerant to the extent the configured
 // RetryPolicy allows: failures inside the safe-to-retry window are
@@ -32,13 +35,14 @@ type Client struct {
 	reg   *transport.Registry
 	order cdr.ByteOrder
 
-	retry    RetryPolicy
-	deadline time.Duration // default per-invoke deadline (0 = none)
-	health   *healthTable
+	retry       RetryPolicy
+	deadline    time.Duration // default per-invoke deadline (0 = none)
+	health      *healthTable
+	stripeWidth int // max connections per endpoint
 
-	mu     sync.Mutex
-	conns  map[string]*clientConn
-	closed bool
+	mu      sync.Mutex
+	stripes map[string]*stripe
+	closed  bool
 
 	invPrefix  uint64
 	invCounter atomic.Uint64
@@ -114,6 +118,31 @@ func WithBreaker(threshold int, cooldown time.Duration) ClientOption {
 	return func(c *Client) { c.health = newHealthTable(threshold, cooldown) }
 }
 
+// DefaultStripeWidth is the per-endpoint connection-pool width used
+// when WithStripes is not given: enough parallelism to stop concurrent
+// invokes serializing on one write lock and read loop, without
+// flooding servers with sockets.
+func DefaultStripeWidth() int {
+	if n := runtime.GOMAXPROCS(0); n < 4 {
+		return n
+	}
+	return 4
+}
+
+// WithStripes sets how many connections the client may open per
+// endpoint. Connections are added lazily: a serial caller stays on
+// one, and a new stripe connection is dialed only when every existing
+// one is busy. Values below 1 are clamped to 1 (the pre-striping
+// single-connection behavior).
+func WithStripes(n int) ClientOption {
+	return func(c *Client) {
+		if n < 1 {
+			n = 1
+		}
+		c.stripeWidth = n
+	}
+}
+
 // NewClient creates a client using the given transport registry (nil
 // means transport.Default).
 func NewClient(reg *transport.Registry, opts ...ClientOption) *Client {
@@ -121,11 +150,12 @@ func NewClient(reg *transport.Registry, opts ...ClientOption) *Client {
 		reg = transport.Default
 	}
 	c := &Client{
-		reg:    reg,
-		order:  cdr.BigEndian,
-		health: newHealthTable(0, 0),
-		conns:  make(map[string]*clientConn),
-		blocks: newBlockRouter(),
+		reg:         reg,
+		order:       cdr.BigEndian,
+		health:      newHealthTable(0, 0),
+		stripeWidth: DefaultStripeWidth(),
+		stripes:     make(map[string]*stripe),
+		blocks:      newBlockRouter(),
 	}
 	var seed [8]byte
 	if _, err := rand.Read(seed[:]); err == nil {
@@ -163,38 +193,101 @@ func (c *Client) ExpectBlocks(inv uint64, ch chan<- Block) (func(), error) {
 	return c.blocks.register(inv, ch)
 }
 
-// conn returns the cached connection for endpoint, dialing if needed.
-// Dial failures are tagged ErrUnreachable: the request never left the
-// process, so the retry layer may re-issue it freely.
+// stripe is one endpoint's small pool of connections. Concurrent
+// invocations spread across its members by outstanding-request depth,
+// so they stop contending on a single write lock and read loop.
+type stripe struct {
+	endpoint string
+	conns    []*clientConn
+	gauge    *telemetry.Gauge // pardis_client_stripe_conns{endpoint}
+}
+
+// freeSlot returns the smallest stripe index not held by a live
+// connection, so the per-stripe depth gauges stay bounded by the
+// stripe width however often connections churn.
+func (st *stripe) freeSlot() int {
+	for s := 0; ; s++ {
+		used := false
+		for _, cc := range st.conns {
+			if cc.slot == s {
+				used = true
+				break
+			}
+		}
+		if !used {
+			return s
+		}
+	}
+}
+
+// conn returns a connection for endpoint from its stripe: the
+// least-loaded live one, or — when every live connection is busy and
+// the stripe has room — a freshly dialed one. Dial failures for the
+// first connection are tagged ErrUnreachable (the request never left
+// the process, so the retry layer may re-issue it freely); a failed
+// growth dial falls back to the busiest-but-alive pick instead of
+// failing the request.
 func (c *Client) conn(endpoint string) (*clientConn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrClosed
 	}
-	if cc, ok := c.conns[endpoint]; ok {
-		return cc, nil
+	st := c.stripes[endpoint]
+	if st == nil {
+		st = &stripe{
+			endpoint: endpoint,
+			gauge:    telemetry.Default.Gauge("pardis_client_stripe_conns", "endpoint", endpoint),
+		}
+		c.stripes[endpoint] = st
+	}
+	var best *clientConn
+	var bestDepth int64
+	for _, cc := range st.conns {
+		if d := cc.depth.Value(); best == nil || d < bestDepth {
+			best, bestDepth = cc, d
+		}
+	}
+	if best != nil && (bestDepth == 0 || len(st.conns) >= c.stripeWidth) {
+		return best, nil
 	}
 	raw, err := c.reg.Dial(endpoint)
 	if err != nil {
+		if best != nil {
+			return best, nil
+		}
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, endpoint, err)
 	}
+	slot := st.freeSlot()
 	cc := &clientConn{
 		owner:    c,
 		endpoint: endpoint,
+		slot:     slot,
 		raw:      raw,
 		pending:  make(map[uint32]chan reply),
+		depth: telemetry.Default.Gauge("pardis_client_stripe_depth",
+			"endpoint", endpoint, "stripe", strconv.Itoa(slot)),
 	}
-	c.conns[endpoint] = cc
+	st.conns = append(st.conns, cc)
+	st.gauge.Set(int64(len(st.conns)))
 	go cc.readLoop()
 	return cc, nil
 }
 
-// dropConn removes a dead connection from the cache.
+// dropConn removes a dead connection from its stripe.
 func (c *Client) dropConn(cc *clientConn) {
 	c.mu.Lock()
-	if c.conns[cc.endpoint] == cc {
-		delete(c.conns, cc.endpoint)
+	if st := c.stripes[cc.endpoint]; st != nil {
+		for i, other := range st.conns {
+			if other == cc {
+				st.conns = append(st.conns[:i], st.conns[i+1:]...)
+				break
+			}
+		}
+		st.gauge.Set(int64(len(st.conns)))
+		if len(st.conns) == 0 {
+			delete(c.stripes, cc.endpoint)
+		}
 	}
 	c.mu.Unlock()
 }
@@ -398,14 +491,18 @@ func (c *Client) invokeOnce(ctx context.Context, endpoint string, hdr giop.Reque
 	// so the server continues this trace rather than rooting its own.
 	hdr.Trace = telemetry.TraceFromContext(ctx)
 
-	e := cdr.NewEncoder(c.order)
-	hdr.Encode(e)
+	// The request is marshaled into a pooled encoder, released as soon
+	// as the frame write has consumed the bytes.
+	e := giop.AcquireEncoder(c.order)
+	hdr.Encode(e.Encoder)
 	if body != nil {
-		body(e)
+		body(e.Encoder)
 	}
 
 	if !hdr.ResponseExpected {
-		if err := cc.write(giop.MsgRequest, e.Bytes()); err != nil {
+		err := cc.write(giop.MsgRequest, e.Bytes())
+		e.Release()
+		if err != nil {
 			return giop.ReplyHeader{}, 0, nil, err
 		}
 		return giop.ReplyHeader{RequestID: hdr.RequestID, Status: giop.ReplyOK}, c.order, nil, nil
@@ -415,8 +512,10 @@ func (c *Client) invokeOnce(ctx context.Context, endpoint string, hdr giop.Reque
 	cc.addPending(hdr.RequestID, ch)
 	defer cc.removePending(hdr.RequestID)
 
-	if err := cc.write(giop.MsgRequest, e.Bytes()); err != nil {
-		return giop.ReplyHeader{}, 0, nil, err
+	werr := cc.write(giop.MsgRequest, e.Bytes())
+	e.Release()
+	if werr != nil {
+		return giop.ReplyHeader{}, 0, nil, werr
 	}
 	select {
 	case r := <-ch:
@@ -425,11 +524,10 @@ func (c *Client) invokeOnce(ctx context.Context, endpoint string, hdr giop.Reque
 		}
 		return r.hdr, r.order, r.body, nil
 	case <-ctx.Done():
-		// Best-effort cancel; the reply, if it still comes, is
-		// discarded by removePending.
-		ce := cdr.NewEncoder(c.order)
-		(&giop.CancelRequestHeader{RequestID: hdr.RequestID}).Encode(ce)
-		_ = cc.write(giop.MsgCancelRequest, ce.Bytes())
+		// Best-effort cancel through the connection's preallocated
+		// cancel frame; the reply, if it still comes, is discarded by
+		// removePending.
+		_ = cc.sendCancel(hdr.RequestID)
 		return giop.ReplyHeader{}, 0, nil, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
 	}
 }
@@ -441,12 +539,14 @@ func (c *Client) SendBlock(endpoint string, hdr giop.BlockTransferHeader, payloa
 	if err != nil {
 		return err
 	}
-	e := cdr.NewEncoder(c.order)
-	hdr.Encode(e)
+	e := giop.AcquireEncoder(c.order)
+	hdr.Encode(e.Encoder)
 	if payload != nil {
-		payload(e)
+		payload(e.Encoder)
 	}
-	return cc.write(giop.MsgBlockTransfer, e.Bytes())
+	err = cc.write(giop.MsgBlockTransfer, e.Bytes())
+	e.Release()
+	return err
 }
 
 // Locate asks whether endpoint serves the object key, returning the
@@ -457,14 +557,16 @@ func (c *Client) Locate(ctx context.Context, endpoint, key string) (giop.LocateS
 		return 0, "", err
 	}
 	id := cc.nextID.Add(1)
-	e := cdr.NewEncoder(c.order)
-	(&giop.LocateRequestHeader{RequestID: id, ObjectKey: key}).Encode(e)
+	e := giop.AcquireEncoder(c.order)
+	(&giop.LocateRequestHeader{RequestID: id, ObjectKey: key}).Encode(e.Encoder)
 
 	ch := make(chan reply, 1)
 	cc.addPending(id, ch)
 	defer cc.removePending(id)
-	if err := cc.write(giop.MsgLocateRequest, e.Bytes()); err != nil {
-		return 0, "", err
+	werr := cc.write(giop.MsgLocateRequest, e.Bytes())
+	e.Release()
+	if werr != nil {
+		return 0, "", werr
 	}
 	select {
 	case r := <-ch:
@@ -497,11 +599,11 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	conns := make([]*clientConn, 0, len(c.conns))
-	for _, cc := range c.conns {
-		conns = append(conns, cc)
+	conns := make([]*clientConn, 0, len(c.stripes))
+	for _, st := range c.stripes {
+		conns = append(conns, st.conns...)
 	}
-	c.conns = make(map[string]*clientConn)
+	c.stripes = make(map[string]*stripe)
 	c.mu.Unlock()
 	for _, cc := range conns {
 		cc.shutdown(ErrClosed)
@@ -517,14 +619,19 @@ type reply struct {
 	err   error
 }
 
-// clientConn is one cached connection with a reader goroutine.
+// clientConn is one stripe member: a cached connection with a reader
+// goroutine and an outstanding-request depth gauge the stripe's
+// least-loaded pick reads.
 type clientConn struct {
 	owner    *Client
 	endpoint string
+	slot     int // stripe index, stable for this connection's lifetime
 	raw      transport.Conn
 	nextID   atomic.Uint32
+	depth    *telemetry.Gauge // pardis_client_stripe_depth{endpoint,stripe}
 
-	writeMu sync.Mutex
+	writeMu   sync.Mutex
+	cancelBuf [4]byte // preallocated CancelRequest body, guarded by writeMu
 
 	mu      sync.Mutex
 	pending map[uint32]chan reply
@@ -541,6 +648,25 @@ func (cc *clientConn) write(t giop.MsgType, body []byte) error {
 	return nil
 }
 
+// sendCancel writes a CancelRequest for id through the connection's
+// preallocated single-ULong body (wire-identical to encoding a
+// CancelRequestHeader), so the cancel path — usually taken under
+// deadline pressure — allocates nothing.
+func (cc *clientConn) sendCancel(id uint32) error {
+	cc.writeMu.Lock()
+	defer cc.writeMu.Unlock()
+	if cc.owner.order == cdr.BigEndian {
+		binary.BigEndian.PutUint32(cc.cancelBuf[:], id)
+	} else {
+		binary.LittleEndian.PutUint32(cc.cancelBuf[:], id)
+	}
+	if err := giop.WriteMessage(cc.raw, cc.owner.order, giop.MsgCancelRequest, cc.cancelBuf[:]); err != nil {
+		cc.shutdown(fmt.Errorf("%w: %v", ErrConnectionLost, err))
+		return fmt.Errorf("%w: %v", ErrConnectionLost, err)
+	}
+	return nil
+}
+
 func (cc *clientConn) addPending(id uint32, ch chan reply) {
 	cc.mu.Lock()
 	if cc.dead {
@@ -549,13 +675,26 @@ func (cc *clientConn) addPending(id uint32, ch chan reply) {
 		return
 	}
 	cc.pending[id] = ch
+	cc.depth.Inc()
 	cc.mu.Unlock()
 }
 
-func (cc *clientConn) removePending(id uint32) {
+// takePending removes and returns the waiter for id. The depth gauge
+// is decremented only when an entry was actually removed, so the read
+// loop and the invoker's deferred removePending cannot double-count.
+func (cc *clientConn) takePending(id uint32) (chan reply, bool) {
 	cc.mu.Lock()
-	delete(cc.pending, id)
+	ch, ok := cc.pending[id]
+	if ok {
+		delete(cc.pending, id)
+		cc.depth.Dec()
+	}
 	cc.mu.Unlock()
+	return ch, ok
+}
+
+func (cc *clientConn) removePending(id uint32) {
+	cc.takePending(id)
 }
 
 // shutdown closes the socket and fails all waiters exactly once.
@@ -568,6 +707,9 @@ func (cc *clientConn) shutdown(cause error) {
 	cc.dead = true
 	waiters := cc.pending
 	cc.pending = make(map[uint32]chan reply)
+	if n := len(waiters); n > 0 {
+		cc.depth.Add(-int64(n))
+	}
 	cc.mu.Unlock()
 	cc.raw.Close()
 	cc.owner.dropConn(cc)
@@ -580,51 +722,49 @@ func (cc *clientConn) shutdown(cause error) {
 }
 
 func (cc *clientConn) readLoop() {
+	// A FrameReader buffers the socket so a header+body pair costs one
+	// raw Read in the common case. Reply/LocateReply/BlockTransfer
+	// bodies transfer ownership out of the loop (never pooled), so
+	// slicing them into reply/Block values is safe; control-frame
+	// bodies are released back to the frame pool here.
+	fr := giop.NewFrameReader(cc.raw)
 	for {
-		t, order, body, err := giop.ReadMessage(cc.raw)
+		f, err := fr.ReadFrame()
 		if err != nil {
 			cc.shutdown(fmt.Errorf("%w: %v", ErrConnectionLost, err))
 			return
 		}
-		switch t {
+		switch f.Type {
 		case giop.MsgReply:
-			d := cdr.NewDecoder(order, body)
+			d := cdr.NewDecoder(f.Order, f.Body)
 			rh, err := giop.DecodeReplyHeader(d)
 			if err != nil {
 				cc.shutdown(fmt.Errorf("%w: bad reply header: %v", ErrConnectionLost, err))
 				return
 			}
-			cc.mu.Lock()
-			ch, ok := cc.pending[rh.RequestID]
-			delete(cc.pending, rh.RequestID)
-			cc.mu.Unlock()
-			if ok {
-				ch <- reply{hdr: rh, order: order, body: body[d.Pos():]}
+			if ch, ok := cc.takePending(rh.RequestID); ok {
+				ch <- reply{hdr: rh, order: f.Order, body: f.Body[d.Pos():]}
 			}
 		case giop.MsgLocateReply:
 			// LocateReply shares the pending table; the request id
 			// is the header's first field in both layouts.
-			d := cdr.NewDecoder(order, body)
+			d := cdr.NewDecoder(f.Order, f.Body)
 			id, err := d.ULong()
 			if err != nil {
 				cc.shutdown(fmt.Errorf("%w: bad locate reply: %v", ErrConnectionLost, err))
 				return
 			}
-			cc.mu.Lock()
-			ch, ok := cc.pending[id]
-			delete(cc.pending, id)
-			cc.mu.Unlock()
-			if ok {
-				ch <- reply{order: order, body: body}
+			if ch, ok := cc.takePending(id); ok {
+				ch <- reply{order: f.Order, body: f.Body}
 			}
 		case giop.MsgBlockTransfer:
-			d := cdr.NewDecoder(order, body)
+			d := cdr.NewDecoder(f.Order, f.Body)
 			bh, err := giop.DecodeBlockTransferHeader(d)
 			if err != nil {
 				cc.shutdown(fmt.Errorf("%w: bad block header: %v", ErrConnectionLost, err))
 				return
 			}
-			blk := Block{Header: bh, Order: order, Payload: body[d.Pos():]}
+			blk := Block{Header: bh, Order: f.Order, Payload: f.Body[d.Pos():]}
 			if err := cc.owner.blocks.deliver(blk); err != nil {
 				cc.shutdown(err)
 				return
@@ -632,15 +772,18 @@ func (cc *clientConn) readLoop() {
 		case giop.MsgCloseConnection:
 			// Orderly shutdown: the server promises it processed
 			// nothing further, so waiters may re-issue elsewhere.
+			f.Release()
 			cc.shutdown(ErrServerClosed)
 			return
 		case giop.MsgError:
+			f.Release()
 			cc.shutdown(ErrConnectionLost)
 			return
 		default:
 			// Requests arriving at a client connection are a
 			// protocol violation.
-			cc.shutdown(fmt.Errorf("%w: unexpected %v on client connection", ErrConnectionLost, t))
+			f.Release()
+			cc.shutdown(fmt.Errorf("%w: unexpected %v on client connection", ErrConnectionLost, f.Type))
 			return
 		}
 	}

@@ -51,12 +51,14 @@ func (in *Incoming) Reply(status giop.ReplyStatus, body func(*cdr.Encoder)) erro
 	if !in.Header.ResponseExpected {
 		return nil
 	}
-	e := cdr.NewEncoder(in.conn.srv.order)
-	(&giop.ReplyHeader{RequestID: in.Header.RequestID, Status: status}).Encode(e)
+	e := giop.AcquireEncoder(in.conn.srv.order)
+	(&giop.ReplyHeader{RequestID: in.Header.RequestID, Status: status}).Encode(e.Encoder)
 	if body != nil {
-		body(e)
+		body(e.Encoder)
 	}
-	return in.conn.write(giop.MsgReply, e.Bytes())
+	err := in.conn.write(giop.MsgReply, e.Bytes())
+	e.Release()
+	return err
 }
 
 // ReplySystemException reports a PIOP-level failure.
@@ -375,11 +377,15 @@ func (sc *serverConn) close() {
 
 func (sc *serverConn) readLoop() {
 	defer sc.close()
+	// The FrameReader buffers the socket (one raw Read per header+body
+	// in the common case) and surfaces the sender's protocol minor
+	// version, which the header decoder needs: 1.0 peers frame request
+	// headers without trace bytes. Control-frame bodies are pooled and
+	// released here once decoded; Request/BlockTransfer bodies escape
+	// to handlers and block sinks, so ownership transfers with them.
+	fr := giop.NewFrameReader(sc.raw)
 	for {
-		// ReadFrame (not ReadMessage) so the sender's protocol minor
-		// version survives to the header decoder: 1.0 peers frame
-		// request headers without trace bytes.
-		f, err := giop.ReadFrame(sc.raw)
+		f, err := fr.ReadFrame()
 		if err != nil {
 			return
 		}
@@ -390,12 +396,15 @@ func (sc *serverConn) readLoop() {
 				return
 			}
 		case giop.MsgLocateRequest:
-			if err := sc.handleLocate(order, body); err != nil {
+			err := sc.handleLocate(order, body)
+			f.Release()
+			if err != nil {
 				return
 			}
 		case giop.MsgCancelRequest:
 			d := cdr.NewDecoder(order, body)
 			ch, err := giop.DecodeCancelRequestHeader(d)
+			f.Release()
 			if err != nil {
 				return
 			}
@@ -416,11 +425,12 @@ func (sc *serverConn) readLoop() {
 				return
 			}
 		case giop.MsgCloseConnection, giop.MsgError:
+			f.Release()
 			return
 		default:
 			// Replies have no business arriving at a server.
-			e := cdr.NewEncoder(sc.srv.order)
-			_ = giop.WriteMessage(sc.raw, sc.srv.order, giop.MsgError, e.Bytes())
+			f.Release()
+			_ = giop.WriteMessage(sc.raw, sc.srv.order, giop.MsgError, nil)
 			return
 		}
 	}
@@ -531,7 +541,9 @@ func (sc *serverConn) handleLocate(order cdr.ByteOrder, body []byte) error {
 	if _, ok := sc.srv.handler(lh.ObjectKey); ok {
 		status = giop.LocateHere
 	}
-	e := cdr.NewEncoder(sc.srv.order)
-	(&giop.LocateReplyHeader{RequestID: lh.RequestID, Status: status}).Encode(e)
-	return sc.write(giop.MsgLocateReply, e.Bytes())
+	e := giop.AcquireEncoder(sc.srv.order)
+	(&giop.LocateReplyHeader{RequestID: lh.RequestID, Status: status}).Encode(e.Encoder)
+	err = sc.write(giop.MsgLocateReply, e.Bytes())
+	e.Release()
+	return err
 }

@@ -42,6 +42,10 @@ type BindConfig struct {
 	// Deadline is the default per-invocation deadline applied when a
 	// call's context has none (0 = no default deadline).
 	Deadline time.Duration
+	// Stripes caps how many connections this thread's ORB client may
+	// open per endpoint (0 = orb.DefaultStripeWidth()). Concurrent
+	// invocations and block sends spread across the stripe.
+	Stripes int
 }
 
 // Binding is one client thread's stub-side connection to an SPMD
@@ -188,6 +192,9 @@ func bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 	clientOpts := []orb.ClientOption{orb.WithRetryPolicy(pol)}
 	if cfg.Deadline > 0 {
 		clientOpts = append(clientOpts, orb.WithDefaultDeadline(cfg.Deadline))
+	}
+	if cfg.Stripes > 0 {
+		clientOpts = append(clientOpts, orb.WithStripes(cfg.Stripes))
 	}
 	b := &Binding{
 		cfg:    cfg,

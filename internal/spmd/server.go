@@ -71,6 +71,10 @@ type ObjectConfig struct {
 	// Ops maps operation names to their distributed-argument
 	// declarations and handlers.
 	Ops map[string]*Op
+	// Stripes caps how many connections this thread's outbound ORB
+	// client (result blocks back to client ports) may open per
+	// endpoint (0 = orb.DefaultStripeWidth()).
+	Stripes int
 }
 
 // Op couples an operation's signature with its implementation.
@@ -165,7 +169,11 @@ func Export(cfg ObjectConfig) (*Object, error) {
 			myEndpoint = ep
 		}
 	}
-	o.out = orb.NewClient(reg)
+	var outOpts []orb.ClientOption
+	if cfg.Stripes > 0 {
+		outOpts = append(outOpts, orb.WithStripes(cfg.Stripes))
+	}
+	o.out = orb.NewClient(reg, outOpts...)
 
 	// Collective verdict on the listen phase: if any thread failed to
 	// open its port, every thread learns which one and returns a

@@ -16,6 +16,7 @@ package transport
 
 import (
 	"log/slog"
+	"net"
 	"sync"
 
 	"pardis/internal/telemetry"
@@ -52,6 +53,26 @@ func (m *meteredConn) Read(b []byte) (int, error) {
 
 func (m *meteredConn) Write(b []byte) (int, error) {
 	n, err := m.Conn.Write(b)
+	if n > 0 {
+		m.out.Add(uint64(n))
+	}
+	return n, err
+}
+
+// WriteBuffers forwards a gather write to the wrapped connection,
+// preserving the single-writev path (net.Buffers only vectorizes for
+// a raw *net.TCPConn, which the metering wrapper would otherwise
+// hide). Frame writers discover this method via giop.BuffersWriter.
+func (m *meteredConn) WriteBuffers(v *net.Buffers) (int64, error) {
+	var n int64
+	var err error
+	if bw, ok := m.Conn.(interface {
+		WriteBuffers(*net.Buffers) (int64, error)
+	}); ok {
+		n, err = bw.WriteBuffers(v)
+	} else {
+		n, err = v.WriteTo(m.Conn)
+	}
 	if n > 0 {
 		m.out.Add(uint64(n))
 	}
