@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-quick bench-snapshot lint-telemetry fmt
+.PHONY: build test verify chaos bench bench-quick bench-dataplane bench-snapshot benchdiff lint-telemetry fmt
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,21 @@ verify:
 	$(MAKE) lint-telemetry
 	$(GO) test -race ./...
 	$(MAKE) bench-quick
+	$(MAKE) benchdiff
+
+# benchdiff gates allocation regressions: when at least two dated
+# BENCH_*.json snapshots exist, the oldest is the baseline and a >10%
+# allocs/op regression in the newest fails the build. With a single
+# snapshot only its internal seed/this_pr pairs are checked.
+benchdiff:
+	@set -- BENCH_*.json; \
+	if [ ! -e "$$1" ]; then echo 'benchdiff: no BENCH_*.json snapshots, skipping'; exit 0; fi; \
+	if [ $$# -ge 2 ]; then \
+		old=$$1; while [ $$# -gt 1 ]; do shift; done; \
+		$(GO) run ./scripts/benchdiff.go $$old $$1; \
+	else \
+		$(GO) run ./scripts/benchdiff.go $$1; \
+	fi
 
 # lint-telemetry forbids raw printf-style output in internal/ (tests
 # excepted): library code must log through telemetry.Logger(), which
@@ -48,6 +63,17 @@ bench-quick:
 		-bench 'PutDoubleSeq|PutLongSeq|SeqInto' ./internal/cdr/
 	$(GO) test -run '^$$' -benchtime 100x -benchmem \
 		-bench 'InvokeEcho|InvokeConcurrent8' ./internal/orb/
+	$(MAKE) bench-dataplane BENCHTIME=10x
+
+# bench-dataplane measures the SPMD data plane: dsequence
+# redistribution (allocation ledger) and the multi-port in-transfer
+# grid (wall clock and bandwidth), both with allocation counts.
+BENCHTIME ?= 100x
+bench-dataplane:
+	$(GO) test -run '^$$' -benchtime $(BENCHTIME) -benchmem \
+		-bench 'Redistribute' ./internal/dseq/
+	$(GO) test -run '^$$' -benchtime $(BENCHTIME) -benchmem \
+		-bench 'MultiPortInTransfer' ./internal/spmd/
 
 # bench-snapshot archives a dated live-stack benchmark summary
 # (ops/s and p50/p95/p99 invoke latency from the telemetry registry)

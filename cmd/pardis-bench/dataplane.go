@@ -1,0 +1,216 @@
+// Data-plane benchmark mode: -dataplane drives the real SPMD stack
+// in-process — an n-thread client streaming a block-distributed
+// dsequence<double> into an m-thread multi-port object — and reports
+// the Figure-4-style bandwidth curve (wall clock per in-transfer vs
+// sequence length). The transfer knobs come from -xfer-window and
+// -xfer-chunk, so A/B runs of the same binary isolate the data-plane
+// configuration under test.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/ior"
+	"pardis/internal/mp"
+	"pardis/internal/rts"
+	"pardis/internal/spmd"
+	"pardis/internal/transport"
+)
+
+// dataplaneConfig carries the -dataplane flag group.
+type dataplaneConfig struct {
+	clientThreads int
+	serverThreads int
+	reps          int
+	doubles       int // 0 = sweep the default length grid
+	jsonOut       bool
+}
+
+type dataplanePoint struct {
+	Doubles   int     `json:"doubles"`
+	Bytes     int     `json:"bytes"`
+	Reps      int     `json:"reps"`
+	SecPerOp  float64 `json:"seconds_per_op"`
+	MBPerSec  float64 `json:"mb_per_sec"`
+	AllocsTot uint64  `json:"-"`
+}
+
+type dataplaneResult struct {
+	Date          string           `json:"date"`
+	ClientThreads int              `json:"client_threads"`
+	ServerThreads int              `json:"server_threads"`
+	XferWindow    int              `json:"xfer_window"`
+	XferChunk     int              `json:"xfer_chunk_bytes"`
+	Points        []dataplanePoint `json:"points"`
+}
+
+var dataplaneLengths = []int{1 << 14, 1 << 17, 1 << 20}
+
+func runDataplane(cfg dataplaneConfig) {
+	lengths := dataplaneLengths
+	if cfg.doubles > 0 {
+		lengths = []int{cfg.doubles}
+	}
+	if cfg.reps <= 0 {
+		cfg.reps = 5
+	}
+
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+
+	ref, closeObj := startDataplaneObject(reg, cfg.serverThreads)
+	defer closeObj()
+
+	res := dataplaneResult{
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		ClientThreads: cfg.clientThreads,
+		ServerThreads: cfg.serverThreads,
+		XferWindow:    spmd.DefaultXferWindow,
+		XferChunk:     spmd.DefaultXferChunkBytes,
+	}
+	for _, length := range lengths {
+		pt, err := dataplaneOnePoint(reg, ref, cfg, length)
+		if err != nil {
+			fatal(err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("data plane: n=%d client threads -> m=%d server threads, window=%d chunk=%dB\n",
+		res.ClientThreads, res.ServerThreads, res.XferWindow, res.XferChunk)
+	fmt.Printf("  %10s %12s %12s\n", "doubles", "ms/op", "MB/s")
+	for _, pt := range res.Points {
+		fmt.Printf("  %10d %12.3f %12.1f\n", pt.Doubles, pt.SecPerOp*1e3, pt.MBPerSec)
+	}
+}
+
+// startDataplaneObject exports an m-thread multi-port object with a
+// single "sink" op (one In distributed argument), so the invocation
+// cost is the in-transfer itself.
+func startDataplaneObject(reg *transport.Registry, m int) (*ior.Ref, func()) {
+	w := mp.MustWorld(m)
+	refs := make(chan *ior.Ref, 1)
+	objs := make([]*spmd.Object, m)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < m; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			th := rts.NewMessagePassing(w.Rank(rank))
+			obj, err := spmd.Export(spmd.ObjectConfig{
+				Thread:         th,
+				Registry:       reg,
+				ListenEndpoint: "inproc:*",
+				Key:            "objects/dataplane",
+				TypeID:         "IDL:dataplane_bench:1.0",
+				MultiPort:      true,
+				Ops: map[string]*spmd.Op{
+					"sink": {
+						Spec: spmd.OpSpec{Args: []spmd.ArgSpec{{Mode: spmd.In, Dist: dist.Block()}}},
+						Handler: func(call *spmd.Call) error {
+							call.Reply().PutLong(int32(len(call.Args[0].LocalData())))
+							return nil
+						},
+					},
+				},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			mu.Lock()
+			objs[rank] = obj
+			mu.Unlock()
+			if rank == 0 {
+				refs <- obj.Ref()
+			}
+			_ = obj.Serve(context.Background())
+		}(r)
+	}
+	ref := <-refs
+	return ref, func() {
+		mu.Lock()
+		for _, o := range objs {
+			if o != nil {
+				o.Close()
+			}
+		}
+		mu.Unlock()
+		wg.Wait()
+		w.Close()
+	}
+}
+
+func dataplaneOnePoint(reg *transport.Registry, ref *ior.Ref,
+	cfg dataplaneConfig, length int) (dataplanePoint, error) {
+	var elapsed time.Duration
+	err := mp.Run(cfg.clientThreads, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		b, err := spmd.Bind(context.Background(), spmd.BindConfig{
+			Thread:         th,
+			Registry:       reg,
+			Method:         spmd.MultiPort,
+			ListenEndpoint: "inproc:*",
+		}, ref)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		seq, err := dseq.NewDoubles(length, dist.Block(), th.Size(), th.Rank())
+		if err != nil {
+			return err
+		}
+		local := seq.LocalData()
+		for i := range local {
+			local[i] = float64(i)
+		}
+		// One warm-up invocation primes connections and frame pools.
+		if err := dataplaneSink(b, seq); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < cfg.reps; i++ {
+			if err := dataplaneSink(b, seq); err != nil {
+				return err
+			}
+		}
+		if th.Rank() == 0 {
+			elapsed = time.Since(start)
+		}
+		return nil
+	})
+	if err != nil {
+		return dataplanePoint{}, err
+	}
+	secPerOp := elapsed.Seconds() / float64(cfg.reps)
+	bytes := length * 8
+	return dataplanePoint{
+		Doubles:  length,
+		Bytes:    bytes,
+		Reps:     cfg.reps,
+		SecPerOp: secPerOp,
+		MBPerSec: float64(bytes) / secPerOp / 1e6,
+	}, nil
+}
+
+func dataplaneSink(b *spmd.Binding, seq *dseq.Doubles) error {
+	return b.Invoke(context.Background(), &spmd.CallSpec{
+		Operation: "sink",
+		Args:      []spmd.DistArg{{Mode: spmd.In, Seq: seq}},
+	})
+}

@@ -19,6 +19,15 @@
 //	pardis-bench -live -ops 5000 -doubles 1024
 //	pardis-bench -live -faulty
 //	pardis-bench -live -json
+//
+// -dataplane benchmarks the real SPMD data plane instead: an n-thread
+// client streams a block-distributed dsequence<double> into an
+// m-thread multi-port object and the Figure-4-style bandwidth curve
+// is reported (add -json for machine-readable points; -xfer-window
+// and -xfer-chunk pin the transfer knobs under test):
+//
+//	pardis-bench -dataplane -threads 4
+//	pardis-bench -dataplane -xfer-window 1 -xfer-chunk -1 -json
 package main
 
 import (
@@ -29,7 +38,18 @@ import (
 
 	"pardis/internal/perfmodel"
 	"pardis/internal/simnet"
+	"pardis/internal/spmd"
 )
+
+// pick returns v unless it still holds the flag default def, in which
+// case it returns fallback (used where two modes share a flag but
+// want different defaults).
+func pick(v, def, fallback int) int {
+	if v == def {
+		return fallback
+	}
+	return v
+}
 
 func main() {
 	table := flag.Int("table", 0, "regenerate table 1 or 2")
@@ -47,7 +67,30 @@ func main() {
 	stripes := flag.Int("stripes", 0, "connections per endpoint for the -live client (0 = orb default, min(4, GOMAXPROCS))")
 	faulty := flag.Bool("faulty", false, "route -live traffic through the fault-injection transport")
 	jsonOut := flag.Bool("json", false, "emit the -live summary as JSON (bench-snapshot format)")
+	dataplane := flag.Bool("dataplane", false, "benchmark the real SPMD data plane (Figure-4-style in-transfer bandwidth curve)")
+	clientThreads := flag.Int("client-threads", 1, "client SPMD threads (n) in -dataplane mode")
+	serverThreads := flag.Int("threads", 4, "server SPMD threads (m) in -dataplane mode")
+	xferWindow := flag.Int("xfer-window", 0, "concurrent block streams per SPMD transfer (0 = default, min(4, GOMAXPROCS); 1 = serial)")
+	xferChunk := flag.Int("xfer-chunk", 0, "SPMD block chunk size in bytes (0 = default 256KiB, negative = disable chunking)")
 	flag.Parse()
+
+	if *xferWindow != 0 {
+		spmd.DefaultXferWindow = *xferWindow
+	}
+	if *xferChunk != 0 {
+		spmd.DefaultXferChunkBytes = *xferChunk
+	}
+
+	if *dataplane {
+		runDataplane(dataplaneConfig{
+			clientThreads: *clientThreads,
+			serverThreads: *serverThreads,
+			reps:          *reps,
+			doubles:       pick(*doubles, 1024, 0),
+			jsonOut:       *jsonOut,
+		})
+		return
+	}
 
 	if *live {
 		runLive(liveConfig{

@@ -37,6 +37,7 @@ import (
 
 	"pardis/internal/naming"
 	"pardis/internal/orb"
+	"pardis/internal/spmd"
 	"pardis/internal/telemetry"
 )
 
@@ -54,7 +55,16 @@ func main() {
 	metricsListen := flag.String("metrics-listen", "", "host:port to serve /metrics, /healthz, /debug/vars, /debug/traces and /debug/pprof at (empty = disabled)")
 	logLevel := flag.String("log-level", "", "enable structured logging on stderr at this level: debug, info, warn or error (empty = silent)")
 	traceSample := flag.Float64("trace-sample", 0, "probability a root request starts a recorded trace, in [0,1]")
+	xferWindow := flag.Int("xfer-window", 0, "process-wide default for concurrent SPMD block streams per transfer (0 = min(4, GOMAXPROCS); 1 = serial)")
+	xferChunk := flag.Int("xfer-chunk", 0, "process-wide default SPMD block chunk size in bytes (0 = 256KiB, negative = disable chunking)")
 	flag.Parse()
+
+	if *xferWindow != 0 {
+		spmd.DefaultXferWindow = *xferWindow
+	}
+	if *xferChunk != 0 {
+		spmd.DefaultXferChunkBytes = *xferChunk
+	}
 
 	if *logLevel != "" {
 		lvl, err := parseLevel(*logLevel)

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestChunkPassthrough(t *testing.T) {
+	plan := []Transfer{
+		{From: 0, To: 1, Global: 0, SrcOff: 0, DstOff: 0, Count: 100},
+		{From: 1, To: 0, Global: 100, SrcOff: 0, DstOff: 100, Count: 50},
+	}
+	// Disabled, and threshold not exceeded: same slice back, not a copy.
+	for _, max := range []int{0, -1, 100, 1000} {
+		got := Chunk(plan, max)
+		if &got[0] != &plan[0] {
+			t.Fatalf("maxCount=%d: plan was copied although no transfer needed splitting", max)
+		}
+	}
+}
+
+func TestChunkSplits(t *testing.T) {
+	plan := []Transfer{
+		{From: 0, To: 1, Global: 10, SrcOff: 2, DstOff: 5, Count: 7},
+		{From: 0, To: 2, Global: 17, SrcOff: 9, DstOff: 0, Count: 3},
+	}
+	got := Chunk(plan, 3)
+	want := []Transfer{
+		{From: 0, To: 1, Global: 10, SrcOff: 2, DstOff: 5, Count: 3},
+		{From: 0, To: 1, Global: 13, SrcOff: 5, DstOff: 8, Count: 3},
+		{From: 0, To: 1, Global: 16, SrcOff: 8, DstOff: 11, Count: 1},
+		{From: 0, To: 2, Global: 17, SrcOff: 9, DstOff: 0, Count: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Chunk = %v\nwant %v", got, want)
+	}
+}
+
+func TestChunkPreservesTotals(t *testing.T) {
+	src, err := FromCounts([]int{1000, 1000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := FromCounts([]int{1500, 1000, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Plan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked := Chunk(plan, 64)
+	total := 0
+	for _, tr := range chunked {
+		if tr.Count <= 0 || tr.Count > 64 {
+			t.Fatalf("chunk count %d out of (0, 64]", tr.Count)
+		}
+		total += tr.Count
+	}
+	planTotal := 0
+	for _, tr := range plan {
+		planTotal += tr.Count
+	}
+	if total != planTotal {
+		t.Fatalf("chunked plan moves %d elements, original %d", total, planTotal)
+	}
+}

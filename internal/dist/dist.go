@@ -478,3 +478,40 @@ func PlanTo(plan []Transfer, receiver int) []Transfer {
 	}
 	return out
 }
+
+// Chunk splits every transfer in plan whose Count exceeds maxCount
+// into consecutive sub-transfers of at most maxCount elements, with
+// Global/SrcOff/DstOff advanced accordingly, so large blocks can be
+// pipelined as independently routable chunks. A maxCount <= 0 disables
+// chunking; if no transfer exceeds maxCount the original slice is
+// returned unchanged (and unaliased growth is avoided).
+func Chunk(plan []Transfer, maxCount int) []Transfer {
+	if maxCount <= 0 {
+		return plan
+	}
+	needed := false
+	for _, t := range plan {
+		if t.Count > maxCount {
+			needed = true
+			break
+		}
+	}
+	if !needed {
+		return plan
+	}
+	out := make([]Transfer, 0, len(plan)+4)
+	for _, t := range plan {
+		for off := 0; off < t.Count; off += maxCount {
+			n := min(maxCount, t.Count-off)
+			out = append(out, Transfer{
+				From:   t.From,
+				To:     t.To,
+				Global: t.Global + off,
+				SrcOff: t.SrcOff + off,
+				DstOff: t.DstOff + off,
+				Count:  n,
+			})
+		}
+	}
+	return out
+}

@@ -22,6 +22,7 @@ import (
 
 	"pardis/internal/cdr"
 	"pardis/internal/dist"
+	"pardis/internal/giop"
 	"pardis/internal/rts"
 )
 
@@ -51,6 +52,9 @@ type Codec[T any] interface {
 	Encode(e *cdr.Encoder, v []T)
 	// Decode reads exactly n elements.
 	Decode(d *cdr.Decoder, n int) ([]T, error)
+	// DecodeInto reads exactly len(dst) elements straight into dst
+	// (no intermediate slice).
+	DecodeInto(d *cdr.Decoder, dst []T) error
 }
 
 // DoubleCodec marshals float64 blocks (the dsequence<double> of the
@@ -74,6 +78,20 @@ func (DoubleCodec) Decode(d *cdr.Decoder, n int) ([]float64, error) {
 	return v, nil
 }
 
+// DecodeInto implements Codec. The three-index slice caps the bulk
+// decoder's capacity at len(dst), so on success the elements are
+// guaranteed to have been written in place.
+func (DoubleCodec) DecodeInto(d *cdr.Decoder, dst []float64) error {
+	v, err := d.DoubleSeqInto(dst[:0:len(dst)])
+	if err != nil {
+		return err
+	}
+	if len(v) != len(dst) {
+		return fmt.Errorf("dseq: decoded %d doubles, want %d", len(v), len(dst))
+	}
+	return nil
+}
+
 // LongCodec marshals int32 blocks.
 type LongCodec struct{}
 
@@ -92,6 +110,18 @@ func (LongCodec) Decode(d *cdr.Decoder, n int) ([]int32, error) {
 	return v, nil
 }
 
+// DecodeInto implements Codec.
+func (LongCodec) DecodeInto(d *cdr.Decoder, dst []int32) error {
+	v, err := d.LongSeqInto(dst[:0:len(dst)])
+	if err != nil {
+		return err
+	}
+	if len(v) != len(dst) {
+		return fmt.Errorf("dseq: decoded %d longs, want %d", len(v), len(dst))
+	}
+	return nil
+}
+
 // Seq is one computing thread's view of a distributed sequence of T.
 type Seq[T any] struct {
 	layout dist.Layout
@@ -99,6 +129,42 @@ type Seq[T any] struct {
 	local  []T
 	owned  Ownership
 	codec  Codec[T]
+
+	// Redistribute scratch state, recycled across calls so a steady
+	// redistribution pattern (e.g. alternating between two layouts in
+	// a solver loop) stops allocating: the displaced local block
+	// becomes the next call's destination buffer, transfer plans are
+	// memoized per (src, dst) layout pair, and the send-completion
+	// channel is reused.
+	scratch  []T
+	plans    [2]redistPlan
+	nextPlan int
+	sendDone chan error
+}
+
+// redistPlan memoizes one dist.Plan result keyed by its layout pair.
+type redistPlan struct {
+	src, dst dist.Layout
+	plan     []dist.Transfer
+	ok       bool
+}
+
+// planFor returns the (read-only) transfer plan from s.layout to dst,
+// serving repeat layout pairs from a two-entry memo — enough to make
+// an alternating redistribution loop plan-allocation-free.
+func (s *Seq[T]) planFor(dst dist.Layout) ([]dist.Transfer, error) {
+	for _, p := range s.plans {
+		if p.ok && p.src.Equal(s.layout) && p.dst.Equal(dst) {
+			return p.plan, nil
+		}
+	}
+	plan, err := dist.Plan(s.layout, dst)
+	if err != nil {
+		return nil, err
+	}
+	s.plans[s.nextPlan] = redistPlan{src: s.layout, dst: dst, plan: plan, ok: true}
+	s.nextPlan = (s.nextPlan + 1) % len(s.plans)
+	return plan, nil
 }
 
 // New allocates a distributed sequence of the given global length,
@@ -262,46 +328,100 @@ func (s *Seq[T]) Redistribute(th rts.Thread, newLayout dist.Layout) error {
 		return fmt.Errorf("%w: redistribute to %d threads, have %d",
 			ErrMismatch, newLayout.P(), s.layout.P())
 	}
-	plan, err := dist.Plan(s.layout, newLayout)
+	plan, err := s.planFor(newLayout)
 	if err != nil {
 		return err
 	}
-	fresh := make([]T, newLayout.Count(s.rank))
-	// Tag transfers by their index in the global plan so concurrent
-	// blocks between the same pair stay distinct.
-	for i, tr := range plan {
-		if tr.From != th.Rank() {
-			continue
-		}
-		if tr.From == tr.To {
+	// Destination storage: recycle the scratch block (the local slice
+	// displaced by the previous redistribution) when it is big enough.
+	// Every destination element is covered by exactly one transfer, so
+	// stale contents need no clearing.
+	need := newLayout.Count(s.rank)
+	var fresh []T
+	if cap(s.scratch) >= need {
+		fresh = s.scratch[:need]
+	} else {
+		fresh = make([]T, need)
+	}
+	rank := th.Rank()
+
+	// Local intersection first: a straight copy, no encoding.
+	for _, tr := range plan {
+		if tr.From == rank && tr.To == rank {
 			copy(fresh[tr.DstOff:tr.DstOff+tr.Count], s.local[tr.SrcOff:tr.SrcOff+tr.Count])
-			continue
-		}
-		e := cdr.NewEncoder(cdr.BigEndian)
-		s.codec.Encode(e, s.local[tr.SrcOff:tr.SrcOff+tr.Count])
-		if err := th.SendBytes(tr.To, i, e.Bytes()); err != nil {
-			return err
 		}
 	}
+
+	// Post all sends from their own goroutine, then drain receives on
+	// this one: the RTS tags every message (by its index in the global
+	// plan, so concurrent blocks between the same pair stay distinct),
+	// which makes the posting order deadlock-free even under a
+	// rendezvous-style RTS where SendBytes blocks until the receiver
+	// arrives. Payloads are encoded native-order (flag octet + block)
+	// on pooled encoders — within a process both directions are then a
+	// single memcpy, and the buffers recycle instead of allocating per
+	// transfer.
+	if s.sendDone == nil {
+		s.sendDone = make(chan error, 1)
+	}
+	sendDone := s.sendDone
+	go func() {
+		for i, tr := range plan {
+			if tr.From != rank || tr.To == rank {
+				continue
+			}
+			e := giop.AcquireEncoder(cdr.NativeOrder)
+			e.PutOctet(byte(cdr.NativeOrder) & 1)
+			s.codec.Encode(e.Encoder, s.local[tr.SrcOff:tr.SrcOff+tr.Count])
+			err := th.SendBytes(tr.To, i, e.Bytes())
+			e.Release() // SendBytes copies (or fully consumes) the payload
+			if err != nil {
+				sendDone <- err
+				return
+			}
+		}
+		sendDone <- nil
+	}()
+
+	var recvErr error
 	for i, tr := range plan {
-		if tr.To != th.Rank() || tr.From == tr.To {
+		if tr.To != rank || tr.From == rank {
 			continue
 		}
 		raw, err := th.RecvBytes(tr.From, i)
 		if err != nil {
-			return err
+			recvErr = err
+			break
 		}
-		d := cdr.NewDecoder(cdr.BigEndian, raw)
-		blk, err := s.codec.Decode(d, tr.Count)
-		if err != nil {
-			return err
+		if len(raw) < 1 {
+			recvErr = fmt.Errorf("%w: empty redistribute payload", ErrMismatch)
+			break
 		}
-		copy(fresh[tr.DstOff:tr.DstOff+tr.Count], blk)
+		d := cdr.NewDecoderAt(cdr.ByteOrder(raw[0]&1), raw[1:], 1)
+		if err := s.codec.DecodeInto(d, fresh[tr.DstOff:tr.DstOff+tr.Count]); err != nil {
+			recvErr = err
+			break
+		}
+	}
+	sendErr := <-sendDone
+	if recvErr != nil {
+		return recvErr
+	}
+	if sendErr != nil {
+		return sendErr
 	}
 	if err := th.Barrier(); err != nil {
 		return err
 	}
 	s.layout = newLayout
+	// Keep the displaced block as scratch for the next call — but only
+	// when this sequence owned it; a borrowed block still belongs to
+	// the caller and must not be written through later.
+	if s.owned == Owner {
+		s.scratch = s.local
+	} else {
+		s.scratch = nil
+	}
 	s.local = fresh
 	s.owned = Owner
 	return nil

@@ -1,0 +1,53 @@
+package giop
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBlockSinkKey(t *testing.T) {
+	key, err := BlockSinkKey(0x12345678, 0x9A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(0x12345678)<<8 | 0x9A; key != want {
+		t.Fatalf("key = %#x, want %#x", key, want)
+	}
+	if _, err := BlockSinkKey(MaxBlockInvocationID, MaxBlockArgIndex); err != nil {
+		t.Fatalf("max-range key rejected: %v", err)
+	}
+	if _, err := BlockSinkKey(MaxBlockInvocationID+1, 0); !errors.Is(err, ErrBlockRange) {
+		t.Fatalf("oversized invocation ID: got %v, want ErrBlockRange", err)
+	}
+	if _, err := BlockSinkKey(0, MaxBlockArgIndex+1); !errors.Is(err, ErrBlockRange) {
+		t.Fatalf("oversized arg index: got %v, want ErrBlockRange", err)
+	}
+}
+
+func TestCheckBlockRange(t *testing.T) {
+	cases := []struct {
+		name   string
+		dstOff int
+		count  int
+		ok     bool
+	}{
+		{"zero", 0, 0, true},
+		{"typical", 1 << 20, 1 << 20, true},
+		{"max offset", 0xFFFFFFFF, 0, true},
+		{"max count", 0, 0xFFFFFFFF, true},
+		{"negative offset", -1, 8, false},
+		{"negative count", 0, -1, false},
+		{"offset truncates", 1 << 32, 0, false},
+		{"count truncates", 0, 1 << 32, false},
+		{"end overflows uint32", 0xFFFFFFFF, 1, false},
+	}
+	for _, tc := range cases {
+		err := CheckBlockRange(tc.dstOff, tc.count)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && !errors.Is(err, ErrBlockRange) {
+			t.Errorf("%s: got %v, want ErrBlockRange", tc.name, err)
+		}
+	}
+}

@@ -90,6 +90,7 @@ var (
 	ErrBadVersion = errors.New("giop: unsupported protocol version")
 	ErrBadType    = errors.New("giop: unknown message type")
 	ErrTooLong    = errors.New("giop: message body exceeds limit")
+	ErrBlockRange = errors.New("giop: block transfer field out of range")
 )
 
 // WriteMessage frames and writes one PIOP message. Header and body go
@@ -464,6 +465,45 @@ func DecodeBlockTransferHeader(d *cdr.Decoder) (BlockTransferHeader, error) {
 	}
 	h.Last, err = d.Boolean()
 	return h, err
+}
+
+// Block sinks are keyed by invocation ID and argument index packed
+// into one uint64 (invocation in the high 56 bits, argument index in
+// the low 8). The packing bounds both fields: invocation IDs above
+// MaxBlockInvocationID would silently lose their high bits to the
+// shift, and argument indexes above MaxBlockArgIndex would collide
+// with the next invocation's key space.
+const (
+	MaxBlockInvocationID = 1<<56 - 1
+	MaxBlockArgIndex     = 0xFF
+)
+
+// BlockSinkKey packs (invocation, argIndex) into the sink-routing key,
+// validating that neither field overflows its packed width.
+func BlockSinkKey(inv uint64, argIdx uint32) (uint64, error) {
+	if inv > MaxBlockInvocationID {
+		return 0, fmt.Errorf("%w: invocation id %#x exceeds 56 bits", ErrBlockRange, inv)
+	}
+	if argIdx > MaxBlockArgIndex {
+		return 0, fmt.Errorf("%w: argument index %d exceeds %d", ErrBlockRange, argIdx, MaxBlockArgIndex)
+	}
+	return inv<<8 | uint64(argIdx), nil
+}
+
+// CheckBlockRange validates that a transfer's destination offset and
+// element count fit the uint32 wire fields of BlockTransferHeader
+// (including their sum, so DstOff+Count cannot wrap on the receiver).
+func CheckBlockRange(dstOff, count int) error {
+	if dstOff < 0 || uint64(dstOff) > 0xFFFFFFFF {
+		return fmt.Errorf("%w: destination offset %d does not fit uint32", ErrBlockRange, dstOff)
+	}
+	if count < 0 || uint64(count) > 0xFFFFFFFF {
+		return fmt.Errorf("%w: element count %d does not fit uint32", ErrBlockRange, count)
+	}
+	if uint64(dstOff)+uint64(count) > 0xFFFFFFFF {
+		return fmt.Errorf("%w: offset %d + count %d overflows uint32", ErrBlockRange, dstOff, count)
+	}
+	return nil
 }
 
 // SystemException is the PIOP-level error a server returns when a

@@ -150,7 +150,7 @@ func BenchmarkSendBlock(b *testing.B) {
 	// consumer must keep pace or the sink overflows by design (the
 	// router enforces bounded buffering).
 	for i := 0; i < b.N; i++ {
-		if err := cli.SendBlock(ep, hdr, func(e *cdr.Encoder) { e.PutDoubleSeq(payload) }); err != nil {
+		if _, err := cli.SendBlock(ep, hdr, func(e *cdr.Encoder) { e.PutDoubleSeq(payload) }); err != nil {
 			b.Fatal(err)
 		}
 		if blk := <-sink; blk.Header.InvocationID != 1 {

@@ -159,7 +159,10 @@ func NewClient(reg *transport.Registry, opts ...ClientOption) *Client {
 	}
 	var seed [8]byte
 	if _, err := rand.Read(seed[:]); err == nil {
-		c.invPrefix = binary.BigEndian.Uint64(seed[:]) &^ 0xFFFFFFFF
+		// 24 random bits at positions 32-55: invocation ids stay
+		// within giop.MaxBlockInvocationID so block sink keys
+		// (inv<<8|arg) never truncate the prefix.
+		c.invPrefix = binary.BigEndian.Uint64(seed[:]) & 0x00FFFFFF_00000000
 	}
 	for _, o := range opts {
 		o(c)
@@ -180,7 +183,8 @@ func (c *Client) EndpointUp(endpoint string) bool { return c.health.up(endpoint)
 func (c *Client) Health() map[string]EndpointState { return c.health.snapshot() }
 
 // NewInvocationID allocates an invocation id unique across this
-// client process (random 32-bit prefix + counter).
+// client process (random 24-bit prefix + 32-bit counter, always
+// within giop.MaxBlockInvocationID).
 func (c *Client) NewInvocationID() uint64 {
 	return c.invPrefix | (c.invCounter.Add(1) & 0xFFFFFFFF)
 }
@@ -192,6 +196,17 @@ func (c *Client) NewInvocationID() uint64 {
 func (c *Client) ExpectBlocks(inv uint64, ch chan<- Block) (func(), error) {
 	return c.blocks.register(inv, ch)
 }
+
+// ExpectBlocksFunc registers a callback sink: blocks for inv are
+// handed to fn directly on the delivering connection's read goroutine.
+// fn may run concurrently (one call per delivering connection) and
+// must not block; returning an error tears down that connection.
+func (c *Client) ExpectBlocksFunc(inv uint64, fn func(Block) error) (func(), error) {
+	return c.blocks.registerFunc(inv, fn)
+}
+
+// BlockStats reports the client block router's sink/pending counts.
+func (c *Client) BlockStats() BlockRouterStats { return c.blocks.stats() }
 
 // stripe is one endpoint's small pool of connections. Concurrent
 // invocations spread across its members by outstanding-request depth,
@@ -533,20 +548,25 @@ func (c *Client) invokeOnce(ctx context.Context, endpoint string, hdr giop.Reque
 }
 
 // SendBlock ships one block-transfer message to endpoint. payload is
-// encoded by the callback at the correct stream offset.
-func (c *Client) SendBlock(endpoint string, hdr giop.BlockTransferHeader, payload func(*cdr.Encoder)) error {
+// encoded by the callback at the correct stream offset. It returns the
+// number of encoded payload bytes (the body minus the transfer
+// header), so callers can account actual wire traffic for any element
+// type.
+func (c *Client) SendBlock(endpoint string, hdr giop.BlockTransferHeader, payload func(*cdr.Encoder)) (int, error) {
 	cc, err := c.conn(endpoint)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	e := giop.AcquireEncoder(c.order)
 	hdr.Encode(e.Encoder)
+	hdrLen := e.Len()
 	if payload != nil {
 		payload(e.Encoder)
 	}
+	n := e.Len() - hdrLen
 	err = cc.write(giop.MsgBlockTransfer, e.Bytes())
 	e.Release()
-	return err
+	return n, err
 }
 
 // Locate asks whether endpoint serves the object key, returning the

@@ -60,11 +60,34 @@ type Block struct {
 // (blocks race the invocation header across separate connections).
 const defaultMaxPendingBlocks = 4096
 
+// blockSink is one registered consumer of block transfers: either a
+// buffered channel (legacy path) or a callback invoked directly on the
+// connection's read goroutine (the fast path for parallel assembly —
+// multiple connections delivering to the same invocation run their
+// callbacks concurrently, so callbacks must be safe for concurrent
+// use and must not block).
+type blockSink struct {
+	ch chan<- Block
+	fn func(Block) error
+}
+
+func (s blockSink) send(b Block) error {
+	if s.fn != nil {
+		return s.fn(b)
+	}
+	select {
+	case s.ch <- b:
+		return nil
+	default:
+		return fmt.Errorf("orb: block sink full for invocation %d", b.Header.InvocationID)
+	}
+}
+
 // blockRouter delivers incoming blocks to the invocation engines
 // expecting them, buffering early arrivals.
 type blockRouter struct {
 	mu         sync.Mutex
-	sinks      map[uint64]chan<- Block
+	sinks      map[uint64]blockSink
 	pending    map[uint64][]Block
 	pendingLen int
 	maxPending int
@@ -72,16 +95,31 @@ type blockRouter struct {
 
 func newBlockRouter() *blockRouter {
 	return &blockRouter{
-		sinks:      make(map[uint64]chan<- Block),
+		sinks:      make(map[uint64]blockSink),
 		pending:    make(map[uint64][]Block),
 		maxPending: defaultMaxPendingBlocks,
 	}
 }
 
+// BlockRouterStats is a point-in-time snapshot of a block router, used
+// by tests and health checks to assert sinks are not leaked.
+type BlockRouterStats struct {
+	// Sinks is the number of registered (not yet cancelled) sinks.
+	Sinks int
+	// Pending is the number of buffered early blocks awaiting a sink.
+	Pending int
+}
+
+func (r *blockRouter) stats() BlockRouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return BlockRouterStats{Sinks: len(r.sinks), Pending: r.pendingLen}
+}
+
 // deliver hands a block to its registered sink, or buffers it until
-// the sink registers. The sink channel must be buffered generously
-// (at least the plan size) — delivery never blocks; a full sink is an
-// error surfaced to the connection.
+// the sink registers. Channel sinks must be buffered generously (at
+// least the plan size) — delivery never blocks on a channel; callback
+// sinks run inline on the calling goroutine.
 func (r *blockRouter) deliver(b Block) error {
 	r.mu.Lock()
 	sink, ok := r.sinks[b.Header.InvocationID]
@@ -96,38 +134,45 @@ func (r *blockRouter) deliver(b Block) error {
 		return nil
 	}
 	r.mu.Unlock()
-	select {
-	case sink <- b:
-		return nil
-	default:
-		return fmt.Errorf("orb: block sink full for invocation %d", b.Header.InvocationID)
-	}
+	return sink.send(b)
 }
 
-// register installs a sink for an invocation id, flushing any blocks
-// that arrived early. The returned cancel function removes the sink
-// and discards later strays.
+// register installs a channel sink for an invocation id, flushing any
+// blocks that arrived early. The returned cancel function removes the
+// sink and discards later strays.
 func (r *blockRouter) register(inv uint64, ch chan<- Block) (cancel func(), err error) {
+	return r.install(inv, blockSink{ch: ch})
+}
+
+// registerFunc installs a callback sink: every block for inv is handed
+// to fn on the delivering connection's read goroutine. fn may be
+// called concurrently from multiple connections and must not block; a
+// non-nil error from fn tears down the delivering connection.
+func (r *blockRouter) registerFunc(inv uint64, fn func(Block) error) (cancel func(), err error) {
+	return r.install(inv, blockSink{fn: fn})
+}
+
+func (r *blockRouter) install(inv uint64, sink blockSink) (cancel func(), err error) {
 	r.mu.Lock()
 	if _, dup := r.sinks[inv]; dup {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("orb: duplicate block sink for invocation %d", inv)
 	}
-	r.sinks[inv] = ch
+	r.sinks[inv] = sink
 	early := r.pending[inv]
 	delete(r.pending, inv)
 	r.pendingLen -= len(early)
 	r.mu.Unlock()
-	for _, b := range early {
-		select {
-		case ch <- b:
-		default:
-			return nil, fmt.Errorf("orb: block sink full for invocation %d", inv)
-		}
-	}
-	return func() {
+	cancel = func() {
 		r.mu.Lock()
 		delete(r.sinks, inv)
 		r.mu.Unlock()
-	}, nil
+	}
+	for _, b := range early {
+		if err := sink.send(b); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	return cancel, nil
 }

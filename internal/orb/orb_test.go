@@ -291,7 +291,7 @@ func TestBlockTransferClientToServer(t *testing.T) {
 		InvocationID: inv, ArgIndex: 0, FromThread: 1, ToThread: 2,
 		DstOff: 10, Count: 3, Last: true,
 	}
-	err = cli.SendBlock(ep, hdr, func(e *cdr.Encoder) {
+	_, err = cli.SendBlock(ep, hdr, func(e *cdr.Encoder) {
 		e.PutDoubleSeq([]float64{1, 2, 3})
 	})
 	if err != nil {
@@ -324,7 +324,7 @@ func TestBlockArrivingBeforeSinkIsBuffered(t *testing.T) {
 	cli, srv, ep := newPair(t)
 	inv := cli.NewInvocationID()
 	hdr := giop.BlockTransferHeader{InvocationID: inv, Count: 1, Last: true}
-	if err := cli.SendBlock(ep, hdr, func(e *cdr.Encoder) { e.PutDoubleSeq([]float64{9}) }); err != nil {
+	if _, err := cli.SendBlock(ep, hdr, func(e *cdr.Encoder) { e.PutDoubleSeq([]float64{9}) }); err != nil {
 		t.Fatal(err)
 	}
 	// Give the block time to arrive before the sink exists.

@@ -180,6 +180,18 @@ func (s *Server) ExpectBlocks(inv uint64, ch chan<- Block) (func(), error) {
 	return s.blocks.register(inv, ch)
 }
 
+// ExpectBlocksFunc registers a callback sink: blocks for inv are
+// handed to fn directly on the delivering connection's read goroutine,
+// so blocks from different senders (different connections) are
+// assembled concurrently. fn must be safe for concurrent use and must
+// not block; returning an error tears down that connection.
+func (s *Server) ExpectBlocksFunc(inv uint64, fn func(Block) error) (func(), error) {
+	return s.blocks.registerFunc(inv, fn)
+}
+
+// BlockStats reports the server block router's sink/pending counts.
+func (s *Server) BlockStats() BlockRouterStats { return s.blocks.stats() }
+
 // Listen binds an endpoint ("tcp:host:port", port 0 for ephemeral, or
 // "inproc:name"/"inproc:*") and serves connections on it until Close.
 // It returns the resolved endpoint to advertise in object references.

@@ -46,6 +46,14 @@ type BindConfig struct {
 	// open per endpoint (0 = orb.DefaultStripeWidth()). Concurrent
 	// invocations and block sends spread across the stripe.
 	Stripes int
+	// XferWindow bounds how many block sends this thread keeps in
+	// flight per transfer (0 = spmd.DefaultXferWindow, negative =
+	// serial).
+	XferWindow int
+	// XferChunkBytes is the payload size above which a block is split
+	// into pipelined chunks (0 = spmd.DefaultXferChunkBytes, negative
+	// = chunking disabled).
+	XferChunkBytes int
 }
 
 // Binding is one client thread's stub-side connection to an SPMD
@@ -68,9 +76,17 @@ type Binding struct {
 
 	stats bindingStats
 
+	// window/chunkElems are the resolved data-plane knobs (see
+	// BindConfig.XferWindow / XferChunkBytes).
+	window     int
+	chunkElems int
+
 	// rankLag is this rank's interned exit-barrier histogram (rank is
 	// fixed for the binding's lifetime, so resolve the labels once).
 	rankLag *telemetry.Histogram
+	// xferIn/xferOut time this rank's transfer phases (in-argument
+	// fan-out / out-argument collection).
+	xferIn, xferOut *telemetry.Histogram
 }
 
 // Interned once at package load: the registry's per-call label-key
@@ -112,6 +128,16 @@ func (b *Binding) Stats() Stats {
 		BytesOut:    b.stats.bytesOut.Load(),
 		BytesIn:     b.stats.bytesIn.Load(),
 	}
+}
+
+// BlockStats reports this thread's receive-port block-router state.
+// Between invocations it must be empty — a nonzero sink count means
+// an out-block sink leaked.
+func (b *Binding) BlockStats() orb.BlockRouterStats {
+	if b.recv == nil {
+		return orb.BlockRouterStats{}
+	}
+	return b.recv.BlockStats()
 }
 
 // DistArg pairs a distributed sequence with its parameter mode for
@@ -205,8 +231,14 @@ func bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 		oc:     orb.NewClient(reg, clientOpts...),
 		method: cfg.Method,
 	}
+	b.window = resolveWindow(cfg.XferWindow)
+	b.chunkElems = resolveChunkElems(cfg.XferChunkBytes)
 	b.rankLag = telemetry.Default.Histogram("pardis_spmd_rank_lag_seconds",
 		"side", "client", "rank", strconv.Itoa(b.rank))
+	b.xferIn = telemetry.Default.Histogram("pardis_spmd_transfer_seconds",
+		"side", "client", "dir", "in", "rank", strconv.Itoa(b.rank))
+	b.xferOut = telemetry.Default.Histogram("pardis_spmd_transfer_seconds",
+		"side", "client", "dir", "out", "rank", strconv.Itoa(b.rank))
 	if cfg.Method == MultiPort && !ref.MultiPort() {
 		b.oc.Close()
 		return nil, fmt.Errorf("%w: object %s does not export multi-port endpoints",
@@ -416,12 +448,13 @@ type replyEnvelope struct {
 	body  []byte
 }
 
-// outCollector accumulates multi-port out-blocks for one argument on
-// this client thread.
+// outCollector owns the concurrent assembly of one argument's
+// multi-port out-blocks on this client thread: server threads decode
+// straight into the sequence's local block via the assembler, on
+// their delivering connections' read goroutines.
 type outCollector struct {
 	arg    int
-	expect int
-	sink   chan orb.Block
+	asm    *blockAssembler
 	cancel func()
 	seq    *dseq.Doubles
 }
@@ -555,17 +588,21 @@ func (b *Binding) startPhase(ctx context.Context, spec *CallSpec) (*Pending, err
 				p.cancelSinks()
 				return nil, err
 			}
-			mine := dist.PlanTo(plan, b.rank)
-			if len(mine) == 0 {
+			expect := planElemsTo(plan, b.rank)
+			if expect == 0 {
 				continue
 			}
-			col := &outCollector{
-				arg:    i,
-				expect: len(mine),
-				sink:   make(chan orb.Block, len(plan)+1),
-				seq:    a.Seq,
+			key, err := giop.BlockSinkKey(inv, uint32(i))
+			if err != nil {
+				p.cancelSinks()
+				return nil, err
 			}
-			cancel, err := b.recv.ExpectBlocks(inv<<8|uint64(i), col.sink)
+			col := &outCollector{
+				arg: i,
+				asm: newBlockAssembler(b.rank, a.Seq.LocalData(), expect),
+				seq: a.Seq,
+			}
+			cancel, err := b.recv.ExpectBlocksFunc(key, col.asm.accept)
 			if err != nil {
 				p.cancelSinks()
 				return nil, err
@@ -690,38 +727,21 @@ func (b *Binding) startPhase(ctx context.Context, spec *CallSpec) (*Pending, err
 			if sendErr != nil {
 				return nil, sendErr
 			}
-			return nil, fmt.Errorf("%w: in-transfer failed on thread %d", ErrRemote, r)
+			return nil, fmt.Errorf("%w: in-transfer failed on thread %d", ErrPartialFailure, r)
 		}
 	}
 	return p, nil
 }
 
-// sendBlocks ships this client thread's share of an in transfer.
+// sendBlocks ships this client thread's share of an in transfer,
+// chunked and windowed (see sendPlanBlocks).
 func (b *Binding) sendBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles) error {
-	mine := dist.PlanFor(plan, b.rank)
-	local := seq.LocalData()
-	lastIdx := make(map[int]int)
-	for idx, tr := range mine {
-		lastIdx[tr.To] = idx
-	}
-	for idx, tr := range mine {
-		h := giop.BlockTransferHeader{
-			InvocationID: inv<<8 | uint64(argIdx),
-			ArgIndex:     argIdx,
-			FromThread:   int32(b.rank),
-			ToThread:     int32(tr.To),
-			DstOff:       uint32(tr.DstOff),
-			Count:        uint32(tr.Count),
-			Last:         lastIdx[tr.To] == idx,
-		}
-		blk := local[tr.SrcOff : tr.SrcOff+tr.Count]
-		ep := b.ref.ThreadEndpoint(tr.To)
-		if err := b.oc.SendBlock(ep, h, func(e *cdr.Encoder) { e.PutDoubleSeq(blk) }); err != nil {
-			return err
-		}
-		b.stats.bytesOut.Add(uint64(tr.Count) * 8)
-	}
-	return nil
+	t := time.Now()
+	n, err := sendPlanBlocks(b.oc, inv, argIdx, b.rank, plan, seq.LocalData(),
+		b.ref.ThreadEndpoint, b.window, b.chunkElems)
+	b.stats.bytesOut.Add(n)
+	b.xferIn.ObserveDuration(time.Since(t))
+	return err
 }
 
 func (p *Pending) cancelSinks() {
@@ -819,33 +839,21 @@ func (p *Pending) Wait(ctx context.Context) (err error) {
 
 	// Collect multi-port out-blocks destined for this thread. The
 	// server completed successfully, so every planned block was (or
-	// is being) sent; early arrivals sit in the router's buffer.
+	// is being) sent; blocks were (and still are) decoded straight
+	// into the sequences' local data by the per-argument assemblers —
+	// this loop only awaits completion.
 	var localErr error
-	for _, col := range p.outSinks {
-		local := col.seq.LocalData()
-		for got := 0; got < col.expect && localErr == nil; got++ {
-			select {
-			case blk := <-col.sink:
-				h := blk.Header
-				base := blockPayloadBase(h, blk.Order)
-				bd := cdr.NewDecoderAt(blk.Order, blk.Payload, base)
-				data, err := bd.DoubleSeq()
-				if err != nil {
-					localErr = err
-					break
-				}
-				if int(h.DstOff)+len(data) > len(local) || int(h.Count) != len(data) {
-					localErr = fmt.Errorf("%w: out-block bounds", ErrRemote)
-					break
-				}
-				copy(local[h.DstOff:], data)
-				b.stats.bytesIn.Add(uint64(len(data)) * 8)
-			case <-ctx.Done():
-				localErr = ctx.Err()
+	if len(p.outSinks) > 0 {
+		t := time.Now()
+		for _, col := range p.outSinks {
+			if localErr == nil {
+				localErr = col.asm.wait(ctx, nil)
 			}
+			b.stats.bytesIn.Add(col.asm.nbytes.Load())
+			col.cancel()
+			col.cancel = nil
 		}
-		col.cancel()
-		col.cancel = nil
+		b.xferOut.ObserveDuration(time.Since(t))
 	}
 
 	// Collective verdict on the collection phase.
@@ -862,7 +870,7 @@ func (p *Pending) Wait(ctx context.Context) (err error) {
 			if localErr != nil {
 				return localErr
 			}
-			return fmt.Errorf("%w: out-transfer failed on thread %d", ErrRemote, r)
+			return fmt.Errorf("%w: out-transfer failed on thread %d", ErrPartialFailure, r)
 		}
 	}
 

@@ -62,7 +62,7 @@ func TestMaliciousBlockRejected(t *testing.T) {
 					Last:         false,
 				}
 				ep := obj.ref.ThreadEndpoint(1)
-				if err := b.oc.SendBlock(ep, h, func(e *cdr.Encoder) {
+				if _, err := b.oc.SendBlock(ep, h, func(e *cdr.Encoder) {
 					e.PutDoubleSeq([]float64{1, 2, 3, 4})
 				}); err != nil {
 					return err

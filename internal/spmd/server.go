@@ -75,6 +75,14 @@ type ObjectConfig struct {
 	// client (result blocks back to client ports) may open per
 	// endpoint (0 = orb.DefaultStripeWidth()).
 	Stripes int
+	// XferWindow bounds how many out-block sends this thread keeps in
+	// flight per transfer (0 = spmd.DefaultXferWindow, negative =
+	// serial).
+	XferWindow int
+	// XferChunkBytes is the payload size above which an out-block is
+	// split into pipelined chunks (0 = spmd.DefaultXferChunkBytes,
+	// negative = chunking disabled).
+	XferChunkBytes int
 }
 
 // Op couples an operation's signature with its implementation.
@@ -99,9 +107,17 @@ type Object struct {
 	served atomic.Uint64
 	failed atomic.Uint64
 
+	// window/chunkElems are the resolved data-plane knobs (see
+	// ObjectConfig.XferWindow / XferChunkBytes).
+	window     int
+	chunkElems int
+
 	// rankLag is this rank's interned post-invocation barrier
 	// histogram (rank is fixed for the object's lifetime).
 	rankLag *telemetry.Histogram
+	// xferIn/xferOut time this rank's transfer phases (in-argument
+	// assembly / out-argument fan-out).
+	xferIn, xferOut *telemetry.Histogram
 }
 
 // Interned once at package load — the per-dispatch phase histograms
@@ -125,6 +141,16 @@ type ObjectStats struct {
 // Stats returns this thread's counters.
 func (o *Object) Stats() ObjectStats {
 	return ObjectStats{Served: o.served.Load(), Failed: o.failed.Load()}
+}
+
+// BlockStats reports this thread's block-router state (registered
+// sinks and buffered early blocks). After the serve loops exit it
+// must be empty — a nonzero sink count is a leak.
+func (o *Object) BlockStats() orb.BlockRouterStats {
+	if o.srv == nil {
+		return orb.BlockRouterStats{}
+	}
+	return o.srv.BlockStats()
 }
 
 // tagRefExchange keeps SPMD-engine RTS messages clear of application
@@ -154,8 +180,14 @@ func Export(cfg ObjectConfig) (*Object, error) {
 		size:   th.Size(),
 		closed: make(chan struct{}),
 	}
+	o.window = resolveWindow(cfg.XferWindow)
+	o.chunkElems = resolveChunkElems(cfg.XferChunkBytes)
 	o.rankLag = telemetry.Default.Histogram("pardis_spmd_rank_lag_seconds",
 		"side", "server", "rank", strconv.Itoa(o.rank))
+	o.xferIn = telemetry.Default.Histogram("pardis_spmd_transfer_seconds",
+		"side", "server", "dir", "in", "rank", strconv.Itoa(o.rank))
+	o.xferOut = telemetry.Default.Histogram("pardis_spmd_transfer_seconds",
+		"side", "server", "dir", "out", "rank", strconv.Itoa(o.rank))
 
 	needPort := o.rank == 0 || cfg.MultiPort
 	var myEndpoint string
@@ -306,14 +338,15 @@ func (o *Object) replyDescribe(in *orb.Incoming) {
 }
 
 // Close shuts the object down. Serve loops return ErrClosed on all
-// threads once in-flight requests complete. Collective.
+// threads once in-flight requests complete. Collective. Every rank
+// closes its own closed channel so worker threads blocked in block
+// assembly (a sender died mid-transfer) unwind instead of waiting for
+// blocks that will never arrive.
 func (o *Object) Close() {
-	if o.rank == 0 {
-		select {
-		case <-o.closed:
-		default:
-			close(o.closed)
-		}
+	select {
+	case <-o.closed:
+	default:
+		close(o.closed)
 	}
 	if o.srv != nil {
 		o.srv.Close()
@@ -434,7 +467,7 @@ func (o *Object) serveOne(ctx context.Context) error {
 	if o.rank == 0 {
 		return o.communicatorServeOne(ctx)
 	}
-	return o.workerServeOne()
+	return o.workerServeOne(ctx)
 }
 
 // communicatorServeOne pops one queued request, drives the collective
@@ -503,7 +536,7 @@ func (o *Object) communicatorServeOne(ctx context.Context) error {
 	}
 	o.bcastControl(ctrl)
 
-	replyBody, derr := o.dispatch(ctrl, w, in.Header)
+	replyBody, derr := o.dispatch(ctx, ctrl, w, in.Header)
 	if derr != nil {
 		_ = in.ReplySystemException("UNKNOWN", derr.Error())
 		return nil
@@ -512,7 +545,7 @@ func (o *Object) communicatorServeOne(ctx context.Context) error {
 }
 
 // workerServeOne participates in one collective dispatch.
-func (o *Object) workerServeOne() error {
+func (o *Object) workerServeOne(ctx context.Context) error {
 	raw, err := o.th.Bcast(0, nil)
 	if err != nil {
 		return err
@@ -524,7 +557,7 @@ func (o *Object) workerServeOne() error {
 	if !ctrl.OK {
 		return ErrClosed
 	}
-	_, derr := o.dispatch(ctrl, nil, giop.RequestHeader{})
+	_, derr := o.dispatch(ctx, ctrl, nil, giop.RequestHeader{})
 	// Worker-side dispatch errors were already folded into the
 	// collective agreement; the communicator reported them.
 	_ = derr
@@ -539,8 +572,11 @@ func (o *Object) bcastControl(c *control) {
 
 // dispatch is the collective body run by every thread: materialize
 // local argument blocks, invoke the handler, return out-data. Only
-// the communicator (which passes w != nil) builds the reply body.
-func (o *Object) dispatch(ctrl *control, w *invocationWire, hdr giop.RequestHeader) (_ []byte, err error) {
+// the communicator (which passes w != nil) builds the reply body. ctx
+// is the Serve context: it (or Close) unblocks threads waiting on
+// block transfers whose sender died. (The per-request Incoming.Ctx is
+// useless here — it is cancelled as soon as the request is queued.)
+func (o *Object) dispatch(ctx context.Context, ctrl *control, w *invocationWire, hdr giop.RequestHeader) (_ []byte, err error) {
 	o.served.Add(1)
 	defer func() {
 		if err != nil {
@@ -608,7 +644,7 @@ func (o *Object) dispatch(ctrl *control, w *invocationWire, hdr giop.RequestHead
 					firstErr = err
 					break
 				}
-				if err := o.receiveBlocks(ctrl.Inv, uint32(i), plan, seq); err != nil {
+				if err := o.receiveBlocks(ctx, ctrl.Inv, uint32(i), plan, seq); err != nil {
 					firstErr = err
 				}
 			}
@@ -709,82 +745,57 @@ func (o *Object) dispatch(ctrl *control, w *invocationWire, hdr giop.RequestHead
 }
 
 // receiveBlocks collects this thread's share of a multi-port in
-// transfer into seq's local block.
-func (o *Object) receiveBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles) error {
-	mine := dist.PlanTo(plan, o.rank)
-	if len(mine) == 0 {
+// transfer into seq's local block: each arriving block is decoded
+// straight into the destination on its delivering connection's read
+// goroutine (blocks from different senders assemble concurrently and
+// out of order), while this thread waits for the element count to
+// reach the plan's total. ctx (or object close) bounds the wait so a
+// dead sender cannot strand the dispatch.
+func (o *Object) receiveBlocks(ctx context.Context, inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles) error {
+	expect := planElemsTo(plan, o.rank)
+	if expect == 0 {
 		return nil
 	}
 	if o.srv == nil {
 		return fmt.Errorf("%w: thread %d has no port for multi-port transfer", ErrBadCall, o.rank)
 	}
-	sink := make(chan orb.Block, len(plan)+1)
-	cancel, err := o.srv.ExpectBlocks(inv<<8|uint64(argIdx), sink)
+	key, err := giop.BlockSinkKey(inv, argIdx)
+	if err != nil {
+		return err
+	}
+	t := time.Now()
+	asm := newBlockAssembler(o.rank, seq.LocalData(), expect)
+	cancel, err := o.srv.ExpectBlocksFunc(key, asm.accept)
 	if err != nil {
 		return err
 	}
 	defer cancel()
-	local := seq.LocalData()
-	for received := 0; received < len(mine); received++ {
-		blk := <-sink
-		h := blk.Header
-		if int(h.ToThread) != o.rank {
-			return fmt.Errorf("%w: block addressed to thread %d arrived at %d",
-				ErrBadCall, h.ToThread, o.rank)
-		}
-		base := blockPayloadBase(h, blk.Order)
-		d := cdr.NewDecoderAt(blk.Order, blk.Payload, base)
-		data, err := d.DoubleSeq()
-		if err != nil {
-			return err
-		}
-		if int(h.Count) != len(data) {
-			return fmt.Errorf("%w: block count %d, payload %d", ErrBadCall, h.Count, len(data))
-		}
-		if int(h.DstOff)+len(data) > len(local) {
-			return fmt.Errorf("%w: block overflows local block", ErrBadCall)
-		}
-		copy(local[h.DstOff:], data)
-	}
-	return nil
+	err = asm.wait(ctx, o.closed)
+	o.xferIn.ObserveDuration(time.Since(t))
+	return err
 }
 
 // sendBlocks ships this thread's share of a multi-port out transfer
-// directly to the client threads' endpoints.
+// directly to the client threads' endpoints, chunked and windowed
+// (see sendPlanBlocks).
 func (o *Object) sendBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles, endpoints []string) error {
-	mine := dist.PlanFor(plan, o.rank)
-	if len(mine) == 0 {
+	if len(dist.PlanFor(plan, o.rank)) == 0 {
 		return nil
 	}
 	if len(endpoints) == 0 {
 		return fmt.Errorf("%w: client sent no endpoints for multi-port out transfer", ErrBadCall)
 	}
-	local := seq.LocalData()
-	// Mark the last block per destination.
-	lastIdx := make(map[int]int)
-	for idx, tr := range mine {
-		lastIdx[tr.To] = idx
+	endpointFor := func(to int) string {
+		if to < len(endpoints) {
+			return endpoints[to]
+		}
+		return endpoints[0]
 	}
-	for idx, tr := range mine {
-		ep := endpoints[0]
-		if tr.To < len(endpoints) {
-			ep = endpoints[tr.To]
-		}
-		h := giop.BlockTransferHeader{
-			InvocationID: inv<<8 | uint64(argIdx),
-			ArgIndex:     argIdx,
-			FromThread:   int32(o.rank),
-			ToThread:     int32(tr.To),
-			DstOff:       uint32(tr.DstOff),
-			Count:        uint32(tr.Count),
-			Last:         lastIdx[tr.To] == idx,
-		}
-		blk := local[tr.SrcOff : tr.SrcOff+tr.Count]
-		if err := o.out.SendBlock(ep, h, func(e *cdr.Encoder) { e.PutDoubleSeq(blk) }); err != nil {
-			return err
-		}
-	}
-	return nil
+	t := time.Now()
+	_, err := sendPlanBlocks(o.out, inv, argIdx, o.rank, plan, seq.LocalData(),
+		endpointFor, o.window, o.chunkElems)
+	o.xferOut.ObserveDuration(time.Since(t))
+	return err
 }
 
 // agree reaches a collective verdict: if any thread reports an error,
@@ -810,11 +821,18 @@ func (o *Object) agree(local error) error {
 	return nil
 }
 
+// blockHeaderLen is the encoded size of a BlockTransferHeader — all
+// fields are fixed-width and the encoding starts at stream offset 0,
+// so the length is a constant (independent of values and byte order).
+var blockHeaderLen = func() int {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	new(giop.BlockTransferHeader).Encode(e)
+	return e.Len()
+}()
+
 // blockPayloadBase returns the stream offset at which a block payload
 // starts (right after its header), needed for alignment-correct
 // decoding.
 func blockPayloadBase(h giop.BlockTransferHeader, order cdr.ByteOrder) int {
-	e := cdr.NewEncoder(order)
-	h.Encode(e)
-	return e.Len()
+	return blockHeaderLen
 }

@@ -24,6 +24,17 @@ type testObject struct {
 	ref    *ior.Ref
 	close  func()
 	donech chan error
+
+	mu   sync.Mutex
+	objs []*Object
+}
+
+// threadObjects returns the per-thread Object handles (for stats
+// assertions after the serve loops exit).
+func (o *testObject) threadObjects() []*Object {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]*Object(nil), o.objs...)
 }
 
 // startObject launches an m-thread SPMD object serving ops until the
@@ -31,15 +42,21 @@ type testObject struct {
 func startObject(t *testing.T, reg *transport.Registry, m int, multiPort bool,
 	ops func(th rts.Thread) map[string]*Op) *testObject {
 	t.Helper()
+	return startObjectCfg(t, reg, m, multiPort, ops, nil)
+}
+
+// startObjectCfg is startObject with a per-thread config hook (e.g.
+// data-plane knobs).
+func startObjectCfg(t *testing.T, reg *transport.Registry, m int, multiPort bool,
+	ops func(th rts.Thread) map[string]*Op, mutate func(*ObjectConfig)) *testObject {
+	t.Helper()
 	w := mp.MustWorld(m)
 	refs := make(chan *ior.Ref, 1)
-	objs := make([]*Object, m)
-	var objMu sync.Mutex
-	done := make(chan error, m)
+	to := &testObject{donech: make(chan error, m), objs: make([]*Object, m)}
 	for r := 0; r < m; r++ {
 		go func(rank int) {
 			th := rts.NewMessagePassing(w.Rank(rank))
-			obj, err := Export(ObjectConfig{
+			cfg := ObjectConfig{
 				Thread:         th,
 				Registry:       reg,
 				ListenEndpoint: "inproc:*",
@@ -47,32 +64,36 @@ func startObject(t *testing.T, reg *transport.Registry, m int, multiPort bool,
 				TypeID:         "IDL:test_object:1.0",
 				MultiPort:      multiPort,
 				Ops:            ops(th),
-			})
+			}
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			obj, err := Export(cfg)
 			if err != nil {
-				done <- err
+				to.donech <- err
 				return
 			}
-			objMu.Lock()
-			objs[rank] = obj
-			objMu.Unlock()
+			to.mu.Lock()
+			to.objs[rank] = obj
+			to.mu.Unlock()
 			if rank == 0 {
 				refs <- obj.Ref()
 			}
-			done <- obj.Serve(context.Background())
+			to.donech <- obj.Serve(context.Background())
 		}(r)
 	}
-	ref := <-refs
-	closeFn := func() {
-		objMu.Lock()
-		for _, o := range objs {
+	to.ref = <-refs
+	to.close = func() {
+		to.mu.Lock()
+		for _, o := range to.objs {
 			if o != nil {
 				o.Close()
 			}
 		}
-		objMu.Unlock()
+		to.mu.Unlock()
 		w.Close()
 	}
-	return &testObject{ref: ref, close: closeFn, donech: done}
+	return to
 }
 
 // diffusionOps returns the paper's diffusion interface: one in scalar
@@ -749,8 +770,13 @@ func TestStatsCounters(t *testing.T) {
 			return fmt.Errorf("stats = %+v", st)
 		}
 		// Each thread ships its half (64 doubles) and receives it
-		// back, twice (inout under multi-port).
-		if st.BytesOut != 2*64*8 || st.BytesIn != 2*64*8 {
+		// back, twice (inout under multi-port). The counters account
+		// actual encoded payload bytes: after the 29-byte transfer
+		// header the double-seq payload is 3 bytes of 4-alignment
+		// padding, the 4-byte element count, 4 bytes of 8-alignment
+		// padding, then 64*8 bytes of data = 523 per block.
+		const blockBytes = 3 + 4 + 4 + 64*8
+		if st.BytesOut != 2*blockBytes || st.BytesIn != 2*blockBytes {
 			return fmt.Errorf("byte counters = %+v", st)
 		}
 		// A failing invocation increments Errors.

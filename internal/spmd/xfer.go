@@ -1,0 +1,301 @@
+// Parallel SPMD data plane: the shared machinery both sides of a
+// multi-port transfer use to ship and assemble distributed-argument
+// blocks.
+//
+// Sending: sendPlanBlocks fans a thread's share of a transfer plan out
+// to the destination threads with a bounded in-flight window, after
+// splitting oversized blocks into pipelined chunks (dist.Chunk), so
+// the encode of chunk N overlaps the write of chunk N-1 and transfers
+// to different ranks ride different connections simultaneously.
+// Chunks also stay under the pooled-encoder retention cap, so the
+// encode path reuses pooled buffers instead of allocating
+// multi-megabyte one-offs.
+//
+// Receiving: blockAssembler decodes each arriving block straight into
+// the destination slice (DoubleSeqInto — no intermediate copy) on the
+// delivering connection's read goroutine, counting elements rather
+// than messages, so chunks may arrive out of order, interleaved
+// across senders, and concurrently. Safety argument: the transfer
+// plan partitions the destination index space, every block carries
+// its own disjoint [DstOff, DstOff+Count) window (bounds-checked
+// before decode), and completion is the element count reaching the
+// planned total — so no ordering between blocks is ever required.
+package spmd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pardis/internal/cdr"
+	"pardis/internal/dist"
+	"pardis/internal/giop"
+	"pardis/internal/orb"
+	"pardis/internal/telemetry"
+)
+
+// Package-wide data-plane defaults, overridable per binding/object via
+// BindConfig/ObjectConfig and process-wide via the -xfer-window /
+// -xfer-chunk flags of pardisd and pardis-bench.
+var (
+	// DefaultXferWindow is the default bound on concurrently in-flight
+	// block sends per transfer (0 = min(4, GOMAXPROCS)).
+	DefaultXferWindow = 0
+	// DefaultXferChunkBytes is the default payload-size threshold above
+	// which a block is split into pipelined chunks (<0 disables
+	// chunking). 256 KiB keeps chunks inside the pooled-encoder
+	// retention cap.
+	DefaultXferChunkBytes = 256 << 10
+)
+
+// resolveWindow maps a config value to an effective send window:
+// 0 = package default, negative = serial (window 1).
+func resolveWindow(w int) int {
+	if w == 0 {
+		w = DefaultXferWindow
+	}
+	if w == 0 {
+		w = min(4, runtime.GOMAXPROCS(0))
+	}
+	return max(w, 1)
+}
+
+// resolveChunkElems maps a config byte threshold to a per-chunk
+// element cap for float64 payloads: 0 = package default, negative =
+// chunking disabled.
+func resolveChunkElems(bytes int) int {
+	if bytes == 0 {
+		bytes = DefaultXferChunkBytes
+	}
+	if bytes < 0 {
+		return 0
+	}
+	return max(bytes/8, 1)
+}
+
+// Interned once: the data-plane counters are touched per chunk.
+var (
+	blocksInflight = telemetry.Default.Gauge("pardis_spmd_blocks_inflight")
+	chunkBytesHist = telemetry.Default.HistogramWithBuckets("pardis_spmd_chunk_bytes",
+		[]float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20})
+)
+
+// blockSender abstracts orb.Client.SendBlock for the shared send path.
+type blockSender interface {
+	SendBlock(endpoint string, hdr giop.BlockTransferHeader, payload func(*cdr.Encoder)) (int, error)
+}
+
+// sendPlanBlocks ships rank's share of a block-transfer plan for one
+// argument, chunked and windowed. endpointFor maps a destination
+// thread to its endpoint. It returns the total encoded payload bytes
+// shipped (actual wire accounting, any element type).
+//
+// With window <= 1 and chunkElems == 0 the sends are issued serially
+// in plan order — byte-identical wire traffic to the legacy serial
+// path (pinned by TestSerialWireIdentical).
+func sendPlanBlocks(oc blockSender, inv uint64, argIdx uint32, rank int,
+	plan []dist.Transfer, local []float64, endpointFor func(int) string,
+	window, chunkElems int) (uint64, error) {
+	if _, err := giop.BlockSinkKey(inv, argIdx); err != nil {
+		return 0, err
+	}
+	mine := dist.PlanFor(plan, rank)
+	if len(mine) == 0 {
+		return 0, nil
+	}
+	for _, tr := range mine {
+		if err := giop.CheckBlockRange(tr.DstOff, tr.Count); err != nil {
+			return 0, err
+		}
+	}
+	mine = dist.Chunk(mine, chunkElems)
+	lastIdx := make(map[int]int, len(mine))
+	for idx, tr := range mine {
+		lastIdx[tr.To] = idx
+	}
+	header := func(idx int, tr dist.Transfer) giop.BlockTransferHeader {
+		return giop.BlockTransferHeader{
+			InvocationID: inv<<8 | uint64(argIdx),
+			ArgIndex:     argIdx,
+			FromThread:   int32(rank),
+			ToThread:     int32(tr.To),
+			DstOff:       uint32(tr.DstOff),
+			Count:        uint32(tr.Count),
+			Last:         lastIdx[tr.To] == idx,
+		}
+	}
+
+	if window <= 1 || len(mine) == 1 {
+		var total uint64
+		for idx, tr := range mine {
+			blk := local[tr.SrcOff : tr.SrcOff+tr.Count]
+			blocksInflight.Inc()
+			n, err := oc.SendBlock(endpointFor(tr.To), header(idx, tr),
+				func(e *cdr.Encoder) { e.PutDoubleSeq(blk) })
+			blocksInflight.Dec()
+			chunkBytesHist.Observe(float64(n))
+			if err != nil {
+				return total, err
+			}
+			total += uint64(n)
+		}
+		return total, nil
+	}
+
+	var (
+		sem      = make(chan struct{}, window)
+		wg       sync.WaitGroup
+		total    atomic.Uint64
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for idx, tr := range mine {
+		if failed.Load() {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		blocksInflight.Inc()
+		go func(idx int, tr dist.Transfer) {
+			defer func() {
+				blocksInflight.Dec()
+				<-sem
+				wg.Done()
+			}()
+			blk := local[tr.SrcOff : tr.SrcOff+tr.Count]
+			n, err := oc.SendBlock(endpointFor(tr.To), header(idx, tr),
+				func(e *cdr.Encoder) { e.PutDoubleSeq(blk) })
+			chunkBytesHist.Observe(float64(n))
+			if err != nil {
+				if failed.CompareAndSwap(false, true) {
+					errMu.Lock()
+					firstErr = err
+					errMu.Unlock()
+				}
+				return
+			}
+			total.Add(uint64(n))
+		}(idx, tr)
+	}
+	wg.Wait()
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	return total.Load(), err
+}
+
+// blockAssembler collects one (argument, receiver-rank) transfer's
+// blocks, decoding each straight into the destination slice. accept
+// runs on connection read goroutines and is safe for concurrent use:
+// blocks write disjoint destination windows, and completion is
+// tracked as an element count so arrival order is irrelevant.
+type blockAssembler struct {
+	rank   int
+	local  []float64
+	expect int64
+	got    atomic.Int64
+	nbytes atomic.Uint64 // encoded payload bytes accepted
+	done   chan struct{}
+	once   sync.Once
+	mu     sync.Mutex
+	err    error
+}
+
+// newBlockAssembler expects `expect` total elements addressed to rank
+// landing in local. An expectation of zero is complete immediately.
+func newBlockAssembler(rank int, local []float64, expect int) *blockAssembler {
+	a := &blockAssembler{rank: rank, local: local, expect: int64(expect),
+		done: make(chan struct{})}
+	if expect <= 0 {
+		a.once.Do(func() { close(a.done) })
+	}
+	return a
+}
+
+// finish records the terminal state (first error wins) and wakes
+// waiters.
+func (a *blockAssembler) finish(err error) error {
+	a.mu.Lock()
+	if err != nil && a.err == nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+	a.once.Do(func() { close(a.done) })
+	return err
+}
+
+// accept decodes one block into the destination. A non-nil return
+// also tears down the delivering connection (the sender violated the
+// plan or the payload is undecodable).
+func (a *blockAssembler) accept(blk orb.Block) error {
+	h := blk.Header
+	if int(h.ToThread) != a.rank {
+		return a.finish(fmt.Errorf("%w: block addressed to thread %d arrived at %d",
+			ErrBadCall, h.ToThread, a.rank))
+	}
+	end := int(h.DstOff) + int(h.Count)
+	if end > len(a.local) {
+		return a.finish(fmt.Errorf("%w: block [%d,%d) overflows local block of %d",
+			ErrBadCall, h.DstOff, end, len(a.local)))
+	}
+	d := cdr.NewDecoderAt(blk.Order, blk.Payload, blockPayloadBase(h, blk.Order))
+	// The three-index slice caps capacity at the block's window, so
+	// the decoder fills it in place and cannot write beyond it.
+	data, err := d.DoubleSeqInto(a.local[h.DstOff:h.DstOff:end])
+	if err != nil {
+		return a.finish(err)
+	}
+	if len(data) != int(h.Count) {
+		return a.finish(fmt.Errorf("%w: block count %d, payload %d",
+			ErrBadCall, h.Count, len(data)))
+	}
+	a.nbytes.Add(uint64(len(blk.Payload)))
+	got := a.got.Add(int64(h.Count))
+	if got > a.expect {
+		return a.finish(fmt.Errorf("%w: received %d of %d expected elements",
+			ErrBadCall, got, a.expect))
+	}
+	if got == a.expect {
+		a.finish(nil)
+	}
+	return nil
+}
+
+// wait blocks until assembly completes (or fails), the context is
+// done, or closed fires (nil channels never fire).
+func (a *blockAssembler) wait(ctx contextDoner, closed <-chan struct{}) error {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case <-a.done:
+		a.mu.Lock()
+		err := a.err
+		a.mu.Unlock()
+		return err
+	case <-ctxDone:
+		return ctx.Err()
+	case <-closed:
+		return ErrClosed
+	}
+}
+
+// contextDoner is the subset of context.Context wait needs.
+type contextDoner interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+// planElemsTo sums the elements a plan addresses to one receiver.
+func planElemsTo(plan []dist.Transfer, rank int) int {
+	n := 0
+	for _, tr := range plan {
+		if tr.To == rank {
+			n += tr.Count
+		}
+	}
+	return n
+}

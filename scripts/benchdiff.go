@@ -1,0 +1,151 @@
+// Command benchdiff compares two BENCH_<date>.json snapshots and
+// fails (exit 1) when allocations regress by more than 10%.
+//
+//	go run ./scripts/benchdiff.go BENCH_old.json BENCH_new.json
+//	go run ./scripts/benchdiff.go BENCH_new.json
+//
+// Two checks run:
+//
+//  1. Cross-file: for every microbenchmark path present in both
+//     snapshots, the newer "this_pr" allocs_op must not exceed the
+//     older one by >10%.
+//  2. Within the newest file: wherever an entry carries both a "seed"
+//     and a "this_pr" block with allocs_op, this_pr must not exceed
+//     seed by >10% (a PR must not make its own baseline worse).
+//
+// Entries without allocs_op are skipped — the snapshots are partly
+// prose, and only the allocation ledger is gated mechanically. An
+// entry may carry an "accepted_tradeoff" string documenting a
+// deliberate allocation regression (e.g. more, smaller frames in
+// exchange for halved wall clock); such entries are reported but do
+// not fail the run.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+const tolerance = 1.10
+
+type snapshot map[string]any
+
+func load(path string) (snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// micro returns the microbenchmarks section as path -> entry.
+func micro(s snapshot) map[string]map[string]any {
+	out := map[string]map[string]any{}
+	m, _ := s["microbenchmarks"].(map[string]any)
+	for path, v := range m {
+		if e, ok := v.(map[string]any); ok {
+			out[path] = e
+		}
+	}
+	return out
+}
+
+// allocs digs entry[variant].allocs_op; ok is false when absent or
+// not numeric.
+func allocs(entry map[string]any, variant string) (float64, bool) {
+	v, _ := entry[variant].(map[string]any)
+	if v == nil {
+		return 0, false
+	}
+	f, ok := v["allocs_op"].(float64)
+	return f, ok
+}
+
+// waived reports (and notes on stderr) an entry that documents a
+// deliberate allocation tradeoff, exempting it from the gate.
+func waived(path string, entry map[string]any) bool {
+	reason, ok := entry["accepted_tradeoff"].(string)
+	if !ok || reason == "" {
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: note %s: accepted tradeoff: %s\n", path, reason)
+	return true
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [OLD.json] NEW.json")
+		os.Exit(2)
+	}
+	newest, err := load(args[len(args)-1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var failures []string
+	checked := 0
+
+	if len(args) == 2 {
+		oldest, err := load(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		oldMicro, newMicro := micro(oldest), micro(newest)
+		for path, newEntry := range newMicro {
+			oldEntry, ok := oldMicro[path]
+			if !ok {
+				continue
+			}
+			oldA, okOld := allocs(oldEntry, "this_pr")
+			newA, okNew := allocs(newEntry, "this_pr")
+			if !okOld || !okNew {
+				continue
+			}
+			if waived(path, newEntry) {
+				continue
+			}
+			checked++
+			if newA > oldA*tolerance {
+				failures = append(failures, fmt.Sprintf(
+					"%s: allocs_op %v -> %v (>%d%% regression vs %s)",
+					path, oldA, newA, int(100*(tolerance-1)), args[0]))
+			}
+		}
+	}
+
+	for path, entry := range micro(newest) {
+		seedA, okSeed := allocs(entry, "seed")
+		prA, okPr := allocs(entry, "this_pr")
+		if !okSeed || !okPr {
+			continue
+		}
+		if waived(path, entry) {
+			continue
+		}
+		checked++
+		if prA > seedA*tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s: this_pr allocs_op %v exceeds its own seed %v by >%d%%",
+				path, prA, seedA, int(100*(tolerance-1))))
+		}
+	}
+
+	sort.Strings(failures)
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "benchdiff: FAIL", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok (%d allocation comparisons, none worse than +%d%%)\n",
+		checked, int(100*(tolerance-1)))
+}
