@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-quick bench-dataplane bench-snapshot benchdiff lint-telemetry fmt
+.PHONY: build test verify chaos bench bench-quick bench-dataplane bench-snapshot benchdiff lint-telemetry fuzz-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,7 @@ verify:
 	$(GO) vet ./...
 	$(MAKE) lint-telemetry
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
 	$(MAKE) bench-quick
 	$(MAKE) benchdiff
 
@@ -41,6 +42,18 @@ lint-telemetry:
 		exit 1; \
 	fi
 	@echo 'lint-telemetry: ok'
+
+# fuzz-smoke runs every Fuzz* target in the wire-facing packages for a
+# short burst each (10s by default) — enough to catch a freshly
+# introduced decoder panic in CI without a dedicated fuzz farm.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	@for pkg in ./internal/cdr ./internal/giop ./internal/idl ./internal/ior; do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "fuzz-smoke: $$pkg $$target ($(FUZZTIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+		done; \
+	done
 
 # chaos runs only the fault-injection suites (TestFault*): retry,
 # failover, deadlines, breakers, graceful drain, and SPMD

@@ -35,6 +35,7 @@ type liveConfig struct {
 	concurrency int
 	stripes     int // 0 = orb.DefaultStripeWidth()
 	faulty      bool
+	maxInflight int // 0 = no admission control, -1 = orb defaults
 	jsonOut     bool
 }
 
@@ -85,7 +86,17 @@ func runLive(cfg liveConfig) {
 		listenAt = "faulty+inproc:bench"
 	}
 
-	srv := orb.NewServer(reg)
+	var srvOpts []orb.ServerOption
+	if cfg.maxInflight != 0 {
+		ac := orb.DefaultAdmissionConfig()
+		if cfg.maxInflight > 0 {
+			ac.MaxConcurrent = cfg.maxInflight
+			ac.MaxPerConn = (cfg.maxInflight + 1) / 2
+			ac.MaxQueue = 2 * cfg.maxInflight
+		}
+		srvOpts = append(srvOpts, orb.WithAdmission(ac))
+	}
+	srv := orb.NewServer(reg, srvOpts...)
 	srv.Handle("bench/echo", func(inc *orb.Incoming) {
 		v, err := inc.Decoder().DoubleSeq()
 		if err != nil {

@@ -66,6 +66,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 4, "concurrent invokers in -live mode")
 	stripes := flag.Int("stripes", 0, "connections per endpoint for the -live client (0 = orb default, min(4, GOMAXPROCS))")
 	faulty := flag.Bool("faulty", false, "route -live traffic through the fault-injection transport")
+	maxInflight := flag.Int("max-inflight", 0, "admission cap on concurrently running handlers in the -live server (0 = unlimited; -1 = orb defaults)")
 	jsonOut := flag.Bool("json", false, "emit the -live summary as JSON (bench-snapshot format)")
 	dataplane := flag.Bool("dataplane", false, "benchmark the real SPMD data plane (Figure-4-style in-transfer bandwidth curve)")
 	clientThreads := flag.Int("client-threads", 1, "client SPMD threads (n) in -dataplane mode")
@@ -99,6 +100,7 @@ func main() {
 			concurrency: *concurrency,
 			stripes:     *stripes,
 			faulty:      *faulty,
+			maxInflight: *maxInflight,
 			jsonOut:     *jsonOut,
 		})
 		return

@@ -57,6 +57,10 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "probability a root request starts a recorded trace, in [0,1]")
 	xferWindow := flag.Int("xfer-window", 0, "process-wide default for concurrent SPMD block streams per transfer (0 = min(4, GOMAXPROCS); 1 = serial)")
 	xferChunk := flag.Int("xfer-chunk", 0, "process-wide default SPMD block chunk size in bytes (0 = 256KiB, negative = disable chunking)")
+	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently running handlers; over-cap requests wait in a bounded queue and are shed TRANSIENT beyond it (0 = unlimited, no admission control)")
+	maxInflightConn := flag.Int("max-inflight-per-conn", 0, "per-connection cap on concurrently running handlers (0 = derived: half of -max-inflight)")
+	maxQueue := flag.Int("max-queue", 0, "bound on requests waiting for an admission slot (0 = derived: 2x -max-inflight)")
+	maxQueueWait := flag.Duration("max-queue-wait", time.Second, "longest a request may wait for admission before a TRANSIENT shed (0 = bounded only by its own deadline)")
 	flag.Parse()
 
 	if *xferWindow != 0 {
@@ -89,7 +93,22 @@ func main() {
 			fmt.Printf("pardisd: restored %d bindings from %s\n", n, *state)
 		}
 	}
-	srv := orb.NewServer(nil)
+	var srvOpts []orb.ServerOption
+	if *maxInflight > 0 {
+		ac := orb.DefaultAdmissionConfig()
+		ac.MaxConcurrent = *maxInflight
+		ac.MaxPerConn = (*maxInflight + 1) / 2
+		ac.MaxQueue = 2 * *maxInflight
+		if *maxInflightConn > 0 {
+			ac.MaxPerConn = *maxInflightConn
+		}
+		if *maxQueue > 0 {
+			ac.MaxQueue = *maxQueue
+		}
+		ac.MaxWait = *maxQueueWait
+		srvOpts = append(srvOpts, orb.WithAdmission(ac))
+	}
+	srv := orb.NewServer(nil, srvOpts...)
 	naming.Serve(srv, reg)
 	ep, err := srv.Listen(*listen)
 	if err != nil {
@@ -105,6 +124,9 @@ func main() {
 		healthy := func() error {
 			if srv.Draining() {
 				return fmt.Errorf("draining")
+			}
+			if srv.AdmissionSaturated() {
+				return fmt.Errorf("admission queue saturated")
 			}
 			return nil
 		}

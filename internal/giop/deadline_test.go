@@ -1,0 +1,99 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+
+	"pardis/internal/cdr"
+	"pardis/internal/telemetry"
+)
+
+// TestDeadlineHeaderRoundTrip: the 1.1 request header carries the
+// remaining-deadline budget through framing in both byte orders, with
+// the trace fields in front of it and body data after it.
+func TestDeadlineHeaderRoundTrip(t *testing.T) {
+	h := RequestHeader{
+		RequestID:        9,
+		InvocationID:     1 << 40,
+		ResponseExpected: true,
+		ObjectKey:        "objects/z",
+		Operation:        "solve",
+		ThreadRank:       2,
+		ThreadCount:      4,
+		Trace: telemetry.TraceContext{
+			TraceID: 0xA5A5A5A5A5A5A5A5,
+			SpanID:  0x5A5A5A5A5A5A5A5A,
+			Sampled: true,
+		},
+		DeadlineMicros: 1_500_000, // 1.5s of budget left
+	}
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		e := cdr.NewEncoder(order)
+		h.Encode(e)
+		e.PutLong(77)
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, order, MsgRequest, e.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := cdr.NewDecoder(f.Order, f.Body)
+		got, err := DecodeRequestHeaderV(d, f.Minor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, h)
+		}
+		if got.DeadlineMicros != 1_500_000 {
+			t.Fatalf("DeadlineMicros = %d", got.DeadlineMicros)
+		}
+		if v, _ := d.Long(); v != 77 {
+			t.Fatalf("body after deadline header = %d", v)
+		}
+	}
+}
+
+// TestOldHeaderWithoutDeadlineBytes: a header framed by a 1.0 peer
+// ends right after ThreadCount — no trace bytes, no deadline budget.
+// The decoder must treat the deadline as absent (0), exactly as it
+// treats the trace as untraced.
+func TestOldHeaderWithoutDeadlineBytes(t *testing.T) {
+	h := RequestHeader{
+		RequestID:        4,
+		InvocationID:     21,
+		ResponseExpected: true,
+		ObjectKey:        "objects/w",
+		Operation:        "legacy",
+		ThreadRank:       -1,
+		ThreadCount:      1,
+	}
+	e := cdr.NewEncoder(cdr.BigEndian)
+	h.EncodeV10(e)
+	e.PutLong(55)
+
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, cdr.BigEndian, MsgRequest, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	frame[5] = 0 // downgrade the minor version on the wire
+
+	f, err := ReadFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("1.0 frame rejected: %v", err)
+	}
+	d := cdr.NewDecoder(f.Order, f.Body)
+	got, err := DecodeRequestHeaderV(d, f.Minor)
+	if err != nil {
+		t.Fatalf("1.0 header rejected: %v", err)
+	}
+	if got.DeadlineMicros != 0 {
+		t.Fatalf("1.0 header produced deadline %d, want 0 (absent)", got.DeadlineMicros)
+	}
+	if v, _ := d.Long(); v != 55 {
+		t.Fatalf("body after 1.0 header = %d", v)
+	}
+}

@@ -33,9 +33,9 @@ const (
 	// HeaderLen is the fixed message-header length.
 	HeaderLen = 12
 	// VersionMajor and VersionMinor identify this PIOP revision.
-	// 1.1 added the trace context to the request header; 1.0 peers
-	// (headers without trace bytes) are still decoded — see
-	// DecodeRequestHeaderV.
+	// 1.1 added the trace context and the remaining-deadline budget to
+	// the request header; 1.0 peers (headers without either) are still
+	// decoded — see DecodeRequestHeaderV.
 	VersionMajor = 1
 	VersionMinor = 1
 	// MaxBodyLen bounds a message body; longer lengths are treated
@@ -223,6 +223,14 @@ type RequestHeader struct {
 	// Added in PIOP 1.1; a zero value means "untraced" and costs the
 	// wire 17 zero bytes. Headers framed as 1.0 omit it entirely.
 	Trace telemetry.TraceContext
+	// DeadlineMicros is the client's remaining end-to-end time budget
+	// for this request in microseconds, measured when the request was
+	// written (0 = no deadline). It is a relative duration, not an
+	// absolute timestamp, so it survives clock skew between peers; the
+	// server rebases it against its own clock on arrival and sheds the
+	// request with a TIMEOUT system exception once the budget is gone.
+	// Added in PIOP 1.1 after the trace context; 1.0 headers omit it.
+	DeadlineMicros uint64
 }
 
 // Encode appends the header to an encoder (PIOP 1.1 layout, trace
@@ -238,6 +246,7 @@ func (h *RequestHeader) Encode(e *cdr.Encoder) {
 	e.PutULongLong(h.Trace.TraceID)
 	e.PutULongLong(h.Trace.SpanID)
 	e.PutBoolean(h.Trace.Sampled)
+	e.PutULongLong(h.DeadlineMicros)
 }
 
 // DecodeRequestHeader reads a current-version RequestHeader. For
@@ -248,9 +257,10 @@ func DecodeRequestHeader(d *cdr.Decoder) (RequestHeader, error) {
 }
 
 // DecodeRequestHeaderV reads a RequestHeader laid out by the given
-// minor protocol version: 1.0 headers carry no trace bytes (the
-// decoder leaves Trace zero), 1.1 headers carry trace id, span id and
-// the sampled flag.
+// minor protocol version: 1.0 headers carry no trace or deadline
+// bytes (the decoder leaves Trace zero and DeadlineMicros 0, i.e. "no
+// deadline"), 1.1 headers carry trace id, span id, the sampled flag
+// and the remaining deadline budget.
 func DecodeRequestHeaderV(d *cdr.Decoder, minor byte) (RequestHeader, error) {
 	var h RequestHeader
 	var err error
@@ -276,7 +286,7 @@ func DecodeRequestHeaderV(d *cdr.Decoder, minor byte) (RequestHeader, error) {
 		return h, err
 	}
 	if minor == 0 {
-		return h, nil // 1.0 header: no trace bytes on the wire
+		return h, nil // 1.0 header: no trace or deadline bytes on the wire
 	}
 	if h.Trace.TraceID, err = d.ULongLong(); err != nil {
 		return h, err
@@ -287,11 +297,15 @@ func DecodeRequestHeaderV(d *cdr.Decoder, minor byte) (RequestHeader, error) {
 	if h.Trace.Sampled, err = d.Boolean(); err != nil {
 		return h, err
 	}
+	if h.DeadlineMicros, err = d.ULongLong(); err != nil {
+		return h, err
+	}
 	return h, nil
 }
 
-// EncodeV10 appends the header in the PIOP 1.0 layout (no trace
-// bytes) — used by tests that exercise old-peer compatibility.
+// EncodeV10 appends the header in the PIOP 1.0 layout (no trace or
+// deadline bytes) — used by tests that exercise old-peer
+// compatibility.
 func (h *RequestHeader) EncodeV10(e *cdr.Encoder) {
 	e.PutULong(h.RequestID)
 	e.PutULongLong(h.InvocationID)

@@ -11,12 +11,14 @@ import (
 )
 
 // newBenchPair builds a client/server pair over inproc with an echo
-// handler for benchmarks.
+// handler for benchmarks. The server runs with admission control at
+// the default caps so every benchmark exercises the admit fast path —
+// the allocs/op gate in benchdiff then covers its cost.
 func newBenchPair(b *testing.B, payload int, opts ...ClientOption) (*Client, string) {
 	b.Helper()
 	reg := transport.NewRegistry()
 	reg.Register(transport.NewInproc())
-	srv := NewServer(reg)
+	srv := NewServer(reg, WithAdmission(DefaultAdmissionConfig()))
 	srv.Handle("echo", func(in *Incoming) {
 		d := in.Decoder()
 		data, err := d.DoubleSeq()

@@ -358,7 +358,8 @@ func (c *Client) invokeEndpoints(ctx context.Context, endpoints []string, hdr gi
 	m.latency.ObserveDuration(time.Since(start))
 	if err != nil {
 		m.errors.Inc()
-		if errors.Is(err, ErrCanceled) && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		if errors.Is(err, ErrDeadlineExpired) ||
+			(errors.Is(err, ErrCanceled) && errors.Is(ctx.Err(), context.DeadlineExceeded)) {
 			m.deadlines.Inc()
 		}
 		if telemetry.LogEnabled(slog.LevelWarn) {
@@ -435,10 +436,20 @@ func (c *Client) invokeRetry(ctx context.Context, endpoints []string, hdr giop.R
 		rh, order, raw, err := c.invokeOnce(attemptCtx, ep, hdr, body)
 		c.attemptHist(ep).ObserveDuration(time.Since(attemptStart))
 		if err == nil && rh.Status == giop.ReplySystemException {
-			// A draining server answers TRANSIENT: treat it like a
-			// transport failure and move to another replica.
-			if ex, derr := giop.DecodeSystemException(cdr.NewDecoder(order, raw)); derr == nil && ex.Code == "TRANSIENT" {
-				err = fmt.Errorf("%w: %s: %s", ErrTransient, ep, ex.Detail)
+			if ex, derr := giop.DecodeSystemException(cdr.NewDecoder(order, raw)); derr == nil {
+				switch ex.Code {
+				case "TRANSIENT":
+					// A draining or overloaded server answers TRANSIENT:
+					// treat it like a transport failure and move to
+					// another replica.
+					err = fmt.Errorf("%w: %s: %s", ErrTransient, ep, ex.Detail)
+				case "TIMEOUT":
+					// The server shed the request because the propagated
+					// deadline expired. ErrDeadlineExpired is not
+					// retryable — the budget is gone everywhere, not just
+					// at that replica — so the loop returns it below.
+					err = fmt.Errorf("%w: %s: %s", ErrDeadlineExpired, ep, ex.Detail)
+				}
 			}
 		}
 		if err != nil {
@@ -505,6 +516,19 @@ func (c *Client) invokeOnce(ctx context.Context, endpoint string, hdr giop.Reque
 	// The attempt's trace identity (if any) rides the request header,
 	// so the server continues this trace rather than rooting its own.
 	hdr.Trace = telemetry.TraceFromContext(ctx)
+	// So does the remaining deadline budget, as a relative duration
+	// (immune to clock skew): the server rebases it on arrival, runs
+	// the handler under it, and sheds the request outright when the
+	// budget is already gone. An exhausted budget is stamped as one
+	// microsecond rather than zero — zero means "no deadline".
+	if dl, has := ctx.Deadline(); has {
+		if rem := time.Until(dl); rem > 0 {
+			hdr.DeadlineMicros = uint64(rem / time.Microsecond)
+		}
+		if hdr.DeadlineMicros == 0 {
+			hdr.DeadlineMicros = 1
+		}
+	}
 
 	// The request is marshaled into a pooled encoder, released as soon
 	// as the frame write has consumed the bytes.

@@ -246,7 +246,7 @@ func TestServerDiesMidInvocation(t *testing.T) {
 // memory.
 func TestUnmatchedBlockFloodBounded(t *testing.T) {
 	r := newBlockRouter()
-	r.maxPending = 8
+	r.pol.MaxBlocks = 8
 	for i := 0; i < 8; i++ {
 		if err := r.deliver(Block{Header: giop.BlockTransferHeader{InvocationID: uint64(i)}}); err != nil {
 			t.Fatalf("deliver %d: %v", i, err)
@@ -255,6 +255,62 @@ func TestUnmatchedBlockFloodBounded(t *testing.T) {
 	err := r.deliver(Block{Header: giop.BlockTransferHeader{InvocationID: 99}})
 	if !errors.Is(err, ErrTooManyBlocks) {
 		t.Fatalf("flood not bounded: %v", err)
+	}
+}
+
+// TestUnmatchedBlockByteBudget: the pending buffer is bounded in bytes
+// as well as blocks — a peer cannot park a handful of maximal frames
+// behind an invocation that never registers a sink.
+func TestUnmatchedBlockByteBudget(t *testing.T) {
+	r := newBlockRouter()
+	r.pol.MaxBytes = 1024
+	payload := make([]byte, 512)
+	for i := 0; i < 2; i++ {
+		blk := Block{Header: giop.BlockTransferHeader{InvocationID: uint64(i)}, Payload: payload}
+		if err := r.deliver(blk); err != nil {
+			t.Fatalf("deliver %d: %v", i, err)
+		}
+	}
+	err := r.deliver(Block{Header: giop.BlockTransferHeader{InvocationID: 99}, Payload: payload[:1]})
+	if !errors.Is(err, ErrPendingBlockBytes) {
+		t.Fatalf("byte flood not bounded: %v", err)
+	}
+	if st := r.stats(); st.PendingBytes != 1024 {
+		t.Fatalf("PendingBytes = %d, want 1024", st.PendingBytes)
+	}
+	// Registering a sink flushes the buffered blocks and returns their
+	// bytes to the budget.
+	got := 0
+	cancel, err := r.registerFunc(0, func(Block) error { got++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if got != 1 {
+		t.Fatalf("flushed %d blocks, want 1", got)
+	}
+	if st := r.stats(); st.PendingBytes != 512 || st.Pending != 1 {
+		t.Fatalf("after flush: %+v", st)
+	}
+}
+
+// TestPendingSweepReclaimsAbandonedBlocks: a TTL sweep drops pending
+// buffers with no recent arrivals while keeping fresh ones.
+func TestPendingSweepReclaimsAbandonedBlocks(t *testing.T) {
+	r := newBlockRouter()
+	r.pol.TTL = 50 * time.Millisecond
+	old := Block{Header: giop.BlockTransferHeader{InvocationID: 1}, Payload: make([]byte, 64)}
+	if err := r.deliver(old); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.sweep(time.Now()); n != 0 {
+		t.Fatalf("fresh buffer swept: %d", n)
+	}
+	if n := r.sweep(time.Now().Add(100 * time.Millisecond)); n != 1 {
+		t.Fatalf("stale buffer not swept: %d", n)
+	}
+	if st := r.stats(); st.Pending != 0 || st.PendingBytes != 0 {
+		t.Fatalf("after sweep: %+v", st)
 	}
 }
 

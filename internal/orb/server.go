@@ -31,8 +31,13 @@ type Incoming struct {
 	// alignment-correct decoding.
 	BodyBase int
 	// Ctx is canceled if the client sends CancelRequest or the
-	// connection drops.
+	// connection drops, and carries the client's propagated deadline
+	// when the request header had one.
 	Ctx context.Context
+	// Expiry is the propagated deadline rebased onto this host's
+	// clock (zero when the client sent no deadline): the moment the
+	// caller stops waiting for a reply.
+	Expiry time.Time
 
 	// Endpoint is the bound endpoint the request arrived at — for
 	// SPMD servers, which thread's port.
@@ -89,9 +94,13 @@ type Server struct {
 	draining  bool
 	closed    bool
 
-	blocks *blockRouter
-	wg     sync.WaitGroup // accept loops and connection readers
-	reqWG  sync.WaitGroup // in-flight request handlers
+	adm *admission // nil = no admission control
+
+	blocks   *blockRouter
+	quit     chan struct{} // closed once on Close/Shutdown; stops the sweeper
+	quitOnce sync.Once
+	wg       sync.WaitGroup // accept loops, connection readers, sweeper
+	reqWG    sync.WaitGroup // in-flight request handlers
 
 	// Interned per-object-key instruments, cached because the registry
 	// lookup builds a label key per call — too hot for dispatch.
@@ -129,6 +138,13 @@ func WithServerByteOrder(o cdr.ByteOrder) ServerOption {
 	return func(s *Server) { s.order = o }
 }
 
+// WithPendingPolicy bounds the server's early-block pending buffer
+// (block count, byte budget, abandonment TTL and sweep cadence). Zero
+// fields take the package defaults.
+func WithPendingPolicy(p PendingPolicy) ServerOption {
+	return func(s *Server) { s.blocks.pol = p.withDefaults() }
+}
+
 // NewServer creates a server using the given transport registry (nil
 // means transport.Default).
 func NewServer(reg *transport.Registry, opts ...ServerOption) *Server {
@@ -141,11 +157,37 @@ func NewServer(reg *transport.Registry, opts ...ServerOption) *Server {
 		handlers: make(map[string]Handler),
 		conns:    make(map[*serverConn]struct{}),
 		blocks:   newBlockRouter(),
+		quit:     make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	// The pending sweeper reclaims early-block buffers abandoned past
+	// the TTL — the residue of clients that died between shipping
+	// blocks and issuing the invocation that would have consumed them.
+	s.wg.Add(1)
+	go s.pendingSweepLoop()
 	return s
+}
+
+func (s *Server) pendingSweepLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.blocks.pol.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.blocks.sweep(time.Now())
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// stopSweeper releases the background sweeper; safe to call from both
+// shutdown paths (and more than once).
+func (s *Server) stopSweeper() {
+	s.quitOnce.Do(func() { close(s.quit) })
 }
 
 // Order returns the byte order the server marshals replies in.
@@ -226,6 +268,9 @@ func (s *Server) acceptLoop(l transport.Listener) {
 			endpoint: l.Endpoint(),
 			inflight: make(map[uint32]context.CancelFunc),
 		}
+		if s.adm != nil && s.adm.cfg.MaxPerConn > 0 {
+			sc.slots = make(chan struct{}, s.adm.cfg.MaxPerConn)
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -262,6 +307,7 @@ func (s *Server) Close() error {
 		conns = append(conns, sc)
 	}
 	s.mu.Unlock()
+	s.stopSweeper()
 	for _, l := range ls {
 		l.Close()
 	}
@@ -328,6 +374,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		conns = append(conns, sc)
 	}
 	s.mu.Unlock()
+	s.stopSweeper()
 	for _, sc := range conns {
 		// Best-effort goodbye; the close that follows is what
 		// guarantees progress.
@@ -352,6 +399,9 @@ type serverConn struct {
 	endpoint string
 
 	writeMu sync.Mutex
+
+	// slots is the per-connection admission gate (nil = unlimited).
+	slots chan struct{}
 
 	mu       sync.Mutex
 	inflight map[uint32]context.CancelFunc
@@ -484,7 +534,19 @@ func (sc *serverConn) handleRequest(minor byte, order cdr.ByteOrder, body []byte
 	}
 	sc.srv.reqWG.Add(1)
 	sc.srv.mu.Unlock()
-	ctx, cancel := context.WithCancel(context.Background())
+	// The propagated deadline is a relative budget (microseconds left
+	// when the client wrote the request), immune to clock skew: it is
+	// rebased onto this host's clock on arrival and becomes the
+	// handler context's deadline, so servants and anything they invoke
+	// downstream inherit the caller's remaining patience.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if hdr.DeadlineMicros > 0 {
+		in.Expiry = time.Now().Add(time.Duration(hdr.DeadlineMicros) * time.Microsecond)
+		ctx, cancel = context.WithDeadline(context.Background(), in.Expiry)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
 	// A trace identity on the wire continues the caller's trace: the
 	// handler span (and anything the handler invokes through a client
 	// with this ctx) attaches under the client's attempt span.
@@ -538,6 +600,21 @@ func (sc *serverConn) handleRequest(minor byte, order cdr.ByteOrder, body []byte
 			km.latency.ObserveDuration(time.Since(start))
 			sc.srv.reqWG.Done()
 		}()
+		// Shed work whose budget is already gone before dispatching the
+		// handler: the caller has stopped waiting, so the TIMEOUT reply
+		// only tells its ORB to stop too.
+		if !in.Expiry.IsZero() && !time.Now().Before(in.Expiry) {
+			shedExpired.Inc()
+			_ = in.ReplySystemException("TIMEOUT", "request deadline expired before dispatch")
+			return
+		}
+		if sc.srv.adm != nil {
+			release, ok := sc.srv.admit(in)
+			if !ok {
+				return
+			}
+			defer release()
+		}
 		h(in)
 	}()
 	return nil

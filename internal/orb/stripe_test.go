@@ -164,9 +164,12 @@ func TestWithStripesClamp(t *testing.T) {
 	}
 }
 
-// TestCancelSendsPreallocatedFrame: a deadline-expired invoke must
-// emit a CancelRequest the server can decode (the preallocated cancel
-// body is wire-identical to an encoded CancelRequestHeader).
+// TestCancelSendsPreallocatedFrame: a canceled invoke must emit a
+// CancelRequest the server can decode (the preallocated cancel body
+// is wire-identical to an encoded CancelRequestHeader). The context
+// is canceled explicitly rather than by deadline, so the server-side
+// wakeup can only come from the cancel frame — not from a propagated
+// deadline expiring on its own clock.
 func TestCancelSendsPreallocatedFrame(t *testing.T) {
 	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
 		reg := transport.NewRegistry()
@@ -186,10 +189,15 @@ func TestCancelSendsPreallocatedFrame(t *testing.T) {
 		}
 		cli := NewClient(reg, WithByteOrder(order))
 
-		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
-		_, _, _, err = cli.Invoke(ctx, ep, requestHeader(cli, "hang", "op"), nil)
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		go func() {
+			_, _, _, err := cli.Invoke(ctx, ep, requestHeader(cli, "hang", "op"), nil)
+			errc <- err
+		}()
+		<-started
 		cancel()
-		if err == nil {
+		if err := <-errc; err == nil {
 			t.Fatal("hung invoke returned without error")
 		}
 		select {
@@ -200,6 +208,5 @@ func TestCancelSendsPreallocatedFrame(t *testing.T) {
 		}
 		cli.Close()
 		srv.Close()
-		_ = started
 	}
 }

@@ -413,6 +413,34 @@ func (b *Binding) Close() {
 	}
 }
 
+// Renew pings the object's communicator to keep this binding's
+// server-side lease alive while the binding is idle (invocations renew
+// it implicitly). Only the communicator thread sends; other threads
+// return nil immediately, so Renew need not be collective. Worker-rank
+// leases are re-established by the block traffic of the next
+// invocation, so the communicator ping is all an idle binding needs.
+func (b *Binding) Renew(ctx context.Context) error {
+	if b.rank != 0 {
+		return nil
+	}
+	hdr := giop.RequestHeader{
+		InvocationID:     b.oc.NewInvocationID(),
+		ResponseExpected: true,
+		ObjectKey:        b.ref.Key,
+		Operation:        RenewOperation,
+		ThreadRank:       0,
+		ThreadCount:      int32(b.size),
+	}
+	rh, _, _, err := b.oc.InvokeRef(ctx, b.ref, hdr, nil)
+	if err != nil {
+		return err
+	}
+	if rh.Status != giop.ReplyOK {
+		return fmt.Errorf("%w: renew returned %v", ErrRemote, rh.Status)
+	}
+	return nil
+}
+
 // Invoke performs one blocking collective invocation.
 func (b *Binding) Invoke(ctx context.Context, spec *CallSpec) error {
 	p, err := b.start(ctx, spec)
@@ -847,7 +875,7 @@ func (p *Pending) Wait(ctx context.Context) (err error) {
 		t := time.Now()
 		for _, col := range p.outSinks {
 			if localErr == nil {
-				localErr = col.asm.wait(ctx, nil)
+				localErr = col.asm.wait(ctx, nil, nil)
 			}
 			b.stats.bytesIn.Add(col.asm.nbytes.Load())
 			col.cancel()

@@ -217,7 +217,7 @@ func TestCrossOrderBlockAssembly(t *testing.T) {
 
 	ctx, cancelCtx := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancelCtx()
-	if err := asm.wait(ctx, nil); err != nil {
+	if err := asm.wait(ctx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	cancel()

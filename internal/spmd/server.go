@@ -2,6 +2,7 @@ package spmd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync/atomic"
@@ -83,6 +84,12 @@ type ObjectConfig struct {
 	// split into pipelined chunks (0 = spmd.DefaultXferChunkBytes,
 	// negative = chunking disabled).
 	XferChunkBytes int
+	// LeaseTTL is how long a client's server-side lease survives
+	// without traffic before its rank-side state (block sinks,
+	// in-dispatch waits) is reclaimed. 0 = DefaultLeaseTTL, negative =
+	// leases disabled (the pre-lease behavior: waits are bounded only
+	// by the Serve context and Close).
+	LeaseTTL time.Duration
 }
 
 // Op couples an operation's signature with its implementation.
@@ -103,6 +110,7 @@ type Object struct {
 	ref    *ior.Ref
 	queue  chan *orb.Incoming // communicator only
 	closed chan struct{}
+	leases *leaseTable // nil = leases disabled
 
 	served atomic.Uint64
 	failed atomic.Uint64
@@ -127,6 +135,10 @@ var (
 	phaseServerArgs    = telemetry.Default.Histogram("pardis_spmd_phase_seconds", "phase", "server_args")
 	phaseServerHandler = telemetry.Default.Histogram("pardis_spmd_phase_seconds", "phase", "server_handler")
 	phaseServerOut     = telemetry.Default.Histogram("pardis_spmd_phase_seconds", "phase", "server_out")
+	// shedExpiredSPMD counts queued invocations whose propagated
+	// deadline had already passed when the communicator popped them:
+	// they are answered with TIMEOUT without engaging the collective.
+	shedExpiredSPMD = telemetry.Default.Counter("pardis_spmd_shed_total", "reason", "expired")
 )
 
 // ObjectStats is a snapshot of a thread's request counters.
@@ -182,6 +194,13 @@ func Export(cfg ObjectConfig) (*Object, error) {
 	}
 	o.window = resolveWindow(cfg.XferWindow)
 	o.chunkElems = resolveChunkElems(cfg.XferChunkBytes)
+	if cfg.LeaseTTL >= 0 {
+		ttl := cfg.LeaseTTL
+		if ttl == 0 {
+			ttl = DefaultLeaseTTL
+		}
+		o.leases = newLeaseTable(ttl)
+	}
 	o.rankLag = telemetry.Default.Histogram("pardis_spmd_rank_lag_seconds",
 		"side", "server", "rank", strconv.Itoa(o.rank))
 	o.xferIn = telemetry.Default.Histogram("pardis_spmd_transfer_seconds",
@@ -299,8 +318,21 @@ func Export(cfg ObjectConfig) (*Object, error) {
 	if o.rank == 0 {
 		o.queue = make(chan *orb.Incoming, 64)
 		o.srv.Handle(cfg.Key, func(in *orb.Incoming) {
-			if in.Header.Operation == DescribeOperation {
+			// Any request is proof of client life: renew its lease
+			// before anything else, so a queued invocation cannot lose
+			// its own lease while waiting for the collective.
+			if o.leases != nil {
+				o.leases.acquire(leaseClient(in.Header.InvocationID))
+			}
+			switch in.Header.Operation {
+			case DescribeOperation:
 				o.replyDescribe(in)
+				return
+			case RenewOperation:
+				// The explicit cheap renew for idle bindings: answered
+				// inline on the communicator port, never engaging the
+				// collective.
+				_ = in.Reply(giop.ReplyOK, nil)
 				return
 			}
 			select {
@@ -312,15 +344,51 @@ func Export(cfg ObjectConfig) (*Object, error) {
 		})
 	} else if o.srv != nil {
 		o.srv.Handle(cfg.Key, func(in *orb.Incoming) {
-			if in.Header.Operation == DescribeOperation {
+			if o.leases != nil {
+				o.leases.acquire(leaseClient(in.Header.InvocationID))
+			}
+			switch in.Header.Operation {
+			case DescribeOperation:
 				o.replyDescribe(in)
+				return
+			case RenewOperation:
+				_ = in.Reply(giop.ReplyOK, nil)
 				return
 			}
 			_ = in.ReplySystemException("BAD_OPERATION",
 				"requests must target the communicator port")
 		})
 	}
+	if o.leases != nil {
+		go o.leaseSweepLoop()
+	}
 	return o, nil
+}
+
+// leaseSweepLoop expires client leases that stopped renewing; it runs
+// on every rank (each rank tracks the clients it has heard from) and
+// exits on Close, dropping whatever leases remain.
+func (o *Object) leaseSweepLoop() {
+	t := time.NewTicker(leaseSweepInterval(o.leases.ttl))
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			o.leases.sweep(time.Now())
+		case <-o.closed:
+			o.leases.drop()
+			return
+		}
+	}
+}
+
+// Leases reports the number of live client leases on this rank (0
+// when leases are disabled).
+func (o *Object) Leases() int {
+	if o.leases == nil {
+		return 0
+	}
+	return o.leases.size()
 }
 
 // Ref returns the object reference to register with the naming
@@ -357,13 +425,18 @@ func (o *Object) Close() {
 // control is the per-invocation metadata the communicator broadcasts
 // to the other computing threads before the collective dispatch.
 type control struct {
-	OK      bool // false: serve loop should exit
-	Op      string
-	Inv     uint64
-	Method  TransferMethod
-	Scalars []byte
-	Args    []controlArg
-	ErrMsg  string
+	OK     bool // false: serve loop should exit
+	Op     string
+	Inv    uint64
+	Method TransferMethod
+	// DeadlineMicros is the client deadline budget still remaining when
+	// the communicator broadcast the control record (0 = none). Every
+	// rank rebases it onto its own clock and bounds its dispatch — in
+	// particular the block-assembly waits — by it.
+	DeadlineMicros uint64
+	Scalars        []byte
+	Args           []controlArg
+	ErrMsg         string
 }
 
 type controlArg struct {
@@ -378,6 +451,7 @@ func (c *control) encode(e *cdr.Encoder) {
 	e.PutString(c.Op)
 	e.PutULongLong(c.Inv)
 	e.PutOctet(byte(c.Method))
+	e.PutULongLong(c.DeadlineMicros)
 	e.PutOctetSeq(c.Scalars)
 	e.PutULong(uint32(len(c.Args)))
 	for _, a := range c.Args {
@@ -410,6 +484,9 @@ func decodeControl(d *cdr.Decoder) (*control, error) {
 		return nil, err
 	}
 	c.Method = TransferMethod(m)
+	if c.DeadlineMicros, err = d.ULongLong(); err != nil {
+		return nil, err
+	}
 	if c.Scalars, err = d.OctetSeq(); err != nil {
 		return nil, err
 	}
@@ -484,6 +561,16 @@ func (o *Object) communicatorServeOne(ctx context.Context) error {
 		return ctx.Err()
 	}
 
+	// A queued invocation whose propagated deadline already passed is
+	// shed here, before the collective is engaged: the client has given
+	// up, so burning every rank on its dispatch would only add load.
+	if !in.Expiry.IsZero() && !time.Now().Before(in.Expiry) {
+		shedExpiredSPMD.Inc()
+		_ = in.ReplySystemException("TIMEOUT",
+			"request deadline expired before collective dispatch")
+		return nil
+	}
+
 	// Decode the invocation body.
 	w, err := decodeInvocationWire(in.Decoder())
 	if err != nil {
@@ -534,10 +621,29 @@ func (o *Object) communicatorServeOne(ctx context.Context) error {
 			ClientEndpoints: a.ClientEndpoints,
 		}
 	}
+	if !in.Expiry.IsZero() {
+		// Re-encode the remaining budget relatively, the same scheme the
+		// PIOP header uses: workers rebase onto their own clocks, so rank
+		// clock skew never shifts the deadline. Exhausted-but-present
+		// clamps to 1µs (0 means "none").
+		if rem := time.Until(in.Expiry); rem > 0 {
+			ctrl.DeadlineMicros = uint64(rem / time.Microsecond)
+		}
+		if ctrl.DeadlineMicros == 0 {
+			ctrl.DeadlineMicros = 1
+		}
+	}
 	o.bcastControl(ctrl)
 
 	replyBody, derr := o.dispatch(ctx, ctrl, w, in.Header)
 	if derr != nil {
+		// Deadline and lease failures are timeout-class: the client
+		// stopped waiting (or stopped existing), so the verdict must not
+		// look retryable-in-place or like a servant bug.
+		if errors.Is(derr, context.DeadlineExceeded) || errors.Is(derr, ErrLeaseExpired) {
+			_ = in.ReplySystemException("TIMEOUT", derr.Error())
+			return nil
+		}
 		_ = in.ReplySystemException("UNKNOWN", derr.Error())
 		return nil
 	}
@@ -588,6 +694,16 @@ func (o *Object) dispatch(ctx context.Context, ctrl *control, w *invocationWire,
 		// Workers learn about unknown ops only here; communicator
 		// filtered already.
 		return nil, fmt.Errorf("%w: unknown operation %q", ErrBadCall, ctrl.Op)
+	}
+
+	// Bound the dispatch by the propagated deadline, rebased onto this
+	// rank's clock: a client that stopped waiting must not strand the
+	// collective in a block-assembly wait past the budget it asked for.
+	if ctrl.DeadlineMicros > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx,
+			time.Duration(ctrl.DeadlineMicros)*time.Microsecond)
+		defer cancel()
 	}
 
 	// Phase 1: materialize argument sequences.
@@ -765,12 +881,27 @@ func (o *Object) receiveBlocks(ctx context.Context, inv uint64, argIdx uint32, p
 	}
 	t := time.Now()
 	asm := newBlockAssembler(o.rank, seq.LocalData(), expect)
-	cancel, err := o.srv.ExpectBlocksFunc(key, asm.accept)
+	accept := asm.accept
+	var expired <-chan struct{}
+	if o.leases != nil {
+		// The wait rides the invoking client's lease: every block it
+		// lands renews the lease, and if the client dies mid-transfer the
+		// lease expiry unwinds the wait (sink teardown via the deferred
+		// cancel) instead of stranding the collective until the Serve
+		// context ends.
+		l := o.leases.acquire(leaseClient(inv))
+		expired = l.expired
+		accept = func(blk orb.Block) error {
+			l.last.Store(time.Now().UnixNano())
+			return asm.accept(blk)
+		}
+	}
+	cancel, err := o.srv.ExpectBlocksFunc(key, accept)
 	if err != nil {
 		return err
 	}
 	defer cancel()
-	err = asm.wait(ctx, o.closed)
+	err = asm.wait(ctx, o.closed, expired)
 	o.xferIn.ObserveDuration(time.Since(t))
 	return err
 }

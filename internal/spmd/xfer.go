@@ -264,8 +264,9 @@ func (a *blockAssembler) accept(blk orb.Block) error {
 }
 
 // wait blocks until assembly completes (or fails), the context is
-// done, or closed fires (nil channels never fire).
-func (a *blockAssembler) wait(ctx contextDoner, closed <-chan struct{}) error {
+// done, closed fires, or the sending client's lease expires (nil
+// channels never fire).
+func (a *blockAssembler) wait(ctx contextDoner, closed, expired <-chan struct{}) error {
 	var ctxDone <-chan struct{}
 	if ctx != nil {
 		ctxDone = ctx.Done()
@@ -280,6 +281,8 @@ func (a *blockAssembler) wait(ctx contextDoner, closed <-chan struct{}) error {
 		return ctx.Err()
 	case <-closed:
 		return ErrClosed
+	case <-expired:
+		return ErrLeaseExpired
 	}
 }
 
