@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-quick bench-dataplane bench-snapshot benchdiff lint-telemetry fuzz-smoke fmt
+.PHONY: build test verify chaos soak bench bench-quick bench-dataplane bench-snapshot benchdiff lint-telemetry lint-fault fuzz-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,7 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(MAKE) lint-telemetry
+	$(MAKE) lint-fault
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-quick
@@ -43,6 +44,12 @@ lint-telemetry:
 	fi
 	@echo 'lint-telemetry: ok'
 
+# lint-fault enforces the chaos naming convention: every test that
+# drives the fault-injection transport (directly or through a fixture)
+# must be named TestFault*, so `make chaos`/`make soak` cover it.
+lint-fault:
+	@$(GO) run ./scripts/faultlint.go internal cmd
+
 # fuzz-smoke runs every Fuzz* target in the wire-facing packages for a
 # short burst each (10s by default) — enough to catch a freshly
 # introduced decoder panic in CI without a dedicated fuzz farm.
@@ -61,6 +68,17 @@ fuzz-smoke:
 # the race detector. Add -short for the abbreviated plans.
 chaos:
 	$(GO) test -run Fault -race ./...
+
+# soak loops the chaos suites SOAK_COUNT times under the race detector
+# — timing-sensitive failure modes (heartbeat expiry racing a kill,
+# agent restart mid-burst, lease reclamation) rarely show on a single
+# pass. Packages limited to those with TestFault* suites to keep the
+# loop hot.
+SOAK_COUNT ?= 10
+soak:
+	$(GO) test -run Fault -race -count $(SOAK_COUNT) -timeout 30m \
+		./internal/agent/ ./internal/naming/ ./internal/orb/ \
+		./internal/spmd/ ./internal/transport/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -1,0 +1,164 @@
+// Command pardis-agent runs the PARDIS agent: the NetSolve-style
+// resource broker that tracks live object replicas and answers
+// load-ranked resolution.
+//
+// Servers register their objects at startup and renew with periodic
+// heartbeats that piggyback live load (admission queue depth, SPMD
+// leases, breaker states, draining). The agent keeps a per-name
+// weighted replica table, expires replicas that miss heartbeats (TTL,
+// by default 3x the heartbeat interval), and answers Resolve with a
+// reference whose replica profile list is ordered best-first — the
+// exact list the client ORB's failover chain walks.
+//
+// All agent state is soft: on restart the table rebuilds from the
+// next round of heartbeats within one TTL, and while the agent is
+// unreachable clients degrade to cached references and the static
+// naming registry. Nothing stops working when the agent dies; it just
+// stops getting better.
+//
+//	pardis-agent -listen tcp:0.0.0.0:9070
+//
+// Inspect a running agent:
+//
+//	pardis-agent -list -at tcp:127.0.0.1:9070
+//	pardis-agent -resolve demo/echo -at tcp:127.0.0.1:9070
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"pardis/internal/agent"
+	"pardis/internal/orb"
+	"pardis/internal/telemetry"
+)
+
+func main() {
+	listen := flag.String("listen", "tcp:127.0.0.1:9070", "endpoint to serve the agent at")
+	sweep := flag.Duration("sweep", agent.DefaultHeartbeatInterval/2, "cadence of the TTL sweep that expires replicas missing heartbeats")
+	resolve := flag.String("resolve", "", "resolve this name at an existing agent (-at) instead of serving")
+	list := flag.Bool("list", false, "list the replica table of an existing agent (-at) instead of serving")
+	at := flag.String("at", "tcp:127.0.0.1:9070", "agent endpoint for -resolve / -list")
+	prefix := flag.String("prefix", "", "name prefix filter for -list")
+	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "per-invocation deadline for -resolve / -list")
+	metricsListen := flag.String("metrics-listen", "", "host:port to serve /metrics, /healthz, /debug/vars, /debug/traces and /debug/pprof at (empty = disabled)")
+	logLevel := flag.String("log-level", "", "enable structured logging on stderr at this level: debug, info, warn or error (empty = silent)")
+	flag.Parse()
+
+	if *logLevel != "" {
+		lvl, err := parseLevel(*logLevel)
+		if err != nil {
+			fatal(err)
+		}
+		telemetry.EnableLogging(os.Stderr, lvl)
+	}
+
+	if *resolve != "" || *list {
+		runQuery(*at, *resolve, *prefix, *rpcTimeout)
+		return
+	}
+
+	table := agent.NewTable()
+	stopSweeper := table.StartSweeper(*sweep)
+	defer stopSweeper()
+
+	srv := orb.NewServer(nil)
+	agent.Serve(srv, table)
+	ep, err := srv.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pardis-agent: serving at %s\n", ep)
+
+	if *metricsListen != "" {
+		ml, err := net.Listen("tcp", *metricsListen)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		status := func() map[string]any {
+			names, replicas := table.Size()
+			return map[string]any{
+				"names":    names,
+				"replicas": replicas,
+			}
+		}
+		go func() {
+			_ = http.Serve(ml, telemetry.Handler(nil, nil, nil, status))
+		}()
+		fmt.Printf("METRICS=%s\n", ml.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("pardis-agent: shutting down")
+	stopSweeper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+}
+
+// runQuery implements -resolve and -list against a running agent.
+func runQuery(at, name, prefix string, rpcTimeout time.Duration) {
+	oc := orb.NewClient(nil, orb.WithDefaultDeadline(rpcTimeout))
+	defer oc.Close()
+	ac := agent.NewClient(oc, at)
+	ctx := context.Background()
+
+	if name != "" {
+		ref, replicas, err := ac.Resolve(ctx, name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s  replicas=%d\n%s\n", name, replicas, ref.Stringify())
+		return
+	}
+
+	entries, err := ac.List(ctx, prefix)
+	if err != nil {
+		fatal(err)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	for _, ent := range entries {
+		fmt.Printf("%s\n", ent.Name)
+		for _, rep := range ent.Replicas {
+			drain := ""
+			if rep.Draining {
+				drain = " draining"
+			}
+			fmt.Printf("  %-24s score=%-8.2f seen=%-8s endpoints=%d%s\n",
+				rep.Instance, rep.Score, rep.SinceSeen.Round(time.Millisecond),
+				len(rep.Ref.Endpoints), drain)
+		}
+	}
+}
+
+// parseLevel maps a -log-level string onto a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pardis-agent:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,271 @@
+// HA benchmark mode: -ha assembles the whole NetSolve-style agent
+// stack in-process — an agent, N heartbeat-tracked echo replicas, a
+// static naming fallback — and drives a sustained InvokeNamed burst
+// through the load-ranked resolution ladder. With -kill (the default)
+// one replica is crashed mid-run, heartbeats and all; the summary
+// reports whether any failure leaked to the client alongside the
+// failover/re-resolution work the ORB did to absorb it:
+//
+//	pardis-bench -ha
+//	pardis-bench -ha -replicas 5 -ops 20000 -json
+//	pardis-bench -ha -kill=false
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pardis/internal/agent"
+	"pardis/internal/cdr"
+	"pardis/internal/giop"
+	"pardis/internal/ior"
+	"pardis/internal/naming"
+	"pardis/internal/orb"
+	"pardis/internal/telemetry"
+	"pardis/internal/transport"
+)
+
+// haConfig carries the -ha flag group.
+type haConfig struct {
+	ops         int
+	doubles     int
+	concurrency int
+	replicas    int
+	kill        bool
+	jsonOut     bool
+}
+
+// haResult is the machine-readable summary emitted by -ha -json.
+type haResult struct {
+	Date            string  `json:"date"`
+	Ops             int     `json:"ops"`
+	Errors          int     `json:"errors"`
+	Replicas        int     `json:"replicas"`
+	Killed          bool    `json:"killed_one_mid_run"`
+	Elapsed         float64 `json:"elapsed_seconds"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	P50us           float64 `json:"p50_us"`
+	P95us           float64 `json:"p95_us"`
+	P99us           float64 `json:"p99_us"`
+	Retries         uint64  `json:"retries"`
+	Failovers       uint64  `json:"failovers"`
+	ReResolves      uint64  `json:"reresolves"`
+	Heartbeats      uint64  `json:"agent_heartbeats"`
+	ReplicasExpired uint64  `json:"agent_replicas_expired"`
+}
+
+const (
+	haName       = "bench/echo"
+	haKey        = "objects/" + haName
+	haInterval   = 50 * time.Millisecond
+	haEchoTypeID = "IDL:pardis/Echo:1.0"
+)
+
+func runHA(cfg haConfig) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+
+	// The agent: heartbeat-tracked replica table with TTL sweeping.
+	table := agent.NewTable()
+	asrv := orb.NewServer(reg)
+	agent.Serve(asrv, table)
+	aep, err := asrv.Listen("inproc:*")
+	if err != nil {
+		fatal(err)
+	}
+	defer asrv.Close()
+	stopSweep := table.StartSweeper(haInterval / 2)
+	defer stopSweep()
+
+	// Static naming registry: the resolution ladder's last rung.
+	nreg := naming.NewRegistry()
+	nsrv := orb.NewServer(reg)
+	naming.Serve(nsrv, nreg)
+	nep, err := nsrv.Listen("inproc:*")
+	if err != nil {
+		fatal(err)
+	}
+	defer nsrv.Close()
+
+	// N echo replicas, each heartbeating into the agent and merged
+	// into the static binding.
+	hb := orb.NewClient(reg, orb.WithDefaultDeadline(2*time.Second))
+	defer hb.Close()
+	type haReplica struct {
+		srv *orb.Server
+		reg *agent.Registrar
+	}
+	replicas := make([]haReplica, 0, cfg.replicas)
+	for i := 0; i < cfg.replicas; i++ {
+		srv := orb.NewServer(reg)
+		srv.Handle(haKey, func(inc *orb.Incoming) {
+			v, err := inc.Decoder().DoubleSeq()
+			if err != nil {
+				_ = inc.ReplySystemException("MARSHAL", err.Error())
+				return
+			}
+			_ = inc.Reply(giop.ReplyOK, func(e *cdr.Encoder) { e.PutDoubleSeq(v) })
+		})
+		ep, err := srv.Listen("inproc:*")
+		if err != nil {
+			fatal(err)
+		}
+		ref := &ior.Ref{TypeID: haEchoTypeID, Key: haKey, Threads: 1, Endpoints: []string{ep}}
+		if err := nreg.BindReplica(haName, ref); err != nil {
+			fatal(err)
+		}
+		r := agent.NewRegistrar(agent.RegistrarConfig{
+			Client:   agent.NewClient(hb, aep),
+			Instance: fmt.Sprintf("replica-%d", i),
+			Interval: haInterval,
+		})
+		r.Add(haName, ref)
+		r.Start()
+		replicas = append(replicas, haReplica{srv: srv, reg: r})
+	}
+	defer func() {
+		for _, r := range replicas {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_ = r.reg.Stop(ctx)
+			cancel()
+			r.srv.Close()
+		}
+	}()
+	// Wait for every replica's first heartbeat to land.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if _, reps := table.Size(); reps == cfg.replicas {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("agent table never filled: %d replicas missing", cfg.replicas))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The client side: load-ranked resolution with naming fallback,
+	// name-level invocation with re-resolution.
+	oc := orb.NewClient(reg,
+		orb.WithRetryPolicy(orb.DefaultRetryPolicy()),
+		orb.WithDefaultDeadline(5*time.Second))
+	defer oc.Close()
+	res := agent.NewResolver(agent.ResolverConfig{
+		Agent:    agent.NewClient(oc, aep),
+		Naming:   naming.NewClient(oc, nep),
+		FreshFor: haInterval,
+	})
+
+	payload := make([]float64, cfg.doubles)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	body := func(e *cdr.Encoder) { e.PutDoubleSeq(payload) }
+
+	var done atomic.Int64
+	var errCount atomic.Int64
+	killAt := int64(cfg.ops) / 3
+	killed := make(chan struct{})
+	if cfg.kill && cfg.replicas > 1 {
+		// The killer crashes replica 0 a third of the way in: its
+		// connections drop and its heartbeats stop — no deregistration,
+		// only the TTL reaps it.
+		go func() {
+			defer close(killed)
+			for done.Load() < killAt {
+				time.Sleep(time.Millisecond)
+			}
+			victim := replicas[0]
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_ = victim.reg.Stop(ctx)
+			victim.srv.Close()
+		}()
+	} else {
+		close(killed)
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				hdr := giop.RequestHeader{
+					InvocationID:     oc.NewInvocationID(),
+					ResponseExpected: true,
+					ObjectKey:        haKey,
+					Operation:        "echo",
+					ThreadRank:       -1,
+					ThreadCount:      1,
+				}
+				_, _, _, err := oc.InvokeNamed(context.Background(), res, haName, hdr, body)
+				if err != nil {
+					errCount.Add(1)
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < cfg.ops; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	<-killed
+	elapsed := time.Since(start)
+
+	tr := telemetry.Default
+	var snap telemetry.HistogramSnapshot
+	for k, s := range tr.HistogramsByName("pardis_client_invoke_seconds") {
+		if strings.Contains(k, `op="echo"`) {
+			snap = s
+		}
+	}
+	out := haResult{
+		Date:            time.Now().UTC().Format("2006-01-02"),
+		Ops:             cfg.ops,
+		Errors:          int(errCount.Load()),
+		Replicas:        cfg.replicas,
+		Killed:          cfg.kill && cfg.replicas > 1,
+		Elapsed:         elapsed.Seconds(),
+		OpsPerSec:       float64(cfg.ops) / elapsed.Seconds(),
+		P50us:           snap.Quantile(0.50) * 1e6,
+		P95us:           snap.Quantile(0.95) * 1e6,
+		P99us:           snap.Quantile(0.99) * 1e6,
+		Retries:         tr.CounterValue("pardis_client_retries_total"),
+		Failovers:       tr.CounterValue("pardis_client_failovers_total"),
+		ReResolves:      tr.CounterValue("pardis_client_reresolves_total"),
+		Heartbeats:      tr.CounterValue("pardis_agent_heartbeats_total"),
+		ReplicasExpired: tr.CounterValue("pardis_agent_replicas_expired_total"),
+	}
+
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("ha bench: %d ops x %d doubles, concurrency %d, %d replicas, kill-one=%v\n",
+		out.Ops, cfg.doubles, cfg.concurrency, out.Replicas, out.Killed)
+	fmt.Printf("  %.0f ops/s over %.2fs — %d client-visible errors\n",
+		out.OpsPerSec, out.Elapsed, out.Errors)
+	fmt.Printf("  invoke latency: p50 %.0fus  p95 %.0fus  p99 %.0fus (n=%d)\n",
+		out.P50us, out.P95us, out.P99us, snap.Count)
+	fmt.Printf("  absorbed by the stack: retries=%d failovers=%d reresolves=%d\n",
+		out.Retries, out.Failovers, out.ReResolves)
+	fmt.Printf("  agent: heartbeats=%d replicas_expired=%d\n",
+		out.Heartbeats, out.ReplicasExpired)
+	if out.Killed && out.Errors == 0 {
+		fmt.Println("  replica killed mid-run; zero failures reached the client")
+	}
+}

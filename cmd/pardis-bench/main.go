@@ -20,6 +20,16 @@
 //	pardis-bench -live -faulty
 //	pardis-bench -live -json
 //
+// -ha drives the NetSolve-style agent stack in-process: an agent, N
+// heartbeat-tracked echo replicas and a static naming fallback under
+// a sustained name-level invocation burst, with one replica crashed
+// mid-run (disable with -kill=false). The summary reports the client-
+// visible error count next to the failover/re-resolution work that
+// absorbed the crash:
+//
+//	pardis-bench -ha -replicas 3
+//	pardis-bench -ha -json
+//
 // -dataplane benchmarks the real SPMD data plane instead: an n-thread
 // client streams a block-distributed dsequence<double> into an
 // m-thread multi-port object and the Figure-4-style bandwidth curve
@@ -68,6 +78,9 @@ func main() {
 	faulty := flag.Bool("faulty", false, "route -live traffic through the fault-injection transport")
 	maxInflight := flag.Int("max-inflight", 0, "admission cap on concurrently running handlers in the -live server (0 = unlimited; -1 = orb defaults)")
 	jsonOut := flag.Bool("json", false, "emit the -live summary as JSON (bench-snapshot format)")
+	ha := flag.Bool("ha", false, "drive the agent HA stack in-process: heartbeat-tracked replicas, load-ranked resolution, client failover")
+	replicas := flag.Int("replicas", 3, "replica count in -ha mode")
+	kill := flag.Bool("kill", true, "crash one replica mid-run in -ha mode (-kill=false for a fault-free baseline)")
 	dataplane := flag.Bool("dataplane", false, "benchmark the real SPMD data plane (Figure-4-style in-transfer bandwidth curve)")
 	clientThreads := flag.Int("client-threads", 1, "client SPMD threads (n) in -dataplane mode")
 	serverThreads := flag.Int("threads", 4, "server SPMD threads (m) in -dataplane mode")
@@ -89,6 +102,18 @@ func main() {
 			reps:          *reps,
 			doubles:       pick(*doubles, 1024, 0),
 			jsonOut:       *jsonOut,
+		})
+		return
+	}
+
+	if *ha {
+		runHA(haConfig{
+			ops:         *ops,
+			doubles:     pick(*doubles, 1024, 256),
+			concurrency: *concurrency,
+			replicas:    *replicas,
+			kill:        *kill,
+			jsonOut:     *jsonOut,
 		})
 		return
 	}

@@ -1,8 +1,25 @@
-// Command pardisd runs a PARDIS domain's naming service: the global
-// namespace behind _bind/_spmd_bind. Servers in the domain register
-// their object references here; clients resolve names to references.
+// Command pardisd runs a PARDIS domain daemon. In its original role
+// it serves the domain's naming service — the global namespace behind
+// _bind/_spmd_bind:
 //
 //	pardisd -listen tcp:0.0.0.0:9050
+//
+// It can also serve objects itself and take part in an agent-managed
+// replica group: -serve-echo exports a conventional echo object under
+// a global name, -agent registers it with a pardis-agent (renewed by
+// periodic heartbeats that piggyback live load), and -naming points
+// at an external naming service instead of hosting one. Two replicas
+// of one object, tracked by an agent:
+//
+//	pardisd -listen tcp:0.0.0.0:9060 -serve-echo demo/echo \
+//	        -naming tcp:127.0.0.1:9050 -agent tcp:127.0.0.1:9070
+//	pardisd -listen tcp:0.0.0.0:9061 -serve-echo demo/echo \
+//	        -naming tcp:127.0.0.1:9050 -agent tcp:127.0.0.1:9070
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: it deregisters from
+// the agent, unbinds its replica endpoints from the naming service
+// (so no stale registration outlives the process), finishes in-flight
+// requests up to -drain, and says goodbye on every connection.
 //
 // The process serves until interrupted. With -state the name table is
 // loaded at startup and checkpointed on changes and at shutdown, so a
@@ -13,10 +30,10 @@
 // Observability: -metrics-listen exposes the process's operational
 // surface over HTTP (/metrics, /healthz, /debug/vars, /debug/traces,
 // /debug/pprof), -log-level enables structured logging on stderr, and
-// -trace-sample sets the root trace-sampling probability.
-//
-//	pardisd -listen tcp:0.0.0.0:9050 -metrics-listen 127.0.0.1:9051 \
-//	        -log-level info -trace-sample 0.01
+// -trace-sample sets the root trace-sampling probability. /healthz
+// answers a JSON body carrying admission queue depth, active SPMD
+// leases and outbound breaker states alongside the 503 saturation
+// signal, so the agent (and humans) can scrape one endpoint.
 //
 // Inspect a running domain with -list:
 //
@@ -35,14 +52,22 @@ import (
 	"syscall"
 	"time"
 
+	"pardis/internal/agent"
+	"pardis/internal/cdr"
+	"pardis/internal/giop"
+	"pardis/internal/ior"
 	"pardis/internal/naming"
 	"pardis/internal/orb"
 	"pardis/internal/spmd"
 	"pardis/internal/telemetry"
 )
 
+// EchoTypeID is the repository id of the built-in echo object
+// -serve-echo exports.
+const EchoTypeID = "IDL:pardis/Echo:1.0"
+
 func main() {
-	listen := flag.String("listen", "tcp:127.0.0.1:9050", "endpoint to serve the naming service at")
+	listen := flag.String("listen", "tcp:127.0.0.1:9050", "endpoint to serve at")
 	list := flag.Bool("list", false, "list names at an existing service instead of serving")
 	at := flag.String("at", "tcp:127.0.0.1:9050", "service endpoint for -list")
 	prefix := flag.String("prefix", "", "name prefix filter for -list")
@@ -61,6 +86,11 @@ func main() {
 	maxInflightConn := flag.Int("max-inflight-per-conn", 0, "per-connection cap on concurrently running handlers (0 = derived: half of -max-inflight)")
 	maxQueue := flag.Int("max-queue", 0, "bound on requests waiting for an admission slot (0 = derived: 2x -max-inflight)")
 	maxQueueWait := flag.Duration("max-queue-wait", time.Second, "longest a request may wait for admission before a TRANSIENT shed (0 = bounded only by its own deadline)")
+	namingAt := flag.String("naming", "", "external naming service endpoint; empty = host the naming service in this process")
+	serveEcho := flag.String("serve-echo", "", "export a conventional echo object under this global name (a replica: bound into naming by endpoint merge, registered with the agent when -agent is set)")
+	agentAt := flag.String("agent", "", "agent service endpoint to register served objects with (heartbeat-renewed; empty = no agent)")
+	heartbeat := flag.Duration("heartbeat", agent.DefaultHeartbeatInterval, "agent heartbeat interval (registration TTL is 3x this)")
+	instance := flag.String("instance", "", "instance identity for agent registration (empty = generated)")
 	flag.Parse()
 
 	if *xferWindow != 0 {
@@ -83,16 +113,24 @@ func main() {
 		runList(*at, *prefix, *retries, *stripes, *rpcTimeout, *traceSample)
 		return
 	}
+	if *namingAt != "" && *serveEcho == "" {
+		fatal(fmt.Errorf("-naming without -serve-echo leaves nothing to serve"))
+	}
 
-	reg := naming.NewRegistry()
-	if *state != "" {
-		if err := reg.LoadFile(*state); err != nil {
-			fatal(fmt.Errorf("loading state: %w", err))
-		}
-		if n := len(reg.List("")); n > 0 {
-			fmt.Printf("pardisd: restored %d bindings from %s\n", n, *state)
+	// Local-mode naming registry (nil when -naming points elsewhere).
+	var reg *naming.Registry
+	if *namingAt == "" {
+		reg = naming.NewRegistry()
+		if *state != "" {
+			if err := reg.LoadFile(*state); err != nil {
+				fatal(fmt.Errorf("loading state: %w", err))
+			}
+			if n := len(reg.List("")); n > 0 {
+				fmt.Printf("pardisd: restored %d bindings from %s\n", n, *state)
+			}
 		}
 	}
+
 	var srvOpts []orb.ServerOption
 	if *maxInflight > 0 {
 		ac := orb.DefaultAdmissionConfig()
@@ -109,12 +147,100 @@ func main() {
 		srvOpts = append(srvOpts, orb.WithAdmission(ac))
 	}
 	srv := orb.NewServer(nil, srvOpts...)
-	naming.Serve(srv, reg)
+	if reg != nil {
+		naming.Serve(srv, reg)
+	}
 	ep, err := srv.Listen(*listen)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("pardisd: naming service at %s\n", ep)
+	if reg != nil {
+		fmt.Printf("pardisd: naming service at %s\n", ep)
+	}
+
+	// Outbound ORB client, shared by the agent registrar and the
+	// remote-naming binding path.
+	var oc *orb.Client
+	outbound := func() *orb.Client {
+		if oc == nil {
+			pol := orb.DefaultRetryPolicy()
+			oc = orb.NewClient(nil,
+				orb.WithRetryPolicy(pol),
+				orb.WithDefaultDeadline(5*time.Second))
+		}
+		return oc
+	}
+
+	// The echo replica: a conventional object whose reference other
+	// replicas' endpoints merge with in the naming service.
+	var echoRef *ior.Ref
+	var namingClient *naming.Client
+	if *serveEcho != "" {
+		key := "objects/" + *serveEcho
+		srv.Handle(key, func(in *orb.Incoming) {
+			v, err := in.Decoder().DoubleSeq()
+			if err != nil {
+				_ = in.ReplySystemException("MARSHAL", err.Error())
+				return
+			}
+			_ = in.Reply(giop.ReplyOK, func(e *cdr.Encoder) { e.PutDoubleSeq(v) })
+		})
+		echoRef = &ior.Ref{TypeID: EchoTypeID, Key: key, Threads: 1, Endpoints: []string{ep}}
+		if reg != nil {
+			if err := reg.BindReplica(*serveEcho, echoRef); err != nil {
+				fatal(fmt.Errorf("binding %q: %w", *serveEcho, err))
+			}
+		} else {
+			namingClient = naming.NewClient(outbound(), *namingAt)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err := namingClient.BindReplica(ctx, *serveEcho, echoRef)
+			cancel()
+			if err != nil {
+				fatal(fmt.Errorf("binding %q at %s: %w", *serveEcho, *namingAt, err))
+			}
+		}
+		fmt.Printf("pardisd: echo object %q at %s\n", *serveEcho, ep)
+	}
+
+	// loadReport snapshots the live signals a heartbeat piggybacks —
+	// the same numbers /healthz serves.
+	loadReport := func() agent.LoadReport {
+		st := srv.AdmissionStats()
+		lr := agent.LoadReport{
+			AdmissionRunning: st.Running,
+			AdmissionQueued:  st.Queued,
+			MaxConcurrent:    st.MaxConcurrent,
+			MaxQueue:         st.MaxQueue,
+			Inflight:         int(telemetry.Default.GaugeValue("pardis_server_inflight")),
+			SPMDLeases:       spmd.ActiveLeases(),
+			Draining:         srv.Draining(),
+		}
+		if oc != nil {
+			for _, est := range oc.Health() {
+				if est.State == "open" {
+					lr.BreakersOpen++
+				}
+			}
+		}
+		return lr
+	}
+
+	var registrar *agent.Registrar
+	if *agentAt != "" {
+		if echoRef == nil {
+			fatal(fmt.Errorf("-agent without -serve-echo leaves nothing to register"))
+		}
+		registrar = agent.NewRegistrar(agent.RegistrarConfig{
+			Client:   agent.NewClient(outbound(), *agentAt),
+			Instance: *instance,
+			Interval: *heartbeat,
+			Load:     loadReport,
+		})
+		registrar.Add(*serveEcho, echoRef)
+		registrar.Start()
+		fmt.Printf("pardisd: registering with agent %s as %s (heartbeat %v)\n",
+			*agentAt, registrar.Instance(), *heartbeat)
+	}
 
 	if *metricsListen != "" {
 		ml, err := net.Listen("tcp", *metricsListen)
@@ -130,8 +256,31 @@ func main() {
 			}
 			return nil
 		}
+		status := func() map[string]any {
+			st := srv.AdmissionStats()
+			body := map[string]any{
+				"draining":  srv.Draining(),
+				"saturated": srv.AdmissionSaturated(),
+				"admission": map[string]int{
+					"running":        st.Running,
+					"queued":         st.Queued,
+					"max_concurrent": st.MaxConcurrent,
+					"max_queue":      st.MaxQueue,
+				},
+				"inflight":    telemetry.Default.GaugeValue("pardis_server_inflight"),
+				"spmd_leases": spmd.ActiveLeases(),
+			}
+			if oc != nil {
+				breakers := make(map[string]string)
+				for ep, est := range oc.Health() {
+					breakers[ep] = est.State
+				}
+				body["breakers"] = breakers
+			}
+			return body
+		}
 		go func() {
-			_ = http.Serve(ml, telemetry.Handler(nil, nil, healthy))
+			_ = http.Serve(ml, telemetry.Handler(nil, nil, healthy, status))
 		}()
 		// Machine-readable marker (the integration tests scrape it),
 		// with the wildcard port resolved.
@@ -139,7 +288,7 @@ func main() {
 	}
 
 	stopCheckpoints := make(chan struct{})
-	if *state != "" {
+	if reg != nil && *state != "" {
 		go func() {
 			t := time.NewTicker(*checkpoint)
 			defer t.Stop()
@@ -161,7 +310,31 @@ func main() {
 	<-sig
 	fmt.Println("pardisd: draining")
 	close(stopCheckpoints)
-	if *state != "" {
+
+	// Deregister before draining: the agent stops ranking this
+	// replica, and the naming service forgets its endpoints, so no
+	// stale registration outlives the process. Both are best-effort —
+	// an unreachable agent expires the entries by TTL anyway.
+	unregCtx, unregCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if registrar != nil {
+		if err := registrar.Stop(unregCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "pardisd: agent deregister:", err)
+		}
+	}
+	if echoRef != nil {
+		var err error
+		if reg != nil {
+			err = reg.UnbindReplica(*serveEcho, echoRef)
+		} else if namingClient != nil {
+			err = namingClient.UnbindReplica(unregCtx, *serveEcho, echoRef)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pardisd: naming unbind:", err)
+		}
+	}
+	unregCancel()
+
+	if reg != nil && *state != "" {
 		if err := reg.SaveFile(*state); err != nil {
 			fmt.Fprintln(os.Stderr, "pardisd: final checkpoint:", err)
 		}
@@ -173,6 +346,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "pardisd: drain incomplete:", err)
+	}
+	if oc != nil {
+		oc.Close()
 	}
 }
 

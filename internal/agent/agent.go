@@ -1,0 +1,93 @@
+// Package agent implements the NetSolve-style resource agent: the
+// service that turns N independent PARDIS servers into one elastic,
+// fault-tolerant object service. Servers register their objects at
+// startup and renew the registration with periodic heartbeats that
+// piggyback live load signals (admission gate occupancy, in-dispatch
+// handlers, SPMD lease counts, drain state). The agent maintains a
+// per-object-name weighted replica table, expires replicas that miss
+// heartbeats, and answers Resolve with a load-ranked reference whose
+// replica profile list feeds the client ORB's InvokeRef failover
+// chain.
+//
+// The agent is a *soft* dependency by design. Its table is pure soft
+// state: on agent restart it rebuilds from heartbeats within one TTL
+// (default 3x the heartbeat interval), and while the agent is
+// unreachable clients degrade down a ladder — the last agent-ranked
+// answer they cached, then the static naming registry — instead of
+// failing. Nothing a client needs to make progress lives only in the
+// agent.
+//
+// Like the naming service, the agent is an ordinary PARDIS object
+// (object key ServiceKey) served by an orb.Server: register,
+// heartbeat renewal, deregister, resolve and list are IDL-style
+// operations with CDR bodies.
+package agent
+
+import (
+	"errors"
+	"time"
+)
+
+// ServiceKey is the object key the agent service answers to.
+const ServiceKey = "pardis/agent"
+
+// Errors returned by the agent client and table.
+var (
+	ErrNotFound = errors.New("agent: no live replica for name")
+	ErrProtocol = errors.New("agent: protocol error")
+)
+
+// DefaultHeartbeatInterval is how often a Registrar renews its
+// registration when not configured otherwise.
+const DefaultHeartbeatInterval = 2 * time.Second
+
+// TTLFactor is the default registration time-to-live in heartbeat
+// intervals: a replica survives two missed heartbeats, the third miss
+// expires it.
+const TTLFactor = 3
+
+// LoadReport is the live load signal a server piggybacks on every
+// registration heartbeat. All fields are point-in-time snapshots of
+// instruments the server already exports on /metrics and /healthz.
+type LoadReport struct {
+	// AdmissionRunning and AdmissionQueued mirror orb.AdmissionStats:
+	// admitted handler slots held and requests waiting for one.
+	AdmissionRunning int
+	AdmissionQueued  int
+	// MaxConcurrent and MaxQueue echo the admission caps (0 when the
+	// server runs without admission control).
+	MaxConcurrent int
+	MaxQueue      int
+	// Inflight is the server's in-dispatch handler count
+	// (pardis_server_inflight), the load signal when admission
+	// control is off.
+	Inflight int
+	// SPMDLeases counts live client leases on this process's SPMD
+	// ranks — each one a client holding rank-side transfer state.
+	SPMDLeases int
+	// BreakersOpen counts open circuit breakers on the process's
+	// outbound clients: a proxy for how much of its own dependency
+	// fan-out is failing.
+	BreakersOpen int
+	// Draining is set while the server is in graceful shutdown; a
+	// draining replica ranks behind every live one.
+	Draining bool
+}
+
+// Score is the agent's load rank for a replica: lower is better.
+// Queued admissions dominate — a queue means the replica is past its
+// concurrency cap and every queued request is paying latency — then
+// running/in-dispatch work, then SPMD leases (clients parked on rank
+// state), then open breakers. Draining replicas sort behind
+// everything: they answer TRANSIENT to new work anyway.
+func (lr LoadReport) Score() float64 {
+	s := 4*float64(lr.AdmissionQueued) +
+		float64(lr.AdmissionRunning) +
+		float64(lr.Inflight) +
+		0.25*float64(lr.SPMDLeases) +
+		2*float64(lr.BreakersOpen)
+	if lr.Draining {
+		s += 1 << 30
+	}
+	return s
+}

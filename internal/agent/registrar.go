@@ -1,0 +1,212 @@
+package agent
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync"
+	"time"
+
+	"pardis/internal/ior"
+	"pardis/internal/telemetry"
+)
+
+var (
+	heartbeatErrors = telemetry.Default.Counter("pardis_agent_heartbeat_errors_total")
+	heartbeatsSent  = telemetry.Default.Counter("pardis_agent_heartbeats_sent_total")
+)
+
+// RegistrarConfig configures a server-side heartbeat loop.
+type RegistrarConfig struct {
+	// Client talks to the agent service.
+	Client *Client
+	// Instance identifies this server process; empty generates a
+	// random one.
+	Instance string
+	// Interval is the heartbeat cadence (default
+	// DefaultHeartbeatInterval).
+	Interval time.Duration
+	// TTL is the registration time-to-live the heartbeats ask for
+	// (default TTLFactor x Interval).
+	TTL time.Duration
+	// Load supplies the live load snapshot piggybacked on each
+	// heartbeat (nil reports zeros).
+	Load func() LoadReport
+	// RPCTimeout bounds each heartbeat invocation (default: the
+	// interval, clamped to [100ms, 2s]) so a hung agent cannot stall
+	// the loop past its own cadence.
+	RPCTimeout time.Duration
+}
+
+// Registrar keeps a server's objects registered with the agent: an
+// immediate registration at Start, renewal every Interval, and a
+// deregistration at Stop so a graceful drain leaves no stale entry.
+// The agent is a soft dependency — heartbeat failures are counted and
+// logged, never fatal, and the next tick simply tries again (which is
+// also how the table repopulates after an agent restart).
+type Registrar struct {
+	cfg  RegistrarConfig
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	names   map[string]*ior.Ref
+	started bool
+	stopped bool
+}
+
+// NewRegistrar returns a registrar; call Add to give it names and
+// Start to begin heartbeating.
+func NewRegistrar(cfg RegistrarConfig) *Registrar {
+	if cfg.Instance == "" {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			cfg.Instance = "inst-" + hex.EncodeToString(b[:])
+		} else {
+			cfg.Instance = "inst-" + time.Now().Format("150405.000000000")
+		}
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultHeartbeatInterval
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = TTLFactor * cfg.Interval
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = cfg.Interval
+		if cfg.RPCTimeout < 100*time.Millisecond {
+			cfg.RPCTimeout = 100 * time.Millisecond
+		}
+		if cfg.RPCTimeout > 2*time.Second {
+			cfg.RPCTimeout = 2 * time.Second
+		}
+	}
+	return &Registrar{
+		cfg:   cfg,
+		kick:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		names: make(map[string]*ior.Ref),
+	}
+}
+
+// Instance returns the registrar's instance identity.
+func (r *Registrar) Instance() string { return r.cfg.Instance }
+
+// Add registers (or replaces) a name→reference pair and nudges the
+// loop to heartbeat promptly, so a freshly exported object is
+// resolvable without waiting out an interval.
+func (r *Registrar) Add(name string, ref *ior.Ref) {
+	r.mu.Lock()
+	r.names[name] = ref
+	r.mu.Unlock()
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Remove drops a name; the next heartbeat no longer carries it, which
+// deletes the replica at the agent.
+func (r *Registrar) Remove(name string) {
+	r.mu.Lock()
+	delete(r.names, name)
+	r.mu.Unlock()
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Start launches the heartbeat loop (idempotent).
+func (r *Registrar) Start() {
+	r.mu.Lock()
+	if r.started || r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go r.loop()
+}
+
+func (r *Registrar) loop() {
+	defer r.wg.Done()
+	r.beat()
+	tick := time.NewTicker(r.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			r.beat()
+		case <-r.kick:
+			r.beat()
+		case <-r.done:
+			return
+		}
+	}
+}
+
+// beat sends one registration heartbeat carrying the current name set
+// and load snapshot.
+func (r *Registrar) beat() {
+	r.mu.Lock()
+	names := make([]NameRef, 0, len(r.names))
+	for name, ref := range r.names {
+		names = append(names, NameRef{Name: name, Ref: ref})
+	}
+	r.mu.Unlock()
+	if len(names) == 0 {
+		return
+	}
+	reg := Registration{
+		Instance: r.cfg.Instance,
+		TTL:      r.cfg.TTL,
+		Names:    names,
+	}
+	if r.cfg.Load != nil {
+		reg.Load = r.cfg.Load()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RPCTimeout)
+	err := r.cfg.Client.Register(ctx, reg)
+	cancel()
+	if err != nil {
+		heartbeatErrors.Inc()
+		if telemetry.LogEnabled(slog.LevelWarn) {
+			telemetry.Logger().Warn("agent heartbeat failed",
+				"instance", r.cfg.Instance, "err", err)
+		}
+		return
+	}
+	heartbeatsSent.Inc()
+}
+
+// Stop ends the heartbeat loop and deregisters the instance so no
+// stale registration outlives a graceful drain. The deregistration is
+// best-effort under ctx: if the agent is unreachable the TTL expires
+// the entries anyway. Idempotent.
+func (r *Registrar) Stop(ctx context.Context) error {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return nil
+	}
+	r.stopped = true
+	started := r.started
+	r.mu.Unlock()
+	if started {
+		close(r.done)
+		r.wg.Wait()
+	}
+	if err := r.cfg.Client.Deregister(ctx, r.cfg.Instance); err != nil {
+		heartbeatErrors.Inc()
+		if telemetry.LogEnabled(slog.LevelWarn) {
+			telemetry.Logger().Warn("agent deregister failed",
+				"instance", r.cfg.Instance, "err", err)
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"pardis/internal/ior"
+	"pardis/internal/naming"
+	"pardis/internal/telemetry"
+)
+
+var (
+	resolveFromAgent  = telemetry.Default.Counter("pardis_agent_resolver_total", "source", "agent")
+	resolveFromFresh  = telemetry.Default.Counter("pardis_agent_resolver_total", "source", "fresh_cache")
+	resolveFromStale  = telemetry.Default.Counter("pardis_agent_resolver_total", "source", "stale_cache")
+	resolveFromNaming = telemetry.Default.Counter("pardis_agent_resolver_total", "source", "naming")
+	resolverDegraded  = telemetry.Default.Counter("pardis_agent_resolver_degraded_total")
+)
+
+// DefaultFreshFor is how long a Resolver reuses an agent-ranked
+// answer before asking again: long enough that a client burst does
+// not turn the agent into a per-invoke hop, short enough that load
+// ranking stays live.
+const DefaultFreshFor = 500 * time.Millisecond
+
+// ResolverConfig configures the client-side resolution ladder.
+type ResolverConfig struct {
+	// Agent talks to the agent service (nil = static naming only).
+	Agent *Client
+	// Naming is the static fallback registry (nil = agent only).
+	Naming *naming.Client
+	// FreshFor is how long an agent answer is served from cache
+	// before the agent is consulted again (default DefaultFreshFor).
+	FreshFor time.Duration
+	// RPCTimeout bounds each agent resolve so an unreachable agent
+	// degrades quickly instead of stalling invocations (default 1s;
+	// a tighter caller deadline still wins).
+	RPCTimeout time.Duration
+}
+
+// Resolver resolves object names for clients, degrading gracefully
+// when the agent is unavailable:
+//
+//  1. a fresh cached agent answer is reused as-is;
+//  2. otherwise the agent is asked for a load-ranked reference;
+//  3. if the agent is unreachable, the last cached answer — however
+//     stale — keeps the client going;
+//  4. and with no cache either, the static naming registry resolves
+//     the name (filtered through the ORB's breaker table when the
+//     naming client supports it).
+//
+// The agent is never a hard dependency: every rung of the ladder
+// yields endpoints the InvokeRef failover chain can still walk.
+// Resolver implements orb.RefSource, so orb.Client.InvokeNamed can
+// invalidate and re-resolve mid-burst when ranked replicas die.
+type Resolver struct {
+	cfg ResolverConfig
+
+	mu    sync.Mutex
+	cache map[string]cachedRef
+}
+
+type cachedRef struct {
+	ref    *ior.Ref
+	stored time.Time
+}
+
+// NewResolver builds a resolver over the given ladder.
+func NewResolver(cfg ResolverConfig) *Resolver {
+	if cfg.FreshFor <= 0 {
+		cfg.FreshFor = DefaultFreshFor
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = time.Second
+	}
+	return &Resolver{cfg: cfg, cache: make(map[string]cachedRef)}
+}
+
+// RefFor resolves name down the ladder. It implements orb.RefSource.
+func (r *Resolver) RefFor(ctx context.Context, name string) (*ior.Ref, error) {
+	now := time.Now()
+	r.mu.Lock()
+	ent, cached := r.cache[name]
+	r.mu.Unlock()
+	if cached && now.Sub(ent.stored) < r.cfg.FreshFor {
+		resolveFromFresh.Inc()
+		return ent.ref, nil
+	}
+
+	if r.cfg.Agent != nil {
+		actx, cancel := context.WithTimeout(ctx, r.cfg.RPCTimeout)
+		ref, _, err := r.cfg.Agent.Resolve(actx, name)
+		cancel()
+		switch {
+		case err == nil:
+			r.store(name, ref)
+			resolveFromAgent.Inc()
+			return ref, nil
+		case errors.Is(err, ErrNotFound):
+			// The agent is up but has no row — possibly freshly
+			// restarted and still rebuilding from heartbeats. The
+			// static registry is the better answer than a stale cache:
+			// it reflects explicit unbinds.
+		case ctx.Err() != nil:
+			return nil, fmt.Errorf("agent: resolving %q: %w", name, ctx.Err())
+		default:
+			// Agent unreachable or erroring: degrade. A stale cached
+			// ranking still names real replicas; invocation-level
+			// failover sorts out any that died since.
+			resolverDegraded.Inc()
+			if telemetry.LogEnabled(slog.LevelWarn) {
+				telemetry.Logger().Warn("agent unreachable; degrading resolution",
+					"name", name, "err", err)
+			}
+			if cached {
+				resolveFromStale.Inc()
+				return ent.ref, nil
+			}
+		}
+	}
+
+	if r.cfg.Naming != nil {
+		ref, err := r.cfg.Naming.ResolveLive(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		r.store(name, ref)
+		resolveFromNaming.Inc()
+		return ref, nil
+	}
+	if cached {
+		resolveFromStale.Inc()
+		return ent.ref, nil
+	}
+	return nil, fmt.Errorf("%w: %q (no agent answer and no naming fallback)", ErrNotFound, name)
+}
+
+// Invalidate drops name's cached resolution so the next RefFor asks
+// the ladder afresh. It implements orb.RefSource; the ORB calls it
+// when every endpoint of a resolution failed.
+func (r *Resolver) Invalidate(name string) {
+	r.mu.Lock()
+	delete(r.cache, name)
+	r.mu.Unlock()
+}
+
+func (r *Resolver) store(name string, ref *ior.Ref) {
+	r.mu.Lock()
+	r.cache[name] = cachedRef{ref: ref, stored: time.Now()}
+	r.mu.Unlock()
+}

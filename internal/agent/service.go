@@ -1,0 +1,191 @@
+package agent
+
+import (
+	"errors"
+	"log/slog"
+	"sort"
+	"time"
+
+	"pardis/internal/cdr"
+	"pardis/internal/giop"
+	"pardis/internal/ior"
+	"pardis/internal/orb"
+	"pardis/internal/telemetry"
+)
+
+// Wire layout notes: the agent's operations are IDL-style CDR bodies,
+// like the naming service's. A LoadReport travels as seven ULongs and
+// a boolean in declaration order; a Registration as instance string,
+// TTL in microseconds (ULongLong), the LoadReport, then a ULong-
+// counted sequence of (name string, stringified IOR) pairs.
+
+func encodeLoad(e *cdr.Encoder, lr LoadReport) {
+	e.PutULong(uint32(lr.AdmissionRunning))
+	e.PutULong(uint32(lr.AdmissionQueued))
+	e.PutULong(uint32(lr.MaxConcurrent))
+	e.PutULong(uint32(lr.MaxQueue))
+	e.PutULong(uint32(lr.Inflight))
+	e.PutULong(uint32(lr.SPMDLeases))
+	e.PutULong(uint32(lr.BreakersOpen))
+	e.PutBoolean(lr.Draining)
+}
+
+func decodeLoad(d *cdr.Decoder) (LoadReport, error) {
+	var lr LoadReport
+	fields := []*int{
+		&lr.AdmissionRunning, &lr.AdmissionQueued,
+		&lr.MaxConcurrent, &lr.MaxQueue,
+		&lr.Inflight, &lr.SPMDLeases, &lr.BreakersOpen,
+	}
+	for _, f := range fields {
+		v, err := d.ULong()
+		if err != nil {
+			return lr, err
+		}
+		*f = int(v)
+	}
+	var err error
+	lr.Draining, err = d.Boolean()
+	return lr, err
+}
+
+func encodeRegistration(e *cdr.Encoder, r Registration) {
+	e.PutString(r.Instance)
+	e.PutULongLong(uint64(r.TTL / time.Microsecond))
+	encodeLoad(e, r.Load)
+	e.PutULong(uint32(len(r.Names)))
+	for _, nr := range r.Names {
+		e.PutString(nr.Name)
+		e.PutString(nr.Ref.Stringify())
+	}
+}
+
+func decodeRegistration(d *cdr.Decoder) (Registration, error) {
+	var r Registration
+	var err error
+	if r.Instance, err = d.String(); err != nil {
+		return r, err
+	}
+	ttlMicros, err := d.ULongLong()
+	if err != nil {
+		return r, err
+	}
+	r.TTL = time.Duration(ttlMicros) * time.Microsecond
+	if r.Load, err = decodeLoad(d); err != nil {
+		return r, err
+	}
+	n, err := d.ULong()
+	if err != nil {
+		return r, err
+	}
+	r.Names = make([]NameRef, 0, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := d.String()
+		if err != nil {
+			return r, err
+		}
+		iorStr, err := d.String()
+		if err != nil {
+			return r, err
+		}
+		ref, err := ior.Parse(iorStr)
+		if err != nil {
+			return r, err
+		}
+		r.Names = append(r.Names, NameRef{Name: name, Ref: ref})
+	}
+	return r, nil
+}
+
+// Serve installs the agent service on an ORB server under ServiceKey,
+// backed by t.
+func Serve(srv *orb.Server, t *Table) {
+	srv.Handle(ServiceKey, func(in *orb.Incoming) {
+		telemetry.Default.Counter("pardis_agent_requests_total",
+			"op", in.Header.Operation).Inc()
+		d := in.Decoder()
+		switch in.Header.Operation {
+		case "register":
+			r, err := decodeRegistration(d)
+			if err != nil {
+				_ = in.ReplySystemException("MARSHAL", "bad register body: "+err.Error())
+				return
+			}
+			if err := t.Register(r); err != nil {
+				replyUserError(in, err)
+				return
+			}
+			if telemetry.LogEnabled(slog.LevelDebug) {
+				telemetry.Logger().Debug("agent: heartbeat",
+					"instance", r.Instance, "names", len(r.Names), "ttl", r.TTL)
+			}
+			_ = in.Reply(giop.ReplyOK, nil)
+		case "deregister":
+			instance, err := d.String()
+			if err != nil {
+				_ = in.ReplySystemException("MARSHAL", "bad deregister body")
+				return
+			}
+			t.Deregister(instance)
+			_ = in.Reply(giop.ReplyOK, nil)
+		case "resolve":
+			name, err := d.String()
+			if err != nil {
+				_ = in.ReplySystemException("MARSHAL", "bad resolve body")
+				return
+			}
+			ref, replicas, err := t.Resolve(name)
+			if err != nil {
+				replyUserError(in, err)
+				return
+			}
+			_ = in.Reply(giop.ReplyOK, func(e *cdr.Encoder) {
+				e.PutString(ref.Stringify())
+				e.PutULong(uint32(replicas))
+			})
+		case "list":
+			prefix, err := d.String()
+			if err != nil {
+				_ = in.ReplySystemException("MARSHAL", "bad list body")
+				return
+			}
+			rows := t.List(prefix)
+			names := make([]string, 0, len(rows))
+			for name := range rows {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			_ = in.Reply(giop.ReplyOK, func(e *cdr.Encoder) {
+				e.PutULong(uint32(len(names)))
+				for _, name := range names {
+					e.PutString(name)
+					reps := rows[name]
+					e.PutULong(uint32(len(reps)))
+					for _, rep := range reps {
+						e.PutString(rep.Instance)
+						e.PutString(rep.Ref.Stringify())
+						e.PutDouble(rep.Score)
+						e.PutBoolean(rep.Draining)
+						e.PutULongLong(uint64(rep.SinceSeen / time.Microsecond))
+					}
+				}
+			})
+		default:
+			_ = in.ReplySystemException("BAD_OPERATION", in.Header.Operation)
+		}
+	})
+}
+
+// replyUserError maps table errors onto user exceptions with a
+// machine-readable code string (the naming service's convention).
+func replyUserError(in *orb.Incoming, err error) {
+	code := "UNKNOWN"
+	if errors.Is(err, ErrNotFound) {
+		code = "NotFound"
+	}
+	msg := err.Error()
+	_ = in.Reply(giop.ReplyUserException, func(e *cdr.Encoder) {
+		e.PutString(code)
+		e.PutString(msg)
+	})
+}

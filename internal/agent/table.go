@@ -1,0 +1,331 @@
+package agent
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pardis/internal/ior"
+	"pardis/internal/telemetry"
+)
+
+// Interned once; the table is usually a process singleton and the
+// gauges are accounted in deltas so several tables stay correct.
+var (
+	tableNames      = telemetry.Default.Gauge("pardis_agent_names")
+	tableReplicas   = telemetry.Default.Gauge("pardis_agent_replicas")
+	tableHeartbeats = telemetry.Default.Counter("pardis_agent_heartbeats_total")
+	tableExpired    = telemetry.Default.Counter("pardis_agent_replicas_expired_total")
+	tableDeregs     = telemetry.Default.Counter("pardis_agent_deregistrations_total")
+	resolveHit      = telemetry.Default.Counter("pardis_agent_resolves_total", "result", "hit")
+	resolveMiss     = telemetry.Default.Counter("pardis_agent_resolves_total", "result", "miss")
+)
+
+// NameRef is one name→reference pair carried by a registration.
+type NameRef struct {
+	Name string
+	Ref  *ior.Ref
+}
+
+// Registration is one server instance's heartbeat payload: the names
+// it serves, the TTL it asks for, and its current load.
+type Registration struct {
+	// Instance uniquely identifies the registering server process;
+	// re-registrations under the same instance replace its previous
+	// entries (and a deregistration removes them all at once).
+	Instance string
+	// TTL is how long the registration stays live without a renewal.
+	// The registrar derives it from its heartbeat interval (TTLFactor
+	// x interval); the table clamps unreasonable values.
+	TTL time.Duration
+	// Names lists the objects this instance serves.
+	Names []NameRef
+	// Load is the instance's point-in-time load signal.
+	Load LoadReport
+}
+
+// replica is one instance's live registration of one name.
+type replica struct {
+	instance string
+	ref      *ior.Ref
+	load     LoadReport
+	lastSeen time.Time
+	deadline time.Time
+}
+
+// ReplicaInfo is an exported snapshot of one replica, for list/debug.
+type ReplicaInfo struct {
+	Instance  string
+	Ref       *ior.Ref
+	Score     float64
+	Draining  bool
+	SinceSeen time.Duration
+}
+
+// MinTTL floors the per-registration TTL so a misconfigured registrar
+// cannot flap its replicas in and out of the table.
+const MinTTL = 50 * time.Millisecond
+
+// Table is the agent's weighted replica table: per object name, the
+// set of live registrations ranked by load. All state is soft — it
+// exists only between one heartbeat and the next TTL.
+type Table struct {
+	mu    sync.Mutex
+	names map[string]map[string]*replica // name → instance → replica
+	now   func() time.Time               // test seam
+}
+
+// NewTable returns an empty replica table.
+func NewTable() *Table {
+	return &Table{names: make(map[string]map[string]*replica), now: time.Now}
+}
+
+// Register upserts one instance's registration: every carried name
+// gains (or renews) a replica owned by the instance, and names the
+// instance previously registered but no longer carries are dropped.
+// Register doubles as the heartbeat — the paths are deliberately the
+// same so an agent restart needs nothing but the next heartbeat to
+// rebuild the row.
+func (t *Table) Register(r Registration) error {
+	if r.Instance == "" {
+		return fmt.Errorf("%w: empty instance", ErrProtocol)
+	}
+	ttl := r.TTL
+	if ttl < MinTTL {
+		ttl = MinTTL
+	}
+	for _, nr := range r.Names {
+		if nr.Name == "" {
+			return fmt.Errorf("%w: empty name in registration", ErrProtocol)
+		}
+		if err := nr.Ref.Validate(); err != nil {
+			return err
+		}
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	carried := make(map[string]bool, len(r.Names))
+	for _, nr := range r.Names {
+		carried[nr.Name] = true
+		reps := t.names[nr.Name]
+		if reps == nil {
+			reps = make(map[string]*replica)
+			t.names[nr.Name] = reps
+			tableNames.Inc()
+		}
+		if reps[r.Instance] == nil {
+			tableReplicas.Inc()
+		}
+		reps[r.Instance] = &replica{
+			instance: r.Instance,
+			ref:      nr.Ref,
+			load:     r.Load,
+			lastSeen: now,
+			deadline: now.Add(ttl),
+		}
+	}
+	// Names the instance stopped carrying (object unexported, drain
+	// of one object) leave immediately rather than aging out.
+	for name, reps := range t.names {
+		if carried[name] {
+			continue
+		}
+		if _, had := reps[r.Instance]; had {
+			t.removeLocked(name, r.Instance)
+		}
+	}
+	tableHeartbeats.Inc()
+	return nil
+}
+
+// Deregister removes every replica owned by instance — the graceful
+// path, taken by a draining server so no stale registration outlives
+// it. Unknown instances are a no-op: deregistration must be safe to
+// repeat.
+func (t *Table) Deregister(instance string) {
+	t.mu.Lock()
+	n := 0
+	for name, reps := range t.names {
+		if _, had := reps[instance]; had {
+			t.removeLocked(name, instance)
+			n++
+		}
+	}
+	t.mu.Unlock()
+	if n > 0 {
+		tableDeregs.Inc()
+		if telemetry.LogEnabled(slog.LevelInfo) {
+			telemetry.Logger().Info("agent: instance deregistered",
+				"instance", instance, "names", n)
+		}
+	}
+}
+
+// removeLocked drops one replica and, when it was the last, its name
+// row. Caller holds t.mu.
+func (t *Table) removeLocked(name, instance string) {
+	reps := t.names[name]
+	delete(reps, instance)
+	tableReplicas.Dec()
+	if len(reps) == 0 {
+		delete(t.names, name)
+		tableNames.Dec()
+	}
+}
+
+// Sweep expires every replica whose TTL has lapsed — the crash path:
+// a dead server stops heartbeating and its replicas age out of every
+// row they were in. Returns the number of replicas expired.
+func (t *Table) Sweep(now time.Time) int {
+	n := 0
+	t.mu.Lock()
+	for name, reps := range t.names {
+		for instance, rep := range reps {
+			if now.Before(rep.deadline) {
+				continue
+			}
+			t.removeLocked(name, instance)
+			n++
+		}
+	}
+	t.mu.Unlock()
+	if n > 0 {
+		tableExpired.Add(uint64(n))
+		if telemetry.LogEnabled(slog.LevelInfo) {
+			telemetry.Logger().Info("agent: replicas expired", "count", n)
+		}
+	}
+	return n
+}
+
+// StartSweeper runs Sweep on a ticker until the returned stop
+// function is called. The cadence is a quarter of the smallest TTL
+// the agent expects (callers pass their heartbeat interval).
+func (t *Table) StartSweeper(interval time.Duration) (stop func()) {
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				t.Sweep(time.Now())
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// ranked returns name's live replicas sorted best-first (score, then
+// instance for determinism). Caller holds t.mu.
+func (t *Table) ranked(name string, now time.Time) []*replica {
+	reps := t.names[name]
+	if len(reps) == 0 {
+		return nil
+	}
+	out := make([]*replica, 0, len(reps))
+	for _, rep := range reps {
+		if now.Before(rep.deadline) {
+			out = append(out, rep)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].load.Score(), out[j].load.Score()
+		if si != sj {
+			return si < sj
+		}
+		return out[i].instance < out[j].instance
+	})
+	return out
+}
+
+// Resolve answers a client's lookup with a load-ranked reference and
+// the number of live replicas behind it.
+//
+// Conventional (single-thread) replicas merge into one multi-profile
+// reference: the endpoints of every live replica, best-ranked first,
+// exactly the replica profile list InvokeRef's failover chain walks.
+// SPMD replicas pin each computing thread to its own port, so their
+// profiles are not interchangeable — Resolve returns the best-ranked
+// replica's full reference and failover happens by re-resolving.
+func (t *Table) Resolve(name string) (*ior.Ref, int, error) {
+	now := t.now()
+	t.mu.Lock()
+	reps := t.ranked(name, now)
+	if len(reps) == 0 {
+		t.mu.Unlock()
+		resolveMiss.Inc()
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	best := reps[0]
+	merged := *best.ref
+	if !best.ref.IsSPMD() {
+		seen := make(map[string]bool, len(reps))
+		eps := make([]string, 0, len(reps))
+		for _, rep := range reps {
+			if rep.ref.IsSPMD() {
+				continue // a mixed row merges only conventional profiles
+			}
+			for _, ep := range rep.ref.Endpoints {
+				if !seen[ep] {
+					seen[ep] = true
+					eps = append(eps, ep)
+				}
+			}
+		}
+		merged.Endpoints = eps
+	}
+	n := len(reps)
+	t.mu.Unlock()
+	resolveHit.Inc()
+	return &merged, n, nil
+}
+
+// List returns a snapshot of the table's rows with the given name
+// prefix: name → replicas, best-ranked first.
+func (t *Table) List(prefix string) map[string][]ReplicaInfo {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string][]ReplicaInfo)
+	for name := range t.names {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		reps := t.ranked(name, now)
+		infos := make([]ReplicaInfo, 0, len(reps))
+		for _, rep := range reps {
+			infos = append(infos, ReplicaInfo{
+				Instance:  rep.instance,
+				Ref:       rep.ref,
+				Score:     rep.load.Score(),
+				Draining:  rep.load.Draining,
+				SinceSeen: now.Sub(rep.lastSeen),
+			})
+		}
+		if len(infos) > 0 {
+			out[name] = infos
+		}
+	}
+	return out
+}
+
+// Size reports the table's row and replica counts.
+func (t *Table) Size() (names, replicas int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, reps := range t.names {
+		replicas += len(reps)
+	}
+	return len(t.names), replicas
+}

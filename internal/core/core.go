@@ -18,7 +18,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"pardis/internal/agent"
 	"pardis/internal/ior"
 	"pardis/internal/naming"
 	"pardis/internal/orb"
@@ -80,6 +82,16 @@ type DomainConfig struct {
 	// multi-port bindings in this process (default "tcp:127.0.0.1:0";
 	// use "inproc:*" for in-process domains).
 	ListenEndpoint string
+	// AgentEndpoint locates the domain's agent (the NetSolve-style
+	// resource broker). Empty means no agent: resolution goes straight
+	// to the naming service. With an agent, exported objects are
+	// heartbeat-registered and Resolve/SPMDBind answer load-ranked
+	// references, degrading to cached answers and the static naming
+	// registry whenever the agent is unreachable.
+	AgentEndpoint string
+	// HeartbeatInterval is the agent heartbeat cadence (default
+	// agent.DefaultHeartbeatInterval; registrations live 3x this).
+	HeartbeatInterval time.Duration
 }
 
 // Domain is a process's handle on a PARDIS domain: its transports,
@@ -94,6 +106,12 @@ type Domain struct {
 	// local is non-nil when this process hosts its own naming
 	// service (NamingEndpoint == "").
 	local *orb.Server
+
+	// Agent plumbing, all nil without an AgentEndpoint: resolver is
+	// the client-side degradation ladder, registrar the server-side
+	// heartbeat loop (started lazily by the first named Export).
+	resolver  *agent.Resolver
+	registrar *agent.Registrar
 }
 
 // JoinDomain connects the process to a PARDIS domain.
@@ -122,12 +140,30 @@ func JoinDomain(cfg DomainConfig) (*Domain, error) {
 	d.namingEP = ep
 	d.nameOC = orb.NewClient(reg)
 	d.names = naming.NewClient(d.nameOC, ep)
+	if cfg.AgentEndpoint != "" {
+		ac := agent.NewClient(d.nameOC, cfg.AgentEndpoint)
+		d.resolver = agent.NewResolver(agent.ResolverConfig{
+			Agent:  ac,
+			Naming: d.names,
+		})
+		d.registrar = agent.NewRegistrar(agent.RegistrarConfig{
+			Client:   ac,
+			Interval: cfg.HeartbeatInterval,
+		})
+	}
 	return d, nil
 }
 
 // Close releases the domain handle (and the in-process naming
-// service, if any).
+// service, if any). If the domain heartbeats into an agent, the
+// instance is deregistered first — a graceful drain, so no stale
+// registration lingers.
 func (d *Domain) Close() {
+	if d.registrar != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = d.registrar.Stop(ctx)
+		cancel()
+	}
 	d.nameOC.Close()
 	if d.local != nil {
 		d.local.Close()
@@ -188,14 +224,31 @@ func (d *Domain) Export(ctx context.Context, cfg ExportConfig) (*Object, error) 
 			obj.Close()
 			return nil, fmt.Errorf("core: registering %q: %w", cfg.Name, err)
 		}
+		if d.registrar != nil {
+			// Heartbeat the object into the agent as well; Start is
+			// idempotent, so the first named Export kicks off the loop.
+			d.registrar.Add(cfg.Name, obj.Ref())
+			d.registrar.Start()
+		}
 	}
 	return obj, nil
 }
 
-// Resolve looks a name up in the domain.
+// Resolve looks a name up in the domain. With an agent configured the
+// answer is its load-ranked reference (degrading to cached answers
+// and the static naming registry when the agent is unreachable);
+// without one it is the naming service's binding.
 func (d *Domain) Resolve(ctx context.Context, name string) (*ior.Ref, error) {
+	if d.resolver != nil {
+		return d.resolver.RefFor(ctx, name)
+	}
 	return d.names.Resolve(ctx, name)
 }
+
+// Resolver returns the domain's degradation-ladder resolver (an
+// orb.RefSource for Client.InvokeNamed), or nil when the domain has
+// no agent.
+func (d *Domain) Resolver() *agent.Resolver { return d.resolver }
 
 // SPMDBind is the paper's _spmd_bind: a collective bind from every
 // computing thread of a parallel client to the named object. The
@@ -203,7 +256,7 @@ func (d *Domain) Resolve(ctx context.Context, name string) (*ior.Ref, error) {
 func (d *Domain) SPMDBind(ctx context.Context, th rts.Thread, name string, method TransferMethod) (*Binding, error) {
 	var refStr []byte
 	if th.Rank() == 0 {
-		ref, err := d.names.Resolve(ctx, name)
+		ref, err := d.Resolve(ctx, name)
 		if err != nil {
 			_, _ = th.Bcast(0, nil)
 			return nil, err

@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"pardis/internal/agent"
 	"pardis/internal/cdr"
 	"pardis/internal/dist"
 	"pardis/internal/dseq"
 	"pardis/internal/mp"
 	"pardis/internal/naming"
+	"pardis/internal/orb"
 	"pardis/internal/rts"
 	"pardis/internal/transport"
 )
@@ -219,6 +222,71 @@ func TestJoinDomainWithExternalNaming(t *testing.T) {
 	}
 	if got.Key != "objects/example" {
 		t.Fatalf("resolved key %q", got.Key)
+	}
+}
+
+// TestJoinDomainWithAgent wires a domain into an agent: named exports
+// heartbeat into the replica table, Resolve answers through the
+// load-ranked ladder, and when the agent dies resolution degrades to
+// the static naming registry without client-visible failure.
+func TestJoinDomainWithAgent(t *testing.T) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+
+	table := agent.NewTable()
+	asrv := orb.NewServer(reg)
+	agent.Serve(asrv, table)
+	aep, err := asrv.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer asrv.Close()
+
+	d, err := JoinDomain(DomainConfig{
+		Registry:          reg,
+		ListenEndpoint:    "inproc:*",
+		AgentEndpoint:     aep,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Resolver() == nil {
+		t.Fatal("domain with AgentEndpoint has no resolver")
+	}
+	stop := exportDiffusion(t, d, 2)
+	defer stop()
+
+	// The rank-0 Export must heartbeat the name into the agent.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if _, reps := table.Size(); reps == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("export never registered with the agent")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ref, err := d.Resolve(context.Background(), "example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Key != "objects/example" {
+		t.Fatalf("agent-resolved key %q", ref.Key)
+	}
+
+	// Kill the agent and drop the cached answer: the ladder must fall
+	// through to the static naming registry.
+	asrv.Close()
+	d.Resolver().Invalidate("example")
+	ref, err = d.Resolve(context.Background(), "example")
+	if err != nil {
+		t.Fatalf("resolve with agent down: %v", err)
+	}
+	if ref.Key != "objects/example" {
+		t.Fatalf("naming-fallback key %q", ref.Key)
 	}
 }
 

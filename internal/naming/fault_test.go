@@ -1,0 +1,210 @@
+// Fault-injection suite for ResolveLive: liveness-filtered resolution
+// over a transport.Faulty network. All tests match -run Fault so the
+// chaos tier (`go test -run Fault -race ./...`, `make chaos`) covers
+// them. Every fault here is rolled from a seeded plan — the runs are
+// deterministic.
+package naming
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pardis/internal/giop"
+	"pardis/internal/ior"
+	"pardis/internal/orb"
+	"pardis/internal/transport"
+)
+
+// liveFixture: a naming service on the healthy inproc transport, and
+// replica endpoints that route through a Faulty wrapper whose plan the
+// test flips mid-run.
+type liveFixture struct {
+	reg    *transport.Registry
+	faulty *transport.Faulty
+	oc     *orb.Client
+	nc     *Client
+	eps    []string // faulty+inproc replica endpoints (bound under svc/calc)
+}
+
+// newLiveFixture starts live echo servers behind the fault layer, plus
+// extra bound-but-never-listening endpoints, and binds them all under
+// one name. The naming service itself listens on plain inproc so the
+// injected faults only ever hit replica traffic.
+func newLiveFixture(t *testing.T, live, deadTail int) *liveFixture {
+	t.Helper()
+	fx := &liveFixture{reg: transport.NewRegistry()}
+	inner := transport.NewInproc()
+	inner.DialTimeout = 2 * time.Second
+	fx.faulty = transport.NewFaulty(inner, transport.FaultPlan{Seed: 42})
+	fx.reg.Register(inner)
+	fx.reg.Register(fx.faulty)
+
+	for i := 0; i < live; i++ {
+		srv := orb.NewServer(fx.reg)
+		srv.Handle("calc", func(in *orb.Incoming) {
+			_ = in.Reply(giop.ReplyOK, nil)
+		})
+		ep, err := srv.Listen("faulty+inproc:*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		fx.eps = append(fx.eps, ep)
+	}
+	for i := 0; i < deadTail; i++ {
+		fx.eps = append(fx.eps, "faulty+inproc:never-listened")
+	}
+
+	reg := NewRegistry()
+	if err := reg.Bind("svc/calc", &ior.Ref{TypeID: "IDL:calc:1.0", Key: "calc",
+		Threads: 1, Endpoints: fx.eps}, false); err != nil {
+		t.Fatal(err)
+	}
+	nsrv := orb.NewServer(fx.reg)
+	Serve(nsrv, reg)
+	nep, err := nsrv.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nsrv.Close() })
+
+	// Breaker: two consecutive failures open an endpoint; a long
+	// cooldown keeps it open for the test's duration.
+	fx.oc = orb.NewClient(fx.reg,
+		orb.WithBreaker(2, time.Minute),
+		orb.WithDefaultDeadline(2*time.Second))
+	t.Cleanup(func() { fx.oc.Close() })
+	fx.nc = NewClient(fx.oc, nep)
+	return fx
+}
+
+// fail invokes ep enough times to open its breaker, asserting each
+// attempt really failed.
+func (fx *liveFixture) fail(t *testing.T, ctx context.Context, ep string, times int) {
+	t.Helper()
+	for i := 0; i < times; i++ {
+		hdr := giop.RequestHeader{InvocationID: fx.oc.NewInvocationID(),
+			ResponseExpected: true, ObjectKey: "calc", Operation: "op",
+			ThreadRank: -1, ThreadCount: 1}
+		if _, _, _, err := fx.oc.Invoke(ctx, ep, hdr, nil); err == nil {
+			t.Fatalf("invoke %d against %s succeeded, expected an injected failure", i, ep)
+		}
+	}
+}
+
+// TestFaultResolveLivePartialStale: with one replica's breaker opened
+// by (deterministically injected) dial failures, ResolveLive trims the
+// reference to the live subset — and plain Resolve stays unfiltered.
+func TestFaultResolveLivePartialStale(t *testing.T) {
+	fx := newLiveFixture(t, 2, 1)
+	ctx := context.Background()
+	dead := fx.eps[2]
+
+	// No health data yet: the binding comes back verbatim.
+	ref, err := fx.nc.ResolveLive(ctx, "svc/calc")
+	if err != nil || len(ref.Endpoints) != 3 {
+		t.Fatalf("ResolveLive before health data = %v, %v", ref, err)
+	}
+
+	fx.fail(t, ctx, dead, 2)
+	if fx.oc.EndpointUp(dead) {
+		t.Fatalf("breaker never opened for %s: %+v", dead, fx.oc.Health())
+	}
+
+	ref, err = fx.nc.ResolveLive(ctx, "svc/calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Endpoints) != 2 || ref.Endpoints[0] != fx.eps[0] || ref.Endpoints[1] != fx.eps[1] {
+		t.Fatalf("ResolveLive = %v, want the two live replicas", ref.Endpoints)
+	}
+	raw, err := fx.nc.Resolve(ctx, "svc/calc")
+	if err != nil || len(raw.Endpoints) != 3 {
+		t.Fatalf("plain Resolve = %v, %v (must stay unfiltered)", raw, err)
+	}
+}
+
+// TestFaultResolveLiveAllReplicasStale: when every replica's breaker
+// is open, filtering to the live subset would strand the client with
+// nothing — ResolveLive returns the full list instead, because forced
+// probes beat certain failure (the breakers half-open on cooldown).
+func TestFaultResolveLiveAllReplicasStale(t *testing.T) {
+	fx := newLiveFixture(t, 2, 0)
+	ctx := context.Background()
+
+	// Partition everything: every new dial through the fault layer is
+	// refused, deterministically.
+	fx.faulty.SetPlan(transport.FaultPlan{Seed: 42, DialRefuse: 1})
+	for _, ep := range fx.eps {
+		fx.fail(t, ctx, ep, 2)
+		if fx.oc.EndpointUp(ep) {
+			t.Fatalf("breaker never opened for %s: %+v", ep, fx.oc.Health())
+		}
+	}
+	if fx.faulty.Stats().RefusedDials == 0 {
+		t.Fatalf("fault plan injected nothing (stats %+v)", fx.faulty.Stats())
+	}
+
+	// The naming service itself lives on the healthy transport, so the
+	// lookup still answers — with every endpoint, stale or not.
+	ref, err := fx.nc.ResolveLive(ctx, "svc/calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Endpoints) != len(fx.eps) {
+		t.Fatalf("all-stale ResolveLive = %v, want the full %d-endpoint list", ref.Endpoints, len(fx.eps))
+	}
+}
+
+// TestFaultResolveLiveProbeTimeout: a blackholed replica (writes
+// vanish; the probe invocation only ever times out) does NOT open the
+// breaker — a deadline expiry is not proof of death, the request may
+// still be executing — so ResolveLive keeps offering the endpoint.
+// What the client is owed instead is boundedness: the probing invoke
+// returns at its deadline, and ResolveLive itself never blocks on
+// endpoint health (its filter reads breaker state, it sends nothing).
+func TestFaultResolveLiveProbeTimeout(t *testing.T) {
+	fx := newLiveFixture(t, 2, 0)
+	ctx := context.Background()
+	victim := fx.eps[0]
+
+	// Every *new* connection is one-way partitioned. The victim has no
+	// pooled connection yet (nothing has dialed it), so its probe dials
+	// through the blackhole.
+	fx.faulty.SetPlan(transport.FaultPlan{Seed: 42, Blackhole: 1})
+
+	probeCtx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	hdr := giop.RequestHeader{InvocationID: fx.oc.NewInvocationID(),
+		ResponseExpected: true, ObjectKey: "calc", Operation: "op",
+		ThreadRank: -1, ThreadCount: 1}
+	start := time.Now()
+	_, _, _, err := fx.oc.Invoke(probeCtx, victim, hdr, nil)
+	if !errors.Is(err, orb.ErrCanceled) {
+		t.Fatalf("blackholed probe = %v, want ErrCanceled at the deadline", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("probe blocked %v past its 100ms deadline", took)
+	}
+	if fx.faulty.Stats().BlackholedConns == 0 {
+		t.Fatalf("fault plan injected nothing (stats %+v)", fx.faulty.Stats())
+	}
+
+	// Timeouts are not breaker-opening failures: the endpoint still
+	// counts as up, and ResolveLive keeps the full endpoint list.
+	if !fx.oc.EndpointUp(victim) {
+		t.Fatalf("a probe timeout opened the breaker: %+v", fx.oc.Health())
+	}
+	start = time.Now()
+	ref, err := fx.nc.ResolveLive(ctx, "svc/calc")
+	if err != nil || len(ref.Endpoints) != 2 {
+		t.Fatalf("ResolveLive after probe timeout = %v, %v", ref, err)
+	}
+	// Bounded: the naming hop runs on the healthy transport and the
+	// filter is passive — no per-endpoint probing can stall it.
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("ResolveLive stalled %v behind a blackholed replica", took)
+	}
+}

@@ -65,6 +65,79 @@ func (r *Registry) Bind(name string, ref *ior.Ref, rebind bool) error {
 	return nil
 }
 
+// BindReplica merges ref into the binding for name, the way N
+// replica servers of one conventional object publish a single
+// multi-profile reference: when the existing binding names the same
+// object (TypeID, Key, Threads == 1), ref's endpoints are appended to
+// its replica profile list; when the name is unbound — or bound to a
+// different object or an SPMD reference, whose per-thread ports are
+// not mergeable — ref replaces the binding outright (the newest
+// generation wins, as with rebind).
+func (r *Registry) BindReplica(name string, ref *ior.Ref) error {
+	if err := ref.Validate(); err != nil {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("%w: empty name", ErrProtocol)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.table[name]
+	if !ok || cur.TypeID != ref.TypeID || cur.Key != ref.Key ||
+		cur.Threads != 1 || ref.Threads != 1 {
+		r.table[name] = ref
+		return nil
+	}
+	merged := *cur
+	merged.Endpoints = append([]string(nil), cur.Endpoints...)
+	have := make(map[string]bool, len(merged.Endpoints))
+	for _, ep := range merged.Endpoints {
+		have[ep] = true
+	}
+	for _, ep := range ref.Endpoints {
+		if !have[ep] {
+			merged.Endpoints = append(merged.Endpoints, ep)
+		}
+	}
+	r.table[name] = &merged
+	return nil
+}
+
+// UnbindReplica removes ref's endpoints from name's binding — the
+// graceful-drain path, so one replica's exit never tears down its
+// siblings' profiles. When no endpoints remain the binding itself is
+// removed. Endpoints not present are ignored; an unbound name is
+// ErrNotFound.
+func (r *Registry) UnbindReplica(name string, ref *ior.Ref) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.table[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	drop := make(map[string]bool, len(ref.Endpoints))
+	for _, ep := range ref.Endpoints {
+		drop[ep] = true
+	}
+	kept := make([]string, 0, len(cur.Endpoints))
+	for _, ep := range cur.Endpoints {
+		if !drop[ep] {
+			kept = append(kept, ep)
+		}
+	}
+	if len(kept) == len(cur.Endpoints) {
+		return nil // none of ours were listed; nothing to do
+	}
+	if len(kept) == 0 {
+		delete(r.table, name)
+		return nil
+	}
+	trimmed := *cur
+	trimmed.Endpoints = kept
+	r.table[name] = &trimmed
+	return nil
+}
+
 // Resolve looks a name up.
 func (r *Registry) Resolve(name string) (*ior.Ref, error) {
 	r.mu.RLock()
@@ -129,6 +202,32 @@ func Serve(srv *orb.Server, reg *Registry) {
 			if telemetry.LogEnabled(slog.LevelInfo) {
 				telemetry.Logger().Info("name bound",
 					"name", name, "key", ref.Key, "replicas", ref.Replicas(), "rebind", rebind)
+			}
+			_ = in.Reply(giop.ReplyOK, nil)
+		case "bind_replica", "unbind_replica":
+			name, err1 := d.String()
+			iorStr, err2 := d.String()
+			if err1 != nil || err2 != nil {
+				_ = in.ReplySystemException("MARSHAL", "bad "+in.Header.Operation+" body")
+				return
+			}
+			ref, err := ior.Parse(iorStr)
+			if err != nil {
+				_ = in.ReplySystemException("MARSHAL", err.Error())
+				return
+			}
+			if in.Header.Operation == "bind_replica" {
+				err = reg.BindReplica(name, ref)
+			} else {
+				err = reg.UnbindReplica(name, ref)
+			}
+			if err != nil {
+				replyUserError(in, err)
+				return
+			}
+			if telemetry.LogEnabled(slog.LevelInfo) {
+				telemetry.Logger().Info("replica binding updated",
+					"op", in.Header.Operation, "name", name, "endpoints", len(ref.Endpoints))
 			}
 			_ = in.Reply(giop.ReplyOK, nil)
 		case "resolve":
@@ -255,6 +354,26 @@ func (c *Client) Bind(ctx context.Context, name string, ref *ior.Ref, rebind boo
 		e.PutString(name)
 		e.PutString(ref.Stringify())
 		e.PutBoolean(rebind)
+	})
+	return err
+}
+
+// BindReplica merges ref's endpoints into name's replica profile
+// list (see Registry.BindReplica).
+func (c *Client) BindReplica(ctx context.Context, name string, ref *ior.Ref) error {
+	_, err := c.invoke(ctx, "bind_replica", func(e *cdr.Encoder) {
+		e.PutString(name)
+		e.PutString(ref.Stringify())
+	})
+	return err
+}
+
+// UnbindReplica removes ref's endpoints from name's binding (see
+// Registry.UnbindReplica) — a draining replica's goodbye.
+func (c *Client) UnbindReplica(ctx context.Context, name string, ref *ior.Ref) error {
+	_, err := c.invoke(ctx, "unbind_replica", func(e *cdr.Encoder) {
+		e.PutString(name)
+		e.PutString(ref.Stringify())
 	})
 	return err
 }

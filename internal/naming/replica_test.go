@@ -1,0 +1,144 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pardis/internal/ior"
+	"pardis/internal/orb"
+	"pardis/internal/transport"
+)
+
+func calcRef(eps ...string) *ior.Ref {
+	return &ior.Ref{TypeID: "IDL:calc:1.0", Key: "calc", Threads: 1, Endpoints: eps}
+}
+
+func TestRegistryBindReplicaMergesEndpoints(t *testing.T) {
+	r := NewRegistry()
+	if err := r.BindReplica("svc/calc", calcRef("inproc:a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindReplica("svc/calc", calcRef("inproc:b")); err != nil {
+		t.Fatal(err)
+	}
+	// A re-registration of an endpoint already present must not
+	// duplicate it.
+	if err := r.BindReplica("svc/calc", calcRef("inproc:a")); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := r.Resolve("svc/calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Endpoints) != 2 || ref.Endpoints[0] != "inproc:a" || ref.Endpoints[1] != "inproc:b" {
+		t.Fatalf("merged endpoints = %v, want [inproc:a inproc:b]", ref.Endpoints)
+	}
+}
+
+func TestRegistryBindReplicaNewGenerationReplaces(t *testing.T) {
+	r := NewRegistry()
+	if err := r.BindReplica("svc/calc", calcRef("inproc:a")); err != nil {
+		t.Fatal(err)
+	}
+	// A different TypeID (or key, or an SPMD shape) is a new
+	// generation of the object, not another replica: it replaces the
+	// binding outright.
+	gen2 := &ior.Ref{TypeID: "IDL:calc:2.0", Key: "calc", Threads: 1,
+		Endpoints: []string{"inproc:new"}}
+	if err := r.BindReplica("svc/calc", gen2); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := r.Resolve("svc/calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.TypeID != "IDL:calc:2.0" || len(ref.Endpoints) != 1 || ref.Endpoints[0] != "inproc:new" {
+		t.Fatalf("after generation change: %+v", ref)
+	}
+}
+
+func TestRegistryUnbindReplica(t *testing.T) {
+	r := NewRegistry()
+	if err := r.BindReplica("svc/calc", calcRef("inproc:a", "inproc:b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindReplica("svc/calc", calcRef("inproc:c")); err != nil {
+		t.Fatal(err)
+	}
+
+	// One replica drains: only its endpoints leave.
+	if err := r.UnbindReplica("svc/calc", calcRef("inproc:a", "inproc:b")); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := r.Resolve("svc/calc")
+	if err != nil || len(ref.Endpoints) != 1 || ref.Endpoints[0] != "inproc:c" {
+		t.Fatalf("after partial unbind: %v, %v", ref, err)
+	}
+
+	// Unbinding endpoints that are not present is a harmless no-op
+	// (drains may race or repeat).
+	if err := r.UnbindReplica("svc/calc", calcRef("inproc:gone")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The last replica's exit removes the binding itself.
+	if err := r.UnbindReplica("svc/calc", calcRef("inproc:c")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve("svc/calc"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("resolve after last unbind = %v, want ErrNotFound", err)
+	}
+	if err := r.UnbindReplica("svc/calc", calcRef("inproc:c")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unbind of unbound name = %v, want ErrNotFound", err)
+	}
+}
+
+// TestReplicaBindUnbindOverWire drives the bind_replica/unbind_replica
+// wire operations end to end, as two pardisd replicas and a drain
+// would.
+func TestReplicaBindUnbindOverWire(t *testing.T) {
+	treg := transport.NewRegistry()
+	treg.Register(transport.NewInproc())
+	reg := NewRegistry()
+	srv := orb.NewServer(treg)
+	Serve(srv, reg)
+	ep, err := srv.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	oc := orb.NewClient(treg, orb.WithDefaultDeadline(2*time.Second))
+	defer oc.Close()
+	c := NewClient(oc, ep)
+	ctx := context.Background()
+
+	if err := c.BindReplica(ctx, "svc/calc", calcRef("inproc:a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BindReplica(ctx, "svc/calc", calcRef("inproc:b")); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Resolve(ctx, "svc/calc")
+	if err != nil || len(ref.Endpoints) != 2 {
+		t.Fatalf("resolve after two replica binds: %v, %v", ref, err)
+	}
+
+	if err := c.UnbindReplica(ctx, "svc/calc", calcRef("inproc:a")); err != nil {
+		t.Fatal(err)
+	}
+	ref, err = c.Resolve(ctx, "svc/calc")
+	if err != nil || len(ref.Endpoints) != 1 || ref.Endpoints[0] != "inproc:b" {
+		t.Fatalf("resolve after replica unbind: %v, %v", ref, err)
+	}
+	if err := c.UnbindReplica(ctx, "svc/calc", calcRef("inproc:b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resolve(ctx, "svc/calc"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("resolve after last wire unbind = %v, want ErrNotFound", err)
+	}
+	if err := c.UnbindReplica(ctx, "svc/none", calcRef("inproc:x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("wire unbind of unknown name = %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,130 @@
+package orb
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pardis/internal/cdr"
+	"pardis/internal/giop"
+	"pardis/internal/ior"
+	"pardis/internal/transport"
+)
+
+// scriptedSource is a RefSource whose answers rotate on Invalidate —
+// the shape of a resolver whose upstream re-ranks after a death.
+type scriptedSource struct {
+	mu           sync.Mutex
+	refs         []*ior.Ref
+	idx          int
+	invalidatons int
+}
+
+func (s *scriptedSource) RefFor(_ context.Context, _ string) (*ior.Ref, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.idx
+	if i >= len(s.refs) {
+		i = len(s.refs) - 1
+	}
+	return s.refs[i], nil
+}
+
+func (s *scriptedSource) Invalidate(_ string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.invalidatons++
+	if s.idx < len(s.refs)-1 {
+		s.idx++
+	}
+}
+
+func namedEcho(t *testing.T, reg *transport.Registry, id string) (*Server, string) {
+	t.Helper()
+	srv := NewServer(reg)
+	srv.Handle("echo", func(in *Incoming) {
+		_ = in.Reply(giop.ReplyOK, func(e *cdr.Encoder) { e.PutString(id) })
+	})
+	ep, err := srv.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, ep
+}
+
+// TestFaultNamedReResolve: when every endpoint of a resolution dies,
+// InvokeNamed invalidates it, re-resolves, and completes on the
+// freshly resolved replica — the client-visible contract that a
+// request keeps completing as long as some live replica exists.
+func TestFaultNamedReResolve(t *testing.T) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	a, epA := namedEcho(t, reg, "replica-a")
+	b, epB := namedEcho(t, reg, "replica-b")
+	defer b.Close()
+
+	src := &scriptedSource{refs: []*ior.Ref{
+		{TypeID: "t", Key: "echo", Threads: 1, Endpoints: []string{epA}},
+		{TypeID: "t", Key: "echo", Threads: 1, Endpoints: []string{epB}},
+	}}
+	cli := NewClient(reg,
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond,
+			MaxBackoff: 5 * time.Millisecond}),
+		WithDefaultDeadline(2*time.Second))
+	defer cli.Close()
+
+	// Warm path: the first resolution answers.
+	_, order, body, err := cli.InvokeNamed(context.Background(), src, "svc/echo",
+		requestHeader(cli, "echo", "op"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := cdr.NewDecoderAt(order, body, 8).String(); s != "replica-a" {
+		t.Fatalf("reply from %q, want replica-a", s)
+	}
+
+	// Kill the resolved replica: the stale resolution's only endpoint
+	// is gone, so the invocation must re-resolve and land on b.
+	a.Close()
+	_, order, body, err = cli.InvokeNamed(context.Background(), src, "svc/echo",
+		requestHeader(cli, "echo", "op"), nil)
+	if err != nil {
+		t.Fatalf("invocation lost despite re-resolution: %v", err)
+	}
+	if s, _ := cdr.NewDecoderAt(order, body, 8).String(); s != "replica-b" {
+		t.Fatalf("reply from %q, want replica-b", s)
+	}
+	src.mu.Lock()
+	inv := src.invalidatons
+	src.mu.Unlock()
+	if inv != 1 {
+		t.Fatalf("invalidations = %d, want exactly 1", inv)
+	}
+}
+
+// TestFaultNamedResolutionRoundsBounded: a name whose every resolution
+// is dead fails after maxResolveRounds rounds instead of spinning.
+func TestFaultNamedResolutionRoundsBounded(t *testing.T) {
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	src := &scriptedSource{refs: []*ior.Ref{
+		{TypeID: "t", Key: "echo", Threads: 1, Endpoints: []string{"inproc:nowhere"}},
+	}}
+	cli := NewClient(reg, WithRetryPolicy(RetryPolicy{MaxAttempts: 2,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}))
+	defer cli.Close()
+
+	_, _, _, err := cli.InvokeNamed(context.Background(), src, "svc/echo",
+		requestHeader(cli, "echo", "op"), nil)
+	if err == nil || !strings.Contains(err.Error(), "resolutions") {
+		t.Fatalf("err = %v, want bounded-resolutions failure", err)
+	}
+	src.mu.Lock()
+	inv := src.invalidatons
+	src.mu.Unlock()
+	if inv != maxResolveRounds {
+		t.Fatalf("invalidations = %d, want %d", inv, maxResolveRounds)
+	}
+}

@@ -38,6 +38,12 @@ var (
 	leasesExpired = telemetry.Default.Counter("pardis_spmd_leases_expired_total")
 )
 
+// ActiveLeases reports the live client leases across every SPMD rank
+// in this process (the pardis_spmd_leases_active gauge) — the load
+// signal agent heartbeats piggyback: each lease is a client holding
+// rank-side transfer state here.
+func ActiveLeases() int { return int(leasesActive.Value()) }
+
 // leaseClient extracts the lease identity from an invocation id: the
 // client ORB's random prefix (bits 32-55), shared by every invocation
 // and block the same client process sends.

@@ -12,15 +12,21 @@ import (
 //
 //	/metrics       — the registry in Prometheus-style text format
 //	/healthz       — 200 "ok" (503 with the error text when the
-//	                 health callback reports one)
+//	                 health callback reports one); with a status
+//	                 callback the body is a JSON document carrying
+//	                 the callback's live stats (admission queue
+//	                 depth, SPMD leases, breaker states, ...) so one
+//	                 endpoint serves both the load balancer's yes/no
+//	                 and a human's why
 //	/debug/vars    — the registry as JSON (expvar-style)
 //	/debug/traces  — buffered trace ids; ?id=<hex> dumps one trace
 //	                 (&format=tree for the indented text form)
 //	/debug/pprof/* — the standard runtime profiles
 //
-// reg, rec and healthy may be nil: they default to the process-wide
-// registry, the default span recorder and "always healthy".
-func Handler(reg *Registry, rec *Recorder, healthy func() error) http.Handler {
+// reg, rec, healthy and status may be nil: they default to the
+// process-wide registry, the default span recorder, "always healthy"
+// and a bare ok/error body.
+func Handler(reg *Registry, rec *Recorder, healthy func() error, status func() map[string]any) http.Handler {
 	if reg == nil {
 		reg = Default
 	}
@@ -33,13 +39,33 @@ func Handler(reg *Registry, rec *Recorder, healthy func() error) http.Handler {
 		_ = reg.WriteText(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		var herr error
 		if healthy != nil {
-			if err := healthy(); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			herr = healthy()
+		}
+		if status == nil {
+			if herr != nil {
+				http.Error(w, herr.Error(), http.StatusServiceUnavailable)
 				return
 			}
+			fmt.Fprintln(w, "ok")
+			return
 		}
-		fmt.Fprintln(w, "ok")
+		body := map[string]any{"status": "ok"}
+		if herr != nil {
+			body["status"] = "unavailable"
+			body["error"] = herr.Error()
+		}
+		for k, v := range status() {
+			body[k] = v
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if herr != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")

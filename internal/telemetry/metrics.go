@@ -447,6 +447,20 @@ func (r *Registry) CounterValue(name string) uint64 {
 	return total
 }
 
+// GaugeValue returns the summed value of every gauge whose bare name
+// matches (across all label sets), for tests and status summaries.
+func (r *Registry) GaugeValue(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, m := range r.m {
+		if m.kind == kindGauge && m.name == name {
+			total += m.g.Value()
+		}
+	}
+	return total
+}
+
 // HistogramsByName returns the label sets and snapshots of every
 // histogram with the given bare name.
 func (r *Registry) HistogramsByName(name string) map[string]HistogramSnapshot {

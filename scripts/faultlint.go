@@ -1,0 +1,152 @@
+//go:build ignore
+
+// Command faultlint enforces the fault-injection naming convention:
+// any test that drives the fault-injection transport (transport.Faulty
+// — via NewFaulty, FaultPlan, or a "faulty+" endpoint scheme) must be
+// named TestFault*, so that `make chaos` (go test -run Fault -race)
+// reliably covers every chaos suite and nothing hides under a name
+// the filter misses.
+//
+//	go run ./scripts/faultlint.go internal cmd
+//
+// The check is per test package: helper functions and fixtures that
+// touch the faulty transport taint, transitively, every Test function
+// that calls them. Exit status 1 with a file:line listing when a
+// mis-named test is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// markers are identifiers whose mention means "this function uses the
+// fault-injection transport".
+var markers = map[string]bool{
+	"NewFaulty": true,
+	"FaultPlan": true,
+	"Faulty":    true,
+}
+
+// funcInfo is one function declaration in a test package.
+type funcInfo struct {
+	pos     token.Position
+	tainted bool            // references a marker directly
+	calls   map[string]bool // same-package functions it mentions
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	dirs := map[string]bool{}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, "_test.go") {
+				dirs[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultlint:", err)
+			os.Exit(2)
+		}
+	}
+
+	var bad []string
+	for dir := range dirs {
+		bad = append(bad, lintPackage(dir)...)
+	}
+	sort.Strings(bad)
+	for _, b := range bad {
+		fmt.Println(b)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "faultlint: %d fault-injection test(s) not named TestFault*\n", len(bad))
+		os.Exit(1)
+	}
+	fmt.Println("faultlint: ok")
+}
+
+// lintPackage parses every _test.go file in dir, taints functions that
+// reference the faulty transport (directly or through same-package
+// calls), and reports tainted Test functions not named TestFault*.
+func lintPackage(dir string) []string {
+	fset := token.NewFileSet()
+	funcs := map[string]*funcInfo{}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*_test.go"))
+	for _, path := range matches {
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultlint:", err)
+			os.Exit(2)
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			info := &funcInfo{pos: fset.Position(fd.Pos()), calls: map[string]bool{}}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.Ident:
+					if markers[v.Name] {
+						info.tainted = true
+					}
+					info.calls[v.Name] = true
+				case *ast.SelectorExpr:
+					if markers[v.Sel.Name] {
+						info.tainted = true
+					}
+				case *ast.BasicLit:
+					if v.Kind == token.STRING && strings.Contains(v.Value, "faulty+") {
+						info.tainted = true
+					}
+				}
+				return true
+			})
+			funcs[fd.Name.Name] = info
+		}
+	}
+
+	// Propagate taint through the same-package call graph to a fixed
+	// point: a test using a faulty fixture is a fault test.
+	for changed := true; changed; {
+		changed = false
+		for _, info := range funcs {
+			if info.tainted {
+				continue
+			}
+			for callee := range info.calls {
+				if c, ok := funcs[callee]; ok && c.tainted {
+					info.tainted = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	var bad []string
+	for name, info := range funcs {
+		if !info.tainted || !strings.HasPrefix(name, "Test") {
+			continue
+		}
+		if !strings.HasPrefix(name, "TestFault") {
+			bad = append(bad, fmt.Sprintf("%s: %s uses fault injection but is not named TestFault*",
+				info.pos, name))
+		}
+	}
+	return bad
+}
