@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos soak bench bench-quick bench-dataplane bench-snapshot benchdiff lint-telemetry lint-fault fuzz-smoke fmt
+.PHONY: build test verify chaos soak bench bench-quick bench-dataplane bench-overhead bench-snapshot benchdiff lint-telemetry lint-fault fuzz-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ verify:
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-quick
+	$(MAKE) bench-overhead
 	$(MAKE) benchdiff
 
 # benchdiff gates allocation regressions: when at least two dated
@@ -37,12 +38,15 @@ benchdiff:
 # lint-telemetry forbids raw printf-style output in internal/ (tests
 # excepted): library code must log through telemetry.Logger(), which
 # is structured and off by default, never straight to stdout/stderr.
+# It also keeps the metrics catalogue in sync: every pardis_* metric
+# literal in code must have a DESIGN.md §9 row and vice versa.
 lint-telemetry:
 	@if grep -rn --include='*.go' -e 'fmt\.Print' -e 'log\.Print' internal/ | grep -v '_test\.go'; then \
 		echo 'lint-telemetry: internal/ must log via telemetry.Logger(), not fmt/log printing'; \
 		exit 1; \
 	fi
 	@echo 'lint-telemetry: ok'
+	@$(GO) run ./scripts/metricscat.go DESIGN.md internal cmd
 
 # lint-fault enforces the chaos naming convention: every test that
 # drives the fault-injection transport (directly or through a fixture)
@@ -105,6 +109,14 @@ bench-dataplane:
 		-bench 'Redistribute' ./internal/dseq/
 	$(GO) test -run '^$$' -benchtime $(BENCHTIME) -benchmem \
 		-bench 'MultiPortInTransfer' ./internal/spmd/
+
+# bench-overhead gates the observability plane's hot-path cost: an
+# interleaved A/B of the echo workload with exemplars, the flight
+# recorder and digest collection off vs on must keep the median
+# throughput cost under the 5% instrumentation budget. Nine rounds
+# keep the median robust against scheduler noise on a loaded CI host.
+bench-overhead:
+	$(GO) run ./cmd/pardis-bench -overhead -ops 6000 -overhead-rounds 9 -overhead-gate
 
 # bench-snapshot archives a dated live-stack benchmark summary
 # (ops/s and p50/p95/p99 invoke latency from the telemetry registry)

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"pardis/internal/agent"
+	"pardis/internal/telemetry"
+)
+
+// fleetHandler wraps the standard telemetry surface with the agent's
+// fleet views:
+//
+//	/metrics — the agent's own registry followed by every replica's
+//	           latest heartbeat digest re-exposed as
+//	           pardis_agent_fleet_* series with {name, instance}
+//	           labels, so one scrape covers the whole fleet
+//	/fleet   — the full fleet snapshot as JSON: per-replica RED
+//	           rates, latency quantiles, queue depth, leases,
+//	           breaker states, digest staleness and tail exemplars
+//	/healthz — the usual yes/no plus a fleet summary (replicas,
+//	           draining count, worst score, max digest age)
+//
+// Everything else (debug/traces, debug/slow, pprof, ...) falls
+// through to telemetry.Handler.
+func fleetHandler(table *agent.Table) http.Handler {
+	status := func() map[string]any {
+		return map[string]any{"fleet": table.Summary()}
+	}
+	inner := telemetry.Handler(nil, nil, nil, status)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := telemetry.Default.WriteText(w); err != nil {
+			return
+		}
+		_ = table.WriteFleetMetrics(w)
+	})
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(table.Fleet())
+	})
+	mux.Handle("/", inner)
+	return mux
+}

@@ -50,7 +50,7 @@ func main() {
 	at := flag.String("at", "tcp:127.0.0.1:9070", "agent endpoint for -resolve / -list")
 	prefix := flag.String("prefix", "", "name prefix filter for -list")
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "per-invocation deadline for -resolve / -list")
-	metricsListen := flag.String("metrics-listen", "", "host:port to serve /metrics, /healthz, /debug/vars, /debug/traces and /debug/pprof at (empty = disabled)")
+	metricsListen := flag.String("metrics-listen", "", "host:port to serve /metrics, /fleet, /healthz, /debug/vars, /debug/traces and /debug/pprof at (empty = disabled)")
 	logLevel := flag.String("log-level", "", "enable structured logging on stderr at this level: debug, info, warn or error (empty = silent)")
 	flag.Parse()
 
@@ -84,15 +84,8 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("metrics listener: %w", err))
 		}
-		status := func() map[string]any {
-			names, replicas := table.Size()
-			return map[string]any{
-				"names":    names,
-				"replicas": replicas,
-			}
-		}
 		go func() {
-			_ = http.Serve(ml, telemetry.Handler(nil, nil, nil, status))
+			_ = http.Serve(ml, fleetHandler(table))
 		}()
 		fmt.Printf("METRICS=%s\n", ml.Addr())
 	}

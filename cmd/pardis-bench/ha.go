@@ -265,7 +265,25 @@ func runHA(cfg haConfig) {
 		out.Retries, out.Failovers, out.ReResolves)
 	fmt.Printf("  agent: heartbeats=%d replicas_expired=%d\n",
 		out.Heartbeats, out.ReplicasExpired)
+	printFleet(table)
+	printFlightSummary("echo")
 	if out.Killed && out.Errors == 0 {
 		fmt.Println("  replica killed mid-run; zero failures reached the client")
+	}
+}
+
+// printFleet renders the agent's aggregated fleet view — the same
+// digest-derived RED rows pardis-top reads off /fleet — so the -ha
+// summary shows what the observability plane saw of the run.
+func printFleet(table *agent.Table) {
+	snap := table.Fleet()
+	if len(snap.Rows) == 0 {
+		return
+	}
+	fmt.Printf("  fleet (agent view, %d live):\n", snap.Replicas)
+	for _, r := range snap.Rows {
+		fmt.Printf("    %-12s reqs=%-6d errs=%-3d rate=%.0f/s p50=%.0fus p99=%.0fus digest_age=%s\n",
+			r.Instance, r.Requests, r.Errors, r.RatePerSec,
+			r.P50*1e6, r.P99*1e6, r.DigestAge.Round(time.Millisecond))
 	}
 }

@@ -223,6 +223,7 @@ func runLive(cfg liveConfig) {
 	printHistogram(snap)
 	fmt.Printf("  retries=%d failovers=%d deadline_misses=%d pool_hit_rate=%.3f\n",
 		res.Retries, res.Failovers, res.Deadlines, res.PoolHitRate)
+	printFlightSummary("echo")
 	if faulty != nil {
 		// Reconcile the transport's own fault ledger against the
 		// mirrored telemetry counters — the two are independent
@@ -236,6 +237,31 @@ func runLive(cfg liveConfig) {
 		fmt.Printf("  faults: injected=%d (refused=%d cut=%d truncated=%d blackholed=%d) telemetry=%d [%s]\n",
 			planned, st.RefusedDials, st.CutConns, st.TruncatedWrites, st.BlackholedConns,
 			res.Faults, status)
+	}
+}
+
+// printFlightSummary reports what the flight recorder caught for one
+// op: the slowest invocations per side and how many errored ones it
+// holds — the same records /debug/slow serves on a production server.
+func printFlightSummary(op string) {
+	for _, fop := range telemetry.DefaultFlight.Snapshot() {
+		if fop.Op != op || len(fop.Slowest) == 0 {
+			continue
+		}
+		worst := fop.Slowest[0]
+		line := fmt.Sprintf("  flight[%s]: %d slowest kept (worst %.0fus", fop.Side, len(fop.Slowest),
+			worst.Duration.Seconds()*1e6)
+		if worst.Attempts > 1 || worst.Failovers > 0 || worst.ReResolves > 0 {
+			line += fmt.Sprintf(", attempts=%d failovers=%d reresolves=%d",
+				worst.Attempts, worst.Failovers, worst.ReResolves)
+		}
+		if worst.QueueWait > 0 {
+			line += fmt.Sprintf(", queue_wait=%.0fus", worst.QueueWait.Seconds()*1e6)
+		}
+		if worst.Trace != "" && worst.TraceID != 0 {
+			line += ", trace=" + worst.Trace
+		}
+		fmt.Printf("%s), %d errored\n", line, len(fop.Errors))
 	}
 }
 

@@ -81,6 +81,11 @@ func main() {
 	ha := flag.Bool("ha", false, "drive the agent HA stack in-process: heartbeat-tracked replicas, load-ranked resolution, client failover")
 	replicas := flag.Int("replicas", 3, "replica count in -ha mode")
 	kill := flag.Bool("kill", true, "crash one replica mid-run in -ha mode (-kill=false for a fault-free baseline)")
+	overhead := flag.Bool("overhead", false, "measure the observability plane's throughput cost: A/B the echo workload with exemplars+flight recorder+digest collection off vs on")
+	overheadRounds := flag.Int("overhead-rounds", 5, "interleaved baseline/loaded round pairs in -overhead mode")
+	overheadSample := flag.Float64("overhead-sample", 0.05, "trace-sampling rate held equal on both -overhead sides (exemplars need sampled traces)")
+	overheadBudget := flag.Float64("overhead-budget", 0.05, "instrumentation budget as a fraction of baseline throughput")
+	overheadGate := flag.Bool("overhead-gate", false, "exit nonzero when the median -overhead cost exceeds -overhead-budget")
 	dataplane := flag.Bool("dataplane", false, "benchmark the real SPMD data plane (Figure-4-style in-transfer bandwidth curve)")
 	clientThreads := flag.Int("client-threads", 1, "client SPMD threads (n) in -dataplane mode")
 	serverThreads := flag.Int("threads", 4, "server SPMD threads (m) in -dataplane mode")
@@ -93,6 +98,20 @@ func main() {
 	}
 	if *xferChunk != 0 {
 		spmd.DefaultXferChunkBytes = *xferChunk
+	}
+
+	if *overhead {
+		runOverhead(overheadConfig{
+			ops:         *ops,
+			doubles:     pick(*doubles, 1024, 256),
+			concurrency: *concurrency,
+			rounds:      *overheadRounds,
+			sample:      *overheadSample,
+			budget:      *overheadBudget,
+			gate:        *overheadGate,
+			jsonOut:     *jsonOut,
+		})
+		return
 	}
 
 	if *dataplane {

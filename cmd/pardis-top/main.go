@@ -1,0 +1,207 @@
+// Command pardis-top is a refreshing terminal view of a PARDIS
+// fleet, read from an agent's /fleet endpoint. It is `top` for
+// replicas: one row per live replica with its RED view (request
+// rate, error rate, p50/p95/p99 latency), queue depth, SPMD leases,
+// breaker states and how stale its heartbeat digest is — everything
+// the agent already aggregates, so watching a twenty-replica fleet
+// costs one HTTP poll, not twenty scrapes.
+//
+//	pardis-top -agent http://127.0.0.1:9071
+//	pardis-top -agent http://127.0.0.1:9071 -interval 2s
+//	pardis-top -agent http://127.0.0.1:9071 -once
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// fleetSnapshot mirrors agent.FleetSnapshot's JSON. Decoded by hand
+// here so the binary stays a pure HTTP consumer — the same document
+// any other dashboard would read.
+type fleetSnapshot struct {
+	Names    int        `json:"names"`
+	Replicas int        `json:"replicas"`
+	Rows     []fleetRow `json:"rows"`
+}
+
+type fleetRow struct {
+	Name            string  `json:"name"`
+	Instance        string  `json:"instance"`
+	Score           float64 `json:"score"`
+	Draining        bool    `json:"draining"`
+	SinceSeen       int64   `json:"since_seen_ns"`
+	DigestAge       int64   `json:"digest_age_ns"`
+	Window          int64   `json:"window_ns"`
+	Requests        uint64  `json:"requests"`
+	Errors          uint64  `json:"errors"`
+	RatePerSec      float64 `json:"rate_per_sec"`
+	ErrorRatePerSec float64 `json:"error_rate_per_sec"`
+	P50             float64 `json:"p50_seconds"`
+	P95             float64 `json:"p95_seconds"`
+	P99             float64 `json:"p99_seconds"`
+	QueueDepth      int     `json:"queue_depth"`
+	Running         int     `json:"running"`
+	Inflight        int     `json:"inflight"`
+	Leases          int     `json:"leases"`
+	BreakersOpen    int     `json:"breakers_open"`
+}
+
+func main() {
+	agentURL := flag.String("agent", "http://127.0.0.1:9071", "base URL of the agent's metrics listener (serves /fleet)")
+	interval := flag.Duration("interval", time.Second, "refresh cadence")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	sortBy := flag.String("sort", "score", "row order: score, rate, errors, p99 or name")
+	flag.Parse()
+
+	if *once {
+		if err := render(os.Stdout, *agentURL, *sortBy, false); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		if err := render(os.Stdout, *agentURL, *sortBy, true); err != nil {
+			// A poll miss is a data point (agent restarting, network
+			// blip), not a reason to die; keep refreshing.
+			fmt.Printf("\x1b[2J\x1b[Hpardis-top: %v (retrying)\n", err)
+		}
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// render fetches one /fleet snapshot and writes the table. With
+// clear set it homes the cursor and wipes the screen first, which is
+// all the "TUI" a refreshing table needs.
+func render(w io.Writer, agentURL, sortBy string, clear bool) error {
+	snap, err := fetch(agentURL)
+	if err != nil {
+		return err
+	}
+	order(snap.Rows, sortBy)
+
+	var b strings.Builder
+	if clear {
+		b.WriteString("\x1b[2J\x1b[H")
+	}
+	fmt.Fprintf(&b, "pardis-top  %s  names=%d replicas=%d  %s\n\n",
+		agentURL, snap.Names, snap.Replicas, time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "%-20s %-18s %7s %8s %8s %8s %8s %8s %5s %5s %4s %6s %s\n",
+		"NAME", "INSTANCE", "SCORE", "REQ/S", "ERR/S",
+		"P50", "P95", "P99", "QUEUE", "LEASE", "BRKR", "DIGEST", "FLAGS")
+	for _, r := range snap.Rows {
+		flags := ""
+		if r.Draining {
+			flags += "drain "
+		}
+		if time.Duration(r.DigestAge) > 10*time.Second {
+			flags += "stale "
+		}
+		fmt.Fprintf(&b, "%-20s %-18s %7.2f %8.1f %8.2f %8s %8s %8s %5d %5d %4d %6s %s\n",
+			trunc(r.Name, 20), trunc(r.Instance, 18), r.Score,
+			r.RatePerSec, r.ErrorRatePerSec,
+			lat(r.P50), lat(r.P95), lat(r.P99),
+			r.QueueDepth, r.Leases, r.BreakersOpen,
+			age(time.Duration(r.DigestAge)), strings.TrimSpace(flags))
+	}
+	if len(snap.Rows) == 0 {
+		b.WriteString("(no live replicas)\n")
+	}
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+func fetch(agentURL string) (*fleetSnapshot, error) {
+	cli := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cli.Get(strings.TrimRight(agentURL, "/") + "/fleet")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /fleet: %s", resp.Status)
+	}
+	var snap fleetSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding /fleet: %w", err)
+	}
+	return &snap, nil
+}
+
+func order(rows []fleetRow, by string) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		switch by {
+		case "rate":
+			return a.RatePerSec > b.RatePerSec
+		case "errors":
+			return a.ErrorRatePerSec > b.ErrorRatePerSec
+		case "p99":
+			return a.P99 > b.P99
+		case "name":
+			if a.Name != b.Name {
+				return a.Name < b.Name
+			}
+			return a.Instance < b.Instance
+		default: // score: most loaded first
+			return a.Score > b.Score
+		}
+	})
+}
+
+// lat renders a latency in the unit that keeps three significant
+// figures readable: µs below a millisecond, ms below a second.
+func lat(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "-"
+	case sec < 0.001:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+func age(d time.Duration) string {
+	switch {
+	case d < time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	case d < time.Minute:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	default:
+		return d.Round(time.Second).String()
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pardis-top:", err)
+	os.Exit(1)
+}

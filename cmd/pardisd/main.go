@@ -29,8 +29,10 @@
 //
 // Observability: -metrics-listen exposes the process's operational
 // surface over HTTP (/metrics, /healthz, /debug/vars, /debug/traces,
-// /debug/pprof), -log-level enables structured logging on stderr, and
-// -trace-sample sets the root trace-sampling probability. /healthz
+// /debug/slow, /debug/pprof), -log-level enables structured logging
+// on stderr, -trace-sample sets the root trace-sampling probability,
+// and -flight-slow/-flight-errors size the slow-request flight
+// recorder behind /debug/slow. /healthz
 // answers a JSON body carrying admission queue depth, active SPMD
 // leases and outbound breaker states alongside the 503 saturation
 // signal, so the agent (and humans) can scrape one endpoint.
@@ -80,6 +82,8 @@ func main() {
 	metricsListen := flag.String("metrics-listen", "", "host:port to serve /metrics, /healthz, /debug/vars, /debug/traces and /debug/pprof at (empty = disabled)")
 	logLevel := flag.String("log-level", "", "enable structured logging on stderr at this level: debug, info, warn or error (empty = silent)")
 	traceSample := flag.Float64("trace-sample", 0, "probability a root request starts a recorded trace, in [0,1]")
+	flightSlow := flag.Int("flight-slow", telemetry.DefaultFlightSlowK, "slowest invocations the flight recorder keeps per op (0 = disable the recorder)")
+	flightErrs := flag.Int("flight-errors", telemetry.DefaultFlightErrCap, "recent errored invocations the flight recorder keeps per op")
 	xferWindow := flag.Int("xfer-window", 0, "process-wide default for concurrent SPMD block streams per transfer (0 = min(4, GOMAXPROCS); 1 = serial)")
 	xferChunk := flag.Int("xfer-chunk", 0, "process-wide default SPMD block chunk size in bytes (0 = 256KiB, negative = disable chunking)")
 	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently running handlers; over-cap requests wait in a bounded queue and are shed TRANSIENT beyond it (0 = unlimited, no admission control)")
@@ -108,6 +112,11 @@ func main() {
 		telemetry.EnableLogging(os.Stderr, lvl)
 	}
 	telemetry.SetTraceSampling(*traceSample)
+	if *flightSlow <= 0 {
+		telemetry.DefaultFlight.SetEnabled(false)
+	} else {
+		telemetry.DefaultFlight.Configure(*flightSlow, *flightErrs)
+	}
 
 	if *list {
 		runList(*at, *prefix, *retries, *stripes, *rpcTimeout, *traceSample)
@@ -267,8 +276,9 @@ func main() {
 					"max_concurrent": st.MaxConcurrent,
 					"max_queue":      st.MaxQueue,
 				},
-				"inflight":    telemetry.Default.GaugeValue("pardis_server_inflight"),
-				"spmd_leases": spmd.ActiveLeases(),
+				"inflight":            telemetry.Default.GaugeValue("pardis_server_inflight"),
+				"spmd_leases":         spmd.ActiveLeases(),
+				"spmd_leases_expired": spmd.ExpiredLeases(),
 			}
 			if oc != nil {
 				breakers := make(map[string]string)

@@ -1,0 +1,190 @@
+package pardis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTwoProcessFleetObservability runs the fleet plane across OS
+// processes: a pardis-agent with its metrics listener, a pardisd
+// replica heartbeating digests into it, and a traced client burst.
+// It verifies that the client's trace id — captured as a histogram
+// exemplar on the *replica* — travels inside the heartbeat digest
+// and reappears in the fleet /metrics scraped from the *agent*,
+// alongside the per-replica fleet series, the /fleet JSON snapshot
+// and the /healthz fleet summary.
+func TestTwoProcessFleetObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and compiles binaries")
+	}
+	dir := t.TempDir()
+	agentBin := filepath.Join(dir, "pardis-agent")
+	pardisdBin := filepath.Join(dir, "pardisd")
+	for _, b := range [][2]string{{agentBin, "./cmd/pardis-agent"}, {pardisdBin, "./cmd/pardisd"}} {
+		if out, err := exec.Command("go", "build", "-o", b[0], b[1]).CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", b[1], err, out)
+		}
+	}
+
+	// The agent, with the fleet surface enabled.
+	agent := exec.Command(agentBin,
+		"-listen", "tcp:127.0.0.1:0",
+		"-metrics-listen", "127.0.0.1:0")
+	agentOut, err := agent.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Stderr = &logWriter{t: t, prefix: "agent! "}
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer stopProcess(t, agent)
+
+	agentEPCh := make(chan string, 1)
+	agentMetricsCh := make(chan string, 1)
+	go scanLines(t, agentOut, "agent", map[string]chan string{
+		"pardis-agent: serving at ": agentEPCh,
+		"METRICS=":                  agentMetricsCh,
+	})
+	agentEP := waitLine(t, agentEPCh, "agent endpoint")
+	agentMetrics := waitLine(t, agentMetricsCh, "agent metrics address")
+
+	// The replica: an echo object heartbeating into the agent at a
+	// tight interval so digests arrive fast, with tracing sampled on
+	// so its request histogram collects exemplars.
+	replica := exec.Command(pardisdBin,
+		"-listen", "tcp:127.0.0.1:0",
+		"-serve-echo", "demo/echo",
+		"-agent", agentEP,
+		"-heartbeat", "200ms",
+		"-trace-sample", "1")
+	replicaOut, err := replica.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica.Stderr = &logWriter{t: t, prefix: "replica! "}
+	if err := replica.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer stopProcess(t, replica)
+
+	namingCh := make(chan string, 1)
+	go scanLines(t, replicaOut, "replica", map[string]chan string{
+		"pardisd: naming service at ": namingCh,
+	})
+	naming := waitLine(t, namingCh, "replica naming endpoint")
+
+	// The traced burst: -list resolves through the replica's naming
+	// service, so the replica serves sampled requests and its
+	// request-latency histogram picks up exemplars under this trace.
+	list := exec.Command(pardisdBin, "-list", "-at", naming, "-trace-sample", "1")
+	listOut, err := list.CombinedOutput()
+	t.Logf("pardisd -list:\n%s", listOut)
+	if err != nil {
+		t.Fatalf("pardisd -list: %v", err)
+	}
+	traceID := ""
+	for _, line := range strings.Split(string(listOut), "\n") {
+		if id, ok := strings.CutPrefix(line, "TRACE="); ok {
+			traceID = id
+		}
+	}
+	if traceID == "" {
+		t.Fatal("client never printed TRACE=")
+	}
+
+	// The exemplar must cross two hops — replica histogram → heartbeat
+	// digest → agent fleet registry — so allow a few heartbeats.
+	wantExemplar := fmt.Sprintf(`trace_id="%s"`, traceID)
+	var mtext string
+	for i := 0; i < 100; i++ {
+		mtext = httpGet(t, "http://"+agentMetrics+"/metrics")
+		if strings.Contains(mtext, wantExemplar) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !strings.Contains(mtext, wantExemplar) {
+		t.Fatalf("agent /metrics never showed exemplar %s:\n%s", wantExemplar, mtext)
+	}
+	for _, want := range []string{
+		"# TYPE pardis_agent_fleet_requests_total counter",
+		`pardis_agent_fleet_requests_total{instance="`,
+		`name="demo/echo"`,
+		"pardis_agent_fleet_request_seconds_bucket{",
+		"pardis_agent_fleet_score{",
+	} {
+		if !strings.Contains(mtext, want) {
+			t.Fatalf("agent /metrics is missing %q:\n%s", want, mtext)
+		}
+	}
+
+	// /fleet serves the same replica as a JSON RED row.
+	fleet := httpGet(t, "http://"+agentMetrics+"/fleet")
+	for _, want := range []string{`"demo/echo"`, `"requests"`, `"p99_seconds"`, traceID} {
+		if !strings.Contains(fleet, want) {
+			t.Fatalf("agent /fleet is missing %q:\n%s", want, fleet)
+		}
+	}
+
+	// /healthz carries the fleet summary.
+	health := httpGet(t, "http://"+agentMetrics+"/healthz")
+	for _, want := range []string{`"fleet"`, `"replicas": 1`, `"max_digest_age_ns"`} {
+		if !strings.Contains(health, want) {
+			t.Fatalf("agent /healthz is missing %q:\n%s", want, health)
+		}
+	}
+}
+
+// scanLines forwards a process's stdout to the test log while
+// delivering lines with known prefixes (minus the prefix) to their
+// channels.
+func scanLines(t *testing.T, r interface{ Read([]byte) (int, error) }, who string, want map[string]chan string) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		t.Logf("%s: %s", who, line)
+		for prefix, ch := range want {
+			if v, ok := strings.CutPrefix(line, prefix); ok {
+				select {
+				case ch <- v:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// waitLine receives one scanned value or fails the test after a
+// build-machine-friendly timeout.
+func waitLine(t *testing.T, ch chan string, what string) string {
+	t.Helper()
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(30 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		return ""
+	}
+}
+
+// stopProcess interrupts a child and waits for it, escalating to a
+// kill if the drain hangs.
+func stopProcess(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	cmd.Process.Signal(os.Interrupt)
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		<-done
+	}
+}

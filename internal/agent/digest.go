@@ -1,0 +1,168 @@
+package agent
+
+import (
+	"sort"
+	"time"
+
+	"pardis/internal/telemetry"
+)
+
+// MetricsDigest is the compact observability summary a replica
+// piggybacks on each heartbeat: the server-side request/error
+// counters, the request-latency histogram buckets, the SPMD
+// reclamation counters, and up to MaxDigestExemplars tail-latency
+// trace exemplars. All counters are cumulative since process start —
+// the agent's table differences consecutive digests to turn them into
+// rates, so a missed heartbeat loses freshness, never correctness.
+type MetricsDigest struct {
+	// Requests counts dispatched server requests
+	// (pardis_server_requests_total across all keys).
+	Requests uint64
+	// Errors counts requests that failed before or during dispatch:
+	// admission sheds, handler panics, transient (drain) rejections
+	// and unknown-object replies.
+	Errors uint64
+	// LatencySum is the cumulative pardis_server_request_seconds sum
+	// (seconds) across all keys.
+	LatencySum float64
+	// Buckets holds the cumulative per-bucket observation counts of
+	// pardis_server_request_seconds over
+	// telemetry.DefaultLatencyBuckets; the final extra entry is the
+	// +Inf bucket. Empty when the replica has served nothing.
+	Buckets []uint64
+	// SPMDLeasesExpired and SPMDShed carry the data-plane reclamation
+	// counters (pardis_spmd_leases_expired_total, pardis_spmd_shed_total).
+	SPMDLeasesExpired uint64
+	SPMDShed          uint64
+	// Exemplars are tail-latency trace exemplars, slowest bucket
+	// first, so the fleet /metrics can point a p99 bucket at a
+	// concrete trace on the replica that produced it.
+	Exemplars []TailExemplar
+}
+
+// TailExemplar is one tail observation tied to its trace.
+type TailExemplar struct {
+	// Bucket indexes telemetry.DefaultLatencyBuckets;
+	// len(DefaultLatencyBuckets) denotes +Inf.
+	Bucket  int
+	Value   float64
+	TraceID uint64
+	When    time.Time
+}
+
+// MaxDigestExemplars bounds the exemplars one heartbeat carries.
+const MaxDigestExemplars = 4
+
+// CollectDigest snapshots the process-wide telemetry registry into a
+// heartbeat digest. It is the default Digest callback of a Registrar.
+func CollectDigest() MetricsDigest { return collectDigest(telemetry.Default) }
+
+func collectDigest(reg *telemetry.Registry) MetricsDigest {
+	d := MetricsDigest{
+		Requests: reg.CounterValue("pardis_server_requests_total"),
+		Errors: reg.CounterValue("pardis_server_shed_total") +
+			reg.CounterValue("pardis_server_panics_total") +
+			reg.CounterValue("pardis_server_transient_rejections_total") +
+			reg.CounterValue("pardis_server_no_object_total"),
+		SPMDLeasesExpired: reg.CounterValue("pardis_spmd_leases_expired_total"),
+		SPMDShed:          reg.CounterValue("pardis_spmd_shed_total"),
+	}
+	n := len(telemetry.DefaultLatencyBuckets)
+	for _, s := range reg.HistogramsByName("pardis_server_request_seconds") {
+		if len(s.Counts) != n {
+			continue // custom-bucket histograms don't merge into the fleet edges
+		}
+		if d.Buckets == nil {
+			d.Buckets = make([]uint64, n+1)
+		}
+		for i, c := range s.Counts {
+			d.Buckets[i] += c
+		}
+		d.Buckets[n] += s.Inf
+		d.LatencySum += s.Sum
+		for _, be := range s.Exemplars {
+			d.Exemplars = append(d.Exemplars, TailExemplar{
+				Bucket: be.Bucket, Value: be.Value,
+				TraceID: be.TraceID, When: be.When,
+			})
+		}
+	}
+	sort.Slice(d.Exemplars, func(i, j int) bool {
+		if d.Exemplars[i].Bucket != d.Exemplars[j].Bucket {
+			return d.Exemplars[i].Bucket > d.Exemplars[j].Bucket
+		}
+		return d.Exemplars[i].When.After(d.Exemplars[j].When)
+	})
+	if len(d.Exemplars) > MaxDigestExemplars {
+		d.Exemplars = d.Exemplars[:MaxDigestExemplars]
+	}
+	return d
+}
+
+// sub returns a-b clamped at zero, so a replica restart (counters
+// reset to zero) yields an empty delta instead of an underflow.
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// delta returns the element-wise bucket difference cur-prev, nil when
+// the shapes disagree (restart, version skew) or cur is empty.
+func bucketDelta(cur, prev []uint64) []uint64 {
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(cur))
+	copy(out, cur)
+	if len(prev) == len(cur) {
+		for i := range out {
+			out[i] = sub(out[i], prev[i])
+		}
+	}
+	return out
+}
+
+// digestQuantile estimates the q-quantile of a bucket-count vector
+// over the fleet's fixed edges (counts[len(edges)] is +Inf) by linear
+// interpolation inside the winning bucket. An empty vector reports 0;
+// a +Inf-bucket rank reports the last edge as the best point estimate
+// available without the raw samples.
+func digestQuantile(edges []float64, counts []uint64, q float64) float64 {
+	if len(counts) != len(edges)+1 {
+		return 0
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, c := range counts[:len(edges)] {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = edges[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (edges[i]-lo)*frac
+		}
+		cum += c
+	}
+	return edges[len(edges)-1]
+}

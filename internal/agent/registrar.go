@@ -33,6 +33,10 @@ type RegistrarConfig struct {
 	// Load supplies the live load snapshot piggybacked on each
 	// heartbeat (nil reports zeros).
 	Load func() LoadReport
+	// Digest supplies the metrics digest piggybacked on each heartbeat
+	// (nil defaults to CollectDigest, which snapshots the process-wide
+	// telemetry registry).
+	Digest func() MetricsDigest
 	// RPCTimeout bounds each heartbeat invocation (default: the
 	// interval, clamped to [100ms, 2s]) so a hung agent cannot stall
 	// the loop past its own cadence.
@@ -168,6 +172,11 @@ func (r *Registrar) beat() {
 	}
 	if r.cfg.Load != nil {
 		reg.Load = r.cfg.Load()
+	}
+	if r.cfg.Digest != nil {
+		reg.Digest = r.cfg.Digest()
+	} else {
+		reg.Digest = CollectDigest()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RPCTimeout)
 	err := r.cfg.Client.Register(ctx, reg)

@@ -2,6 +2,7 @@ package agent
 
 import (
 	"errors"
+	"fmt"
 	"log/slog"
 	"sort"
 	"time"
@@ -16,8 +17,13 @@ import (
 // Wire layout notes: the agent's operations are IDL-style CDR bodies,
 // like the naming service's. A LoadReport travels as seven ULongs and
 // a boolean in declaration order; a Registration as instance string,
-// TTL in microseconds (ULongLong), the LoadReport, then a ULong-
-// counted sequence of (name string, stringified IOR) pairs.
+// TTL in microseconds (ULongLong), the LoadReport, a ULong-counted
+// sequence of (name string, stringified IOR) pairs, then the metrics
+// digest: requests/errors/spmd-leases-expired/spmd-shed (ULongLongs),
+// latency sum (Double), a ULong-counted bucket vector (ULongLongs),
+// and a ULong-counted exemplar sequence of (bucket ULong, value
+// Double, trace id ULongLong, capture time in unix microseconds
+// ULongLong).
 
 func encodeLoad(e *cdr.Encoder, lr LoadReport) {
 	e.PutULong(uint32(lr.AdmissionRunning))
@@ -49,6 +55,83 @@ func decodeLoad(d *cdr.Decoder) (LoadReport, error) {
 	return lr, err
 }
 
+func encodeDigest(e *cdr.Encoder, d MetricsDigest) {
+	e.PutULongLong(d.Requests)
+	e.PutULongLong(d.Errors)
+	e.PutULongLong(d.SPMDLeasesExpired)
+	e.PutULongLong(d.SPMDShed)
+	e.PutDouble(d.LatencySum)
+	e.PutULong(uint32(len(d.Buckets)))
+	for _, c := range d.Buckets {
+		e.PutULongLong(c)
+	}
+	e.PutULong(uint32(len(d.Exemplars)))
+	for _, ex := range d.Exemplars {
+		e.PutULong(uint32(ex.Bucket))
+		e.PutDouble(ex.Value)
+		e.PutULongLong(ex.TraceID)
+		e.PutULongLong(uint64(ex.When.UnixMicro()))
+	}
+}
+
+func decodeDigest(d *cdr.Decoder) (MetricsDigest, error) {
+	var md MetricsDigest
+	var err error
+	for _, f := range []*uint64{&md.Requests, &md.Errors, &md.SPMDLeasesExpired, &md.SPMDShed} {
+		if *f, err = d.ULongLong(); err != nil {
+			return md, err
+		}
+	}
+	if md.LatencySum, err = d.Double(); err != nil {
+		return md, err
+	}
+	n, err := d.ULong()
+	if err != nil {
+		return md, err
+	}
+	// A digest's bucket vector is DefaultLatencyBuckets+Inf or empty;
+	// cap defensively so a corrupt count cannot balloon the alloc.
+	if n > 1024 {
+		return md, fmt.Errorf("%w: digest bucket count %d", ErrProtocol, n)
+	}
+	if n > 0 {
+		md.Buckets = make([]uint64, n)
+		for i := range md.Buckets {
+			if md.Buckets[i], err = d.ULongLong(); err != nil {
+				return md, err
+			}
+		}
+	}
+	ne, err := d.ULong()
+	if err != nil {
+		return md, err
+	}
+	if ne > 1024 {
+		return md, fmt.Errorf("%w: digest exemplar count %d", ErrProtocol, ne)
+	}
+	for i := uint32(0); i < ne; i++ {
+		var ex TailExemplar
+		b, err := d.ULong()
+		if err != nil {
+			return md, err
+		}
+		ex.Bucket = int(b)
+		if ex.Value, err = d.Double(); err != nil {
+			return md, err
+		}
+		if ex.TraceID, err = d.ULongLong(); err != nil {
+			return md, err
+		}
+		micros, err := d.ULongLong()
+		if err != nil {
+			return md, err
+		}
+		ex.When = time.UnixMicro(int64(micros))
+		md.Exemplars = append(md.Exemplars, ex)
+	}
+	return md, nil
+}
+
 func encodeRegistration(e *cdr.Encoder, r Registration) {
 	e.PutString(r.Instance)
 	e.PutULongLong(uint64(r.TTL / time.Microsecond))
@@ -58,6 +141,7 @@ func encodeRegistration(e *cdr.Encoder, r Registration) {
 		e.PutString(nr.Name)
 		e.PutString(nr.Ref.Stringify())
 	}
+	encodeDigest(e, r.Digest)
 }
 
 func decodeRegistration(d *cdr.Decoder) (Registration, error) {
@@ -93,6 +177,9 @@ func decodeRegistration(d *cdr.Decoder) (Registration, error) {
 			return r, err
 		}
 		r.Names = append(r.Names, NameRef{Name: name, Ref: ref})
+	}
+	if r.Digest, err = decodeDigest(d); err != nil {
+		return r, err
 	}
 	return r, nil
 }

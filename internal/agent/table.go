@@ -45,15 +45,26 @@ type Registration struct {
 	Names []NameRef
 	// Load is the instance's point-in-time load signal.
 	Load LoadReport
+	// Digest is the instance's cumulative metrics digest (see
+	// MetricsDigest); a zero digest is valid and simply yields empty
+	// fleet rows.
+	Digest MetricsDigest
 }
 
-// replica is one instance's live registration of one name.
+// replica is one instance's live registration of one name. Alongside
+// the load signal it keeps the two most recent metrics digests so the
+// fleet view can difference them into rates.
 type replica struct {
 	instance string
 	ref      *ior.Ref
 	load     LoadReport
 	lastSeen time.Time
 	deadline time.Time
+
+	digest   MetricsDigest
+	digestAt time.Time
+	prev     MetricsDigest
+	prevAt   time.Time
 }
 
 // ReplicaInfo is an exported snapshot of one replica, for list/debug.
@@ -117,16 +128,25 @@ func (t *Table) Register(r Registration) error {
 			t.names[nr.Name] = reps
 			tableNames.Inc()
 		}
-		if reps[r.Instance] == nil {
+		old := reps[r.Instance]
+		if old == nil {
 			tableReplicas.Inc()
 		}
-		reps[r.Instance] = &replica{
+		rep := &replica{
 			instance: r.Instance,
 			ref:      nr.Ref,
 			load:     r.Load,
 			lastSeen: now,
 			deadline: now.Add(ttl),
+			digest:   r.Digest,
+			digestAt: now,
 		}
+		if old != nil {
+			// Shift the previous digest down so Fleet can difference
+			// consecutive heartbeats into a rate window.
+			rep.prev, rep.prevAt = old.digest, old.digestAt
+		}
+		reps[r.Instance] = rep
 	}
 	// Names the instance stopped carrying (object unexported, drain
 	// of one object) leave immediately rather than aging out.

@@ -326,7 +326,7 @@ const maxForwards = 4
 // endpoints — the CORBA mechanism that lets objects migrate without
 // breaking clients.
 func (c *Client) Invoke(ctx context.Context, endpoint string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
-	return c.invokeEndpoints(ctx, []string{endpoint}, hdr, body)
+	return c.invokeEndpoints(ctx, []string{endpoint}, hdr, body, 0)
 }
 
 // InvokeRef invokes across all of a reference's failover endpoints:
@@ -334,13 +334,27 @@ func (c *Client) Invoke(ctx context.Context, endpoint string, hdr giop.RequestHe
 // safe-to-retry window, skipping endpoints whose circuit breaker is
 // open. For SPMD references only the communicator endpoint is used.
 func (c *Client) InvokeRef(ctx context.Context, ref *ior.Ref, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
-	return c.invokeEndpoints(ctx, ref.FailoverEndpoints(), hdr, body)
+	return c.invokeEndpoints(ctx, ref.FailoverEndpoints(), hdr, body, 0)
+}
+
+// invStats accumulates one logical invocation's attempt path — how
+// many attempts ran, how often it hopped replicas, which endpoint
+// answered (or failed last), and the sampled trace it rode — for the
+// flight recorder and the latency exemplar.
+type invStats struct {
+	attempts  int
+	failovers int
+	endpoint  string
+	traceID   uint64
 }
 
 // invokeEndpoints applies the default deadline, records the
-// invocation's outcome and end-to-end latency, and delegates to the
-// forward-following engine.
-func (c *Client) invokeEndpoints(ctx context.Context, endpoints []string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
+// invocation's outcome and end-to-end latency (with a trace exemplar
+// when sampled), offers the invocation to the flight recorder, and
+// delegates to the forward-following engine. reresolves counts the
+// InvokeNamed re-resolution rounds that preceded this call (0 for
+// direct invokes).
+func (c *Client) invokeEndpoints(ctx context.Context, endpoints []string, hdr giop.RequestHeader, body func(*cdr.Encoder), reresolves int) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
 	if len(endpoints) == 0 {
 		return giop.ReplyHeader{}, 0, nil, fmt.Errorf("%w: no endpoints", ErrUnreachable)
 	}
@@ -351,12 +365,20 @@ func (c *Client) invokeEndpoints(ctx context.Context, endpoints []string, hdr gi
 			defer cancel()
 		}
 	}
+	var deadlineRem time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		deadlineRem = time.Until(dl)
+	}
 	m := c.opMetricsFor(hdr.Operation)
+	st := &invStats{}
 	start := time.Now()
-	rh, order, raw, err := c.invokeForward(ctx, endpoints, hdr, body)
+	rh, order, raw, err := c.invokeForward(ctx, endpoints, hdr, body, st)
+	dur := time.Since(start)
 	m.invokes.Inc()
-	m.latency.ObserveDuration(time.Since(start))
+	m.latency.ObserveDurationExemplar(dur, st.traceID)
+	errStr := ""
 	if err != nil {
+		errStr = err.Error()
 		m.errors.Inc()
 		if errors.Is(err, ErrDeadlineExpired) ||
 			(errors.Is(err, ErrCanceled) && errors.Is(ctx.Err(), context.DeadlineExceeded)) {
@@ -366,15 +388,26 @@ func (c *Client) invokeEndpoints(ctx context.Context, endpoints []string, hdr gi
 			telemetry.Logger().Warn("invoke failed", "op", hdr.Operation, "key", hdr.ObjectKey, "err", err)
 		}
 	}
+	retries := st.attempts - 1
+	if retries < 0 {
+		retries = 0
+	}
+	telemetry.DefaultFlight.Record(telemetry.FlightRecord{
+		Side: "client", Op: hdr.Operation, Key: hdr.ObjectKey,
+		Endpoint: st.endpoint, Start: start, Duration: dur,
+		Error: errStr, TraceID: st.traceID,
+		Attempts: st.attempts, Retries: retries, Failovers: st.failovers,
+		ReResolves: reresolves, DeadlineRemaining: deadlineRem,
+	})
 	return rh, order, raw, err
 }
 
 // invokeForward follows location forwards (bounded, cycle-checked),
 // delegating each hop to the retry/failover engine.
-func (c *Client) invokeForward(ctx context.Context, endpoints []string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
+func (c *Client) invokeForward(ctx context.Context, endpoints []string, hdr giop.RequestHeader, body func(*cdr.Encoder), st *invStats) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
 	seen := map[string]bool{endpoints[0]: true}
 	for hop := 0; ; hop++ {
-		rh, order, raw, err := c.invokeRetry(ctx, endpoints, hdr, body)
+		rh, order, raw, err := c.invokeRetry(ctx, endpoints, hdr, body, st)
 		if err != nil || rh.Status != giop.ReplyLocationForward {
 			return rh, order, raw, err
 		}
@@ -396,7 +429,7 @@ func (c *Client) invokeForward(ctx context.Context, endpoints []string, hdr giop
 
 // invokeRetry runs the retry/backoff/failover loop for one logical
 // request at one location (forward hops restart it).
-func (c *Client) invokeRetry(ctx context.Context, endpoints []string, hdr giop.RequestHeader, body func(*cdr.Encoder)) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
+func (c *Client) invokeRetry(ctx context.Context, endpoints []string, hdr giop.RequestHeader, body func(*cdr.Encoder), st *invStats) (giop.ReplyHeader, cdr.ByteOrder, []byte, error) {
 	pol := c.retry
 	attempts := pol.attempts()
 	rotor := 0
@@ -415,6 +448,7 @@ func (c *Client) invokeRetry(ctx context.Context, endpoints []string, hdr giop.R
 		}
 		ep := c.pickEndpoint(endpoints, rotor)
 		if prevEp != "" && ep != prevEp {
+			st.failovers++
 			telemetry.Default.Counter("pardis_client_failovers_total").Inc()
 			if telemetry.LogEnabled(slog.LevelInfo) {
 				telemetry.Logger().Info("failing over",
@@ -422,6 +456,7 @@ func (c *Client) invokeRetry(ctx context.Context, endpoints []string, hdr giop.R
 			}
 		}
 		prevEp = ep
+		st.attempts, st.endpoint = attempt, ep
 		// Each attempt is its own span: the span's identity rides the
 		// request header onto the wire, so the server's handler span
 		// attaches under this exact attempt (not a sibling retry).
@@ -431,6 +466,9 @@ func (c *Client) invokeRetry(ctx context.Context, endpoints []string, hdr giop.R
 			attemptCtx, span = telemetry.StartSpan(ctx, "client:"+hdr.Operation,
 				telemetry.Attr{Key: "endpoint", Value: ep},
 				telemetry.Attr{Key: "attempt", Value: strconv.Itoa(attempt)})
+			if span != nil {
+				st.traceID = span.TraceID
+			}
 		}
 		attemptStart := time.Now()
 		rh, order, raw, err := c.invokeOnce(attemptCtx, ep, hdr, body)

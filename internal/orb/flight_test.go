@@ -1,0 +1,148 @@
+package orb
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pardis/internal/giop"
+	"pardis/internal/telemetry"
+	"pardis/internal/transport"
+)
+
+// TestFlightRecorderCapturesInvocation drives a sampled echo through a
+// real client/server pair and asserts both sides' flight records and
+// the latency exemplars share the invocation's trace.
+func TestFlightRecorderCapturesInvocation(t *testing.T) {
+	telemetry.DefaultFlight.Reset()
+	defer telemetry.DefaultFlight.Reset()
+	telemetry.SetTraceSampling(1)
+	defer telemetry.SetTraceSampling(0)
+
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	srv := NewServer(reg)
+	srv.Handle("flightobj", func(in *Incoming) {
+		time.Sleep(time.Millisecond)
+		_ = in.Reply(giop.ReplyOK, nil)
+	})
+	ep, err := srv.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewClient(reg)
+	defer cli.Close()
+
+	ctx, span := telemetry.StartSpan(context.Background(), "test-root")
+	if span == nil {
+		t.Fatal("sampling at 1.0 produced no root span")
+	}
+	traceID := span.TraceID
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if _, _, _, err := cli.Invoke(ctx, ep, requestHeader(cli, "flightobj", "fly"), nil); err != nil {
+		t.Fatal(err)
+	}
+	span.End()
+
+	// The server side records its flight entry in a defer that runs
+	// after the reply is already back here, so give it a moment.
+	var clientRec, serverRec bool
+	waitUntil := time.Now().Add(2 * time.Second)
+	for {
+		clientRec, serverRec = false, false
+		for _, rec := range telemetry.DefaultFlight.ByTrace(traceID) {
+			switch rec.Side {
+			case "client":
+				clientRec = true
+				if rec.Op != "fly" || rec.Key != "flightobj" || rec.Endpoint != ep {
+					t.Errorf("client record = %+v", rec)
+				}
+				if rec.Attempts != 1 || rec.Retries != 0 || rec.Failovers != 0 {
+					t.Errorf("client attempt accounting = %+v", rec)
+				}
+				if rec.DeadlineRemaining <= 0 || rec.DeadlineRemaining > 5*time.Second {
+					t.Errorf("client deadline budget = %v", rec.DeadlineRemaining)
+				}
+			case "server":
+				serverRec = true
+				if rec.Error != "" || rec.Duration < time.Millisecond {
+					t.Errorf("server record = %+v", rec)
+				}
+				if rec.DeadlineRemaining <= 0 {
+					t.Errorf("server dispatch budget = %v, want > 0", rec.DeadlineRemaining)
+				}
+			}
+		}
+		if clientRec && serverRec {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			t.Fatalf("missing flight records for trace %016x: client=%v server=%v (snapshot: %+v)",
+				traceID, clientRec, serverRec, telemetry.DefaultFlight.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The invoke/request histograms must carry exemplars pointing at
+	// this same trace.
+	assertExemplar := func(name string) {
+		t.Helper()
+		for _, s := range telemetry.Default.HistogramsByName(name) {
+			for _, ex := range s.Exemplars {
+				if ex.TraceID == traceID {
+					return
+				}
+			}
+		}
+		t.Errorf("no exemplar with trace %016x on %s", traceID, name)
+	}
+	assertExemplar("pardis_client_invoke_seconds")
+	assertExemplar("pardis_server_request_seconds")
+}
+
+// TestFlightRecorderCapturesShed asserts a request shed before
+// dispatch leaves an errored server-side flight record.
+func TestFlightRecorderCapturesShed(t *testing.T) {
+	telemetry.DefaultFlight.Reset()
+	defer telemetry.DefaultFlight.Reset()
+
+	reg := transport.NewRegistry()
+	reg.Register(transport.NewInproc())
+	srv := NewServer(reg)
+	srv.Handle("shedobj", func(in *Incoming) { _ = in.Reply(giop.ReplyOK, nil) })
+	ep, err := srv.Listen("inproc:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewClient(reg)
+	defer cli.Close()
+
+	hdr := requestHeader(cli, "shedobj", "late")
+	hdr.DeadlineMicros = 1 // expires long before the goroutine dispatches
+	_, _, _, _ = cli.Invoke(context.Background(), ep, hdr, nil)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		found := false
+		for _, op := range telemetry.DefaultFlight.Snapshot() {
+			if op.Side != "server" || op.Op != "late" {
+				continue
+			}
+			for _, rec := range op.Errors {
+				if rec.Error == "deadline expired before dispatch" {
+					found = true
+				}
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no shed flight record: %+v", telemetry.DefaultFlight.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -50,7 +50,10 @@ func (c *Client) InvokeNamed(ctx context.Context, src RefSource, name string, hd
 			}
 			return giop.ReplyHeader{}, 0, nil, err
 		}
-		rh, order, raw, err := c.InvokeRef(ctx, ref, hdr, body)
+		// round doubles as the invocation's re-resolve count so the
+		// flight record of the attempt that finally lands shows how
+		// many resolutions it burned getting there.
+		rh, order, raw, err := c.invokeEndpoints(ctx, ref.FailoverEndpoints(), hdr, body, round)
 		if err == nil || !retryable(err) || ctx.Err() != nil {
 			return rh, order, raw, err
 		}

@@ -576,6 +576,13 @@ func (sc *serverConn) handleRequest(minor byte, order cdr.ByteOrder, body []byte
 	serverInflight.Inc()
 	start := time.Now()
 	go func() {
+		// Dispatch accounting for the flight recorder: how long the
+		// request sat in the admission gate, how much deadline budget
+		// was left when the handler finally started, and why it was
+		// shed (when it was). Written in the goroutine body, read only
+		// by its own deferred record below.
+		var queueWait, dispatchRem time.Duration
+		var failure string
 		defer func() {
 			if hdr.ResponseExpected {
 				sc.mu.Lock()
@@ -593,11 +600,23 @@ func (sc *serverConn) handleRequest(minor byte, order cdr.ByteOrder, body []byte
 						"key", hdr.ObjectKey, "op", hdr.Operation, "panic", fmt.Sprint(p))
 				}
 				_ = in.ReplySystemException("UNKNOWN", fmt.Sprintf("servant panic: %v", p))
+				failure = fmt.Sprintf("servant panic: %v", p)
 			}
 			span.End()
 			serverInflight.Dec()
 			km.requests.Inc()
-			km.latency.ObserveDuration(time.Since(start))
+			dur := time.Since(start)
+			var tid uint64
+			if span != nil {
+				tid = span.TraceID
+			}
+			km.latency.ObserveDurationExemplar(dur, tid)
+			telemetry.DefaultFlight.Record(telemetry.FlightRecord{
+				Side: "server", Op: hdr.Operation, Key: hdr.ObjectKey,
+				Endpoint: sc.endpoint, Start: start, Duration: dur,
+				Error: failure, TraceID: tid,
+				QueueWait: queueWait, DeadlineRemaining: dispatchRem,
+			})
 			sc.srv.reqWG.Done()
 		}()
 		// Shed work whose budget is already gone before dispatching the
@@ -605,15 +624,22 @@ func (sc *serverConn) handleRequest(minor byte, order cdr.ByteOrder, body []byte
 		// only tells its ORB to stop too.
 		if !in.Expiry.IsZero() && !time.Now().Before(in.Expiry) {
 			shedExpired.Inc()
+			failure = "deadline expired before dispatch"
 			_ = in.ReplySystemException("TIMEOUT", "request deadline expired before dispatch")
 			return
 		}
 		if sc.srv.adm != nil {
+			admitStart := time.Now()
 			release, ok := sc.srv.admit(in)
+			queueWait = time.Since(admitStart)
 			if !ok {
+				failure = "shed by admission control"
 				return
 			}
 			defer release()
+		}
+		if !in.Expiry.IsZero() {
+			dispatchRem = time.Until(in.Expiry)
 		}
 		h(in)
 	}()

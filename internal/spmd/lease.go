@@ -44,6 +44,13 @@ var (
 // rank-side transfer state here.
 func ActiveLeases() int { return int(leasesActive.Value()) }
 
+// ExpiredLeases reports the cumulative count of client leases this
+// process has reclaimed (the pardis_spmd_leases_expired_total
+// counter) — the slow-moving companion to ActiveLeases that heartbeat
+// metrics digests and /healthz carry so an agent can see a replica
+// shedding abandoned rank state.
+func ExpiredLeases() uint64 { return leasesExpired.Value() }
+
 // leaseClient extracts the lease identity from an invocation id: the
 // client ORB's random prefix (bits 32-55), shared by every invocation
 // and block the same client process sends.

@@ -20,7 +20,12 @@ import (
 //	                 and a human's why
 //	/debug/vars    — the registry as JSON (expvar-style)
 //	/debug/traces  — buffered trace ids; ?id=<hex> dumps one trace
-//	                 (&format=tree for the indented text form)
+//	                 (&format=tree for the indented text form, which
+//	                 also lists the trace's flight-recorder entries)
+//	/debug/slow    — the flight recorder: K slowest + recent errored
+//	                 invocations per op (JSON; ?format=text for a
+//	                 human-readable table); trace ids cross-link to
+//	                 /debug/traces?id=
 //	/debug/pprof/* — the standard runtime profiles
 //
 // reg, rec, healthy and status may be nil: they default to the
@@ -84,6 +89,12 @@ func Handler(reg *Registry, rec *Recorder, healthy func() error, status func() m
 			if r.URL.Query().Get("format") == "tree" {
 				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 				fmt.Fprint(w, FormatTree(spans))
+				if recs := DefaultFlight.ByTrace(tid); len(recs) > 0 {
+					fmt.Fprintf(w, "\nflight records (see /debug/slow):\n")
+					for _, fr := range recs {
+						writeFlightRecordText(w, fr)
+					}
+				}
 				return
 			}
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -96,6 +107,18 @@ func Handler(reg *Registry, rec *Recorder, healthy func() error, status func() m
 		for _, tid := range rec.TraceIDs() {
 			fmt.Fprintf(w, "%016x\n", tid)
 		}
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		snap := DefaultFlight.Snapshot()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteFlightText(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

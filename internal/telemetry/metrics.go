@@ -84,7 +84,31 @@ type Histogram struct {
 	min   float64
 	max   float64
 	count uint64
+
+	exMu sync.Mutex // guards ex; taken only on the sampled-trace path
+	ex   []Exemplar // lazily sized len(edges)+1; [len(edges)] is +Inf
 }
+
+// Exemplar ties one concrete observation to the trace that produced
+// it, so a histogram bucket can point at an explorable trace in
+// /debug/traces. A zero TraceID means "no exemplar recorded".
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID uint64    `json:"-"`
+	Trace   string    `json:"trace_id"` // hex form of TraceID, filled at snapshot
+	When    time.Time `json:"when"`
+}
+
+// exemplarsEnabled is the process-wide exemplar switch (default on).
+// Capture is already gated on a sampled trace being present, so the
+// switch exists for A/B overhead measurement, not normal operation.
+var exemplarsEnabled atomic.Bool
+
+func init() { exemplarsEnabled.Store(true) }
+
+// SetExemplars toggles exemplar capture process-wide and returns the
+// previous setting.
+func SetExemplars(on bool) bool { return exemplarsEnabled.Swap(on) }
 
 func newHistogram(edges []float64) *Histogram {
 	if len(edges) == 0 {
@@ -119,6 +143,30 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration sample in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveExemplar records one sample and, when the observation comes
+// from a sampled trace (traceID != 0) and exemplars are enabled,
+// remembers it as the exemplar for the bucket it lands in. The
+// exemplar path costs one mutex acquisition, but only sampled-trace
+// observations pay it.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 || !exemplarsEnabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.edges, v)
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]Exemplar, len(h.edges)+1)
+	}
+	h.ex[i] = Exemplar{Value: v, TraceID: traceID, When: time.Now()}
+	h.exMu.Unlock()
+}
+
+// ObserveDurationExemplar records a duration sample with an exemplar.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID uint64) {
+	h.ObserveExemplar(d.Seconds(), traceID)
+}
+
 // HistogramSnapshot is a consistent copy of a histogram's state.
 type HistogramSnapshot struct {
 	// Edges are the inclusive bucket upper bounds; Counts[i] samples
@@ -131,6 +179,16 @@ type HistogramSnapshot struct {
 	Sum    float64
 	Min    float64
 	Max    float64
+	// Exemplars holds the per-bucket trace exemplars that were
+	// captured, sparse and ordered by bucket index.
+	Exemplars []BucketExemplar `json:",omitempty"`
+}
+
+// BucketExemplar is an exemplar tagged with the bucket it belongs to;
+// Bucket == len(Edges) denotes the +Inf bucket.
+type BucketExemplar struct {
+	Bucket int `json:"bucket"`
+	Exemplar
 }
 
 // Snapshot captures the histogram. Buckets are read without a global
@@ -148,6 +206,15 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	s.Count, s.Sum, s.Min, s.Max = h.count, h.sum, h.min, h.max
 	h.mu.Unlock()
+	h.exMu.Lock()
+	for i, ex := range h.ex {
+		if ex.TraceID == 0 {
+			continue
+		}
+		ex.Trace = fmt.Sprintf("%016x", ex.TraceID)
+		s.Exemplars = append(s.Exemplars, BucketExemplar{Bucket: i, Exemplar: ex})
+	}
+	h.exMu.Unlock()
 	return s
 }
 
@@ -342,22 +409,85 @@ func (r *Registry) sortedKeys() []string {
 	return keys
 }
 
+// EscapeLabelValue escapes a Prometheus text-format label value:
+// backslash, double quote and newline.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// TextKey renders the exposition key "name{k="v",...}" with label
+// values escaped and pairs sorted — the form WriteText emits. (The
+// registry's interning key keeps values raw; escaping is a render-time
+// concern.)
+func TextKey(name string, labels ...string) string {
+	return textKey(name, labels)
+}
+
+func textKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	pairs := make([]string, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, labels[i]+`="`+EscapeLabelValue(labels[i+1])+`"`)
+	}
+	sort.Strings(pairs)
+	return name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+func kindName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
 // WriteText renders the registry in a Prometheus-style text format:
-// counters and gauges as "name{labels} value", histograms as
-// cumulative "_bucket{le=...}" series plus _sum, _count and estimated
-// quantile gauges.
+// a "# TYPE" line per metric name, counters and gauges as
+// "name{labels} value", histograms as cumulative "_bucket{le=...}"
+// series (with OpenMetrics-style exemplar suffixes on buckets that
+// have one) plus _sum, _count and estimated quantile gauges. Label
+// values are escaped per the text-format rules.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	typed := make(map[string]bool)
 	for _, k := range r.sortedKeys() {
 		m := r.m[k]
+		if !typed[m.name] {
+			typed[m.name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, kindName(m.kind)); err != nil {
+				return err
+			}
+		}
 		switch m.kind {
 		case kindCounter:
-			if _, err := fmt.Fprintf(w, "%s %d\n", k, m.c.Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", textKey(m.name, m.labels), m.c.Value()); err != nil {
 				return err
 			}
 		case kindGauge:
-			if _, err := fmt.Fprintf(w, "%s %d\n", k, m.g.Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", textKey(m.name, m.labels), m.g.Value()); err != nil {
 				return err
 			}
 		case kindHistogram:
@@ -371,37 +501,62 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 // writeHistogramText renders one histogram. Caller holds r.mu.
 func writeHistogramText(w io.Writer, m *metric) error {
-	s := m.h.Snapshot()
+	return WriteHistogramSnapshotText(w, m.name, m.labels, m.h.Snapshot())
+}
+
+// WriteHistogramSnapshotText renders a histogram snapshot in the same
+// exposition format WriteText uses — cumulative _bucket series with
+// exemplar suffixes, _sum, _count and estimated quantile gauges —
+// under the given name and labels. It lets a component re-expose
+// histogram data it did not record itself (the agent's fleet plane
+// re-exposing heartbeat digests).
+func WriteHistogramSnapshotText(w io.Writer, name string, labels []string, s HistogramSnapshot) error {
+	m := &metric{name: name, labels: labels}
+	ex := make(map[int]Exemplar, len(s.Exemplars))
+	for _, be := range s.Exemplars {
+		ex[be.Bucket] = be.Exemplar
+	}
 	cum := uint64(0)
 	for i, c := range s.Counts {
 		cum += c
 		if c == 0 {
 			continue // keep the exposition compact: only occupied edges
 		}
-		if _, err := fmt.Fprintf(w, "%s %d\n",
-			key(m.name+"_bucket", append(labelsCopy(m.labels), "le", formatFloat(s.Edges[i]))), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d%s\n",
+			textKey(m.name+"_bucket", append(labelsCopy(m.labels), "le", formatFloat(s.Edges[i]))),
+			cum, exemplarSuffix(ex[i])); err != nil {
 			return err
 		}
 	}
 	cum += s.Inf
-	if _, err := fmt.Fprintf(w, "%s %d\n",
-		key(m.name+"_bucket", append(labelsCopy(m.labels), "le", "+Inf")), cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %d%s\n",
+		textKey(m.name+"_bucket", append(labelsCopy(m.labels), "le", "+Inf")),
+		cum, exemplarSuffix(ex[len(s.Edges)])); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s %s\n", key(m.name+"_sum", m.labels), formatFloat(s.Sum)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %s\n", textKey(m.name+"_sum", m.labels), formatFloat(s.Sum)); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s %d\n", key(m.name+"_count", m.labels), s.Count); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %d\n", textKey(m.name+"_count", m.labels), s.Count); err != nil {
 		return err
 	}
 	for _, q := range [...]float64{0.5, 0.95, 0.99} {
 		if _, err := fmt.Fprintf(w, "%s %s\n",
-			key(m.name, append(labelsCopy(m.labels), "quantile", formatFloat(q))),
+			textKey(m.name, append(labelsCopy(m.labels), "quantile", formatFloat(q))),
 			formatFloat(s.Quantile(q))); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar tail for a bucket
+// line ("" when the bucket has no exemplar): # {trace_id="…"} value ts.
+func exemplarSuffix(ex Exemplar) string {
+	if ex.TraceID == 0 {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id="%016x"} %s %d`, ex.TraceID, formatFloat(ex.Value), ex.When.Unix())
 }
 
 func labelsCopy(l []string) []string { return append([]string(nil), l...) }

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseTextLine splits one exposition line into the bare metric name,
+// its decoded label map, and the raw value field, reversing the
+// escaping WriteText applies. Exemplar suffixes (" # {...}") are
+// stripped and returned separately.
+func parseTextLine(t *testing.T, line string) (name string, labels map[string]string, value, exemplar string) {
+	t.Helper()
+	if i := strings.Index(line, " # "); i >= 0 {
+		exemplar = line[i+3:]
+		line = line[:i]
+	}
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		t.Fatalf("no value separator in %q", line)
+	}
+	key, value := line[:sp], line[sp+1:]
+	labels = map[string]string{}
+	br := strings.IndexByte(key, '{')
+	if br < 0 {
+		return key, labels, value, exemplar
+	}
+	name = key[:br]
+	body := strings.TrimSuffix(key[br+1:], "}")
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || body[eq+1] != '"' {
+			t.Fatalf("bad label in %q", line)
+		}
+		k := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		labels[k] = val.String()
+		body = strings.TrimPrefix(rest[i+1:], ",")
+	}
+	return name, labels, value, exemplar
+}
+
+// TestWriteTextRoundTrip writes metrics whose label values contain
+// every character the text format must escape, renders the registry,
+// and parses the exposition back to the original values.
+func TestWriteTextRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	nasty := []string{
+		`plain`,
+		`quote"inside`,
+		`back\slash`,
+		"new\nline",
+		`all"three\of` + "\nthem",
+	}
+	for i, v := range nasty {
+		reg.Counter("pardis_rt_total", "val", v).Add(uint64(i + 1))
+	}
+	reg.Gauge("pardis_rt_gauge", "val", nasty[4]).Set(-7)
+	reg.Histogram("pardis_rt_seconds", "val", nasty[1]).Observe(0.003)
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := sb.String()
+
+	got := map[string]string{}
+	var types []string
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			types = append(types, strings.TrimPrefix(line, "# TYPE "))
+			continue
+		}
+		name, labels, value, _ := parseTextLine(t, line)
+		got[name+"|"+labels["val"]+"|"+labels["le"]+"|"+labels["quantile"]] = value
+	}
+
+	for i, v := range nasty {
+		want := fmt.Sprintf("%d", i+1)
+		if got["pardis_rt_total|"+v+"||"] != want {
+			t.Errorf("counter with label %q: got %q, want %q", v, got["pardis_rt_total|"+v+"||"], want)
+		}
+	}
+	if got["pardis_rt_gauge|"+nasty[4]+"||"] != "-7" {
+		t.Errorf("gauge round-trip failed: %q", got["pardis_rt_gauge|"+nasty[4]+"||"])
+	}
+	if got["pardis_rt_seconds_bucket|"+nasty[1]+"|0.005|"] != "1" {
+		t.Errorf("histogram bucket round-trip failed; text:\n%s", text)
+	}
+	if got["pardis_rt_seconds_count|"+nasty[1]+"||"] != "1" {
+		t.Errorf("histogram count round-trip failed")
+	}
+
+	sort.Strings(types)
+	wantTypes := []string{
+		"pardis_rt_gauge gauge",
+		"pardis_rt_seconds histogram",
+		"pardis_rt_total counter",
+	}
+	if len(types) != len(wantTypes) {
+		t.Fatalf("TYPE lines: got %v, want %v", types, wantTypes)
+	}
+	for i := range types {
+		if types[i] != wantTypes[i] {
+			t.Errorf("TYPE line %d: got %q, want %q", i, types[i], wantTypes[i])
+		}
+	}
+}
+
+// TestWriteTextTypeOncePerName checks that a metric name with several
+// label sets gets exactly one # TYPE line.
+func TestWriteTextTypeOncePerName(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pardis_multi_total", "a", "1").Inc()
+	reg.Counter("pardis_multi_total", "a", "2").Inc()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "# TYPE pardis_multi_total counter"); n != 1 {
+		t.Fatalf("want exactly one TYPE line, got %d:\n%s", n, sb.String())
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("pardis_ex_seconds")
+	h.ObserveExemplar(0.0003, 0xabcdef12)   // 250µs < v <= 500µs bucket
+	h.ObserveExemplar(0.0004, 0xdeadbeef)   // same bucket: newest wins
+	h.ObserveExemplar(0.002, 0)             // no trace: observed, no exemplar
+	h.ObserveExemplar(100, 0x1122334455667) // +Inf bucket
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if len(s.Exemplars) != 2 {
+		t.Fatalf("exemplars = %+v, want 2", s.Exemplars)
+	}
+	first := s.Exemplars[0]
+	if first.TraceID != 0xdeadbeef || first.Value != 0.0004 {
+		t.Errorf("bucket exemplar = %+v, want newest (trace deadbeef, 0.0004)", first)
+	}
+	inf := s.Exemplars[1]
+	if inf.Bucket != len(s.Edges) || inf.TraceID != 0x1122334455667 {
+		t.Errorf("+Inf exemplar = %+v", inf)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `# {trace_id="00000000deadbeef"} 0.0004`) {
+		t.Errorf("bucket exemplar missing from exposition:\n%s", text)
+	}
+	if !strings.Contains(text, `le="+Inf"`) {
+		t.Errorf("+Inf bucket missing:\n%s", text)
+	}
+	if !strings.Contains(text, `# {trace_id="0001122334455667"} 100`) {
+		t.Errorf("+Inf exemplar missing from exposition:\n%s", text)
+	}
+}
+
+func TestSetExemplarsDisables(t *testing.T) {
+	prev := SetExemplars(false)
+	defer SetExemplars(prev)
+	h := NewRegistry().Histogram("pardis_exoff_seconds")
+	h.ObserveExemplar(0.001, 42)
+	if s := h.Snapshot(); len(s.Exemplars) != 0 {
+		t.Fatalf("exemplars captured while disabled: %+v", s.Exemplars)
+	}
+	if s := h.Snapshot(); s.Count != 1 {
+		t.Fatalf("observation lost while exemplars disabled")
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":       "plain",
+		`a\b`:         `a\\b`,
+		`a"b`:         `a\"b`,
+		"a\nb":        `a\nb`,
+		"\\\"\n":      `\\\"\n`,
+		"µs — utf-8✓": "µs — utf-8✓",
+	}
+	for in, want := range cases {
+		if got := EscapeLabelValue(in); got != want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExemplarTimestampRecent(t *testing.T) {
+	h := NewRegistry().Histogram("pardis_exwhen_seconds")
+	h.ObserveExemplar(0.001, 7)
+	s := h.Snapshot()
+	if len(s.Exemplars) != 1 {
+		t.Fatal("no exemplar")
+	}
+	if d := time.Since(s.Exemplars[0].When); d < 0 || d > time.Minute {
+		t.Fatalf("exemplar timestamp off: %v", d)
+	}
+}
