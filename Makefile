@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos soak bench bench-quick bench-dataplane bench-overhead bench-snapshot benchdiff lint-telemetry lint-fault fuzz-smoke fmt
+.PHONY: build test verify chaos soak bench bench-quick bench-dataplane bench-peer bench-overhead bench-snapshot benchdiff lint-telemetry lint-fault fuzz-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -99,6 +99,7 @@ bench-quick:
 	$(GO) test -run '^$$' -benchtime 100x -benchmem \
 		-bench 'InvokeEcho|InvokeConcurrent8' ./internal/orb/
 	$(MAKE) bench-dataplane BENCHTIME=10x
+	$(MAKE) bench-peer BENCHTIME=10x
 
 # bench-dataplane measures the SPMD data plane: dsequence
 # redistribution (allocation ledger) and the multi-port in-transfer
@@ -109,6 +110,15 @@ bench-dataplane:
 		-bench 'Redistribute' ./internal/dseq/
 	$(GO) test -run '^$$' -benchtime $(BENCHTIME) -benchmem \
 		-bench 'MultiPortInTransfer' ./internal/spmd/
+
+# bench-peer A/Bs the peer data plane: the one-sided window-put micro
+# against the routed block send at the ORB layer, then the in-transfer
+# sweep run peer-vs-routed over the same server object so the two
+# planes are measured under identical load.
+bench-peer:
+	$(GO) test -run '^$$' -benchtime $(BENCHTIME) -benchmem \
+		-bench 'SendBlock|WindowPut' ./internal/orb/
+	$(GO) run ./cmd/pardis-bench -dataplane -peer -reps 3 -doubles 131072
 
 # bench-overhead gates the observability plane's hot-path cost: an
 # interleaved A/B of the echo workload with exemplars, the flight

@@ -31,6 +31,10 @@ type dataplaneConfig struct {
 	reps          int
 	doubles       int // 0 = sweep the default length grid
 	jsonOut       bool
+	// peerAB runs the length grid twice against the same server
+	// object — peer window plane, then routed fallback (PeerXfer -1 on
+	// the binding) — so one invocation isolates the plane under test.
+	peerAB bool
 }
 
 type dataplanePoint struct {
@@ -44,6 +48,7 @@ type dataplanePoint struct {
 
 type dataplaneResult struct {
 	Date          string           `json:"date"`
+	Plane         string           `json:"plane,omitempty"`
 	ClientThreads int              `json:"client_threads"`
 	ServerThreads int              `json:"server_threads"`
 	XferWindow    int              `json:"xfer_window"`
@@ -68,34 +73,83 @@ func runDataplane(cfg dataplaneConfig) {
 	ref, closeObj := startDataplaneObject(reg, cfg.serverThreads)
 	defer closeObj()
 
-	res := dataplaneResult{
-		Date:          time.Now().UTC().Format("2006-01-02"),
-		ClientThreads: cfg.clientThreads,
-		ServerThreads: cfg.serverThreads,
-		XferWindow:    spmd.DefaultXferWindow,
-		XferChunk:     spmd.DefaultXferChunkBytes,
+	// One pass per plane, all against the same server export. The
+	// default single pass inherits the process-wide knob; -peer adds a
+	// routed pass (PeerXfer -1 on the binding) for the A/B.
+	planes := []struct {
+		name string
+		knob int
+	}{{"", 0}}
+	if cfg.peerAB {
+		planes = []struct {
+			name string
+			knob int
+		}{{"peer", 0}, {"routed", -1}}
 	}
-	for _, length := range lengths {
-		pt, err := dataplaneOnePoint(reg, ref, cfg, length)
-		if err != nil {
-			fatal(err)
+
+	// In A/B mode, warm both planes at the largest length before any
+	// measured pass: the first plane through the process otherwise pays
+	// the heap growth and frame-pool fill for both, skewing the ratio.
+	if cfg.peerAB {
+		warm := cfg
+		warm.reps = 1
+		for _, plane := range planes {
+			if _, err := dataplaneOnePoint(reg, ref, warm, lengths[len(lengths)-1], plane.knob); err != nil {
+				fatal(err)
+			}
 		}
-		res.Points = append(res.Points, pt)
+	}
+
+	var results []dataplaneResult
+	for _, plane := range planes {
+		res := dataplaneResult{
+			Date:          time.Now().UTC().Format("2006-01-02"),
+			Plane:         plane.name,
+			ClientThreads: cfg.clientThreads,
+			ServerThreads: cfg.serverThreads,
+			XferWindow:    spmd.DefaultXferWindow,
+			XferChunk:     spmd.DefaultXferChunkBytes,
+		}
+		for _, length := range lengths {
+			pt, err := dataplaneOnePoint(reg, ref, cfg, length, plane.knob)
+			if err != nil {
+				fatal(err)
+			}
+			res.Points = append(res.Points, pt)
+		}
+		results = append(results, res)
 	}
 
 	if cfg.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
+		var v any = results[0]
+		if len(results) > 1 {
+			v = results
+		}
+		if err := enc.Encode(v); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	fmt.Printf("data plane: n=%d client threads -> m=%d server threads, window=%d chunk=%dB\n",
-		res.ClientThreads, res.ServerThreads, res.XferWindow, res.XferChunk)
-	fmt.Printf("  %10s %12s %12s\n", "doubles", "ms/op", "MB/s")
-	for _, pt := range res.Points {
-		fmt.Printf("  %10d %12.3f %12.1f\n", pt.Doubles, pt.SecPerOp*1e3, pt.MBPerSec)
+	for _, res := range results {
+		label := ""
+		if res.Plane != "" {
+			label = " plane=" + res.Plane
+		}
+		fmt.Printf("data plane%s: n=%d client threads -> m=%d server threads, window=%d chunk=%dB\n",
+			label, res.ClientThreads, res.ServerThreads, res.XferWindow, res.XferChunk)
+		fmt.Printf("  %10s %12s %12s\n", "doubles", "ms/op", "MB/s")
+		for _, pt := range res.Points {
+			fmt.Printf("  %10d %12.3f %12.1f\n", pt.Doubles, pt.SecPerOp*1e3, pt.MBPerSec)
+		}
+	}
+	if len(results) == 2 {
+		fmt.Printf("peer vs routed speedup:\n")
+		for i, pt := range results[0].Points {
+			rt := results[1].Points[i]
+			fmt.Printf("  %10d %11.2fx\n", pt.Doubles, rt.SecPerOp/pt.SecPerOp)
+		}
 	}
 }
 
@@ -157,7 +211,7 @@ func startDataplaneObject(reg *transport.Registry, m int) (*ior.Ref, func()) {
 }
 
 func dataplaneOnePoint(reg *transport.Registry, ref *ior.Ref,
-	cfg dataplaneConfig, length int) (dataplanePoint, error) {
+	cfg dataplaneConfig, length, peerXfer int) (dataplanePoint, error) {
 	var elapsed time.Duration
 	err := mp.Run(cfg.clientThreads, func(proc *mp.Proc) error {
 		th := rts.NewMessagePassing(proc)
@@ -166,6 +220,7 @@ func dataplaneOnePoint(reg *transport.Registry, ref *ior.Ref,
 			Registry:       reg,
 			Method:         spmd.MultiPort,
 			ListenEndpoint: "inproc:*",
+			PeerXfer:       peerXfer,
 		}, ref)
 		if err != nil {
 			return err

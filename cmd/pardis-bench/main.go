@@ -33,10 +33,12 @@
 // -dataplane benchmarks the real SPMD data plane instead: an n-thread
 // client streams a block-distributed dsequence<double> into an
 // m-thread multi-port object and the Figure-4-style bandwidth curve
-// is reported (add -json for machine-readable points; -xfer-window
-// and -xfer-chunk pin the transfer knobs under test):
+// is reported (add -json for machine-readable points; -xfer-window,
+// -xfer-chunk and -peer-xfer pin the transfer knobs under test, and
+// -peer runs a peer-vs-routed A/B over the same server object):
 //
 //	pardis-bench -dataplane -threads 4
+//	pardis-bench -dataplane -peer
 //	pardis-bench -dataplane -xfer-window 1 -xfer-chunk -1 -json
 package main
 
@@ -91,6 +93,8 @@ func main() {
 	serverThreads := flag.Int("threads", 4, "server SPMD threads (m) in -dataplane mode")
 	xferWindow := flag.Int("xfer-window", 0, "concurrent block streams per SPMD transfer (0 = default, min(4, GOMAXPROCS); 1 = serial)")
 	xferChunk := flag.Int("xfer-chunk", 0, "SPMD block chunk size in bytes (0 = default 256KiB, negative = disable chunking)")
+	peerAB := flag.Bool("peer", false, "in -dataplane mode, A/B the peer window plane against the routed fallback over the same server object")
+	peerXfer := flag.Int("peer-xfer", 0, "process-wide default for the SPMD peer data plane (0 = on when both endpoints are capable, negative = routed fallback only)")
 	flag.Parse()
 
 	if *xferWindow != 0 {
@@ -98,6 +102,9 @@ func main() {
 	}
 	if *xferChunk != 0 {
 		spmd.DefaultXferChunkBytes = *xferChunk
+	}
+	if *peerXfer != 0 {
+		spmd.DefaultPeerXfer = *peerXfer > 0
 	}
 
 	if *overhead {
@@ -121,6 +128,7 @@ func main() {
 			reps:          *reps,
 			doubles:       pick(*doubles, 1024, 0),
 			jsonOut:       *jsonOut,
+			peerAB:        *peerAB,
 		})
 		return
 	}

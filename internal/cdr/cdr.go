@@ -222,6 +222,50 @@ func (e *Encoder) PutDoubleSeq(v []float64) {
 	}
 }
 
+// PutDoubles appends raw element data for len(v) doubles — 8-aligned,
+// no count prefix — the payload form of a window put, whose element
+// count travels in the message header instead of the body.
+func (e *Encoder) PutDoubles(v []float64) {
+	if len(v) == 0 {
+		return
+	}
+	e.align(8)
+	b := e.grow(len(v) * 8)
+	switch e.order {
+	case NativeOrder:
+		copy(b, f64Bytes(v))
+	case BigEndian:
+		for i, x := range v {
+			binary.BigEndian.PutUint64(b[i*8:], math.Float64bits(x))
+		}
+	default:
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(x))
+		}
+	}
+}
+
+// DecodeDoubles fills dst from exactly len(dst)*8 bytes of raw element
+// data in the given order (the payload form written by PutDoubles). A
+// same-endianness stream moves as one memcpy.
+func DecodeDoubles(dst []float64, b []byte, order ByteOrder) {
+	if len(dst) == 0 {
+		return
+	}
+	switch order {
+	case NativeOrder:
+		copy(f64Bytes(dst), b)
+	case BigEndian:
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.BigEndian.Uint64(b[i*8:]))
+		}
+	default:
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+	}
+}
+
 // PutLongSeq appends a sequence<long> through the bulk ulong path.
 func (e *Encoder) PutLongSeq(v []int32) {
 	if len(v) == 0 {

@@ -25,6 +25,18 @@ func f64Bytes(v []float64) []byte {
 	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
 }
 
+// Float64Bytes reinterprets v's storage as its backing bytes, for
+// callers that move native-order element data without an intermediate
+// buffer (the window-put data plane reads payloads straight off the
+// wire into the destination slice). The returned slice aliases v; it
+// must not outlive it. Returns nil for an empty slice.
+func Float64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return f64Bytes(v)
+}
+
 // u32Bytes reinterprets v's storage as bytes. v must be non-empty.
 func u32Bytes(v []uint32) []byte {
 	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)

@@ -142,29 +142,39 @@ type Seq[T any] struct {
 	sendDone chan error
 }
 
-// redistPlan memoizes one dist.Plan result keyed by its layout pair.
+// redistPlan memoizes one dist.Plan result keyed by its layout pair,
+// along with the put-count vector the one-sided window path needs
+// (expect[src] = transfers src directs at this rank, self excluded).
 type redistPlan struct {
 	src, dst dist.Layout
 	plan     []dist.Transfer
+	expect   []int
 	ok       bool
 }
 
-// planFor returns the (read-only) transfer plan from s.layout to dst,
-// serving repeat layout pairs from a two-entry memo — enough to make
-// an alternating redistribution loop plan-allocation-free.
-func (s *Seq[T]) planFor(dst dist.Layout) ([]dist.Transfer, error) {
+// planFor returns the (read-only) transfer plan from s.layout to dst
+// and the rank's expected-put vector, serving repeat layout pairs from
+// a two-entry memo — enough to make an alternating redistribution loop
+// plan-allocation-free.
+func (s *Seq[T]) planFor(dst dist.Layout) ([]dist.Transfer, []int, error) {
 	for _, p := range s.plans {
 		if p.ok && p.src.Equal(s.layout) && p.dst.Equal(dst) {
-			return p.plan, nil
+			return p.plan, p.expect, nil
 		}
 	}
 	plan, err := dist.Plan(s.layout, dst)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	s.plans[s.nextPlan] = redistPlan{src: s.layout, dst: dst, plan: plan, ok: true}
+	expect := make([]int, s.layout.P())
+	for _, tr := range plan {
+		if tr.To == s.rank && tr.From != s.rank {
+			expect[tr.From]++
+		}
+	}
+	s.plans[s.nextPlan] = redistPlan{src: s.layout, dst: dst, plan: plan, expect: expect, ok: true}
 	s.nextPlan = (s.nextPlan + 1) % len(s.plans)
-	return plan, nil
+	return plan, expect, nil
 }
 
 // New allocates a distributed sequence of the given global length,
@@ -328,7 +338,7 @@ func (s *Seq[T]) Redistribute(th rts.Thread, newLayout dist.Layout) error {
 		return fmt.Errorf("%w: redistribute to %d threads, have %d",
 			ErrMismatch, newLayout.P(), s.layout.P())
 	}
-	plan, err := s.planFor(newLayout)
+	plan, expect, err := s.planFor(newLayout)
 	if err != nil {
 		return err
 	}
@@ -344,6 +354,21 @@ func (s *Seq[T]) Redistribute(th rts.Thread, newLayout dist.Layout) error {
 		fresh = make([]T, need)
 	}
 	rank := th.Rank()
+
+	// One-sided fast path for double sequences: expose the destination
+	// block as a put window and land every transfer directly — no
+	// encode, no payload copy, no send goroutine; the fence subsumes
+	// the closing barrier.
+	if src, isF64 := any(s.local).([]float64); isF64 {
+		if wt, ok := rts.AsWindowThread(th); ok {
+			dst := any(fresh).([]float64)
+			if err := redistributeWindow(wt, plan, expect, rank, src, dst); err != nil {
+				return err
+			}
+			s.commit(newLayout, fresh)
+			return nil
+		}
+	}
 
 	// Local intersection first: a straight copy, no encoding.
 	for _, tr := range plan {
@@ -413,10 +438,16 @@ func (s *Seq[T]) Redistribute(th rts.Thread, newLayout dist.Layout) error {
 	if err := th.Barrier(); err != nil {
 		return err
 	}
+	s.commit(newLayout, fresh)
+	return nil
+}
+
+// commit installs the redistributed block: the displaced local slice
+// becomes the next call's scratch — but only when this sequence owned
+// it; a borrowed block still belongs to the caller and must not be
+// written through later.
+func (s *Seq[T]) commit(newLayout dist.Layout, fresh []T) {
 	s.layout = newLayout
-	// Keep the displaced block as scratch for the next call — but only
-	// when this sequence owned it; a borrowed block still belongs to
-	// the caller and must not be written through later.
 	if s.owned == Owner {
 		s.scratch = s.local
 	} else {
@@ -424,7 +455,27 @@ func (s *Seq[T]) Redistribute(th rts.Thread, newLayout dist.Layout) error {
 	}
 	s.local = fresh
 	s.owned = Owner
-	return nil
+}
+
+// redistributeWindow executes a transfer plan over the RTS one-sided
+// window primitive: dst is exposed for one put epoch, every source
+// block this rank owns is put straight at its destination offset
+// (self-puts copy locally), and the fence completes the epoch — each
+// block moves with at most one copy end to end and zero encodes.
+func redistributeWindow(wt rts.WindowThread, plan []dist.Transfer, expect []int, rank int, src, dst []float64) error {
+	w, err := wt.ExposeWindow(dst, expect)
+	if err != nil {
+		return err
+	}
+	for _, tr := range plan {
+		if tr.From != rank {
+			continue
+		}
+		if err := w.Put(tr.To, tr.DstOff, src[tr.SrcOff:tr.SrcOff+tr.Count]); err != nil {
+			return err
+		}
+	}
+	return w.Fence()
 }
 
 // Doubles is the dsequence<double> of the paper: a Seq[float64] with

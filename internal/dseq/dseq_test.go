@@ -377,3 +377,60 @@ func randomLayout(r *rand.Rand, length, p int) dist.Layout {
 	}
 	return s.MustApply(length, p)
 }
+
+// noWindow hides a thread's WindowThread capability, pinning
+// Redistribute onto the tagged-send fallback path.
+type noWindow struct{ rts.Thread }
+
+// TestRedistributeWindowMatchesFallback redistributes the same
+// sequence twice on the same threads — once with the one-sided window
+// fast path, once with the capability hidden so the tagged-send
+// fallback runs — and requires element-identical results. This is the
+// equivalence bound that lets the window path replace the fallback
+// without a semantic flag day.
+func TestRedistributeWindowMatchesFallback(t *testing.T) {
+	ex, err := dist.Explicit(9, 2, 7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSPMD(t, 4, func(th rts.Thread) error {
+		if _, ok := rts.AsWindowThread(th); !ok {
+			return fmt.Errorf("%T lost its window capability", th)
+		}
+		mk := func() (*Doubles, error) {
+			s, err := NewDoubles(24, dist.Block(), 4, th.Rank())
+			if err != nil {
+				return nil, err
+			}
+			for i := range s.LocalData() {
+				s.LocalData()[i] = float64(s.Lo()+i) * 1.5
+			}
+			return s, nil
+		}
+		win, err := mk()
+		if err != nil {
+			return err
+		}
+		fb, err := mk()
+		if err != nil {
+			return err
+		}
+		if err := win.Redistribute(th, ex.MustApply(24, 4)); err != nil {
+			return err
+		}
+		if err := fb.Redistribute(noWindow{th}, ex.MustApply(24, 4)); err != nil {
+			return err
+		}
+		if win.LocalLen() != fb.LocalLen() {
+			return fmt.Errorf("rank %d: window path %d elements, fallback %d",
+				th.Rank(), win.LocalLen(), fb.LocalLen())
+		}
+		for i := range win.LocalData() {
+			if win.LocalData()[i] != fb.LocalData()[i] {
+				return fmt.Errorf("rank %d: element %d differs: window %v, fallback %v",
+					th.Rank(), i, win.LocalData()[i], fb.LocalData()[i])
+			}
+		}
+		return nil
+	})
+}

@@ -49,10 +49,12 @@ var (
 )
 
 // writeScratch is the per-write header and gather vector, pooled so a
-// message write allocates nothing.
+// message write allocates nothing. The vector has room for a third
+// segment so WriteMessageTail can gather header, body head and a raw
+// payload tail in one writev.
 type writeScratch struct {
 	hdr  [HeaderLen]byte
-	vec  [2][]byte
+	vec  [3][]byte
 	bufs net.Buffers // aliases vec for the duration of one write
 }
 
@@ -173,6 +175,8 @@ const DefaultReadBufSize = 64 << 10
 type FrameReader struct {
 	br  *bufio.Reader
 	hdr [HeaderLen]byte
+	// wp is the window-put preamble scratch for ReadWindowPut.
+	wp [WindowPutPayloadBase]byte
 }
 
 // NewFrameReader returns a FrameReader over r.
@@ -187,22 +191,53 @@ func (fr *FrameReader) ReadFrame() (Frame, error) {
 	return readFrame(fr.br, &fr.hdr, true)
 }
 
-// readFrame reads one frame using the caller's header scratch. pooled
-// enables drawing control-frame bodies from the body pool.
-func readFrame(r io.Reader, hdr *[HeaderLen]byte, pooled bool) (Frame, error) {
+// FrameHeader is the validated fixed header of one PIOP message. After
+// ReadFrameHeader the BodyLen body bytes remain unread on the stream;
+// the caller must consume exactly that many — via ReadFrameBody, or
+// for MsgWindowPut via ReadWindowPut plus a payload read — before the
+// next header read.
+type FrameHeader struct {
+	Type    MsgType
+	Order   cdr.ByteOrder
+	Minor   byte
+	BodyLen uint32
+}
+
+// ReadFrameHeader reads and validates just the 12-octet message
+// header, leaving the body on the stream. Read loops that land
+// window-put payloads directly into registered destination slices use
+// this split form; everyone else should stay on ReadFrame.
+func (fr *FrameReader) ReadFrameHeader() (FrameHeader, error) {
+	return readFrameHeader(fr.br, &fr.hdr)
+}
+
+// ReadFrameBody completes a ReadFrameHeader into a Frame, with the
+// same body pooling rules as ReadFrame.
+func (fr *FrameReader) ReadFrameBody(h FrameHeader) (Frame, error) {
+	return readFrameBody(fr.br, h, true)
+}
+
+// readFrameHeader reads and validates one message header using the
+// caller's scratch.
+func readFrameHeader(r io.Reader, hdr *[HeaderLen]byte) (FrameHeader, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Frame{}, err
+		return FrameHeader{}, err
 	}
 	if [MagicLen]byte(hdr[:MagicLen]) != magic {
-		return Frame{}, fmt.Errorf("%w: % x", ErrBadMagic, hdr[:MagicLen])
+		return FrameHeader{}, fmt.Errorf("%w: % x", ErrBadMagic, hdr[:MagicLen])
 	}
 	if hdr[4] != VersionMajor || hdr[5] > VersionMinor {
-		return Frame{}, fmt.Errorf("%w: %d.%d", ErrBadVersion, hdr[4], hdr[5])
+		return FrameHeader{}, fmt.Errorf("%w: %d.%d", ErrBadVersion, hdr[4], hdr[5])
 	}
 	order := cdr.ByteOrder(hdr[6] & 1)
 	t := MsgType(hdr[7])
 	if t >= msgTypeCount {
-		return Frame{}, fmt.Errorf("%w: %d", ErrBadType, hdr[7])
+		return FrameHeader{}, fmt.Errorf("%w: %d", ErrBadType, hdr[7])
+	}
+	if t == MsgWindowPut && hdr[5] == 0 {
+		// Window puts joined the protocol in 1.1; a 1.0 frame carrying
+		// one is stream corruption, not an old peer.
+		return FrameHeader{}, fmt.Errorf("%w: WindowPut in a 1.0 frame", ErrBadType)
 	}
 	var n uint32
 	if order == cdr.BigEndian {
@@ -211,13 +246,20 @@ func readFrame(r io.Reader, hdr *[HeaderLen]byte, pooled bool) (Frame, error) {
 		n = uint32(hdr[11])<<24 | uint32(hdr[10])<<16 | uint32(hdr[9])<<8 | uint32(hdr[8])
 	}
 	if n > MaxBodyLen {
-		return Frame{}, fmt.Errorf("%w: %d bytes", ErrTooLong, n)
+		return FrameHeader{}, fmt.Errorf("%w: %d bytes", ErrTooLong, n)
 	}
-	f := Frame{Type: t, Order: order, Minor: hdr[5]}
+	return FrameHeader{Type: t, Order: order, Minor: hdr[5], BodyLen: n}, nil
+}
+
+// readFrameBody reads the body announced by h. pooled enables drawing
+// control-frame bodies from the body pool.
+func readFrameBody(r io.Reader, h FrameHeader, pooled bool) (Frame, error) {
+	f := Frame{Type: h.Type, Order: h.Order, Minor: h.Minor}
+	n := h.BodyLen
 	if n == 0 {
 		return f, nil
 	}
-	if pooled && n <= pooledBodyMax && releasableType(t) {
+	if pooled && n <= pooledBodyMax && releasableType(h.Type) {
 		bodyPoolGets.Inc()
 		pb := bodyPool.Get().(*pooledBody)
 		pb.released.Store(false)
@@ -231,4 +273,92 @@ func readFrame(r io.Reader, hdr *[HeaderLen]byte, pooled bool) (Frame, error) {
 		return Frame{}, err
 	}
 	return f, nil
+}
+
+// readFrame reads one frame using the caller's header scratch. pooled
+// enables drawing control-frame bodies from the body pool.
+func readFrame(r io.Reader, hdr *[HeaderLen]byte, pooled bool) (Frame, error) {
+	h, err := readFrameHeader(r, hdr)
+	if err != nil {
+		return Frame{}, err
+	}
+	return readFrameBody(r, h, pooled)
+}
+
+// ReadWindowPut reads the fixed window-put preamble (header plus its
+// alignment padding) of a MsgWindowPut frame whose message header h
+// was just read, validating that the announced body length matches the
+// put's element count exactly. The Count*8 payload bytes remain on the
+// stream for ReadWindowPayload, ReadPayloadBytes or DiscardPayload.
+func (fr *FrameReader) ReadWindowPut(h FrameHeader) (WindowPutHeader, error) {
+	if h.BodyLen < WindowPutPayloadBase {
+		return WindowPutHeader{}, fmt.Errorf("%w: window put body %d bytes", ErrBlockRange, h.BodyLen)
+	}
+	if _, err := io.ReadFull(fr.br, fr.wp[:]); err != nil {
+		return WindowPutHeader{}, err
+	}
+	wh, err := DecodeWindowPutHeader(cdr.NewDecoder(h.Order, fr.wp[:windowPutHeaderLen]))
+	if err != nil {
+		return WindowPutHeader{}, err
+	}
+	if uint64(h.BodyLen) != WindowPutPayloadBase+8*uint64(wh.Count) {
+		return WindowPutHeader{}, fmt.Errorf("%w: window put of %d elements in a %d-byte body",
+			ErrBlockRange, wh.Count, h.BodyLen)
+	}
+	return wh, nil
+}
+
+// swapPool holds scratch for landing cross-endianness window payloads
+// in bounded chunks; the same-order path needs none.
+var swapPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+// ReadWindowPayload lands a window put's element payload directly off
+// the read buffer into dst, which must have exactly the put's Count
+// elements. Same-endianness payloads move wire → destination slice
+// with no intermediate buffer; cross-endianness payloads swap through
+// a pooled scratch.
+func (fr *FrameReader) ReadWindowPayload(order cdr.ByteOrder, dst []float64) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	if order == cdr.NativeOrder {
+		_, err := io.ReadFull(fr.br, cdr.Float64Bytes(dst))
+		return err
+	}
+	bp := swapPool.Get().(*[]byte)
+	b := *bp
+	for len(dst) > 0 {
+		n := len(b) / 8
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if _, err := io.ReadFull(fr.br, b[:n*8]); err != nil {
+			swapPool.Put(bp)
+			return err
+		}
+		cdr.DecodeDoubles(dst[:n], b[:n*8], order)
+		dst = dst[n:]
+	}
+	swapPool.Put(bp)
+	return nil
+}
+
+// ReadPayloadBytes reads n remaining body bytes into a fresh slice —
+// the buffered path for a window put that raced its registration.
+func (fr *FrameReader) ReadPayloadBytes(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := io.ReadFull(fr.br, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// DiscardPayload consumes and drops n remaining body bytes, keeping
+// the stream framed after a put that cannot be landed or buffered.
+func (fr *FrameReader) DiscardPayload(n int) error {
+	_, err := fr.br.Discard(n)
+	return err
 }

@@ -58,6 +58,11 @@ const (
 	MsgCloseConnection
 	MsgError
 	MsgBlockTransfer
+	// MsgWindowPut is a one-sided block delivery into a pre-registered
+	// destination window. Added in PIOP 1.1; 1.0 frames carrying it are
+	// rejected, and senders only emit it to peers that advertised the
+	// capability (see WindowPutHeader).
+	MsgWindowPut
 	msgTypeCount
 )
 
@@ -79,6 +84,8 @@ func (t MsgType) String() string {
 		return "MessageError"
 	case MsgBlockTransfer:
 		return "BlockTransfer"
+	case MsgWindowPut:
+		return "WindowPut"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
@@ -115,7 +122,7 @@ func WriteMessage(w io.Writer, order cdr.ByteOrder, t MsgType, body []byte) erro
 		// address (WriteTo/WriteBuffers consume the slice in place)
 		// does not force a per-call allocation.
 		s.vec[0], s.vec[1] = s.hdr[:], body
-		s.bufs = net.Buffers(s.vec[:])
+		s.bufs = net.Buffers(s.vec[:2])
 		if bw, ok := w.(BuffersWriter); ok {
 			_, err = bw.WriteBuffers(&s.bufs)
 		} else {
@@ -124,6 +131,39 @@ func WriteMessage(w io.Writer, order cdr.ByteOrder, t MsgType, body []byte) erro
 		s.vec[0], s.vec[1] = nil, nil
 		s.bufs = nil
 	}
+	writePool.Put(s)
+	return err
+}
+
+// WriteMessageTail frames head followed by tail as one message body,
+// gather-writing all three segments (header, head, tail) in a single
+// writev. The tail — typically raw element data aliasing application
+// memory on the window-put send path — is never copied into a frame
+// buffer; the caller guarantees it stays unmodified for the duration
+// of the write.
+func WriteMessageTail(w io.Writer, order cdr.ByteOrder, t MsgType, head, tail []byte) error {
+	if len(tail) == 0 {
+		return WriteMessage(w, order, t, head)
+	}
+	if t >= msgTypeCount {
+		return fmt.Errorf("%w: %d", ErrBadType, t)
+	}
+	n := len(head) + len(tail)
+	if n > MaxBodyLen {
+		return fmt.Errorf("%w: %d bytes", ErrTooLong, n)
+	}
+	s := writePool.Get().(*writeScratch)
+	putHeader(&s.hdr, order, t, uint32(n))
+	s.vec[0], s.vec[1], s.vec[2] = s.hdr[:], head, tail
+	s.bufs = net.Buffers(s.vec[:3])
+	var err error
+	if bw, ok := w.(BuffersWriter); ok {
+		_, err = bw.WriteBuffers(&s.bufs)
+	} else {
+		_, err = s.bufs.WriteTo(w)
+	}
+	s.vec[0], s.vec[1], s.vec[2] = nil, nil, nil
+	s.bufs = nil
 	writePool.Put(s)
 	return err
 }
@@ -469,6 +509,72 @@ func DecodeBlockTransferHeader(d *cdr.Decoder) (BlockTransferHeader, error) {
 		return h, err
 	}
 	if h.ToThread, err = d.Long(); err != nil {
+		return h, err
+	}
+	if h.DstOff, err = d.ULong(); err != nil {
+		return h, err
+	}
+	if h.Count, err = d.ULong(); err != nil {
+		return h, err
+	}
+	h.Last, err = d.Boolean()
+	return h, err
+}
+
+// WindowPutHeader precedes the raw element payload of a MsgWindowPut
+// frame: a one-sided delivery into a destination window the receiver
+// registered before advertising the window ID. Unlike a routed
+// BlockTransfer, the payload carries no CDR sequence framing — the
+// element count is here, so a receiver that has the window registered
+// can land the bytes straight off its read buffer into
+// dst[DstOff:DstOff+Count] without allocating a body.
+type WindowPutHeader struct {
+	// WindowID names the pre-registered destination window. The SPMD
+	// data plane uses the block-sink key space (invocation<<8|argIndex)
+	// so a window and its routed fallback address the same transfer.
+	WindowID uint64
+	// FromThread is the sending SPMD rank, for diagnostics and
+	// partial-failure attribution.
+	FromThread int32
+	// DstOff is the destination element offset; Count the element
+	// count. The body length must equal WindowPutPayloadBase+8*Count.
+	DstOff uint32
+	Count  uint32
+	// Last marks the final put this sender contributes to the window.
+	Last bool
+}
+
+// windowPutHeaderLen is the encoded header length (8+4+4+4+1); the
+// payload starts at the next 8-byte boundary.
+const windowPutHeaderLen = 21
+
+// WindowPutPayloadBase is the fixed body offset of the raw element
+// payload in a MsgWindowPut frame: the 21 header octets padded to
+// 8-byte alignment so the elements land aligned on both ends.
+const WindowPutPayloadBase = 24
+
+// Encode appends the header to an encoder, padded to
+// WindowPutPayloadBase so the element payload can follow directly.
+func (h *WindowPutHeader) Encode(e *cdr.Encoder) {
+	e.PutULongLong(h.WindowID)
+	e.PutLong(h.FromThread)
+	e.PutULong(h.DstOff)
+	e.PutULong(h.Count)
+	e.PutBoolean(h.Last)
+	for i := windowPutHeaderLen; i < WindowPutPayloadBase; i++ {
+		e.PutOctet(0)
+	}
+}
+
+// DecodeWindowPutHeader reads a WindowPutHeader (the padding up to
+// WindowPutPayloadBase is not consumed).
+func DecodeWindowPutHeader(d *cdr.Decoder) (WindowPutHeader, error) {
+	var h WindowPutHeader
+	var err error
+	if h.WindowID, err = d.ULongLong(); err != nil {
+		return h, err
+	}
+	if h.FromThread, err = d.Long(); err != nil {
 		return h, err
 	}
 	if h.DstOff, err = d.ULong(); err != nil {

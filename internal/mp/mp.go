@@ -42,6 +42,7 @@ const (
 	tagScatter
 	tagReduce
 	tagAllgather
+	tagPut
 )
 
 // SendMode selects the point-to-point send protocol.
@@ -77,7 +78,10 @@ type message struct {
 	src, tag int
 	b        []byte
 	f        []float64
-	done     chan struct{} // non-nil for rendezvous sends
+	// off is the destination element offset of a window put (tagPut
+	// messages only).
+	off  int
+	done chan struct{} // non-nil for rendezvous sends
 	// consumedFlag records that a rendezvous message was matched
 	// rather than aborted; written under the mailbox lock before done
 	// is closed, read by the sender only after done is closed.
@@ -289,6 +293,88 @@ func (p *Proc) sendF64Tagged(dst, tag int, data []float64, user bool) error {
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	return p.send(dst, &message{src: p.rank, tag: tag, f: cp})
+}
+
+// SendOwned delivers a byte payload without the defensive copy Send
+// pays: ownership of data transfers to the runtime and then to the
+// receiver, so the caller must not read or write the slice after the
+// call returns. It is the ownership-transferring mode for senders that
+// build a fresh buffer per message anyway — the copy Send would add is
+// pure waste there.
+func (p *Proc) SendOwned(dst, tag int, data []byte) error {
+	if err := p.checkDst(dst, tag, true); err != nil {
+		return err
+	}
+	return p.send(dst, &message{src: p.rank, tag: tag, b: data})
+}
+
+// SendF64Owned is SendOwned for float64 payloads.
+func (p *Proc) SendF64Owned(dst, tag int, data []float64) error {
+	if err := p.checkDst(dst, tag, true); err != nil {
+		return err
+	}
+	return p.send(dst, &message{src: p.rank, tag: tag, f: data})
+}
+
+// PutF64 deposits data into rank dst's put queue together with a
+// destination element offset — the tagged-send fallback of the
+// one-sided window primitive. data is aliased, never copied: the
+// window discipline (no writer touches the source block between the
+// put and the closing FenceF64) is what makes that safe. Puts are
+// always buffered regardless of the world's send mode, because a
+// one-sided put does not synchronize with its target.
+func (p *Proc) PutF64(dst, off int, data []float64) error {
+	if err := p.checkDst(dst, 0, false); err != nil {
+		return err
+	}
+	if off < 0 {
+		return fmt.Errorf("mp: negative put offset %d", off)
+	}
+	box := p.w.boxes[dst]
+	box.mu.Lock()
+	if box.closed {
+		box.mu.Unlock()
+		return ErrClosed
+	}
+	box.msgs = append(box.msgs, &message{src: p.rank, tag: tagPut, f: data, off: off})
+	box.cond.Broadcast()
+	box.mu.Unlock()
+	return nil
+}
+
+// FenceF64 completes a put epoch: it drains the expected puts from
+// every other rank, landing each into window[off:off+len] with bounds
+// checking, then barriers — so when FenceF64 returns on every rank,
+// every put of the epoch has landed and a new epoch may begin.
+// expectFrom[src] is the number of puts rank src directed here;
+// expectFrom[p.Rank()] is ignored (self-puts are local copies above
+// this layer). The closing barrier is what keeps epochs from mixing:
+// no rank can start the next epoch's puts until every rank has drained
+// this one.
+func (p *Proc) FenceF64(window []float64, expectFrom []int) error {
+	if len(expectFrom) != p.w.size {
+		return fmt.Errorf("mp: FenceF64 expectFrom has %d entries for %d ranks",
+			len(expectFrom), p.w.size)
+	}
+	remaining := 0
+	for src, n := range expectFrom {
+		if src != p.rank {
+			remaining += n
+		}
+	}
+	for ; remaining > 0; remaining-- {
+		m, err := p.recvMatch(AnySource, tagPut)
+		if err != nil {
+			return err
+		}
+		end := m.off + len(m.f)
+		if end > len(window) {
+			return fmt.Errorf("mp: put [%d,%d) from rank %d exceeds window of %d elements",
+				m.off, end, m.src, len(window))
+		}
+		copy(window[m.off:end], m.f)
+	}
+	return p.Barrier()
 }
 
 // recvMatch blocks until a message matching (src, tag) is available in

@@ -602,3 +602,143 @@ func TestTryRecvUnblocksRendezvousSender(t *testing.T) {
 		t.Fatal("rendezvous sender not released by TryRecv")
 	}
 }
+
+// TestSendOwnedTransfersOwnership pins the ownership contract that
+// separates SendOwned from Send: the receiver gets the sender's backing
+// array, not a copy. The receiver writes through the received slice,
+// and after a barrier (which orders the write before the read) the
+// sender observes the write through its original slice. The same
+// experiment through Send must leave the original untouched. Run under
+// -race, this also proves the handoff itself is properly synchronized.
+func TestSendOwnedTransfersOwnership(t *testing.T) {
+	for _, owned := range []bool{true, false} {
+		payload := make([]byte, 3)
+		err := Run(2, func(p *Proc) error {
+			if p.Rank() == 0 {
+				copy(payload, []byte{1, 2, 3})
+				var err error
+				if owned {
+					err = p.SendOwned(1, 0, payload)
+				} else {
+					err = p.Send(1, 0, payload)
+				}
+				if err != nil {
+					return err
+				}
+				if err := p.Barrier(); err != nil {
+					return err
+				}
+				if owned && payload[0] != 99 {
+					return fmt.Errorf("SendOwned copied: receiver write not visible, got %v", payload)
+				}
+				if !owned && payload[0] != 1 {
+					return fmt.Errorf("Send aliased: receiver write visible, got %v", payload)
+				}
+				return nil
+			}
+			b, _, err := p.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			b[0] = 99
+			return p.Barrier()
+		})
+		if err != nil {
+			t.Fatalf("owned=%v: %v", owned, err)
+		}
+	}
+}
+
+func TestSendF64OwnedDelivers(t *testing.T) {
+	err := Run(2, func(p *Proc) error {
+		if p.Rank() == 0 {
+			return p.SendF64Owned(1, 5, []float64{2.5, -1, 8})
+		}
+		f, st, err := p.RecvF64(0, 5)
+		if err != nil {
+			return err
+		}
+		if st.Source != 0 || st.Tag != 5 || len(f) != 3 || f[0] != 2.5 || f[2] != 8 {
+			return fmt.Errorf("got %v %+v", f, st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutFenceLandsAtOffsets drives the one-sided fallback primitive
+// directly: every rank puts its block into every other rank's window
+// at a rank-derived offset, and after FenceF64 each window holds the
+// full assembled vector.
+func TestPutFenceLandsAtOffsets(t *testing.T) {
+	const ranks, blk = 4, 8
+	err := Run(ranks, func(p *Proc) error {
+		window := make([]float64, ranks*blk)
+		local := make([]float64, blk)
+		for i := range local {
+			local[i] = float64(p.Rank()*blk + i)
+		}
+		for dst := 0; dst < ranks; dst++ {
+			if dst == p.Rank() {
+				copy(window[p.Rank()*blk:], local)
+				continue
+			}
+			if err := p.PutF64(dst, p.Rank()*blk, local); err != nil {
+				return err
+			}
+		}
+		expect := make([]int, ranks)
+		for i := range expect {
+			expect[i] = 1
+		}
+		if err := p.FenceF64(window, expect); err != nil {
+			return err
+		}
+		for i := range window {
+			if window[i] != float64(i) {
+				return fmt.Errorf("rank %d: window[%d] = %v", p.Rank(), i, window[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFencePutBoundsChecked(t *testing.T) {
+	err := Run(2, func(p *Proc) error {
+		if p.Rank() == 0 {
+			// Lands beyond rank 1's 4-element window.
+			return p.PutF64(1, 2, []float64{1, 2, 3})
+		}
+		err := p.FenceF64(make([]float64, 4), []int{1, 0})
+		if err == nil {
+			return fmt.Errorf("out-of-range put accepted")
+		}
+		return nil
+	})
+	// Rank 0 only puts (puts are buffered and never synchronize), and
+	// rank 1 fails out of the fence before its closing barrier — so
+	// neither rank blocks and Run surfaces only unexpected errors.
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutFenceArgumentErrors(t *testing.T) {
+	err := Run(2, func(p *Proc) error {
+		if err := p.PutF64(0, -1, nil); err == nil && p.Rank() == 1 {
+			return fmt.Errorf("negative offset accepted")
+		}
+		if err := p.FenceF64(nil, []int{1}); err == nil {
+			return fmt.Errorf("short expectFrom accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

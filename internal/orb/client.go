@@ -631,6 +631,31 @@ func (c *Client) SendBlock(endpoint string, hdr giop.BlockTransferHeader, payloa
 	return n, err
 }
 
+// PutWindow ships one one-sided window put to endpoint. The header
+// comes from a pooled encoder; on the native-byte-order path the
+// element payload gather-writes straight from blk (one writev, zero
+// copies into frame buffers), so blk must stay unmodified until
+// PutWindow returns. Count is taken from len(blk), keeping header and
+// payload consistent by construction. Returns the payload byte count.
+func (c *Client) PutWindow(endpoint string, hdr giop.WindowPutHeader, blk []float64) (int, error) {
+	cc, err := c.conn(endpoint)
+	if err != nil {
+		return 0, err
+	}
+	hdr.Count = uint32(len(blk))
+	e := giop.AcquireEncoder(c.order)
+	hdr.Encode(e.Encoder)
+	n := len(blk) * 8
+	if c.order == cdr.NativeOrder {
+		err = cc.writeTail(giop.MsgWindowPut, e.Bytes(), cdr.Float64Bytes(blk))
+	} else {
+		e.PutDoubles(blk)
+		err = cc.write(giop.MsgWindowPut, e.Bytes())
+	}
+	e.Release()
+	return n, err
+}
+
 // Locate asks whether endpoint serves the object key, returning the
 // locate status and, for LocateForward, the stringified IOR to retry.
 func (c *Client) Locate(ctx context.Context, endpoint, key string) (giop.LocateStatus, string, error) {
@@ -724,6 +749,18 @@ func (cc *clientConn) write(t giop.MsgType, body []byte) error {
 	cc.writeMu.Lock()
 	defer cc.writeMu.Unlock()
 	if err := giop.WriteMessage(cc.raw, cc.owner.order, t, body); err != nil {
+		cc.shutdown(fmt.Errorf("%w: %v", ErrConnectionLost, err))
+		return fmt.Errorf("%w: %v", ErrConnectionLost, err)
+	}
+	return nil
+}
+
+// writeTail frames head+tail as one message under the write lock; see
+// giop.WriteMessageTail.
+func (cc *clientConn) writeTail(t giop.MsgType, head, tail []byte) error {
+	cc.writeMu.Lock()
+	defer cc.writeMu.Unlock()
+	if err := giop.WriteMessageTail(cc.raw, cc.owner.order, t, head, tail); err != nil {
 		cc.shutdown(fmt.Errorf("%w: %v", ErrConnectionLost, err))
 		return fmt.Errorf("%w: %v", ErrConnectionLost, err)
 	}

@@ -173,6 +173,8 @@ type blockRouter struct {
 	mu           sync.Mutex
 	sinks        map[uint64]blockSink
 	pending      map[uint64]*pendingEntry
+	windows      map[uint64]*Window
+	wpending     map[uint64]*windowPendingEntry
 	pendingLen   int
 	pendingBytes int
 	pol          PendingPolicy
@@ -180,9 +182,11 @@ type blockRouter struct {
 
 func newBlockRouter() *blockRouter {
 	return &blockRouter{
-		sinks:   make(map[uint64]blockSink),
-		pending: make(map[uint64]*pendingEntry),
-		pol:     DefaultPendingPolicy(),
+		sinks:    make(map[uint64]blockSink),
+		pending:  make(map[uint64]*pendingEntry),
+		windows:  make(map[uint64]*Window),
+		wpending: make(map[uint64]*windowPendingEntry),
+		pol:      DefaultPendingPolicy(),
 	}
 }
 
@@ -191,7 +195,11 @@ func newBlockRouter() *blockRouter {
 type BlockRouterStats struct {
 	// Sinks is the number of registered (not yet cancelled) sinks.
 	Sinks int
-	// Pending is the number of buffered early blocks awaiting a sink.
+	// Windows is the number of registered (not yet cancelled)
+	// one-sided destination windows.
+	Windows int
+	// Pending is the number of buffered early blocks and window puts
+	// awaiting a sink or window.
 	Pending int
 	// PendingBytes is the payload bytes those blocks hold.
 	PendingBytes int
@@ -200,7 +208,12 @@ type BlockRouterStats struct {
 func (r *blockRouter) stats() BlockRouterStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return BlockRouterStats{Sinks: len(r.sinks), Pending: r.pendingLen, PendingBytes: r.pendingBytes}
+	return BlockRouterStats{
+		Sinks:        len(r.sinks),
+		Windows:      len(r.windows),
+		Pending:      r.pendingLen,
+		PendingBytes: r.pendingBytes,
+	}
 }
 
 // deliver hands a block to its registered sink, or buffers it until

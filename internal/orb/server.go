@@ -177,7 +177,9 @@ func (s *Server) pendingSweepLoop() {
 	for {
 		select {
 		case <-t.C:
-			s.blocks.sweep(time.Now())
+			now := time.Now()
+			s.blocks.sweep(now)
+			s.blocks.sweepWindows(now)
 		case <-s.quit:
 			return
 		}
@@ -229,6 +231,20 @@ func (s *Server) ExpectBlocks(inv uint64, ch chan<- Block) (func(), error) {
 // not block; returning an error tears down that connection.
 func (s *Server) ExpectBlocksFunc(inv uint64, fn func(Block) error) (func(), error) {
 	return s.blocks.registerFunc(inv, fn)
+}
+
+// RegisterWindow exposes dst as a one-sided destination window:
+// MsgWindowPut frames addressed to id land straight off the delivering
+// connection's read buffer into dst[DstOff:DstOff+Count], bounds
+// checked, until expect elements have arrived (puts that raced the
+// registration are flushed from the pending buffer first). The
+// returned cancel must be called on every exit path — it removes the
+// registration so later strays buffer (and age out) instead of
+// writing into a reclaimed slice.
+// onPut, when non-nil, runs after every landed put on the delivering
+// connection's read goroutine (a liveness hook; it must not block).
+func (s *Server) RegisterWindow(id uint64, dst []float64, expect int64, onPut func()) (*Window, func(), error) {
+	return s.blocks.registerWindow(id, dst, expect, onPut)
 }
 
 // BlockStats reports the server block router's sink/pending counts.
@@ -447,7 +463,20 @@ func (sc *serverConn) readLoop() {
 	// to handlers and block sinks, so ownership transfers with them.
 	fr := giop.NewFrameReader(sc.raw)
 	for {
-		f, err := fr.ReadFrame()
+		fh, err := fr.ReadFrameHeader()
+		if err != nil {
+			return
+		}
+		// Window puts take the one-sided fast path before the body is
+		// read: a registered window receives its payload straight off
+		// the read buffer with no body allocation.
+		if fh.Type == giop.MsgWindowPut {
+			if err := sc.handleWindowPut(fr, fh); err != nil {
+				return
+			}
+			continue
+		}
+		f, err := fr.ReadFrameBody(fh)
 		if err != nil {
 			return
 		}
@@ -496,6 +525,37 @@ func (sc *serverConn) readLoop() {
 			return
 		}
 	}
+}
+
+// handleWindowPut lands one MsgWindowPut. Registered window: payload
+// streams wire → destination slice (bounds checked first; a range
+// violation poisons the window, not the connection, and the payload is
+// skimmed to keep the stream framed). Unregistered window: the payload
+// is buffered under the pending budgets until registration, exactly
+// like an early routed block. Only stream-level failures tear the
+// connection down.
+func (sc *serverConn) handleWindowPut(fr *giop.FrameReader, fh giop.FrameHeader) error {
+	wh, err := fr.ReadWindowPut(fh)
+	if err != nil {
+		return err
+	}
+	if w, ok := sc.srv.blocks.windowFor(wh.WindowID); ok {
+		if err := w.checkRange(wh); err != nil {
+			w.fail(err)
+			return fr.DiscardPayload(int(wh.Count) * 8)
+		}
+		dst := w.dst[wh.DstOff : int64(wh.DstOff)+int64(wh.Count)]
+		if err := fr.ReadWindowPayload(fh.Order, dst); err != nil {
+			return err
+		}
+		w.landed(wh.Count)
+		return nil
+	}
+	payload, err := fr.ReadPayloadBytes(int(wh.Count) * 8)
+	if err != nil {
+		return err
+	}
+	return sc.srv.blocks.bufferWindowPut(wh, fh.Order, payload)
 }
 
 func (sc *serverConn) handleRequest(minor byte, order cdr.ByteOrder, body []byte) error {

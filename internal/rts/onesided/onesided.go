@@ -385,6 +385,71 @@ func (t *thread) RecvBytes(src, tag int) ([]byte, error) {
 	}
 }
 
+// osWindow is one exposure epoch over the domain's window machinery —
+// the true one-sided realization of rts.Window: Put is a direct
+// bounds-checked copy into the destination thread's exposed slice (no
+// message, no queue), and Fence is a plain barrier because every copy
+// already landed synchronously.
+type osWindow struct {
+	t     *thread
+	epoch uint64
+	local []float64
+}
+
+// ExposeWindow implements rts.WindowThread: the destination slice is
+// deposited in the epoch's window table and every thread blocks until
+// all have exposed, after which remote puts may copy directly.
+// expectFrom is validated for shape but otherwise unused — direct
+// copies need no receive-side counting.
+func (t *thread) ExposeWindow(local []float64, expectFrom []int) (rts.Window, error) {
+	if len(expectFrom) != t.d.size {
+		return nil, fmt.Errorf("onesided: ExposeWindow expectFrom has %d entries for %d threads",
+			len(expectFrom), t.d.size)
+	}
+	epoch, err := t.expose(local, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &osWindow{t: t, epoch: epoch, local: local}, nil
+}
+
+// Put implements rts.Window by remote-memory write: the destination
+// window was pinned at expose time, and the SPMD transfer plan makes
+// put ranges disjoint, so the copy runs outside the domain lock.
+func (w *osWindow) Put(dst, off int, data []float64) error {
+	d := w.t.d
+	if dst < 0 || dst >= d.size {
+		return fmt.Errorf("onesided: put dst %d of %d", dst, d.size)
+	}
+	var win []float64
+	if dst == w.t.rank {
+		win = w.local
+	} else {
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return ErrClosed
+		}
+		win = d.windowsF64[w.epoch][dst]
+		d.mu.Unlock()
+	}
+	if off < 0 || off+len(data) > len(win) {
+		return fmt.Errorf("onesided: put [%d,%d) exceeds window of %d elements on thread %d",
+			off, off+len(data), len(win), dst)
+	}
+	copy(win[off:], data)
+	return nil
+}
+
+// Fence implements rts.Window. Puts are synchronous copies, so the
+// epoch completes as soon as every thread has stopped putting — a
+// barrier — after which the last thread out reclaims the epoch state.
+func (w *osWindow) Fence() error {
+	err := w.t.Barrier()
+	w.t.d.finish(w.epoch)
+	return err
+}
+
 func (t *thread) checkCollective(root int, counts []int, localLen int) error {
 	if root < 0 || root >= t.d.size {
 		return fmt.Errorf("onesided: root %d of %d", root, t.d.size)
@@ -399,4 +464,7 @@ func (t *thread) checkCollective(root int, counts []int, localLen int) error {
 	return nil
 }
 
-var _ rts.Thread = (*thread)(nil)
+var (
+	_ rts.Thread       = (*thread)(nil)
+	_ rts.WindowThread = (*thread)(nil)
+)

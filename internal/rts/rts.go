@@ -17,7 +17,11 @@
 // against the metacomputing runtime itself.
 package rts
 
-import "pardis/internal/mp"
+import (
+	"fmt"
+
+	"pardis/internal/mp"
+)
 
 // Thread is the per-computing-thread portal into the application's
 // runtime. All collective methods must be entered by every thread of
@@ -45,6 +49,44 @@ type Thread interface {
 	SendBytes(dst, tag int, data []byte) error
 	// RecvBytes blocks until a payload matching (src, tag) arrives.
 	RecvBytes(src, tag int) ([]byte, error)
+}
+
+// Window is one collectively exposed put epoch: between ExposeWindow
+// and Fence, every thread may Put element blocks into any thread's
+// exposed destination slice. Put ranges are bounds-checked against the
+// destination; the caller guarantees they are disjoint (the SPMD
+// transfer plan both sides computed partitions the destination index
+// space). Source blocks handed to Put and the exposed destination are
+// owned by the window until Fence returns: the runtime may alias both
+// without copying.
+type Window interface {
+	// Put writes data into thread dst's exposed slice at element
+	// offset off. Put to the calling thread's own rank copies
+	// directly.
+	Put(dst, off int, data []float64) error
+	// Fence completes the epoch. Collective: it returns only when
+	// every put of the epoch, from every thread, has landed.
+	Fence() error
+}
+
+// WindowThread is the optional one-sided capability of a Thread
+// implementation — the "put into remote window" primitive PARDIS
+// named as the second RTS flavor. ExposeWindow is collective: every
+// thread exposes its destination slice for one epoch of puts.
+// expectFrom[src] is the number of puts thread src will direct here
+// (derived from the transfer plan); expectFrom[Rank()] is ignored.
+// The slice is aliased until Fence. Use AsWindowThread to discover
+// the capability.
+type WindowThread interface {
+	ExposeWindow(local []float64, expectFrom []int) (Window, error)
+}
+
+// AsWindowThread reports whether th supports one-sided window
+// delivery, returning the capability when it does. Callers must keep
+// a tagged-send fallback for Thread implementations that do not.
+func AsWindowThread(th Thread) (WindowThread, bool) {
+	w, ok := th.(WindowThread)
+	return w, ok
 }
 
 // MessagePassing adapts an mp rank to the RTS interface. It is the
@@ -102,4 +144,45 @@ func (m *MessagePassing) RecvBytes(src, tag int) ([]byte, error) {
 	return b, err
 }
 
-var _ Thread = (*MessagePassing)(nil)
+// mpWindow is the tagged-send window fallback: puts ride mp's
+// always-buffered put queue (aliasing the source block — the epoch
+// discipline makes that race-free) and the fence drains the expected
+// counts into the exposed slice.
+type mpWindow struct {
+	m      *MessagePassing
+	local  []float64
+	expect []int
+}
+
+// ExposeWindow implements WindowThread, falling back to tagged sends:
+// there is no true remote-memory access between mp ranks, but the put
+// queue still moves each block with exactly one copy (receiver side)
+// and zero encodes.
+func (m *MessagePassing) ExposeWindow(local []float64, expectFrom []int) (Window, error) {
+	if len(expectFrom) != m.proc.Size() {
+		return nil, fmt.Errorf("rts: ExposeWindow expectFrom has %d entries for %d threads",
+			len(expectFrom), m.proc.Size())
+	}
+	return &mpWindow{m: m, local: local, expect: expectFrom}, nil
+}
+
+// Put implements Window.
+func (w *mpWindow) Put(dst, off int, data []float64) error {
+	if dst == w.m.proc.Rank() {
+		if off < 0 || off+len(data) > len(w.local) {
+			return fmt.Errorf("rts: self put [%d,%d) exceeds window of %d elements",
+				off, off+len(data), len(w.local))
+		}
+		copy(w.local[off:], data)
+		return nil
+	}
+	return w.m.proc.PutF64(dst, off, data)
+}
+
+// Fence implements Window.
+func (w *mpWindow) Fence() error { return w.m.proc.FenceF64(w.local, w.expect) }
+
+var (
+	_ Thread       = (*MessagePassing)(nil)
+	_ WindowThread = (*MessagePassing)(nil)
+)

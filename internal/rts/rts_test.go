@@ -237,3 +237,75 @@ func TestMessagePassingExposesProc(t *testing.T) {
 		t.Fatal("Proc() does not return the wrapped rank")
 	}
 }
+
+// TestWindowPutFence is the one-sided conformance test: every thread
+// exposes a window expecting one put from each peer, scatters its
+// block into every thread's window (including a self-put) at
+// rank-derived offsets, and after the fence each window must hold the
+// fully assembled vector. Both RTS flavors must satisfy it — the
+// message-passing adapter through the buffered put queue, the
+// one-sided domain through direct epoch copies.
+func TestWindowPutFence(t *testing.T) {
+	const blk = 8
+	harness(t, 3, func(th rts.Thread) error {
+		wt, ok := rts.AsWindowThread(th)
+		if !ok {
+			return fmt.Errorf("%T does not expose windows", th)
+		}
+		size, rank := th.Size(), th.Rank()
+		window := make([]float64, size*blk)
+		local := make([]float64, blk)
+		for i := range local {
+			local[i] = float64(rank*blk + i)
+		}
+		expect := make([]int, size)
+		for i := range expect {
+			if i != rank {
+				expect[i] = 1
+			}
+		}
+		w, err := wt.ExposeWindow(window, expect)
+		if err != nil {
+			return err
+		}
+		for dst := 0; dst < size; dst++ {
+			if err := w.Put(dst, rank*blk, local); err != nil {
+				return err
+			}
+		}
+		if err := w.Fence(); err != nil {
+			return err
+		}
+		for i := range window {
+			if window[i] != float64(i) {
+				return fmt.Errorf("rank %d: window[%d] = %v", rank, i, window[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestWindowArgumentErrors(t *testing.T) {
+	harness(t, 2, func(th rts.Thread) error {
+		wt, ok := rts.AsWindowThread(th)
+		if !ok {
+			return fmt.Errorf("%T does not expose windows", th)
+		}
+		if _, err := wt.ExposeWindow(make([]float64, 4), []int{1}); err == nil {
+			return fmt.Errorf("expectFrom of wrong length accepted")
+		}
+		// A clean epoch with no remote puts: a self-put beyond the
+		// window must fail without poisoning the fence.
+		w, err := wt.ExposeWindow(make([]float64, 4), make([]int, th.Size()))
+		if err != nil {
+			return err
+		}
+		if err := w.Put(th.Rank(), 3, []float64{1, 2}); err == nil {
+			return fmt.Errorf("out-of-range self put accepted")
+		}
+		if err := w.Put(th.Rank(), 0, []float64{1}); err != nil {
+			return err
+		}
+		return w.Fence()
+	})
+}

@@ -54,6 +54,12 @@ type BindConfig struct {
 	// into pipelined chunks (0 = spmd.DefaultXferChunkBytes, negative
 	// = chunking disabled).
 	XferChunkBytes int
+	// PeerXfer controls the one-sided peer data plane (0 =
+	// spmd.DefaultPeerXfer, negative = routed blocks only). It takes
+	// effect only when the bound object advertises window-put capable
+	// ports; otherwise the binding falls back to the routed path
+	// (counted in pardis_spmd_peer_fallback_total).
+	PeerXfer int
 }
 
 // Binding is one client thread's stub-side connection to an SPMD
@@ -76,10 +82,12 @@ type Binding struct {
 
 	stats bindingStats
 
-	// window/chunkElems are the resolved data-plane knobs (see
-	// BindConfig.XferWindow / XferChunkBytes).
+	// window/chunkElems/peer are the resolved data-plane knobs (see
+	// BindConfig.XferWindow / XferChunkBytes / PeerXfer); peer is true
+	// only after the object's describe advertised the capability.
 	window     int
 	chunkElems int
+	peer       bool
 
 	// rankLag is this rank's interned exit-barrier histogram (rank is
 	// fixed for the binding's lifetime, so resolve the labels once).
@@ -374,6 +382,20 @@ func bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 			ErrBadCall, ref.Key)
 	}
 	b.desc = desc
+	// Peer-data-plane negotiation: the binding goes one-sided only when
+	// the knob allows it AND the object advertised window-put capable
+	// ports. Either miss is a counted fallback onto the routed path,
+	// which stays byte-identical to the pre-peer wire.
+	if cfg.Method == MultiPort {
+		switch {
+		case !resolvePeer(cfg.PeerXfer):
+			peerFallbackDisabled.Inc()
+		case !desc.PeerWindows:
+			peerFallbackEndpoint.Inc()
+		default:
+			b.peer = true
+		}
+	}
 	return b, nil
 }
 
@@ -477,14 +499,33 @@ type replyEnvelope struct {
 }
 
 // outCollector owns the concurrent assembly of one argument's
-// multi-port out-blocks on this client thread: server threads decode
-// straight into the sequence's local block via the assembler, on
-// their delivering connections' read goroutines.
+// multi-port out-blocks on this client thread. Routed: server threads
+// decode straight into the sequence's local block via the assembler,
+// on their delivering connections' read goroutines. Peer: the local
+// block is registered as a one-sided window and the server's puts land
+// straight off the read buffers — exactly one of asm/win is set.
 type outCollector struct {
 	arg    int
 	asm    *blockAssembler
+	win    *orb.Window
 	cancel func()
 	seq    *dseq.Doubles
+}
+
+// wait blocks until the argument's out-transfer completes or fails.
+func (c *outCollector) wait(ctx contextDoner) error {
+	if c.win != nil {
+		return waitWindow(c.win, ctx, nil, nil)
+	}
+	return c.asm.wait(ctx, nil, nil)
+}
+
+// bytes is the payload volume received for this argument.
+func (c *outCollector) bytes() uint64 {
+	if c.win != nil {
+		return uint64(c.win.Bytes())
+	}
+	return c.asm.nbytes.Load()
 }
 
 // start validates the call collectively, ships in-arguments, issues
@@ -625,17 +666,24 @@ func (b *Binding) startPhase(ctx context.Context, spec *CallSpec) (*Pending, err
 				p.cancelSinks()
 				return nil, err
 			}
-			col := &outCollector{
-				arg: i,
-				asm: newBlockAssembler(b.rank, a.Seq.LocalData(), expect),
-				seq: a.Seq,
+			col := &outCollector{arg: i, seq: a.Seq}
+			if b.peer {
+				win, cancel, err := b.recv.RegisterWindow(key, a.Seq.LocalData(), int64(expect), nil)
+				if err != nil {
+					p.cancelSinks()
+					return nil, err
+				}
+				col.win = win
+				col.cancel = cancel
+			} else {
+				col.asm = newBlockAssembler(b.rank, a.Seq.LocalData(), expect)
+				cancel, err := b.recv.ExpectBlocksFunc(key, col.asm.accept)
+				if err != nil {
+					p.cancelSinks()
+					return nil, err
+				}
+				col.cancel = cancel
 			}
-			cancel, err := b.recv.ExpectBlocksFunc(key, col.asm.accept)
-			if err != nil {
-				p.cancelSinks()
-				return nil, err
-			}
-			col.cancel = cancel
 			p.outSinks = append(p.outSinks, col)
 		}
 	}
@@ -662,7 +710,8 @@ func (b *Binding) startPhase(ctx context.Context, spec *CallSpec) (*Pending, err
 	// The communicator issues the request.
 	if b.rank == 0 {
 		w := &invocationWire{Method: b.method, Scalars: scalarBytes,
-			Args: make([]*argWire, len(spec.Args))}
+			PeerWindows: b.peer,
+			Args:        make([]*argWire, len(spec.Args))}
 		for i, a := range spec.Args {
 			aw := &argWire{
 				Mode:         a.Mode,
@@ -762,11 +811,20 @@ func (b *Binding) startPhase(ctx context.Context, spec *CallSpec) (*Pending, err
 }
 
 // sendBlocks ships this client thread's share of an in transfer,
-// chunked and windowed (see sendPlanBlocks).
+// chunked and windowed (see sendPlanBlocks); a peer binding ships the
+// blocks as one-sided puts into the windows the server's ranks
+// registered (sendPlanPuts).
 func (b *Binding) sendBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles) error {
 	t := time.Now()
-	n, err := sendPlanBlocks(b.oc, inv, argIdx, b.rank, plan, seq.LocalData(),
-		b.ref.ThreadEndpoint, b.window, b.chunkElems)
+	var n uint64
+	var err error
+	if b.peer {
+		n, err = sendPlanPuts(b.oc, inv, argIdx, b.rank, plan, seq.LocalData(),
+			b.ref.ThreadEndpoint, b.window, b.chunkElems)
+	} else {
+		n, err = sendPlanBlocks(b.oc, inv, argIdx, b.rank, plan, seq.LocalData(),
+			b.ref.ThreadEndpoint, b.window, b.chunkElems)
+	}
 	b.stats.bytesOut.Add(n)
 	b.xferIn.ObserveDuration(time.Since(t))
 	return err
@@ -875,9 +933,9 @@ func (p *Pending) Wait(ctx context.Context) (err error) {
 		t := time.Now()
 		for _, col := range p.outSinks {
 			if localErr == nil {
-				localErr = col.asm.wait(ctx, nil, nil)
+				localErr = col.wait(ctx)
 			}
-			b.stats.bytesIn.Add(col.asm.nbytes.Load())
+			b.stats.bytesIn.Add(col.bytes())
 			col.cancel()
 			col.cancel = nil
 		}

@@ -87,7 +87,7 @@ func startBenchObject(b *testing.B, reg *transport.Registry, m int) *benchObject
 	}}
 }
 
-func benchInTransfer(b *testing.B, length, threads int) {
+func benchInTransfer(b *testing.B, length, threads, peerXfer int) {
 	reg := newReg()
 	obj := startBenchObject(b, reg, threads)
 	defer obj.close()
@@ -100,6 +100,7 @@ func benchInTransfer(b *testing.B, length, threads int) {
 			Registry:       reg,
 			Method:         MultiPort,
 			ListenEndpoint: "inproc:*",
+			PeerXfer:       peerXfer,
 		}, obj.ref)
 		if err != nil {
 			return err
@@ -129,11 +130,21 @@ func benchInTransfer(b *testing.B, length, threads int) {
 	}
 }
 
+// The plane dimension A/Bs the two data planes over the same server
+// object: peer (one-sided window puts, the default) against routed
+// (block frames through the sink router, forced by PeerXfer=-1 on the
+// binding).
 func BenchmarkMultiPortInTransfer(b *testing.B) {
+	planes := []struct {
+		name string
+		knob int
+	}{{"peer", 0}, {"routed", -1}}
 	for _, length := range []int{16 << 10, 128 << 10, 1 << 20} {
 		for _, threads := range []int{1, 4} {
-			b.Run(fmt.Sprintf("len=%dKi/threads=%d", length>>10, threads),
-				func(b *testing.B) { benchInTransfer(b, length, threads) })
+			for _, plane := range planes {
+				b.Run(fmt.Sprintf("len=%dKi/threads=%d/plane=%s", length>>10, threads, plane.name),
+					func(b *testing.B) { benchInTransfer(b, length, threads, plane.knob) })
+			}
 		}
 	}
 }

@@ -286,7 +286,10 @@ func (c cutDialTransport) Dial(a string) (transport.Conn, error) { return c.dial
 // TestFaultCutBlockStream cuts one of several concurrent in-block
 // streams mid-transfer: the cut rank sees its transport error, every
 // other client rank fails the same invocation with ErrPartialFailure,
-// no thread deadlocks, and neither side leaks a block sink.
+// no thread deadlocks, and neither side leaks a block sink. Pinned to
+// the routed data plane (PeerXfer -1 on both sides) so the routed path
+// keeps fault coverage now that peer windows are the default; the peer
+// twin is TestFaultCutPeerWindowStream.
 func TestFaultCutBlockStream(t *testing.T) {
 	inproc := transport.NewInproc()
 	okReg := transport.NewRegistry()
@@ -297,7 +300,9 @@ func TestFaultCutBlockStream(t *testing.T) {
 	cutReg := transport.NewRegistry()
 	cutReg.Register(cutDialTransport{listen: inproc, dial: cut})
 
-	obj := startObject(t, okReg, 3, true, diffusionOps)
+	obj := startObjectCfg(t, okReg, 3, true, diffusionOps, func(cfg *ObjectConfig) {
+		cfg.PeerXfer = -1
+	})
 
 	clientErr := mp.Run(3, func(proc *mp.Proc) error {
 		th := rts.NewMessagePassing(proc)
@@ -307,6 +312,7 @@ func TestFaultCutBlockStream(t *testing.T) {
 		}
 		b, err := Bind(context.Background(), BindConfig{
 			Thread: th, Registry: reg, Method: MultiPort, ListenEndpoint: "inproc:*",
+			PeerXfer: -1,
 		}, obj.ref)
 		if err != nil {
 			return err

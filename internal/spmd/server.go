@@ -84,6 +84,13 @@ type ObjectConfig struct {
 	// split into pipelined chunks (0 = spmd.DefaultXferChunkBytes,
 	// negative = chunking disabled).
 	XferChunkBytes int
+	// PeerXfer controls the one-sided peer data plane (0 =
+	// spmd.DefaultPeerXfer, negative = routed blocks only). When
+	// enabled and MultiPort, the object advertises window-put capable
+	// ports in its describe reply and honors peer invocations with
+	// registered windows and direct out-puts. All threads must pass
+	// the same value.
+	PeerXfer int
 	// LeaseTTL is how long a client's server-side lease survives
 	// without traffic before its rank-side state (block sinks,
 	// in-dispatch waits) is reclaimed. 0 = DefaultLeaseTTL, negative =
@@ -115,10 +122,11 @@ type Object struct {
 	served atomic.Uint64
 	failed atomic.Uint64
 
-	// window/chunkElems are the resolved data-plane knobs (see
-	// ObjectConfig.XferWindow / XferChunkBytes).
+	// window/chunkElems/peer are the resolved data-plane knobs (see
+	// ObjectConfig.XferWindow / XferChunkBytes / PeerXfer).
 	window     int
 	chunkElems int
+	peer       bool
 
 	// rankLag is this rank's interned post-invocation barrier
 	// histogram (rank is fixed for the object's lifetime).
@@ -194,6 +202,7 @@ func Export(cfg ObjectConfig) (*Object, error) {
 	}
 	o.window = resolveWindow(cfg.XferWindow)
 	o.chunkElems = resolveChunkElems(cfg.XferChunkBytes)
+	o.peer = cfg.MultiPort && resolvePeer(cfg.PeerXfer)
 	if cfg.LeaseTTL >= 0 {
 		ttl := cfg.LeaseTTL
 		if ttl == 0 {
@@ -397,7 +406,8 @@ func (o *Object) Ref() *ior.Ref { return o.ref }
 
 func (o *Object) replyDescribe(in *orb.Incoming) {
 	w := describeWire{Threads: o.size, MultiPort: o.cfg.MultiPort,
-		Ops: make(map[string]*OpSpec, len(o.cfg.Ops))}
+		PeerWindows: o.peer,
+		Ops:         make(map[string]*OpSpec, len(o.cfg.Ops))}
 	for name, op := range o.cfg.Ops {
 		spec := op.Spec
 		w.Ops[name] = &spec
@@ -434,9 +444,13 @@ type control struct {
 	// rank rebases it onto its own clock and bounds its dispatch — in
 	// particular the block-assembly waits — by it.
 	DeadlineMicros uint64
-	Scalars        []byte
-	Args           []controlArg
-	ErrMsg         string
+	// PeerWindows means the client negotiated the one-sided peer data
+	// plane for this invocation: every rank registers windows for its
+	// in-argument shares and ships out-argument blocks as window puts.
+	PeerWindows bool
+	Scalars     []byte
+	Args        []controlArg
+	ErrMsg      string
 }
 
 type controlArg struct {
@@ -452,6 +466,7 @@ func (c *control) encode(e *cdr.Encoder) {
 	e.PutULongLong(c.Inv)
 	e.PutOctet(byte(c.Method))
 	e.PutULongLong(c.DeadlineMicros)
+	e.PutBoolean(c.PeerWindows)
 	e.PutOctetSeq(c.Scalars)
 	e.PutULong(uint32(len(c.Args)))
 	for _, a := range c.Args {
@@ -485,6 +500,9 @@ func decodeControl(d *cdr.Decoder) (*control, error) {
 	}
 	c.Method = TransferMethod(m)
 	if c.DeadlineMicros, err = d.ULongLong(); err != nil {
+		return nil, err
+	}
+	if c.PeerWindows, err = d.Boolean(); err != nil {
 		return nil, err
 	}
 	if c.Scalars, err = d.OctetSeq(); err != nil {
@@ -606,6 +624,10 @@ func (o *Object) communicatorServeOne(ctx context.Context) error {
 		Op:     in.Header.Operation,
 		Inv:    in.Header.InvocationID,
 		Method: w.Method,
+		// Peer is taken only when the client asked for it AND this
+		// object advertised it — an honest client asks only after
+		// seeing the describe advertisement, so both legs agree.
+		PeerWindows: w.PeerWindows && o.peer,
 		// The scalar encapsulation reaches every thread byte-equal:
 		// "the invocation mechanism provided by PARDIS will ensure
 		// that the same value of non-distributed argument will be
@@ -760,7 +782,7 @@ func (o *Object) dispatch(ctx context.Context, ctrl *control, w *invocationWire,
 					firstErr = err
 					break
 				}
-				if err := o.receiveBlocks(ctx, ctrl.Inv, uint32(i), plan, seq); err != nil {
+				if err := o.receiveBlocks(ctx, ctrl.Inv, uint32(i), plan, seq, ctrl.PeerWindows); err != nil {
 					firstErr = err
 				}
 			}
@@ -819,7 +841,7 @@ func (o *Object) dispatch(ctx context.Context, ctrl *control, w *invocationWire,
 				firstErr = err
 				break
 			}
-			if err := o.sendBlocks(ctrl.Inv, uint32(i), plan, args[i], ca.ClientEndpoints); err != nil {
+			if err := o.sendBlocks(ctrl.Inv, uint32(i), plan, args[i], ca.ClientEndpoints, ctrl.PeerWindows); err != nil {
 				firstErr = err
 			}
 		}
@@ -861,13 +883,16 @@ func (o *Object) dispatch(ctx context.Context, ctrl *control, w *invocationWire,
 }
 
 // receiveBlocks collects this thread's share of a multi-port in
-// transfer into seq's local block: each arriving block is decoded
-// straight into the destination on its delivering connection's read
-// goroutine (blocks from different senders assemble concurrently and
-// out of order), while this thread waits for the element count to
-// reach the plan's total. ctx (or object close) bounds the wait so a
-// dead sender cannot strand the dispatch.
-func (o *Object) receiveBlocks(ctx context.Context, inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles) error {
+// transfer into seq's local block. Routed: each arriving block is
+// decoded straight into the destination on its delivering connection's
+// read goroutine (blocks from different senders assemble concurrently
+// and out of order), while this thread waits for the element count to
+// reach the plan's total. Peer: the destination is registered as a
+// one-sided window and the sender's puts land straight off the read
+// buffer — same bounds checks, same element-counted completion, no
+// decode step at all. ctx (or object close) bounds the wait so a dead
+// sender cannot strand the dispatch.
+func (o *Object) receiveBlocks(ctx context.Context, inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles, peer bool) error {
 	expect := planElemsTo(plan, o.rank)
 	if expect == 0 {
 		return nil
@@ -880,17 +905,34 @@ func (o *Object) receiveBlocks(ctx context.Context, inv uint64, argIdx uint32, p
 		return err
 	}
 	t := time.Now()
+	// The wait rides the invoking client's lease: every block (or put)
+	// it lands renews the lease, and if the client dies mid-transfer
+	// the lease expiry unwinds the wait (teardown via the deferred
+	// cancel) instead of stranding the collective until the Serve
+	// context ends.
+	var expired <-chan struct{}
+	var l *lease
+	if o.leases != nil {
+		l = o.leases.acquire(leaseClient(inv))
+		expired = l.expired
+	}
+	if peer {
+		var onPut func()
+		if l != nil {
+			onPut = func() { l.last.Store(time.Now().UnixNano()) }
+		}
+		win, cancel, err := o.srv.RegisterWindow(key, seq.LocalData(), int64(expect), onPut)
+		if err != nil {
+			return err
+		}
+		defer cancel()
+		err = waitWindow(win, ctx, o.closed, expired)
+		o.xferIn.ObserveDuration(time.Since(t))
+		return err
+	}
 	asm := newBlockAssembler(o.rank, seq.LocalData(), expect)
 	accept := asm.accept
-	var expired <-chan struct{}
-	if o.leases != nil {
-		// The wait rides the invoking client's lease: every block it
-		// lands renews the lease, and if the client dies mid-transfer the
-		// lease expiry unwinds the wait (sink teardown via the deferred
-		// cancel) instead of stranding the collective until the Serve
-		// context ends.
-		l := o.leases.acquire(leaseClient(inv))
-		expired = l.expired
+	if l != nil {
 		accept = func(blk orb.Block) error {
 			l.last.Store(time.Now().UnixNano())
 			return asm.accept(blk)
@@ -908,8 +950,10 @@ func (o *Object) receiveBlocks(ctx context.Context, inv uint64, argIdx uint32, p
 
 // sendBlocks ships this thread's share of a multi-port out transfer
 // directly to the client threads' endpoints, chunked and windowed
-// (see sendPlanBlocks).
-func (o *Object) sendBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles, endpoints []string) error {
+// (see sendPlanBlocks); under the peer data plane the blocks travel as
+// window puts into the destinations the client registered
+// (sendPlanPuts).
+func (o *Object) sendBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles, endpoints []string, peer bool) error {
 	if len(dist.PlanFor(plan, o.rank)) == 0 {
 		return nil
 	}
@@ -923,8 +967,14 @@ func (o *Object) sendBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq
 		return endpoints[0]
 	}
 	t := time.Now()
-	_, err := sendPlanBlocks(o.out, inv, argIdx, o.rank, plan, seq.LocalData(),
-		endpointFor, o.window, o.chunkElems)
+	var err error
+	if peer {
+		_, err = sendPlanPuts(o.out, inv, argIdx, o.rank, plan, seq.LocalData(),
+			endpointFor, o.window, o.chunkElems)
+	} else {
+		_, err = sendPlanBlocks(o.out, inv, argIdx, o.rank, plan, seq.LocalData(),
+			endpointFor, o.window, o.chunkElems)
+	}
 	o.xferOut.ObserveDuration(time.Since(t))
 	return err
 }

@@ -770,12 +770,11 @@ func TestStatsCounters(t *testing.T) {
 			return fmt.Errorf("stats = %+v", st)
 		}
 		// Each thread ships its half (64 doubles) and receives it
-		// back, twice (inout under multi-port). The counters account
-		// actual encoded payload bytes: after the 29-byte transfer
-		// header the double-seq payload is 3 bytes of 4-alignment
-		// padding, the 4-byte element count, 4 bytes of 8-alignment
-		// padding, then 64*8 bytes of data = 523 per block.
-		const blockBytes = 3 + 4 + 4 + 64*8
+		// back, twice (inout under multi-port). The default peer data
+		// plane moves raw element payloads — window puts carry no CDR
+		// sequence framing — so the counters account exactly 64*8
+		// bytes per block.
+		const blockBytes = 64 * 8
 		if st.BytesOut != 2*blockBytes || st.BytesIn != 2*blockBytes {
 			return fmt.Errorf("byte counters = %+v", st)
 		}

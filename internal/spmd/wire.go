@@ -194,6 +194,15 @@ type invocationWire struct {
 	Method  TransferMethod
 	Scalars []byte // client-order CDR encapsulation of scalar in-args
 	Args    []*argWire
+	// PeerWindows asks for the one-sided peer data plane on this
+	// invocation: the client has registered destination windows for its
+	// out-arguments and will ship in-argument blocks as MsgWindowPut
+	// frames. It is a trailing optional field (encoded only when set),
+	// so the body stays byte-identical to the pre-peer wire for routed
+	// invocations, and pre-peer servers — which stop decoding after the
+	// argument list — interoperate unchanged. A client only sets it
+	// after the object's describe advertised the capability.
+	PeerWindows bool
 }
 
 func (w *invocationWire) encode(e *cdr.Encoder) {
@@ -202,6 +211,9 @@ func (w *invocationWire) encode(e *cdr.Encoder) {
 	e.PutULong(uint32(len(w.Args)))
 	for _, a := range w.Args {
 		a.encode(e)
+	}
+	if w.PeerWindows {
+		e.PutBoolean(true)
 	}
 }
 
@@ -231,6 +243,11 @@ func decodeInvocationWire(d *cdr.Decoder) (*invocationWire, error) {
 			return nil, err
 		}
 	}
+	if d.Remaining() > 0 {
+		if w.PeerWindows, err = d.Boolean(); err != nil {
+			return nil, err
+		}
+	}
 	return &w, nil
 }
 
@@ -254,6 +271,13 @@ type describeWire struct {
 	Threads   int
 	MultiPort bool
 	Ops       map[string]*OpSpec
+	// PeerWindows advertises that every port of the object accepts
+	// one-sided MsgWindowPut frames, so clients may take the peer data
+	// plane. Trailing optional field, encoded only when set: pre-peer
+	// clients stop decoding after the operation table and interoperate
+	// unchanged, and pre-peer servers never emit it, steering new
+	// clients onto the routed fallback.
+	PeerWindows bool
 }
 
 func (w *describeWire) encode(e *cdr.Encoder) {
@@ -281,6 +305,9 @@ func (w *describeWire) encode(e *cdr.Encoder) {
 			}
 			e.PutULongSeq(u)
 		}
+	}
+	if w.PeerWindows {
+		e.PutBoolean(true)
 	}
 }
 
@@ -339,6 +366,11 @@ func decodeDescribeWire(d *cdr.Decoder) (*describeWire, error) {
 			op.Args[j] = ArgSpec{Mode: ArgMode(m), Dist: spec}
 		}
 		w.Ops[name] = op
+	}
+	if d.Remaining() > 0 {
+		if w.PeerWindows, err = d.Boolean(); err != nil {
+			return nil, err
+		}
 	}
 	return &w, nil
 }

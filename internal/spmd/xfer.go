@@ -47,6 +47,11 @@ var (
 	// chunking). 256 KiB keeps chunks inside the pooled-encoder
 	// retention cap.
 	DefaultXferChunkBytes = 256 << 10
+	// DefaultPeerXfer enables the one-sided peer data plane (window
+	// puts straight into the destination rank's registered slice) when
+	// both sides are capable. The PeerXfer knobs default to it; a
+	// negative knob forces the routed block path.
+	DefaultPeerXfer = true
 )
 
 // resolveWindow maps a config value to an effective send window:
@@ -74,11 +79,28 @@ func resolveChunkElems(bytes int) int {
 	return max(bytes/8, 1)
 }
 
+// resolvePeer maps a PeerXfer knob to the effective peer-data-plane
+// wish: 0 = package default, negative = routed only.
+func resolvePeer(v int) bool {
+	if v == 0 {
+		return DefaultPeerXfer
+	}
+	return v > 0
+}
+
 // Interned once: the data-plane counters are touched per chunk.
 var (
 	blocksInflight = telemetry.Default.Gauge("pardis_spmd_blocks_inflight")
 	chunkBytesHist = telemetry.Default.HistogramWithBuckets("pardis_spmd_chunk_bytes",
 		[]float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20})
+	// peerBlocksTotal counts window-put chunks shipped over the peer
+	// data plane (the direct counterpart of routed block transfers).
+	peerBlocksTotal = telemetry.Default.Counter("pardis_spmd_peer_blocks_total")
+	// peerFallback* count transfers that wanted the peer plane but took
+	// the routed path, by reason: the knob disabled it, or the remote
+	// endpoint did not advertise the capability.
+	peerFallbackDisabled = telemetry.Default.Counter("pardis_spmd_peer_fallback_total", "reason", "disabled")
+	peerFallbackEndpoint = telemetry.Default.Counter("pardis_spmd_peer_fallback_total", "reason", "endpoint")
 )
 
 // blockSender abstracts orb.Client.SendBlock for the shared send path.
@@ -184,6 +206,129 @@ func sendPlanBlocks(oc blockSender, inv uint64, argIdx uint32, rank int,
 	err := firstErr
 	errMu.Unlock()
 	return total.Load(), err
+}
+
+// peerPutter abstracts orb.Client.PutWindow for the peer send path.
+type peerPutter interface {
+	PutWindow(endpoint string, hdr giop.WindowPutHeader, blk []float64) (int, error)
+}
+
+// sendPlanPuts is sendPlanBlocks' one-sided twin: rank's share of the
+// plan ships as MsgWindowPut frames straight to the destination ranks'
+// endpoints, landing in the window they registered under
+// BlockSinkKey(inv, argIdx) — no CDR sequence framing, no sink hop,
+// and (native order) no payload copy on either side. Chunking and the
+// in-flight window work exactly as on the routed path, and the same
+// plan-derived bounds checks apply before anything is sent.
+func sendPlanPuts(pc peerPutter, inv uint64, argIdx uint32, rank int,
+	plan []dist.Transfer, local []float64, endpointFor func(int) string,
+	window, chunkElems int) (uint64, error) {
+	key, err := giop.BlockSinkKey(inv, argIdx)
+	if err != nil {
+		return 0, err
+	}
+	mine := dist.PlanFor(plan, rank)
+	if len(mine) == 0 {
+		return 0, nil
+	}
+	for _, tr := range mine {
+		if err := giop.CheckBlockRange(tr.DstOff, tr.Count); err != nil {
+			return 0, err
+		}
+	}
+	mine = dist.Chunk(mine, chunkElems)
+	lastIdx := make(map[int]int, len(mine))
+	for idx, tr := range mine {
+		lastIdx[tr.To] = idx
+	}
+	header := func(idx int, tr dist.Transfer) giop.WindowPutHeader {
+		return giop.WindowPutHeader{
+			WindowID:   key,
+			FromThread: int32(rank),
+			DstOff:     uint32(tr.DstOff),
+			Count:      uint32(tr.Count),
+			Last:       lastIdx[tr.To] == idx,
+		}
+	}
+
+	if window <= 1 || len(mine) == 1 {
+		var total uint64
+		for idx, tr := range mine {
+			blk := local[tr.SrcOff : tr.SrcOff+tr.Count]
+			blocksInflight.Inc()
+			n, err := pc.PutWindow(endpointFor(tr.To), header(idx, tr), blk)
+			blocksInflight.Dec()
+			peerBlocksTotal.Inc()
+			chunkBytesHist.Observe(float64(n))
+			if err != nil {
+				return total, err
+			}
+			total += uint64(n)
+		}
+		return total, nil
+	}
+
+	var (
+		sem      = make(chan struct{}, window)
+		wg       sync.WaitGroup
+		total    atomic.Uint64
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for idx, tr := range mine {
+		if failed.Load() {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		blocksInflight.Inc()
+		go func(idx int, tr dist.Transfer) {
+			defer func() {
+				blocksInflight.Dec()
+				<-sem
+				wg.Done()
+			}()
+			blk := local[tr.SrcOff : tr.SrcOff+tr.Count]
+			n, err := pc.PutWindow(endpointFor(tr.To), header(idx, tr), blk)
+			peerBlocksTotal.Inc()
+			chunkBytesHist.Observe(float64(n))
+			if err != nil {
+				if failed.CompareAndSwap(false, true) {
+					errMu.Lock()
+					firstErr = err
+					errMu.Unlock()
+				}
+				return
+			}
+			total.Add(uint64(n))
+		}(idx, tr)
+	}
+	wg.Wait()
+	errMu.Lock()
+	err = firstErr
+	errMu.Unlock()
+	return total.Load(), err
+}
+
+// waitWindow awaits a registered destination window the way
+// blockAssembler.wait awaits routed assembly: until completion (or
+// window failure), context cancellation, close, or lease expiry.
+func waitWindow(w *orb.Window, ctx contextDoner, closed, expired <-chan struct{}) error {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case <-w.Done():
+		return w.Err()
+	case <-ctxDone:
+		return ctx.Err()
+	case <-closed:
+		return ErrClosed
+	case <-expired:
+		return ErrLeaseExpired
+	}
 }
 
 // blockAssembler collects one (argument, receiver-rank) transfer's
