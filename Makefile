@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos soak bench bench-quick bench-dataplane bench-peer bench-overhead bench-snapshot benchdiff lint-telemetry lint-fault fuzz-smoke fmt
+.PHONY: build test verify chaos soak bench bench-quick bench-dataplane bench-peer bench-tune bench-overhead bench-snapshot benchdiff lint-telemetry lint-fault fuzz-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,7 @@ bench-quick:
 		-bench 'InvokeEcho|InvokeConcurrent8' ./internal/orb/
 	$(MAKE) bench-dataplane BENCHTIME=10x
 	$(MAKE) bench-peer BENCHTIME=10x
+	$(MAKE) bench-tune BENCHTIME=10x
 
 # bench-dataplane measures the SPMD data plane: dsequence
 # redistribution (allocation ledger) and the multi-port in-transfer
@@ -119,6 +120,20 @@ bench-peer:
 	$(GO) test -run '^$$' -benchtime $(BENCHTIME) -benchmem \
 		-bench 'SendBlock|WindowPut' ./internal/orb/
 	$(GO) run ./cmd/pardis-bench -dataplane -peer -reps 3 -doubles 131072
+
+# bench-tune A/Bs the self-tuning transport against the static knobs:
+# the tuned in-transfer microbenchmark (allocation ledger for the
+# tuner's hot path), then the in-transfer sweep run static-then-tuned
+# over the same server object with a cross-config warm-up that
+# converges the tuner before the measured reps — once on the direct
+# in-process transport (tuned must hold parity) and once over an
+# emulated 200us WAN path, where the larger tuned chunks amortize the
+# per-write cost and tuned stripes overlap it across connections.
+bench-tune:
+	$(GO) test -run '^$$' -benchtime $(BENCHTIME) -benchmem \
+		-bench 'MultiPortInTransfer/len=128Ki/threads=4' ./internal/spmd/
+	$(GO) run ./cmd/pardis-bench -dataplane -tune -reps 3 -doubles 131072
+	$(GO) run ./cmd/pardis-bench -dataplane -tune -wan 200us -reps 3 -doubles 1048576
 
 # bench-overhead gates the observability plane's hot-path cost: an
 # interleaved A/B of the echo workload with exemplars, the flight

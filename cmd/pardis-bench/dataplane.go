@@ -19,9 +19,11 @@ import (
 	"pardis/internal/dseq"
 	"pardis/internal/ior"
 	"pardis/internal/mp"
+	"pardis/internal/orb"
 	"pardis/internal/rts"
 	"pardis/internal/spmd"
 	"pardis/internal/transport"
+	"pardis/internal/tune"
 )
 
 // dataplaneConfig carries the -dataplane flag group.
@@ -35,6 +37,16 @@ type dataplaneConfig struct {
 	// object — peer window plane, then routed fallback (PeerXfer -1 on
 	// the binding) — so one invocation isolates the plane under test.
 	peerAB bool
+	// tuneAB runs the grid twice — static knobs, then the self-tuning
+	// transport (AutoTune 1 on the binding, converged during warm-up) —
+	// so one invocation isolates the tuner's contribution.
+	tuneAB bool
+	// wanLatency > 0 routes the transfers through the fault-injection
+	// transport with that much latency per dial and per delivered write
+	// (and no fault probabilities): a deterministic WAN-path emulation,
+	// where larger tuned chunks amortize the per-write cost and tuned
+	// stripes overlap it across connections.
+	wanLatency time.Duration
 }
 
 type dataplanePoint struct {
@@ -46,6 +58,9 @@ type dataplanePoint struct {
 	AllocsTot uint64  `json:"-"`
 }
 
+// dataplaneResult reports the *resolved* data-plane configuration a
+// pass actually ran with — what the zero-valued knobs meant in this
+// process — not the raw flag values.
 type dataplaneResult struct {
 	Date          string           `json:"date"`
 	Plane         string           `json:"plane,omitempty"`
@@ -53,7 +68,14 @@ type dataplaneResult struct {
 	ServerThreads int              `json:"server_threads"`
 	XferWindow    int              `json:"xfer_window"`
 	XferChunk     int              `json:"xfer_chunk_bytes"`
+	Stripes       int              `json:"stripes"`
+	PeerXfer      bool             `json:"peer_xfer"`
+	AutoTune      bool             `json:"auto_tune"`
+	WANSeconds    float64          `json:"wan_latency_seconds,omitempty"`
 	Points        []dataplanePoint `json:"points"`
+	// Tune carries the per-endpoint tuner state after a tuned pass:
+	// the converged estimates and the knobs the transfers resolved.
+	Tune []tune.PathState `json:"tune,omitempty"`
 }
 
 var dataplaneLengths = []int{1 << 14, 1 << 17, 1 << 20}
@@ -68,33 +90,49 @@ func runDataplane(cfg dataplaneConfig) {
 	}
 
 	reg := transport.NewRegistry()
-	reg.Register(transport.NewInproc())
+	in := transport.NewInproc()
+	reg.Register(in)
+	listenAt := "inproc:*"
+	if cfg.wanLatency > 0 {
+		reg.Register(transport.NewFaulty(in, transport.FaultPlan{
+			DialLatency:  cfg.wanLatency,
+			WriteLatency: cfg.wanLatency,
+		}))
+		listenAt = "faulty+inproc:*"
+	}
 
-	ref, closeObj := startDataplaneObject(reg, cfg.serverThreads)
+	ref, closeObj := startDataplaneObject(reg, cfg.serverThreads, listenAt)
 	defer closeObj()
 
 	// One pass per plane, all against the same server export. The
-	// default single pass inherits the process-wide knob; -peer adds a
-	// routed pass (PeerXfer -1 on the binding) for the A/B.
-	planes := []struct {
-		name string
-		knob int
-	}{{"", 0}}
-	if cfg.peerAB {
-		planes = []struct {
-			name string
-			knob int
-		}{{"peer", 0}, {"routed", -1}}
+	// default single pass inherits the process-wide knobs; -peer adds a
+	// routed pass (PeerXfer -1 on the binding), -tune a static-vs-tuned
+	// pair (AutoTune forced off, then on, per binding).
+	type pass struct {
+		name     string
+		peerKnob int
+		tuneKnob int
+		warmReps int // A/B warm-up invocations at the largest length
+	}
+	planes := []pass{{"", 0, 0, 0}}
+	switch {
+	case cfg.tuneAB:
+		// The tuned pass warms longer: beyond heap and frame-pool fill,
+		// its warm-up is what feeds the tuner past its MinSamples gate so
+		// the measured reps run on converged knobs.
+		planes = []pass{{"static", 0, -1, 1}, {"tuned", 0, 1, 8}}
+	case cfg.peerAB:
+		planes = []pass{{"peer", 0, 0, 1}, {"routed", -1, 0, 1}}
 	}
 
-	// In A/B mode, warm both planes at the largest length before any
+	// In A/B mode, warm every plane at the largest length before any
 	// measured pass: the first plane through the process otherwise pays
 	// the heap growth and frame-pool fill for both, skewing the ratio.
-	if cfg.peerAB {
-		warm := cfg
-		warm.reps = 1
+	if cfg.peerAB || cfg.tuneAB {
 		for _, plane := range planes {
-			if _, err := dataplaneOnePoint(reg, ref, warm, lengths[len(lengths)-1], plane.knob); err != nil {
+			warm := cfg
+			warm.reps = plane.warmReps
+			if _, err := dataplaneOnePoint(reg, ref, warm, lengths[len(lengths)-1], plane.peerKnob, plane.tuneKnob); err != nil {
 				fatal(err)
 			}
 		}
@@ -102,20 +140,28 @@ func runDataplane(cfg dataplaneConfig) {
 
 	var results []dataplaneResult
 	for _, plane := range planes {
+		tuned := plane.tuneKnob > 0 || (plane.tuneKnob == 0 && spmd.DefaultAutoTune)
 		res := dataplaneResult{
 			Date:          time.Now().UTC().Format("2006-01-02"),
 			Plane:         plane.name,
 			ClientThreads: cfg.clientThreads,
 			ServerThreads: cfg.serverThreads,
-			XferWindow:    spmd.DefaultXferWindow,
-			XferChunk:     spmd.DefaultXferChunkBytes,
+			XferWindow:    spmd.ResolvedXferWindow(),
+			XferChunk:     spmd.ResolvedXferChunkBytes(),
+			Stripes:       orb.DefaultStripeWidth(),
+			PeerXfer:      plane.peerKnob >= 0 && spmd.ResolvedPeerXfer(),
+			AutoTune:      tuned,
+			WANSeconds:    cfg.wanLatency.Seconds(),
 		}
 		for _, length := range lengths {
-			pt, err := dataplaneOnePoint(reg, ref, cfg, length, plane.knob)
+			pt, err := dataplaneOnePoint(reg, ref, cfg, length, plane.peerKnob, plane.tuneKnob)
 			if err != nil {
 				fatal(err)
 			}
 			res.Points = append(res.Points, pt)
+		}
+		if tuned {
+			res.Tune = spmd.AutoTuner.Snapshot()
 		}
 		results = append(results, res)
 	}
@@ -137,17 +183,35 @@ func runDataplane(cfg dataplaneConfig) {
 		if res.Plane != "" {
 			label = " plane=" + res.Plane
 		}
-		fmt.Printf("data plane%s: n=%d client threads -> m=%d server threads, window=%d chunk=%dB\n",
-			label, res.ClientThreads, res.ServerThreads, res.XferWindow, res.XferChunk)
+		if res.WANSeconds > 0 {
+			label += fmt.Sprintf(" wan=%.0fus", res.WANSeconds*1e6)
+		}
+		fmt.Printf("data plane%s: n=%d client threads -> m=%d server threads, window=%d chunk=%dB stripes=%d auto-tune=%v\n",
+			label, res.ClientThreads, res.ServerThreads, res.XferWindow, res.XferChunk,
+			res.Stripes, res.AutoTune)
 		fmt.Printf("  %10s %12s %12s\n", "doubles", "ms/op", "MB/s")
 		for _, pt := range res.Points {
 			fmt.Printf("  %10d %12.3f %12.1f\n", pt.Doubles, pt.SecPerOp*1e3, pt.MBPerSec)
 		}
+		for _, st := range res.Tune {
+			fmt.Printf("  tuned %s: bw=%.1f MB/s rtt=%.0fus chunk=%dB window=%d stripes=%d\n",
+				st.Endpoint, st.BandwidthBps/1e6, st.RTTSeconds*1e6,
+				st.Rec.XferChunkBytes, st.Rec.XferWindow, st.Rec.Stripes)
+		}
 	}
 	if len(results) == 2 {
-		fmt.Printf("peer vs routed speedup:\n")
-		for i, pt := range results[0].Points {
-			rt := results[1].Points[i]
+		// First pass is the preferred plane (peer / tuned), second the
+		// baseline (routed / static); in tune mode the baseline ran
+		// first, so flip to keep "speedup = baseline/preferred".
+		pref, base := results[0], results[1]
+		label := "peer vs routed"
+		if cfg.tuneAB {
+			pref, base = results[1], results[0]
+			label = "tuned vs static"
+		}
+		fmt.Printf("%s speedup:\n", label)
+		for i, pt := range pref.Points {
+			rt := base.Points[i]
 			fmt.Printf("  %10d %11.2fx\n", pt.Doubles, rt.SecPerOp/pt.SecPerOp)
 		}
 	}
@@ -156,7 +220,7 @@ func runDataplane(cfg dataplaneConfig) {
 // startDataplaneObject exports an m-thread multi-port object with a
 // single "sink" op (one In distributed argument), so the invocation
 // cost is the in-transfer itself.
-func startDataplaneObject(reg *transport.Registry, m int) (*ior.Ref, func()) {
+func startDataplaneObject(reg *transport.Registry, m int, listenAt string) (*ior.Ref, func()) {
 	w := mp.MustWorld(m)
 	refs := make(chan *ior.Ref, 1)
 	objs := make([]*spmd.Object, m)
@@ -170,7 +234,7 @@ func startDataplaneObject(reg *transport.Registry, m int) (*ior.Ref, func()) {
 			obj, err := spmd.Export(spmd.ObjectConfig{
 				Thread:         th,
 				Registry:       reg,
-				ListenEndpoint: "inproc:*",
+				ListenEndpoint: listenAt,
 				Key:            "objects/dataplane",
 				TypeID:         "IDL:dataplane_bench:1.0",
 				MultiPort:      true,
@@ -211,7 +275,7 @@ func startDataplaneObject(reg *transport.Registry, m int) (*ior.Ref, func()) {
 }
 
 func dataplaneOnePoint(reg *transport.Registry, ref *ior.Ref,
-	cfg dataplaneConfig, length, peerXfer int) (dataplanePoint, error) {
+	cfg dataplaneConfig, length, peerXfer, autoTune int) (dataplanePoint, error) {
 	var elapsed time.Duration
 	err := mp.Run(cfg.clientThreads, func(proc *mp.Proc) error {
 		th := rts.NewMessagePassing(proc)
@@ -221,6 +285,7 @@ func dataplaneOnePoint(reg *transport.Registry, ref *ior.Ref,
 			Method:         spmd.MultiPort,
 			ListenEndpoint: "inproc:*",
 			PeerXfer:       peerXfer,
+			AutoTune:       autoTune,
 		}, ref)
 		if err != nil {
 			return err

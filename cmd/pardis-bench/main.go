@@ -40,6 +40,15 @@
 //	pardis-bench -dataplane -threads 4
 //	pardis-bench -dataplane -peer
 //	pardis-bench -dataplane -xfer-window 1 -xfer-chunk -1 -json
+//
+// -tune A/Bs the self-tuning transport against the static knobs over
+// the same server object, -wan emulates a high-latency path (per-dial
+// and per-write latency through the fault-injection transport, no
+// faults), and -auto-tune enables the tuner process-wide for any mode:
+//
+//	pardis-bench -dataplane -tune
+//	pardis-bench -dataplane -tune -wan 200us
+//	pardis-bench -dataplane -auto-tune -json
 package main
 
 import (
@@ -95,6 +104,9 @@ func main() {
 	xferChunk := flag.Int("xfer-chunk", 0, "SPMD block chunk size in bytes (0 = default 256KiB, negative = disable chunking)")
 	peerAB := flag.Bool("peer", false, "in -dataplane mode, A/B the peer window plane against the routed fallback over the same server object")
 	peerXfer := flag.Int("peer-xfer", 0, "process-wide default for the SPMD peer data plane (0 = on when both endpoints are capable, negative = routed fallback only)")
+	autoTune := flag.Bool("auto-tune", false, "enable the self-tuning transport process-wide: per-endpoint path models re-derive chunk/window/stripe knobs from live transfer telemetry")
+	tuneAB := flag.Bool("tune", false, "in -dataplane mode, A/B the self-tuning transport against the static knobs over the same server object")
+	wan := flag.Duration("wan", 0, "in -dataplane mode, emulate a WAN path: add this latency to every dial and delivered write (0 = direct in-process transport)")
 	flag.Parse()
 
 	if *xferWindow != 0 {
@@ -105,6 +117,9 @@ func main() {
 	}
 	if *peerXfer != 0 {
 		spmd.DefaultPeerXfer = *peerXfer > 0
+	}
+	if *autoTune {
+		spmd.DefaultAutoTune = true
 	}
 
 	if *overhead {
@@ -129,6 +144,8 @@ func main() {
 			doubles:       pick(*doubles, 1024, 0),
 			jsonOut:       *jsonOut,
 			peerAB:        *peerAB,
+			tuneAB:        *tuneAB,
+			wanLatency:    *wan,
 		})
 		return
 	}

@@ -34,8 +34,9 @@
 // and -flight-slow/-flight-errors size the slow-request flight
 // recorder behind /debug/slow. /healthz
 // answers a JSON body carrying admission queue depth, active SPMD
-// leases and outbound breaker states alongside the 503 saturation
-// signal, so the agent (and humans) can scrape one endpoint.
+// leases, outbound breaker states, and the resolved data-plane knobs
+// (plus per-endpoint tuner state under -auto-tune) alongside the 503
+// saturation signal, so the agent (and humans) can scrape one endpoint.
 //
 // Inspect a running domain with -list:
 //
@@ -87,6 +88,7 @@ func main() {
 	xferWindow := flag.Int("xfer-window", 0, "process-wide default for concurrent SPMD block streams per transfer (0 = min(4, GOMAXPROCS); 1 = serial)")
 	xferChunk := flag.Int("xfer-chunk", 0, "process-wide default SPMD block chunk size in bytes (0 = 256KiB, negative = disable chunking)")
 	peerXfer := flag.Int("peer-xfer", 0, "process-wide default for the SPMD peer data plane (0 = on when both endpoints are capable, negative = routed fallback only)")
+	autoTune := flag.Bool("auto-tune", false, "enable the self-tuning transport: per-endpoint path models re-derive SPMD chunk/window/stripe knobs from live transfer telemetry")
 	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently running handlers; over-cap requests wait in a bounded queue and are shed TRANSIENT beyond it (0 = unlimited, no admission control)")
 	maxInflightConn := flag.Int("max-inflight-per-conn", 0, "per-connection cap on concurrently running handlers (0 = derived: half of -max-inflight)")
 	maxQueue := flag.Int("max-queue", 0, "bound on requests waiting for an admission slot (0 = derived: 2x -max-inflight)")
@@ -106,6 +108,9 @@ func main() {
 	}
 	if *peerXfer != 0 {
 		spmd.DefaultPeerXfer = *peerXfer > 0
+	}
+	if *autoTune {
+		spmd.DefaultAutoTune = true
 	}
 
 	if *logLevel != "" {
@@ -283,6 +288,19 @@ func main() {
 				"inflight":            telemetry.Default.GaugeValue("pardis_server_inflight"),
 				"spmd_leases":         spmd.ActiveLeases(),
 				"spmd_leases_expired": spmd.ExpiredLeases(),
+				// The resolved data-plane defaults this process runs
+				// with — what a zero-valued knob actually means here.
+				"data_plane": map[string]any{
+					"xfer_window":      spmd.ResolvedXferWindow(),
+					"xfer_chunk_bytes": spmd.ResolvedXferChunkBytes(),
+					"peer_xfer":        spmd.ResolvedPeerXfer(),
+					"auto_tune":        spmd.DefaultAutoTune,
+				},
+			}
+			if spmd.DefaultAutoTune {
+				// Per-endpoint tuner state: estimates and the currently
+				// recommended knobs, one entry per observed path.
+				body["tune"] = spmd.AutoTuner.Snapshot()
 			}
 			if oc != nil {
 				breakers := make(map[string]string)

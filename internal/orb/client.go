@@ -38,7 +38,8 @@ type Client struct {
 	retry       RetryPolicy
 	deadline    time.Duration // default per-invoke deadline (0 = none)
 	health      *healthTable
-	stripeWidth int // max connections per endpoint
+	stripeWidth int                       // max connections per endpoint
+	stripeCap   func(endpoint string) int // dynamic ceiling (nil/<=0 = stripeWidth)
 
 	mu      sync.Mutex
 	stripes map[string]*stripe
@@ -141,6 +142,18 @@ func WithStripes(n int) ClientOption {
 		}
 		c.stripeWidth = n
 	}
+}
+
+// WithStripeCap installs a dynamic per-endpoint stripe ceiling: before
+// each growth decision, conn consults cap(endpoint) and may open
+// connections past the static width up to that value (a return <= 0
+// means "no opinion" and the static width applies). Growth stays lazy —
+// a new connection is still dialed only when every existing one is
+// busy — so a larger cap costs nothing on an idle path. The self-tuning
+// transport uses this to let its stripe recommendation take effect
+// without rebuilding clients.
+func WithStripeCap(capFn func(endpoint string) int) ClientOption {
+	return func(c *Client) { c.stripeCap = capFn }
 }
 
 // NewClient creates a client using the given transport registry (nil
@@ -259,11 +272,19 @@ func (c *Client) conn(endpoint string) (*clientConn, error) {
 	var best *clientConn
 	var bestDepth int64
 	for _, cc := range st.conns {
-		if d := cc.depth.Value(); best == nil || d < bestDepth {
+		// Load = pending request/replies plus one-way sends in flight,
+		// so pure block/put streams spread and grow stripes too.
+		if d := cc.depth.Value() + cc.sending.Load(); best == nil || d < bestDepth {
 			best, bestDepth = cc, d
 		}
 	}
-	if best != nil && (bestDepth == 0 || len(st.conns) >= c.stripeWidth) {
+	width := c.stripeWidth
+	if c.stripeCap != nil {
+		if w := c.stripeCap(endpoint); w > width {
+			width = w
+		}
+	}
+	if best != nil && (bestDepth == 0 || len(st.conns) >= width) {
 		return best, nil
 	}
 	raw, err := c.reg.Dial(endpoint)
@@ -619,6 +640,8 @@ func (c *Client) SendBlock(endpoint string, hdr giop.BlockTransferHeader, payloa
 	if err != nil {
 		return 0, err
 	}
+	cc.sending.Add(1)
+	defer cc.sending.Add(-1)
 	e := giop.AcquireEncoder(c.order)
 	hdr.Encode(e.Encoder)
 	hdrLen := e.Len()
@@ -642,6 +665,8 @@ func (c *Client) PutWindow(endpoint string, hdr giop.WindowPutHeader, blk []floa
 	if err != nil {
 		return 0, err
 	}
+	cc.sending.Add(1)
+	defer cc.sending.Add(-1)
 	hdr.Count = uint32(len(blk))
 	e := giop.AcquireEncoder(c.order)
 	hdr.Encode(e.Encoder)
@@ -736,6 +761,7 @@ type clientConn struct {
 	raw      transport.Conn
 	nextID   atomic.Uint32
 	depth    *telemetry.Gauge // pardis_client_stripe_depth{endpoint,stripe}
+	sending  atomic.Int64     // one-way writes (block/put) in flight
 
 	writeMu   sync.Mutex
 	cancelBuf [4]byte // preallocated CancelRequest body, guarded by writeMu

@@ -1,0 +1,68 @@
+package simnet
+
+import "testing"
+
+// TestPathWireFloor: no configuration transfers faster than the wire.
+func TestPathWireFloor(t *testing.T) {
+	for _, pt := range []Path{LANPath(), WANPath()} {
+		bytes := 8 << 20
+		floor := float64(bytes) / pt.BandwidthBps
+		for _, window := range []int{1, 4, 64} {
+			got := pt.TransferSeconds(bytes, 256<<10, window, 4)
+			if got < floor {
+				t.Errorf("%s window=%d: %.6gs beat the wire floor %.6gs", pt.Name, window, got, floor)
+			}
+		}
+	}
+}
+
+// TestPathWindowMonotone: a deeper window never slows a transfer (it
+// only admits more in-flight chunks), and on a long-RTT path it must
+// strictly help a bulk transfer.
+func TestPathWindowMonotone(t *testing.T) {
+	pt := WANPath()
+	bytes := 8 << 20
+	prev := pt.TransferSeconds(bytes, 256<<10, 1, 4)
+	for _, window := range []int{2, 4, 8, 16} {
+		got := pt.TransferSeconds(bytes, 256<<10, window, 4)
+		if got > prev*(1+1e-9) {
+			t.Errorf("window %d slower than shallower window: %.6g > %.6g", window, got, prev)
+		}
+		prev = got
+	}
+	deep := pt.TransferSeconds(bytes, 1<<20, 8, 8)
+	shallow := pt.TransferSeconds(bytes, 256<<10, 4, 4)
+	if shallow/deep < 2 {
+		t.Errorf("deep window speedup on WAN only %.2fx (shallow %.4gs, deep %.4gs)",
+			shallow/deep, shallow, deep)
+	}
+}
+
+// TestPathChunkAmortization: on a fast path, larger chunks pay fewer
+// per-chunk fixed costs for the same bytes.
+func TestPathChunkAmortization(t *testing.T) {
+	pt := LANPath()
+	bytes := 16 << 20
+	small := pt.TransferSeconds(bytes, 64<<10, 8, 4)
+	large := pt.TransferSeconds(bytes, 1<<20, 8, 4)
+	if large >= small {
+		t.Errorf("1 MiB chunks (%.6gs) not faster than 64 KiB chunks (%.6gs) on LAN", large, small)
+	}
+}
+
+// TestPathSingleChunkDegenerate: tiny and chunking-disabled transfers
+// reduce to setup + per-chunk cost + wire + RTT.
+func TestPathSingleChunkDegenerate(t *testing.T) {
+	pt := LANPath()
+	bytes := 80
+	want := pt.Setup + pt.PerChunkCost + float64(bytes)/pt.BandwidthBps + pt.RTT
+	for _, chunk := range []int{0, -1, 256 << 10} {
+		got := pt.TransferSeconds(bytes, chunk, 4, 4)
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("chunk=%d: %.9gs, want %.9gs", chunk, got, want)
+		}
+	}
+	if got := pt.TransferSeconds(0, 256<<10, 4, 4); got != pt.Setup {
+		t.Errorf("zero-byte transfer %.9gs, want setup %.9gs", got, pt.Setup)
+	}
+}

@@ -60,6 +60,18 @@ type BindConfig struct {
 	// ports; otherwise the binding falls back to the routed path
 	// (counted in pardis_spmd_peer_fallback_total).
 	PeerXfer int
+	// AutoTune enables the self-tuning transport (0 =
+	// spmd.DefaultAutoTune, negative = off): the binding probes the
+	// path RTT at bind time, feeds every transfer's bytes/seconds into
+	// the process-wide tuner (spmd.AutoTuner), and re-resolves its
+	// chunk, window, and stripe knobs from the tuner's recommendation
+	// before each transfer. Until the path has enough samples — and
+	// whenever tuning is off — the statically resolved XferWindow /
+	// XferChunkBytes / Stripes values apply unchanged. The path is
+	// keyed by the reference's first endpoint: replicas of one object
+	// are assumed co-located enough to share a path model. An explicit
+	// Stripes pin always wins over the tuner's stripe recommendation.
+	AutoTune int
 }
 
 // Binding is one client thread's stub-side connection to an SPMD
@@ -88,6 +100,11 @@ type Binding struct {
 	window     int
 	chunkElems int
 	peer       bool
+	// autoTune/pathKey: when tuning is on, sendBlocks re-resolves
+	// (window, chunkElems) from AutoTuner's recommendation for pathKey
+	// before each transfer and records the observed rate after it.
+	autoTune bool
+	pathKey  string
 
 	// rankLag is this rank's interned exit-barrier histogram (rank is
 	// fixed for the binding's lifetime, so resolve the labels once).
@@ -230,6 +247,24 @@ func bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 	if cfg.Stripes > 0 {
 		clientOpts = append(clientOpts, orb.WithStripes(cfg.Stripes))
 	}
+	autoTune := resolveAutoTune(cfg.AutoTune)
+	pathKey := ""
+	if autoTune && len(ref.Endpoints) > 0 {
+		pathKey = ref.Endpoints[0]
+	}
+	autoTune = autoTune && pathKey != ""
+	if autoTune && cfg.Stripes == 0 {
+		// Tuner-capped lazy stripe growth: the ORB client may open
+		// connections past the static width, up to the tuner's stripe
+		// recommendation, still one at a time and only under observed
+		// queueing (an explicit Stripes pin wins — see BindConfig).
+		clientOpts = append(clientOpts, orb.WithStripeCap(func(string) int {
+			if rec, ok := AutoTuner.Recommend(pathKey); ok {
+				return rec.Stripes
+			}
+			return 0
+		}))
+	}
 	b := &Binding{
 		cfg:    cfg,
 		th:     cfg.Thread,
@@ -241,6 +276,8 @@ func bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 	}
 	b.window = resolveWindow(cfg.XferWindow)
 	b.chunkElems = resolveChunkElems(cfg.XferChunkBytes)
+	b.autoTune = autoTune
+	b.pathKey = pathKey
 	b.rankLag = telemetry.Default.Histogram("pardis_spmd_rank_lag_seconds",
 		"side", "client", "rank", strconv.Itoa(b.rank))
 	b.xferIn = telemetry.Default.Histogram("pardis_spmd_transfer_seconds",
@@ -315,7 +352,14 @@ func bind(ctx context.Context, cfg BindConfig, ref *ior.Ref) (*Binding, error) {
 			ThreadRank:       0,
 			ThreadCount:      int32(b.size),
 		}
+		describeT := time.Now()
 		rh, order, body, err := b.oc.InvokeRef(ctx, ref, hdr, nil)
+		// The describe round trip doubles as the bind-time RTT probe: it
+		// is the cheapest request/reply pair the binding ever issues, and
+		// it happens exactly once, before any transfer needs the model.
+		if b.autoTune && err == nil {
+			AutoTuner.Probe(b.pathKey, time.Since(describeT))
+		}
 		if err == nil && rh.Status != giop.ReplyOK {
 			err = fmt.Errorf("%w: describe returned %v", ErrRemote, rh.Status)
 		}
@@ -815,18 +859,26 @@ func (b *Binding) startPhase(ctx context.Context, spec *CallSpec) (*Pending, err
 // blocks as one-sided puts into the windows the server's ranks
 // registered (sendPlanPuts).
 func (b *Binding) sendBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq *dseq.Doubles) error {
+	window, chunkElems := b.window, b.chunkElems
+	if b.autoTune {
+		window, chunkElems = tunedKnobs(b.pathKey, window, chunkElems)
+	}
 	t := time.Now()
 	var n uint64
 	var err error
 	if b.peer {
 		n, err = sendPlanPuts(b.oc, inv, argIdx, b.rank, plan, seq.LocalData(),
-			b.ref.ThreadEndpoint, b.window, b.chunkElems)
+			b.ref.ThreadEndpoint, window, chunkElems)
 	} else {
 		n, err = sendPlanBlocks(b.oc, inv, argIdx, b.rank, plan, seq.LocalData(),
-			b.ref.ThreadEndpoint, b.window, b.chunkElems)
+			b.ref.ThreadEndpoint, window, chunkElems)
 	}
+	elapsed := time.Since(t)
 	b.stats.bytesOut.Add(n)
-	b.xferIn.ObserveDuration(time.Since(t))
+	b.xferIn.ObserveDuration(elapsed)
+	if b.autoTune && err == nil {
+		AutoTuner.Record(b.pathKey, n, elapsed)
+	}
 	return err
 }
 

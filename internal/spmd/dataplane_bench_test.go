@@ -87,7 +87,7 @@ func startBenchObject(b *testing.B, reg *transport.Registry, m int) *benchObject
 	}}
 }
 
-func benchInTransfer(b *testing.B, length, threads, peerXfer int) {
+func benchInTransfer(b *testing.B, length, threads, peerXfer, autoTune int) {
 	reg := newReg()
 	obj := startBenchObject(b, reg, threads)
 	defer obj.close()
@@ -101,6 +101,7 @@ func benchInTransfer(b *testing.B, length, threads, peerXfer int) {
 			Method:         MultiPort,
 			ListenEndpoint: "inproc:*",
 			PeerXfer:       peerXfer,
+			AutoTune:       autoTune,
 		}, obj.ref)
 		if err != nil {
 			return err
@@ -130,20 +131,23 @@ func benchInTransfer(b *testing.B, length, threads, peerXfer int) {
 	}
 }
 
-// The plane dimension A/Bs the two data planes over the same server
+// The plane dimension A/Bs the data planes over the same server
 // object: peer (one-sided window puts, the default) against routed
 // (block frames through the sink router, forced by PeerXfer=-1 on the
-// binding).
+// binding), plus tuned (the peer plane with the self-tuning transport
+// re-resolving chunk/window per transfer, AutoTune=1 on the binding),
+// so the allocation ledger covers the tuner's hot path too.
 func BenchmarkMultiPortInTransfer(b *testing.B) {
 	planes := []struct {
-		name string
-		knob int
-	}{{"peer", 0}, {"routed", -1}}
+		name     string
+		peer     int
+		autoTune int
+	}{{"peer", 0, 0}, {"routed", -1, 0}, {"tuned", 0, 1}}
 	for _, length := range []int{16 << 10, 128 << 10, 1 << 20} {
 		for _, threads := range []int{1, 4} {
 			for _, plane := range planes {
 				b.Run(fmt.Sprintf("len=%dKi/threads=%d/plane=%s", length>>10, threads, plane.name),
-					func(b *testing.B) { benchInTransfer(b, length, threads, plane.knob) })
+					func(b *testing.B) { benchInTransfer(b, length, threads, plane.peer, plane.autoTune) })
 			}
 		}
 	}

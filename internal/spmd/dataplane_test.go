@@ -300,8 +300,12 @@ func TestFaultCutBlockStream(t *testing.T) {
 	cutReg := transport.NewRegistry()
 	cutReg.Register(cutDialTransport{listen: inproc, dial: cut})
 
+	// AutoTune rides along so the chaos sweep covers the self-tuning
+	// transport under faults: a failed send must not feed the tuner, and
+	// tuning must not change the failure verdict or leak sinks.
 	obj := startObjectCfg(t, okReg, 3, true, diffusionOps, func(cfg *ObjectConfig) {
 		cfg.PeerXfer = -1
+		cfg.AutoTune = 1
 	})
 
 	clientErr := mp.Run(3, func(proc *mp.Proc) error {
@@ -312,7 +316,7 @@ func TestFaultCutBlockStream(t *testing.T) {
 		}
 		b, err := Bind(context.Background(), BindConfig{
 			Thread: th, Registry: reg, Method: MultiPort, ListenEndpoint: "inproc:*",
-			PeerXfer: -1,
+			PeerXfer: -1, AutoTune: 1,
 		}, obj.ref)
 		if err != nil {
 			return err

@@ -91,6 +91,15 @@ type ObjectConfig struct {
 	// registered windows and direct out-puts. All threads must pass
 	// the same value.
 	PeerXfer int
+	// AutoTune enables the self-tuning transport for out-argument
+	// transfers (0 = spmd.DefaultAutoTune, negative = off): each rank
+	// feeds its out-transfer bytes/seconds into the process-wide tuner
+	// (spmd.AutoTuner) and re-resolves its chunk, window, and stripe
+	// knobs per transfer. The path is keyed by the invoking client's
+	// first receive endpoint (its threads are assumed co-located).
+	// All threads must pass the same value. An explicit Stripes pin
+	// wins over the tuner's stripe recommendation.
+	AutoTune int
 	// LeaseTTL is how long a client's server-side lease survives
 	// without traffic before its rank-side state (block sinks,
 	// in-dispatch waits) is reclaimed. 0 = DefaultLeaseTTL, negative =
@@ -123,10 +132,13 @@ type Object struct {
 	failed atomic.Uint64
 
 	// window/chunkElems/peer are the resolved data-plane knobs (see
-	// ObjectConfig.XferWindow / XferChunkBytes / PeerXfer).
+	// ObjectConfig.XferWindow / XferChunkBytes / PeerXfer); with
+	// autoTune on, sendBlocks re-resolves window/chunkElems from the
+	// shared tuner per transfer.
 	window     int
 	chunkElems int
 	peer       bool
+	autoTune   bool
 
 	// rankLag is this rank's interned post-invocation barrier
 	// histogram (rank is fixed for the object's lifetime).
@@ -203,6 +215,7 @@ func Export(cfg ObjectConfig) (*Object, error) {
 	o.window = resolveWindow(cfg.XferWindow)
 	o.chunkElems = resolveChunkElems(cfg.XferChunkBytes)
 	o.peer = cfg.MultiPort && resolvePeer(cfg.PeerXfer)
+	o.autoTune = resolveAutoTune(cfg.AutoTune)
 	if cfg.LeaseTTL >= 0 {
 		ttl := cfg.LeaseTTL
 		if ttl == 0 {
@@ -232,6 +245,17 @@ func Export(cfg ObjectConfig) (*Object, error) {
 	var outOpts []orb.ClientOption
 	if cfg.Stripes > 0 {
 		outOpts = append(outOpts, orb.WithStripes(cfg.Stripes))
+	} else if o.autoTune {
+		// Tuner-capped lazy stripe growth toward each client endpoint:
+		// the out-client may open connections past the static width, up
+		// to the tuner's recommendation for that destination, still only
+		// under observed queueing.
+		outOpts = append(outOpts, orb.WithStripeCap(func(ep string) int {
+			if rec, ok := AutoTuner.Recommend(ep); ok {
+				return rec.Stripes
+			}
+			return 0
+		}))
 	}
 	o.out = orb.NewClient(reg, outOpts...)
 
@@ -966,16 +990,29 @@ func (o *Object) sendBlocks(inv uint64, argIdx uint32, plan []dist.Transfer, seq
 		}
 		return endpoints[0]
 	}
+	window, chunkElems := o.window, o.chunkElems
+	pathKey := ""
+	if o.autoTune {
+		// Keyed by the client's first receive endpoint: its threads are
+		// assumed co-located, so one path model covers the fan-out.
+		pathKey = endpoints[0]
+		window, chunkElems = tunedKnobs(pathKey, window, chunkElems)
+	}
 	t := time.Now()
+	var n uint64
 	var err error
 	if peer {
-		_, err = sendPlanPuts(o.out, inv, argIdx, o.rank, plan, seq.LocalData(),
-			endpointFor, o.window, o.chunkElems)
+		n, err = sendPlanPuts(o.out, inv, argIdx, o.rank, plan, seq.LocalData(),
+			endpointFor, window, chunkElems)
 	} else {
-		_, err = sendPlanBlocks(o.out, inv, argIdx, o.rank, plan, seq.LocalData(),
-			endpointFor, o.window, o.chunkElems)
+		n, err = sendPlanBlocks(o.out, inv, argIdx, o.rank, plan, seq.LocalData(),
+			endpointFor, window, chunkElems)
 	}
-	o.xferOut.ObserveDuration(time.Since(t))
+	elapsed := time.Since(t)
+	o.xferOut.ObserveDuration(elapsed)
+	if o.autoTune && err == nil {
+		AutoTuner.Record(pathKey, n, elapsed)
+	}
 	return err
 }
 

@@ -1,0 +1,80 @@
+package spmd
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pardis/internal/mp"
+	"pardis/internal/rts"
+)
+
+// TestAutoTuneEndToEnd runs the diffusion invocation with AutoTune on
+// both sides: results must stay element-exact while the shared tuner
+// accumulates the bind-time RTT probe and per-transfer samples for the
+// object's path, proving the re-resolution loop is actually engaged.
+func TestAutoTuneEndToEnd(t *testing.T) {
+	reg := newReg()
+	obj := startObjectCfg(t, reg, 3, true, diffusionOps, func(cfg *ObjectConfig) {
+		cfg.AutoTune = 1
+	})
+	defer obj.close()
+	err := mp.Run(2, func(proc *mp.Proc) error {
+		th := rts.NewMessagePassing(proc)
+		b, err := Bind(context.Background(), BindConfig{
+			Thread: th, Registry: reg, Method: MultiPort,
+			ListenEndpoint: "inproc:*",
+			AutoTune:       1,
+		}, obj.ref)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		if !b.autoTune {
+			return fmt.Errorf("rank %d: binding did not resolve AutoTune on", th.Rank())
+		}
+		// Enough invocations (and bytes) for the tuner to pass its
+		// MinSamples gate and start re-deriving knobs mid-run; every
+		// invocation still verifies element-exact results.
+		for i := 0; i < 6; i++ {
+			if err := invokeDiffusion(b, th, 40000, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := obj.ref.Endpoints[0]
+	found := false
+	for _, st := range AutoTuner.Snapshot() {
+		if st.Endpoint != key {
+			continue
+		}
+		found = true
+		if st.Samples == 0 {
+			t.Errorf("path %s recorded no transfer samples", key)
+		}
+		if st.RTTSeconds <= 0 {
+			t.Errorf("path %s has no RTT estimate — the bind-time probe never fired", key)
+		}
+	}
+	if !found {
+		t.Fatalf("shared tuner has no path for %s", key)
+	}
+}
+
+// TestAutoTuneOffByDefault: with the knob at its zero value and the
+// package default off, a binding must not touch the tuner.
+func TestAutoTuneOffByDefault(t *testing.T) {
+	if resolveAutoTune(0) != DefaultAutoTune {
+		t.Fatal("resolveAutoTune(0) does not follow DefaultAutoTune")
+	}
+	if resolveAutoTune(-1) {
+		t.Fatal("resolveAutoTune(-1) must force tuning off")
+	}
+	if !resolveAutoTune(1) {
+		t.Fatal("resolveAutoTune(1) must force tuning on")
+	}
+}

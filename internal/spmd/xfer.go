@@ -33,6 +33,7 @@ import (
 	"pardis/internal/giop"
 	"pardis/internal/orb"
 	"pardis/internal/telemetry"
+	"pardis/internal/tune"
 )
 
 // Package-wide data-plane defaults, overridable per binding/object via
@@ -52,7 +53,54 @@ var (
 	// both sides are capable. The PeerXfer knobs default to it; a
 	// negative knob forces the routed block path.
 	DefaultPeerXfer = true
+	// DefaultAutoTune resolves the per-endpoint self-tuning transport
+	// (AutoTune knobs on BindConfig/ObjectConfig; the pardisd and
+	// pardis-bench -auto-tune flags flip it process-wide). Off by
+	// default: tuning changes knobs between transfers, which A/B
+	// benchmarks and wire-identical tests must be able to rely on not
+	// happening.
+	DefaultAutoTune = false
 )
+
+// AutoTuner is the process-wide path estimator self-tuning bindings
+// and objects share: transfer engines feed it per-transfer
+// bytes/seconds (plus the bind-time RTT probe) and re-resolve their
+// chunk, window and stripe knobs from it before every transfer.
+// Sharing one tuner means every binding to the same endpoint benefits
+// from every other binding's samples.
+var AutoTuner = tune.New(tune.Config{})
+
+// resolveAutoTune maps an AutoTune knob to the effective wish:
+// 0 = package default, negative = off.
+func resolveAutoTune(v int) bool {
+	if v == 0 {
+		return DefaultAutoTune
+	}
+	return v > 0
+}
+
+// ResolvedXferWindow reports the effective process-wide default
+// transfer window (what a zero XferWindow config resolves to).
+func ResolvedXferWindow() int { return resolveWindow(0) }
+
+// ResolvedXferChunkBytes reports the effective process-wide default
+// chunk threshold in bytes (0 when chunking is disabled).
+func ResolvedXferChunkBytes() int { return resolveChunkElems(0) * 8 }
+
+// ResolvedPeerXfer reports the effective process-wide default peer
+// data-plane wish.
+func ResolvedPeerXfer() bool { return resolvePeer(0) }
+
+// tunedKnobs re-resolves (window, chunkElems) from the shared tuner
+// for one transfer, falling back to the statically resolved values
+// until the path has enough samples.
+func tunedKnobs(pathKey string, window, chunkElems int) (int, int) {
+	rec, ok := AutoTuner.Recommend(pathKey)
+	if !ok {
+		return window, chunkElems
+	}
+	return rec.XferWindow, max(rec.XferChunkBytes/8, 1)
+}
 
 // resolveWindow maps a config value to an effective send window:
 // 0 = package default, negative = serial (window 1).
