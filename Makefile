@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos soak bench bench-quick bench-dataplane bench-peer bench-tune bench-overhead bench-snapshot benchdiff lint-telemetry lint-fault fuzz-smoke fmt
+.PHONY: build test verify chaos chaos-agent soak bench bench-quick bench-dataplane bench-peer bench-tune bench-overhead bench-snapshot benchdiff lint-telemetry lint-fault fuzz-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -73,13 +73,21 @@ fuzz-smoke:
 chaos:
 	$(GO) test -run Fault -race ./...
 
+# chaos-agent loops only the agent-loss suites (agent killed mid-burst,
+# asymmetric blackhole, partition-then-heal, breaker flap) — the
+# control-plane replication proofs — SOAK_COUNT times under the race
+# detector. Cheaper than a full soak when iterating on the agent.
+chaos-agent:
+	$(GO) test -run 'Fault(Agent|Peer)' -race -count $(SOAK_COUNT) \
+		-timeout 30m ./internal/agent/
+
 # soak loops the chaos suites SOAK_COUNT times under the race detector
 # — timing-sensitive failure modes (heartbeat expiry racing a kill,
 # agent restart mid-burst, lease reclamation) rarely show on a single
 # pass. Packages limited to those with TestFault* suites to keep the
 # loop hot.
 SOAK_COUNT ?= 10
-soak:
+soak: chaos-agent
 	$(GO) test -run Fault -race -count $(SOAK_COUNT) -timeout 30m \
 		./internal/agent/ ./internal/naming/ ./internal/orb/ \
 		./internal/spmd/ ./internal/transport/

@@ -19,13 +19,29 @@ import (
 //	           rates, latency quantiles, queue depth, leases,
 //	           breaker states, digest staleness and tail exemplars
 //	/healthz — the usual yes/no plus a fleet summary (replicas,
-//	           draining count, worst score, max digest age)
+//	           draining count, worst score, max digest age) and, for
+//	           a replicated agent, per-peer liveness (last sync age,
+//	           last error, remote row count) and table divergence
 //
 // Everything else (debug/traces, debug/slow, pprof, ...) falls
 // through to telemetry.Handler.
-func fleetHandler(table *agent.Table) http.Handler {
+func fleetHandler(table *agent.Table, peers *agent.Peers) http.Handler {
 	status := func() map[string]any {
-		return map[string]any{"fleet": table.Summary()}
+		body := map[string]any{"fleet": table.Summary()}
+		if peers != nil {
+			sts := peers.Status()
+			worst := 0
+			for _, st := range sts {
+				if st.Divergence > worst {
+					worst = st.Divergence
+				}
+			}
+			names, rows := table.Size()
+			body["peers"] = sts
+			body["peer_divergence"] = worst
+			body["table"] = map[string]int{"names": names, "replicas": rows}
+		}
+		return body
 	}
 	inner := telemetry.Handler(nil, nil, nil, status)
 	mux := http.NewServeMux()

@@ -18,14 +18,27 @@
 //
 //	pardis-agent -listen tcp:0.0.0.0:9070
 //
-// Inspect a running agent:
+// The control plane itself replicates without consensus: run several
+// agents, point every registrar and resolver at all of them
+// (comma-separated endpoint lists), and give each agent its peers —
+// heartbeats fan out to every agent, and a peer-sync round at sweep
+// cadence (snapshot exchange, newest-renewal-wins merge, tombstoned
+// deregistrations) converges a freshly started or partition-healed
+// agent within one sweep instead of one TTL:
 //
-//	pardis-agent -list -at tcp:127.0.0.1:9070
+//	pardis-agent -listen tcp:0.0.0.0:9070 -peers tcp:127.0.0.1:9072
+//	pardis-agent -listen tcp:0.0.0.0:9072 -peers tcp:127.0.0.1:9070
+//
+// Inspect a running agent (a comma-separated -at list falls through
+// dead agents, like the client resolver's ladder):
+//
+//	pardis-agent -list -at tcp:127.0.0.1:9070,tcp:127.0.0.1:9072
 //	pardis-agent -resolve demo/echo -at tcp:127.0.0.1:9070
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -34,6 +47,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,10 +58,11 @@ import (
 
 func main() {
 	listen := flag.String("listen", "tcp:127.0.0.1:9070", "endpoint to serve the agent at")
-	sweep := flag.Duration("sweep", agent.DefaultHeartbeatInterval/2, "cadence of the TTL sweep that expires replicas missing heartbeats")
+	sweep := flag.Duration("sweep", agent.DefaultHeartbeatInterval/2, "cadence of the TTL sweep that expires replicas missing heartbeats (also the peer-sync cadence)")
+	peers := flag.String("peers", "", "comma-separated peer agent endpoints to exchange table snapshots with at sweep cadence (empty = standalone)")
 	resolve := flag.String("resolve", "", "resolve this name at an existing agent (-at) instead of serving")
 	list := flag.Bool("list", false, "list the replica table of an existing agent (-at) instead of serving")
-	at := flag.String("at", "tcp:127.0.0.1:9070", "agent endpoint for -resolve / -list")
+	at := flag.String("at", "tcp:127.0.0.1:9070", "agent endpoint(s) for -resolve / -list; a comma-separated list falls through dead agents in order")
 	prefix := flag.String("prefix", "", "name prefix filter for -list")
 	rpcTimeout := flag.Duration("rpc-timeout", 5*time.Second, "per-invocation deadline for -resolve / -list")
 	metricsListen := flag.String("metrics-listen", "", "host:port to serve /metrics, /fleet, /healthz, /debug/vars, /debug/traces and /debug/pprof at (empty = disabled)")
@@ -79,13 +94,37 @@ func main() {
 	}
 	fmt.Printf("pardis-agent: serving at %s\n", ep)
 
+	// Peer sync: exchange table snapshots with the other agents of a
+	// replicated control plane at sweep cadence.
+	var peerSync *agent.Peers
+	var peerOC *orb.Client
+	if *peers != "" {
+		peerOC = orb.NewClient(nil, orb.WithDefaultDeadline(*rpcTimeout))
+		var clients []*agent.Client
+		for _, pep := range splitEndpoints(*peers) {
+			if pep == ep {
+				continue // talking to ourselves converges nothing
+			}
+			clients = append(clients, agent.NewClient(peerOC, pep))
+		}
+		if len(clients) > 0 {
+			peerSync = agent.NewPeers(agent.PeersConfig{
+				Table:    table,
+				Clients:  clients,
+				Interval: *sweep,
+			})
+			peerSync.Start()
+			fmt.Printf("pardis-agent: syncing with %d peer(s) every %v\n", len(clients), *sweep)
+		}
+	}
+
 	if *metricsListen != "" {
 		ml, err := net.Listen("tcp", *metricsListen)
 		if err != nil {
 			fatal(fmt.Errorf("metrics listener: %w", err))
 		}
 		go func() {
-			_ = http.Serve(ml, fleetHandler(table))
+			_ = http.Serve(ml, fleetHandler(table, peerSync))
 		}()
 		fmt.Printf("METRICS=%s\n", ml.Addr())
 	}
@@ -94,32 +133,85 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("pardis-agent: shutting down")
+	if peerSync != nil {
+		peerSync.Stop()
+	}
+	if peerOC != nil {
+		defer peerOC.Close()
+	}
 	stopSweeper()
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(ctx)
 }
 
+// splitEndpoints parses a comma-separated endpoint list, dropping
+// empty elements and surrounding whitespace.
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, ep := range strings.Split(s, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
 // runQuery implements -resolve and -list against a running agent.
+// The -at argument may name several agents; like the client
+// resolver's ladder, dead ones are fallen through in order, while a
+// live agent's authoritative NotFound ends the walk.
 func runQuery(at, name, prefix string, rpcTimeout time.Duration) {
 	oc := orb.NewClient(nil, orb.WithDefaultDeadline(rpcTimeout))
 	defer oc.Close()
-	ac := agent.NewClient(oc, at)
+	endpoints := splitEndpoints(at)
+	if len(endpoints) == 0 {
+		fatal(fmt.Errorf("-at names no agent endpoint"))
+	}
 	ctx := context.Background()
 
-	if name != "" {
-		ref, replicas, err := ac.Resolve(ctx, name)
-		if err != nil {
-			fatal(err)
+	// query runs fn against each agent in turn, stopping at the first
+	// that answers. NotFound is an answer — the agent is live and has
+	// no row — so only transport-level failures fall through.
+	query := func(fn func(ac *agent.Client) error) {
+		var lastErr error
+		for i, ep := range endpoints {
+			// The per-invocation deadline comes from the shared orb
+			// client's default (rpcTimeout), so a dead agent costs one
+			// bounded attempt before the walk moves on.
+			err := fn(agent.NewClient(oc, ep))
+			if err == nil || errors.Is(err, agent.ErrNotFound) {
+				if err != nil {
+					fatal(err)
+				}
+				return
+			}
+			lastErr = err
+			if i < len(endpoints)-1 {
+				fmt.Fprintf(os.Stderr, "pardis-agent: %s unreachable (%v); trying next\n", ep, err)
+			}
 		}
-		fmt.Printf("%s  replicas=%d\n%s\n", name, replicas, ref.Stringify())
+		fatal(fmt.Errorf("no agent reachable: %w", lastErr))
+	}
+
+	if name != "" {
+		query(func(ac *agent.Client) error {
+			ref, replicas, err := ac.Resolve(ctx, name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s  replicas=%d\n%s\n", name, replicas, ref.Stringify())
+			return nil
+		})
 		return
 	}
 
-	entries, err := ac.List(ctx, prefix)
-	if err != nil {
-		fatal(err)
-	}
+	var entries []agent.ListEntry
+	query(func(ac *agent.Client) error {
+		var err error
+		entries, err = ac.List(ctx, prefix)
+		return err
+	})
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
 	for _, ent := range entries {
 		fmt.Printf("%s\n", ent.Name)

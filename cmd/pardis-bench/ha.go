@@ -1,13 +1,18 @@
 // HA benchmark mode: -ha assembles the whole NetSolve-style agent
-// stack in-process — an agent, N heartbeat-tracked echo replicas, a
+// stack in-process — agents, N heartbeat-tracked echo replicas, a
 // static naming fallback — and drives a sustained InvokeNamed burst
-// through the load-ranked resolution ladder. With -kill (the default)
-// one replica is crashed mid-run, heartbeats and all; the summary
-// reports whether any failure leaked to the client alongside the
-// failover/re-resolution work the ORB did to absorb it:
+// through the load-ranked resolution ladder. With -agents >1 the
+// control plane itself replicates: heartbeats fan out to every agent,
+// the agents peer-sync their tables at sweep cadence, and the
+// resolver rotates across them. With -kill (the default) one replica
+// — and, when replicated, one agent — is crashed mid-run, heartbeats
+// and all; the summary reports whether any failure leaked to the
+// client alongside the failover/re-resolution work the stack did to
+// absorb it:
 //
 //	pardis-bench -ha
 //	pardis-bench -ha -replicas 5 -ops 20000 -json
+//	pardis-bench -ha -agents 3
 //	pardis-bench -ha -kill=false
 package main
 
@@ -37,6 +42,7 @@ type haConfig struct {
 	doubles     int
 	concurrency int
 	replicas    int
+	agents      int
 	kill        bool
 	jsonOut     bool
 }
@@ -47,7 +53,11 @@ type haResult struct {
 	Ops             int     `json:"ops"`
 	Errors          int     `json:"errors"`
 	Replicas        int     `json:"replicas"`
+	Agents          int     `json:"agents"`
 	Killed          bool    `json:"killed_one_mid_run"`
+	AgentKilled     bool    `json:"killed_agent_mid_run"`
+	PeerSyncs       uint64  `json:"agent_peer_syncs"`
+	PeerRowsAdopted uint64  `json:"agent_peer_rows_adopted"`
 	Elapsed         float64 `json:"elapsed_seconds"`
 	OpsPerSec       float64 `json:"ops_per_sec"`
 	P50us           float64 `json:"p50_us"`
@@ -67,21 +77,60 @@ const (
 	haEchoTypeID = "IDL:pardis/Echo:1.0"
 )
 
+// haAgentNode is one member of the benchmark's control plane.
+type haAgentNode struct {
+	table     *agent.Table
+	srv       *orb.Server
+	ep        string
+	peers     *agent.Peers
+	stopSweep func()
+}
+
 func runHA(cfg haConfig) {
+	if cfg.agents < 1 {
+		cfg.agents = 1
+	}
 	reg := transport.NewRegistry()
 	reg.Register(transport.NewInproc())
 
-	// The agent: heartbeat-tracked replica table with TTL sweeping.
-	table := agent.NewTable()
-	asrv := orb.NewServer(reg)
-	agent.Serve(asrv, table)
-	aep, err := asrv.Listen("inproc:*")
-	if err != nil {
-		fatal(err)
+	// The control plane: one or more agents, each a heartbeat-tracked
+	// replica table with TTL sweeping, peer-synced at sweep cadence
+	// when replicated.
+	hb := orb.NewClient(reg, orb.WithDefaultDeadline(2*time.Second))
+	defer hb.Close()
+	agents := make([]*haAgentNode, 0, cfg.agents)
+	for i := 0; i < cfg.agents; i++ {
+		a := &haAgentNode{table: agent.NewTable()}
+		a.srv = orb.NewServer(reg)
+		agent.Serve(a.srv, a.table)
+		ep, err := a.srv.Listen("inproc:*")
+		if err != nil {
+			fatal(err)
+		}
+		a.ep = ep
+		a.stopSweep = a.table.StartSweeper(haInterval / 2)
+		agents = append(agents, a)
+		defer a.srv.Close()
+		defer a.stopSweep()
 	}
-	defer asrv.Close()
-	stopSweep := table.StartSweeper(haInterval / 2)
-	defer stopSweep()
+	aeps := make([]string, len(agents))
+	for i, a := range agents {
+		aeps[i] = a.ep
+	}
+	for i, a := range agents {
+		var peers []*agent.Client
+		for j, b := range agents {
+			if j != i {
+				peers = append(peers, agent.NewClient(hb, b.ep))
+			}
+		}
+		if len(peers) > 0 {
+			a.peers = agent.NewPeers(agent.PeersConfig{
+				Table: a.table, Clients: peers, Interval: haInterval / 2})
+			a.peers.Start()
+			defer a.peers.Stop()
+		}
+	}
 
 	// Static naming registry: the resolution ladder's last rung.
 	nreg := naming.NewRegistry()
@@ -93,10 +142,8 @@ func runHA(cfg haConfig) {
 	}
 	defer nsrv.Close()
 
-	// N echo replicas, each heartbeating into the agent and merged
-	// into the static binding.
-	hb := orb.NewClient(reg, orb.WithDefaultDeadline(2*time.Second))
-	defer hb.Close()
+	// N echo replicas, each fanning heartbeats out to every agent and
+	// merged into the static binding.
 	type haReplica struct {
 		srv *orb.Server
 		reg *agent.Registrar
@@ -120,8 +167,12 @@ func runHA(cfg haConfig) {
 		if err := nreg.BindReplica(haName, ref); err != nil {
 			fatal(err)
 		}
+		acs := make([]*agent.Client, len(aeps))
+		for j, aep := range aeps {
+			acs[j] = agent.NewClient(hb, aep)
+		}
 		r := agent.NewRegistrar(agent.RegistrarConfig{
-			Client:   agent.NewClient(hb, aep),
+			Clients:  acs,
 			Instance: fmt.Sprintf("replica-%d", i),
 			Interval: haInterval,
 		})
@@ -137,13 +188,20 @@ func runHA(cfg haConfig) {
 			r.srv.Close()
 		}
 	}()
-	// Wait for every replica's first heartbeat to land.
+	// Wait for every replica's first heartbeat to land at every agent.
 	for deadline := time.Now().Add(5 * time.Second); ; {
-		if _, reps := table.Size(); reps == cfg.replicas {
+		full := true
+		for _, a := range agents {
+			if _, reps := a.table.Size(); reps != cfg.replicas {
+				full = false
+				break
+			}
+		}
+		if full {
 			break
 		}
 		if time.Now().After(deadline) {
-			fatal(fmt.Errorf("agent table never filled: %d replicas missing", cfg.replicas))
+			fatal(fmt.Errorf("agent tables never filled to %d replicas", cfg.replicas))
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -154,8 +212,12 @@ func runHA(cfg haConfig) {
 		orb.WithRetryPolicy(orb.DefaultRetryPolicy()),
 		orb.WithDefaultDeadline(5*time.Second))
 	defer oc.Close()
+	racs := make([]*agent.Client, len(aeps))
+	for i, aep := range aeps {
+		racs[i] = agent.NewClient(oc, aep)
+	}
 	res := agent.NewResolver(agent.ResolverConfig{
-		Agent:    agent.NewClient(oc, aep),
+		Agents:   racs,
 		Naming:   naming.NewClient(oc, nep),
 		FreshFor: haInterval,
 	})
@@ -169,21 +231,34 @@ func runHA(cfg haConfig) {
 	var done atomic.Int64
 	var errCount atomic.Int64
 	killAt := int64(cfg.ops) / 3
+	killReplica := cfg.kill && cfg.replicas > 1
+	killAgent := cfg.kill && cfg.agents > 1
 	killed := make(chan struct{})
-	if cfg.kill && cfg.replicas > 1 {
-		// The killer crashes replica 0 a third of the way in: its
-		// connections drop and its heartbeats stop — no deregistration,
-		// only the TTL reaps it.
+	if killReplica || killAgent {
+		// The killer strikes a third of the way in: replica 0 crashes
+		// (connections drop, heartbeats stop — no deregistration, only
+		// the TTL reaps it) and, with a replicated control plane, agent
+		// 0 dies with it (peer loop, sweeper and server all at once).
 		go func() {
 			defer close(killed)
 			for done.Load() < killAt {
 				time.Sleep(time.Millisecond)
 			}
-			victim := replicas[0]
-			ctx, cancel := context.WithCancel(context.Background())
-			cancel()
-			_ = victim.reg.Stop(ctx)
-			victim.srv.Close()
+			if killReplica {
+				victim := replicas[0]
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				_ = victim.reg.Stop(ctx)
+				victim.srv.Close()
+			}
+			if killAgent {
+				a := agents[0]
+				if a.peers != nil {
+					a.peers.Stop()
+				}
+				a.stopSweep()
+				a.srv.Close()
+			}
 		}()
 	} else {
 		close(killed)
@@ -233,7 +308,11 @@ func runHA(cfg haConfig) {
 		Ops:             cfg.ops,
 		Errors:          int(errCount.Load()),
 		Replicas:        cfg.replicas,
-		Killed:          cfg.kill && cfg.replicas > 1,
+		Agents:          cfg.agents,
+		Killed:          killReplica,
+		AgentKilled:     killAgent,
+		PeerSyncs:       tr.CounterValue("pardis_agent_peer_syncs_total"),
+		PeerRowsAdopted: tr.CounterValue("pardis_agent_peer_rows_adopted_total"),
 		Elapsed:         elapsed.Seconds(),
 		OpsPerSec:       float64(cfg.ops) / elapsed.Seconds(),
 		P50us:           snap.Quantile(0.50) * 1e6,
@@ -255,8 +334,8 @@ func runHA(cfg haConfig) {
 		return
 	}
 
-	fmt.Printf("ha bench: %d ops x %d doubles, concurrency %d, %d replicas, kill-one=%v\n",
-		out.Ops, cfg.doubles, cfg.concurrency, out.Replicas, out.Killed)
+	fmt.Printf("ha bench: %d ops x %d doubles, concurrency %d, %d replicas, %d agent(s), kill-one=%v\n",
+		out.Ops, cfg.doubles, cfg.concurrency, out.Replicas, out.Agents, out.Killed)
 	fmt.Printf("  %.0f ops/s over %.2fs — %d client-visible errors\n",
 		out.OpsPerSec, out.Elapsed, out.Errors)
 	fmt.Printf("  invoke latency: p50 %.0fus  p95 %.0fus  p99 %.0fus (n=%d)\n",
@@ -265,9 +344,17 @@ func runHA(cfg haConfig) {
 		out.Retries, out.Failovers, out.ReResolves)
 	fmt.Printf("  agent: heartbeats=%d replicas_expired=%d\n",
 		out.Heartbeats, out.ReplicasExpired)
-	printFleet(table)
+	if cfg.agents > 1 {
+		fmt.Printf("  control plane: peer_syncs=%d rows_adopted=%d\n",
+			out.PeerSyncs, out.PeerRowsAdopted)
+	}
+	// The fleet view comes off the last agent — never the kill victim.
+	printFleet(agents[len(agents)-1].table)
 	printFlightSummary("echo")
-	if out.Killed && out.Errors == 0 {
+	switch {
+	case out.Killed && out.AgentKilled && out.Errors == 0:
+		fmt.Println("  replica and agent killed mid-run; zero failures reached the client")
+	case out.Killed && out.Errors == 0:
 		fmt.Println("  replica killed mid-run; zero failures reached the client")
 	}
 }

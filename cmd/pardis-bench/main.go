@@ -23,11 +23,15 @@
 // -ha drives the NetSolve-style agent stack in-process: an agent, N
 // heartbeat-tracked echo replicas and a static naming fallback under
 // a sustained name-level invocation burst, with one replica crashed
-// mid-run (disable with -kill=false). The summary reports the client-
+// mid-run (disable with -kill=false). -agents replicates the control
+// plane itself: heartbeats fan out to every agent, the agents
+// peer-sync their tables, the resolver rotates on failure — and -kill
+// then crashes an agent mid-run too. The summary reports the client-
 // visible error count next to the failover/re-resolution work that
-// absorbed the crash:
+// absorbed the crashes:
 //
 //	pardis-bench -ha -replicas 3
+//	pardis-bench -ha -agents 2
 //	pardis-bench -ha -json
 //
 // -dataplane benchmarks the real SPMD data plane instead: an n-thread
@@ -91,7 +95,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the -live summary as JSON (bench-snapshot format)")
 	ha := flag.Bool("ha", false, "drive the agent HA stack in-process: heartbeat-tracked replicas, load-ranked resolution, client failover")
 	replicas := flag.Int("replicas", 3, "replica count in -ha mode")
-	kill := flag.Bool("kill", true, "crash one replica mid-run in -ha mode (-kill=false for a fault-free baseline)")
+	agents := flag.Int("agents", 1, "agent count in -ha mode; >1 replicates the control plane (heartbeat fan-out, peer sync, resolver rotation)")
+	kill := flag.Bool("kill", true, "crash one replica (and, with -agents >1, one agent) mid-run in -ha mode (-kill=false for a fault-free baseline)")
 	overhead := flag.Bool("overhead", false, "measure the observability plane's throughput cost: A/B the echo workload with exemplars+flight recorder+digest collection off vs on")
 	overheadRounds := flag.Int("overhead-rounds", 5, "interleaved baseline/loaded round pairs in -overhead mode")
 	overheadSample := flag.Float64("overhead-sample", 0.05, "trace-sampling rate held equal on both -overhead sides (exemplars need sampled traces)")
@@ -156,6 +161,7 @@ func main() {
 			doubles:     pick(*doubles, 1024, 256),
 			concurrency: *concurrency,
 			replicas:    *replicas,
+			agents:      *agents,
 			kill:        *kill,
 			jsonOut:     *jsonOut,
 		})

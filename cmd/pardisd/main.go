@@ -52,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -95,7 +96,7 @@ func main() {
 	maxQueueWait := flag.Duration("max-queue-wait", time.Second, "longest a request may wait for admission before a TRANSIENT shed (0 = bounded only by its own deadline)")
 	namingAt := flag.String("naming", "", "external naming service endpoint; empty = host the naming service in this process")
 	serveEcho := flag.String("serve-echo", "", "export a conventional echo object under this global name (a replica: bound into naming by endpoint merge, registered with the agent when -agent is set)")
-	agentAt := flag.String("agent", "", "agent service endpoint to register served objects with (heartbeat-renewed; empty = no agent)")
+	agentAt := flag.String("agent", "", "agent endpoint(s) to register served objects with (heartbeat-renewed; a comma-separated list fans every beat out to all agents of a replicated control plane; empty = no agent)")
 	heartbeat := flag.Duration("heartbeat", agent.DefaultHeartbeatInterval, "agent heartbeat interval (registration TTL is 3x this)")
 	instance := flag.String("instance", "", "instance identity for agent registration (empty = generated)")
 	flag.Parse()
@@ -248,8 +249,14 @@ func main() {
 		if echoRef == nil {
 			fatal(fmt.Errorf("-agent without -serve-echo leaves nothing to register"))
 		}
+		var agents []*agent.Client
+		for _, aep := range strings.Split(*agentAt, ",") {
+			if aep = strings.TrimSpace(aep); aep != "" {
+				agents = append(agents, agent.NewClient(outbound(), aep))
+			}
+		}
 		registrar = agent.NewRegistrar(agent.RegistrarConfig{
-			Client:   agent.NewClient(outbound(), *agentAt),
+			Clients:  agents,
 			Instance: *instance,
 			Interval: *heartbeat,
 			Load:     loadReport,

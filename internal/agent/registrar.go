@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"log/slog"
 	"sync"
 	"time"
@@ -21,6 +22,13 @@ var (
 type RegistrarConfig struct {
 	// Client talks to the agent service.
 	Client *Client
+	// Clients extends the fan-out to a replicated control plane:
+	// every beat (and the Stop-time deregistration) goes to each
+	// configured agent, so every agent independently converges its
+	// replica table from the same soft-state stream — no consensus,
+	// the heartbeats are the anti-entropy channel. Client, when also
+	// set, is folded in; duplicate endpoints collapse.
+	Clients []*Client
 	// Instance identifies this server process; empty generates a
 	// random one.
 	Instance string
@@ -50,10 +58,11 @@ type RegistrarConfig struct {
 // logged, never fatal, and the next tick simply tries again (which is
 // also how the table repopulates after an agent restart).
 type Registrar struct {
-	cfg  RegistrarConfig
-	kick chan struct{}
-	done chan struct{}
-	wg   sync.WaitGroup
+	cfg     RegistrarConfig
+	clients []*Client // resolved fan-out set (Client + Clients, deduped)
+	kick    chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
 
 	mu      sync.Mutex
 	names   map[string]*ior.Ref
@@ -87,11 +96,25 @@ func NewRegistrar(cfg RegistrarConfig) *Registrar {
 			cfg.RPCTimeout = 2 * time.Second
 		}
 	}
+	clients := make([]*Client, 0, len(cfg.Clients)+1)
+	seen := make(map[string]bool, len(cfg.Clients)+1)
+	if cfg.Client != nil {
+		clients = append(clients, cfg.Client)
+		seen[cfg.Client.Endpoint()] = true
+	}
+	for _, c := range cfg.Clients {
+		if c == nil || seen[c.Endpoint()] {
+			continue
+		}
+		seen[c.Endpoint()] = true
+		clients = append(clients, c)
+	}
 	return &Registrar{
-		cfg:   cfg,
-		kick:  make(chan struct{}, 1),
-		done:  make(chan struct{}),
-		names: make(map[string]*ior.Ref),
+		cfg:     cfg,
+		clients: clients,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		names:   make(map[string]*ior.Ref),
 	}
 }
 
@@ -153,8 +176,10 @@ func (r *Registrar) loop() {
 	}
 }
 
-// beat sends one registration heartbeat carrying the current name set
-// and load snapshot.
+// beat sends one registration heartbeat — the current name set, load
+// and digest sampled once — to every configured agent concurrently,
+// each attempt bounded by RPCTimeout so one hung agent cannot starve
+// the others of their renewal or stall the loop past its cadence.
 func (r *Registrar) beat() {
 	r.mu.Lock()
 	names := make([]NameRef, 0, len(r.names))
@@ -162,7 +187,7 @@ func (r *Registrar) beat() {
 		names = append(names, NameRef{Name: name, Ref: ref})
 	}
 	r.mu.Unlock()
-	if len(names) == 0 {
+	if len(names) == 0 || len(r.clients) == 0 {
 		return
 	}
 	reg := Registration{
@@ -178,24 +203,35 @@ func (r *Registrar) beat() {
 	} else {
 		reg.Digest = CollectDigest()
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RPCTimeout)
-	err := r.cfg.Client.Register(ctx, reg)
-	cancel()
-	if err != nil {
-		heartbeatErrors.Inc()
-		if telemetry.LogEnabled(slog.LevelWarn) {
-			telemetry.Logger().Warn("agent heartbeat failed",
-				"instance", r.cfg.Instance, "err", err)
-		}
-		return
+	var wg sync.WaitGroup
+	for _, c := range r.clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RPCTimeout)
+			err := c.Register(ctx, reg)
+			cancel()
+			if err != nil {
+				heartbeatErrors.Inc()
+				if telemetry.LogEnabled(slog.LevelWarn) {
+					telemetry.Logger().Warn("agent heartbeat failed",
+						"instance", r.cfg.Instance, "agent", c.Endpoint(), "err", err)
+				}
+				return
+			}
+			heartbeatsSent.Inc()
+		}(c)
 	}
-	heartbeatsSent.Inc()
+	wg.Wait()
 }
 
-// Stop ends the heartbeat loop and deregisters the instance so no
-// stale registration outlives a graceful drain. The deregistration is
-// best-effort under ctx: if the agent is unreachable the TTL expires
-// the entries anyway. Idempotent.
+// Stop ends the heartbeat loop and deregisters the instance from
+// every configured agent, concurrently, so a dying replica does not
+// linger in any surviving agent's table for a full TTL. Each attempt
+// is best-effort and bounded by both ctx and RPCTimeout: agents that
+// cannot be reached expire the entries by TTL anyway (and the
+// survivors' tombstones stop peer sync from resurrecting them).
+// Returns the joined errors of the failed attempts. Idempotent.
 func (r *Registrar) Stop(ctx context.Context) error {
 	r.mu.Lock()
 	if r.stopped {
@@ -209,13 +245,25 @@ func (r *Registrar) Stop(ctx context.Context) error {
 		close(r.done)
 		r.wg.Wait()
 	}
-	if err := r.cfg.Client.Deregister(ctx, r.cfg.Instance); err != nil {
-		heartbeatErrors.Inc()
-		if telemetry.LogEnabled(slog.LevelWarn) {
-			telemetry.Logger().Warn("agent deregister failed",
-				"instance", r.cfg.Instance, "err", err)
-		}
-		return err
+	errs := make([]error, len(r.clients))
+	var wg sync.WaitGroup
+	for i, c := range r.clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			dctx, cancel := context.WithTimeout(ctx, r.cfg.RPCTimeout)
+			err := c.Deregister(dctx, r.cfg.Instance)
+			cancel()
+			if err != nil {
+				heartbeatErrors.Inc()
+				if telemetry.LogEnabled(slog.LevelWarn) {
+					telemetry.Logger().Warn("agent deregister failed",
+						"instance", r.cfg.Instance, "agent", c.Endpoint(), "err", err)
+				}
+				errs[i] = err
+			}
+		}(i, c)
 	}
-	return nil
+	wg.Wait()
+	return errors.Join(errs...)
 }

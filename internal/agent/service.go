@@ -132,6 +132,107 @@ func decodeDigest(d *cdr.Decoder) (MetricsDigest, error) {
 	return md, nil
 }
 
+// A SyncSnapshot travels as a ULong-counted entry sequence — name,
+// instance, stringified IOR, LoadReport, renewal age and TTL in
+// microseconds (ULongLongs) — then a ULong-counted tombstone sequence
+// of (instance, age, ttl). Ages are relative to the sender's clock at
+// snapshot time, so the merge is wall-clock-skew-free.
+
+// syncMaxRows caps decoded snapshot sequences so a corrupt count
+// cannot balloon the alloc.
+const syncMaxRows = 1 << 20
+
+// ageMicros rounds an age UP to whole microseconds: the wire must only
+// ever make a row look older, never newer, or a snapshot bounced
+// between two agents would gain a sliver of life per round trip.
+func ageMicros(d time.Duration) uint64 {
+	return uint64((d + time.Microsecond - 1) / time.Microsecond)
+}
+
+func encodeSnapshot(e *cdr.Encoder, s SyncSnapshot) {
+	e.PutULong(uint32(len(s.Entries)))
+	for _, en := range s.Entries {
+		e.PutString(en.Name)
+		e.PutString(en.Instance)
+		e.PutString(en.Ref.Stringify())
+		encodeLoad(e, en.Load)
+		e.PutULongLong(ageMicros(en.Age))
+		e.PutULongLong(uint64(en.TTL / time.Microsecond))
+	}
+	e.PutULong(uint32(len(s.Tombs)))
+	for _, tb := range s.Tombs {
+		e.PutString(tb.Instance)
+		e.PutULongLong(ageMicros(tb.Age))
+		e.PutULongLong(uint64(tb.TTL / time.Microsecond))
+	}
+}
+
+func decodeSnapshot(d *cdr.Decoder) (SyncSnapshot, error) {
+	var s SyncSnapshot
+	n, err := d.ULong()
+	if err != nil {
+		return s, err
+	}
+	if n > syncMaxRows {
+		return s, fmt.Errorf("%w: sync entry count %d", ErrProtocol, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var en SyncEntry
+		if en.Name, err = d.String(); err != nil {
+			return s, err
+		}
+		if en.Instance, err = d.String(); err != nil {
+			return s, err
+		}
+		iorStr, err := d.String()
+		if err != nil {
+			return s, err
+		}
+		if en.Ref, err = ior.Parse(iorStr); err != nil {
+			return s, err
+		}
+		if en.Load, err = decodeLoad(d); err != nil {
+			return s, err
+		}
+		ageMicros, err := d.ULongLong()
+		if err != nil {
+			return s, err
+		}
+		en.Age = time.Duration(ageMicros) * time.Microsecond
+		ttlMicros, err := d.ULongLong()
+		if err != nil {
+			return s, err
+		}
+		en.TTL = time.Duration(ttlMicros) * time.Microsecond
+		s.Entries = append(s.Entries, en)
+	}
+	nt, err := d.ULong()
+	if err != nil {
+		return s, err
+	}
+	if nt > syncMaxRows {
+		return s, fmt.Errorf("%w: sync tombstone count %d", ErrProtocol, nt)
+	}
+	for i := uint32(0); i < nt; i++ {
+		var tb SyncTombstone
+		if tb.Instance, err = d.String(); err != nil {
+			return s, err
+		}
+		ageMicros, err := d.ULongLong()
+		if err != nil {
+			return s, err
+		}
+		tb.Age = time.Duration(ageMicros) * time.Microsecond
+		ttlMicros, err := d.ULongLong()
+		if err != nil {
+			return s, err
+		}
+		tb.TTL = time.Duration(ttlMicros) * time.Microsecond
+		s.Tombs = append(s.Tombs, tb)
+	}
+	return s, nil
+}
+
 func encodeRegistration(e *cdr.Encoder, r Registration) {
 	e.PutString(r.Instance)
 	e.PutULongLong(uint64(r.TTL / time.Microsecond))
@@ -229,6 +330,26 @@ func Serve(srv *orb.Server, t *Table) {
 			_ = in.Reply(giop.ReplyOK, func(e *cdr.Encoder) {
 				e.PutString(ref.Stringify())
 				e.PutULong(uint32(replicas))
+			})
+		case "sync":
+			// Peer-sync exchange: fold the caller's snapshot in, answer
+			// with ours taken after the merge, so one round converges
+			// both sides on the union.
+			remote, err := decodeSnapshot(d)
+			if err != nil {
+				_ = in.ReplySystemException("MARSHAL", "bad sync body: "+err.Error())
+				return
+			}
+			adopted, removed := t.Merge(remote)
+			if adopted > 0 {
+				peerAdopted.Add(uint64(adopted))
+			}
+			if removed > 0 {
+				peerRemoved.Add(uint64(removed))
+			}
+			local := t.Snapshot()
+			_ = in.Reply(giop.ReplyOK, func(e *cdr.Encoder) {
+				encodeSnapshot(e, local)
 			})
 		case "list":
 			prefix, err := d.String()

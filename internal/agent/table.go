@@ -80,18 +80,51 @@ type ReplicaInfo struct {
 // cannot flap its replicas in and out of the table.
 const MinTTL = 50 * time.Millisecond
 
+// MinTombstoneTTL floors how long a deregistration tombstone is
+// remembered, so a peer that held second-scale registrations cannot
+// resurrect a drained instance after the tombstone of a
+// millisecond-TTL test registration has been pruned.
+const MinTombstoneTTL = time.Second
+
+// tombstone remembers an explicit deregistration so peer-sync merges
+// cannot resurrect the drained instance from a snapshot whose rows
+// predate the drain. A tombstone loses to any strictly newer direct
+// registration (a restarted instance under the same identity), and is
+// pruned once every peer's copy of the old rows must have expired.
+type tombstone struct {
+	at  time.Time
+	ttl time.Duration
+}
+
 // Table is the agent's weighted replica table: per object name, the
 // set of live registrations ranked by load. All state is soft — it
 // exists only between one heartbeat and the next TTL.
+//
+// With agent replication, several tables converge independently from
+// the same heartbeat stream (registrars fan every beat out to all
+// agents) and exchange snapshots at sweep cadence (Snapshot/Merge).
+// Merge is newest-renewal-wins per (name, instance): `seen` holds the
+// newest renewal this table knows per instance — a heartbeat is
+// authoritative for the instance's whole name set, so a peer row
+// older than it is a name the instance has since dropped — and
+// `tombs` holds deregistration tombstones so a drained instance
+// cannot be resurrected from a partitioned peer's stale rows.
 type Table struct {
 	mu    sync.Mutex
 	names map[string]map[string]*replica // name → instance → replica
+	seen  map[string]time.Time           // instance → newest renewal known
+	tombs map[string]tombstone           // instance → deregistration marker
 	now   func() time.Time               // test seam
 }
 
 // NewTable returns an empty replica table.
 func NewTable() *Table {
-	return &Table{names: make(map[string]map[string]*replica), now: time.Now}
+	return &Table{
+		names: make(map[string]map[string]*replica),
+		seen:  make(map[string]time.Time),
+		tombs: make(map[string]tombstone),
+		now:   time.Now,
+	}
 }
 
 // Register upserts one instance's registration: every carried name
@@ -119,6 +152,14 @@ func (t *Table) Register(r Registration) error {
 	now := t.now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// A direct registration is the instance itself speaking: it clears
+	// any deregistration tombstone (restart under the same identity)
+	// and advances the per-instance renewal high-water mark that
+	// peer-sync merges compare against.
+	delete(t.tombs, r.Instance)
+	if now.After(t.seen[r.Instance]) {
+		t.seen[r.Instance] = now
+	}
 	carried := make(map[string]bool, len(r.Names))
 	for _, nr := range r.Names {
 		carried[nr.Name] = true
@@ -169,12 +210,22 @@ func (t *Table) Register(r Registration) error {
 func (t *Table) Deregister(instance string) {
 	t.mu.Lock()
 	n := 0
+	tombTTL := MinTombstoneTTL
 	for name, reps := range t.names {
-		if _, had := reps[instance]; had {
+		if rep, had := reps[instance]; had {
+			if ttl := 2 * rep.deadline.Sub(rep.lastSeen); ttl > tombTTL {
+				tombTTL = ttl
+			}
 			t.removeLocked(name, instance)
 			n++
 		}
 	}
+	// Tombstone the instance (even when it held no rows here — a peer
+	// may still hold some) so a subsequent peer-sync merge cannot
+	// resurrect rows that predate the drain. The tombstone outlives
+	// twice the instance's registration TTL: by then every peer's
+	// stale copy has expired on its own.
+	t.tombs[instance] = tombstone{at: t.now(), ttl: tombTTL}
 	t.mu.Unlock()
 	if n > 0 {
 		tableDeregs.Inc()
@@ -210,6 +261,26 @@ func (t *Table) Sweep(now time.Time) int {
 			}
 			t.removeLocked(name, instance)
 			n++
+		}
+	}
+	// Prune control metadata that can no longer matter: tombstones
+	// past their own TTL, and renewal high-water marks for instances
+	// with no live rows that have been silent long enough that any
+	// peer row they could still veto has expired anyway.
+	for instance, tb := range t.tombs {
+		if !now.Before(tb.at.Add(tb.ttl)) {
+			delete(t.tombs, instance)
+		}
+	}
+	live := make(map[string]bool)
+	for _, reps := range t.names {
+		for instance := range reps {
+			live[instance] = true
+		}
+	}
+	for instance, at := range t.seen {
+		if !live[instance] && now.Sub(at) > MinTombstoneTTL {
+			delete(t.seen, instance)
 		}
 	}
 	t.mu.Unlock()
@@ -348,4 +419,162 @@ func (t *Table) Size() (names, replicas int) {
 		replicas += len(reps)
 	}
 	return len(t.names), replicas
+}
+
+// SyncEntry is one live replica row in a peer-sync snapshot. Renewal
+// time travels as an age relative to the sender's clock at snapshot
+// time, so merging is immune to wall-clock skew between agents. (Raw
+// transit delay would make an arriving row look *newer* — the age is
+// frozen at encode time — so Client.Sync pads reply ages by the RPC's
+// elapsed time, erring old, never new.)
+type SyncEntry struct {
+	Name     string
+	Instance string
+	Ref      *ior.Ref
+	Load     LoadReport
+	// Age is how long before the snapshot the row was last renewed.
+	Age time.Duration
+	// TTL is the row's registration time-to-live from that renewal.
+	TTL time.Duration
+}
+
+// SyncTombstone is one deregistration marker in a peer-sync snapshot.
+type SyncTombstone struct {
+	Instance string
+	Age      time.Duration
+	TTL      time.Duration
+}
+
+// SyncSnapshot is the peer-sync exchange unit: every live row plus
+// the current tombstones. Metrics digests deliberately stay out — the
+// fleet observability plane is fed by the direct heartbeat fan-out,
+// not by peer sync, which only has to keep *resolution* converged.
+type SyncSnapshot struct {
+	Entries []SyncEntry
+	Tombs   []SyncTombstone
+}
+
+// Snapshot captures the table's live rows and tombstones for a peer
+// exchange. Expired-but-unswept rows are excluded so a zombie never
+// travels.
+func (t *Table) Snapshot() SyncSnapshot {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var s SyncSnapshot
+	for name, reps := range t.names {
+		for _, rep := range reps {
+			if !now.Before(rep.deadline) {
+				continue
+			}
+			s.Entries = append(s.Entries, SyncEntry{
+				Name:     name,
+				Instance: rep.instance,
+				Ref:      rep.ref,
+				Load:     rep.load,
+				Age:      now.Sub(rep.lastSeen),
+				TTL:      rep.deadline.Sub(rep.lastSeen),
+			})
+		}
+	}
+	for instance, tb := range t.tombs {
+		s.Tombs = append(s.Tombs, SyncTombstone{
+			Instance: instance,
+			Age:      now.Sub(tb.at),
+			TTL:      tb.ttl,
+		})
+	}
+	return s
+}
+
+// Merge folds a peer's snapshot into the table, newest renewal wins:
+//
+//   - a row is adopted only if it is strictly newer than the local
+//     row for the same (name, instance), and — when there is no local
+//     row — strictly newer than the newest renewal this table has
+//     seen from the instance at all (a heartbeat names the instance's
+//     *whole* object set, so an older peer row for a missing name is
+//     a name the instance has since dropped, not news);
+//   - a tombstone removes every local row of its instance not renewed
+//     after it, and is itself vetoed by newer direct knowledge (the
+//     instance re-registered after the drain the peer saw).
+//
+// Merge never extends a deadline beyond what some heartbeat actually
+// paid for, so a partitioned pair cannot keep each other's dead rows
+// alive by bouncing snapshots back and forth. Returns the number of
+// rows adopted (inserted or renewed) and removed by tombstones.
+func (t *Table) Merge(s SyncSnapshot) (adopted, removed int) {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ts := range s.Tombs {
+		at := now.Add(-ts.Age)
+		if t.seen[ts.Instance].After(at) {
+			continue
+		}
+		if old, ok := t.tombs[ts.Instance]; !ok || at.After(old.at) {
+			ttl := ts.TTL
+			if ttl < MinTombstoneTTL {
+				ttl = MinTombstoneTTL
+			}
+			t.tombs[ts.Instance] = tombstone{at: at, ttl: ttl}
+		}
+		for name, reps := range t.names {
+			if rep, ok := reps[ts.Instance]; ok && !rep.lastSeen.After(at) {
+				t.removeLocked(name, ts.Instance)
+				removed++
+			}
+		}
+	}
+	for _, e := range s.Entries {
+		if e.Name == "" || e.Instance == "" || e.Ref == nil || e.Ref.Validate() != nil {
+			continue // a malformed peer row is dropped, never adopted
+		}
+		ls := now.Add(-e.Age)
+		if tb, ok := t.tombs[e.Instance]; ok && !ls.After(tb.at) {
+			continue
+		}
+		reps := t.names[e.Name]
+		old := reps[e.Instance]
+		if old != nil {
+			if !ls.After(old.lastSeen) {
+				continue
+			}
+		} else if !ls.After(t.seen[e.Instance]) {
+			continue
+		}
+		ttl := e.TTL
+		if ttl < MinTTL {
+			ttl = MinTTL
+		}
+		if !now.Before(ls.Add(ttl)) {
+			continue // aged past its own TTL in flight
+		}
+		if reps == nil {
+			reps = make(map[string]*replica)
+			t.names[e.Name] = reps
+			tableNames.Inc()
+		}
+		rep := &replica{
+			instance: e.Instance,
+			ref:      e.Ref,
+			load:     e.Load,
+			lastSeen: ls,
+			deadline: ls.Add(ttl),
+		}
+		if old != nil {
+			// Keep the digest chain the direct heartbeats built; peer
+			// rows carry no digests.
+			rep.digest, rep.digestAt = old.digest, old.digestAt
+			rep.prev, rep.prevAt = old.prev, old.prevAt
+		} else {
+			tableReplicas.Inc()
+		}
+		reps[e.Instance] = rep
+		if ls.After(t.seen[e.Instance]) {
+			t.seen[e.Instance] = ls
+		}
+		adopted++
+	}
+	return adopted, removed
 }

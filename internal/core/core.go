@@ -18,6 +18,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"pardis/internal/agent"
@@ -87,7 +88,10 @@ type DomainConfig struct {
 	// to the naming service. With an agent, exported objects are
 	// heartbeat-registered and Resolve/SPMDBind answer load-ranked
 	// references, degrading to cached answers and the static naming
-	// registry whenever the agent is unreachable.
+	// registry whenever the agent is unreachable. A comma-separated
+	// list names a replicated control plane: heartbeats fan out to
+	// every agent and resolution rotates through them on failure, so
+	// losing any single agent host is invisible to the domain.
 	AgentEndpoint string
 	// HeartbeatInterval is the agent heartbeat cadence (default
 	// agent.DefaultHeartbeatInterval; registrations live 3x this).
@@ -141,13 +145,18 @@ func JoinDomain(cfg DomainConfig) (*Domain, error) {
 	d.nameOC = orb.NewClient(reg)
 	d.names = naming.NewClient(d.nameOC, ep)
 	if cfg.AgentEndpoint != "" {
-		ac := agent.NewClient(d.nameOC, cfg.AgentEndpoint)
+		var acs []*agent.Client
+		for _, aep := range strings.Split(cfg.AgentEndpoint, ",") {
+			if aep = strings.TrimSpace(aep); aep != "" {
+				acs = append(acs, agent.NewClient(d.nameOC, aep))
+			}
+		}
 		d.resolver = agent.NewResolver(agent.ResolverConfig{
-			Agent:  ac,
+			Agents: acs,
 			Naming: d.names,
 		})
 		d.registrar = agent.NewRegistrar(agent.RegistrarConfig{
-			Client:   ac,
+			Clients:  acs,
 			Interval: cfg.HeartbeatInterval,
 		})
 	}

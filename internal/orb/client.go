@@ -626,6 +626,16 @@ func (c *Client) invokeOnce(ctx context.Context, endpoint string, hdr giop.Reque
 		// cancel frame; the reply, if it still comes, is discarded by
 		// removePending.
 		_ = cc.sendCancel(hdr.RequestID)
+		// A deadline expiring with nothing framed back is a strike
+		// against the connection — connDeadlineStrikes of them in a row
+		// and it is evicted so the next attempt redials instead of
+		// reusing a flow a one-way partition may have silently killed.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) &&
+			cc.strikes.Add(1) >= connDeadlineStrikes {
+			connEvictions.Inc()
+			cc.shutdown(fmt.Errorf("%w: evicted after %d consecutive deadline misses",
+				ErrConnectionLost, connDeadlineStrikes))
+		}
 		return giop.ReplyHeader{}, 0, nil, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
 	}
 }
@@ -754,6 +764,18 @@ type reply struct {
 // clientConn is one stripe member: a cached connection with a reader
 // goroutine and an outstanding-request depth gauge the stripe's
 // least-loaded pick reads.
+// connDeadlineStrikes is how many consecutive deadline-expired waits
+// (with no reply delivered in between) a pooled connection survives
+// before it is evicted as suspect. A one-way partition — writes
+// swallowed, nothing framed back, the socket itself never erroring —
+// would otherwise wedge the pool: every later invoke reuses the dead
+// connection and pays a full timeout, forever. Three strikes tolerate
+// a genuinely slow server (any reply resets the count) while bounding
+// how long a blackholed flow can haunt an endpoint.
+const connDeadlineStrikes = 3
+
+var connEvictions = telemetry.Default.Counter("pardis_client_conn_evictions_total")
+
 type clientConn struct {
 	owner    *Client
 	endpoint string
@@ -762,6 +784,7 @@ type clientConn struct {
 	nextID   atomic.Uint32
 	depth    *telemetry.Gauge // pardis_client_stripe_depth{endpoint,stripe}
 	sending  atomic.Int64     // one-way writes (block/put) in flight
+	strikes  atomic.Int32     // consecutive deadline misses, reset by any reply
 
 	writeMu   sync.Mutex
 	cancelBuf [4]byte // preallocated CancelRequest body, guarded by writeMu
@@ -887,6 +910,7 @@ func (cc *clientConn) readLoop() {
 				cc.shutdown(fmt.Errorf("%w: bad reply header: %v", ErrConnectionLost, err))
 				return
 			}
+			cc.strikes.Store(0) // the flow demonstrably delivers replies
 			if ch, ok := cc.takePending(rh.RequestID); ok {
 				ch <- reply{hdr: rh, order: f.Order, body: f.Body[d.Pos():]}
 			}

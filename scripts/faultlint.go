@@ -33,6 +33,8 @@ var markers = map[string]bool{
 	"NewFaulty": true,
 	"FaultPlan": true,
 	"Faulty":    true,
+	"SetPlan":   true,
+	"Blackhole": true,
 }
 
 // funcInfo is one function declaration in a test package.
